@@ -1,0 +1,90 @@
+"""Measured counterpart of Figure 7 — simulated-cluster execution.
+
+The paper evaluates estimated costs only; as additional validation we
+*execute* the conventional and CSE plans on the cluster simulator and
+compare measured work: rows extracted, rows shipped through exchanges,
+rows spooled.  The CSE plans must extract each shared input once and
+ship no more data than the conventional plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import optimize_script
+from repro.exec import Cluster, PlanExecutor
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.paper_scripts import (
+    EXEC_NDV,
+    PAPER_SCRIPTS,
+    make_exec_catalog,
+)
+
+MACHINES = 4
+
+
+def execute(script, exploit_cse):
+    catalog = make_exec_catalog()
+    config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+    files = generate_for_catalog(catalog, seed=11)
+    result = optimize_script(
+        PAPER_SCRIPTS[script], catalog, config, exploit_cse=exploit_cse
+    )
+    cluster = Cluster(machines=MACHINES)
+    for path, rows in files.items():
+        cluster.load_file(path, rows)
+    executor = PlanExecutor(cluster, validate=True)
+    executor.execute(result.plan)
+    return executor.metrics, result
+
+
+@pytest.mark.parametrize("script", sorted(PAPER_SCRIPTS))
+def test_cse_does_not_increase_measured_work(script):
+    base, _ = execute(script, exploit_cse=False)
+    cse, _ = execute(script, exploit_cse=True)
+    assert cse.rows_extracted <= base.rows_extracted
+    assert cse.rows_shuffled <= base.rows_shuffled
+
+
+def test_print_measured_table(capsys):
+    with capsys.disabled():
+        print("\n=== Measured execution (4-machine simulator) ===")
+        header = (
+            f"{'script':<8}{'mode':<14}{'extracted':>11}{'shuffled':>10}"
+            f"{'spooled':>9}{'reads':>7}"
+        )
+        print(header)
+        print("-" * len(header))
+        for script in sorted(PAPER_SCRIPTS):
+            for cse in (False, True):
+                metrics, _ = execute(script, cse)
+                mode = "cse" if cse else "conventional"
+                print(
+                    f"{script:<8}{mode:<14}{metrics.rows_extracted:>11,}"
+                    f"{metrics.rows_shuffled:>10,}{metrics.rows_spooled:>9,}"
+                    f"{metrics.spool_reads:>7}"
+                )
+
+
+@pytest.mark.parametrize("script", ["S1", "S4"])
+@pytest.mark.parametrize("cse", [False, True], ids=["conventional", "cse"])
+def test_bench_plan_execution(benchmark, script, cse):
+    """Wall time of executing the plans on the simulator."""
+    catalog = make_exec_catalog()
+    config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+    files = generate_for_catalog(catalog, seed=11)
+    result = optimize_script(
+        PAPER_SCRIPTS[script], catalog, config, exploit_cse=cse
+    )
+
+    def run():
+        cluster = Cluster(machines=MACHINES)
+        for path, rows in files.items():
+            cluster.load_file(path, rows)
+        executor = PlanExecutor(cluster, validate=False)
+        return executor.execute(result.plan)
+
+    outputs = benchmark(run)
+    assert outputs

@@ -1,0 +1,76 @@
+"""Figure 3 — shared-group propagation and LCA identification.
+
+Regenerates the three scenarios of Figure 3 (single shared group with
+the root as LCA; per-pipeline LCAs; LCA above the lowest common
+ancestor), prints the resulting annotations, and times Algorithm 3 on
+memos from small to LS2-sized.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cse.fingerprint import identify_common_subexpressions
+from repro.cse.propagation import propagate_shared_groups
+from repro.optimizer.memo import Memo
+from repro.scope.compiler import compile_script
+from repro.workloads.large_scripts import make_large_script
+from repro.workloads.paper_scripts import S1, S3, make_catalog
+from tests.test_propagation import FIG3C_SCRIPT
+
+
+def prepared_memo(text, catalog):
+    memo = Memo.from_logical_plan(compile_script(text, catalog))
+    identify_common_subexpressions(memo)
+    return memo
+
+
+SCENARIOS = {
+    "fig3a (S1: LCA at root)": S1,
+    "fig3b (S3: LCA at each join)": S3,
+    "fig3c (LCA above lowest common ancestor)": FIG3C_SCRIPT,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_propagation_identifies_lcas(name):
+    memo = prepared_memo(SCENARIOS[name], make_catalog())
+    result = propagate_shared_groups(memo)
+    assert result.lca
+    for shared_gid, lca_gid in result.lca.items():
+        assert lca_gid is not None, f"{name}: no LCA for group {shared_gid}"
+        # Every consumer must be below the LCA's shared-group record.
+        record = next(
+            s for s in result.shared_below[lca_gid] if s.grp_no == shared_gid
+        )
+        assert record.all_found()
+
+
+def test_print_figure3_annotations(capsys):
+    with capsys.disabled():
+        print("\n=== Figure 3 reproduction: LCAs per scenario ===")
+        for name, text in SCENARIOS.items():
+            memo = prepared_memo(text, make_catalog())
+            result = propagate_shared_groups(memo)
+            lcas = {
+                f"shared#{s}": f"LCA=group#{l}" for s, l in result.lca.items()
+            }
+            root_note = {
+                s: ("root" if l == memo.root else "inner")
+                for s, l in result.lca.items()
+            }
+            print(f"{name}: {lcas} ({root_note})")
+
+
+@pytest.mark.parametrize("script", ["LS1", "LS2"])
+def test_bench_propagation(benchmark, script):
+    """Algorithm 3 runtime on the large memos (it is one DAG pass)."""
+    text, catalog, _spec = make_large_script(script)
+    memo = prepared_memo(text, catalog)
+
+    def run():
+        return propagate_shared_groups(memo)
+
+    result = benchmark(run)
+    expected = 4 if script == "LS1" else 17
+    assert len(result.lca) == expected

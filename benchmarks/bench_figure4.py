@@ -1,0 +1,72 @@
+"""Figure 4 — re-optimization rounds under property enforcement.
+
+Scenario (a): two shared groups with *different* LCAs → each LCA sweeps
+only its own group's property sets (2 + 2 rounds in the paper's
+example).  Scenario (b): one LCA for two *dependent* shared groups → the
+full cartesian product (4 rounds in the paper's example).
+
+The bench reruns both shapes, checks the round structure, prints the
+round logs, and times phase 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import optimize_script
+from repro.workloads.paper_scripts import S3, make_catalog
+from tests.test_propagation import CROSS_JOIN_SCRIPT
+
+
+def rounds_by_lca(result):
+    per_lca = {}
+    for lca, signature in result.details.engine.stats.round_log:
+        per_lca.setdefault(lca, []).append(signature)
+    return per_lca
+
+
+class TestFigure4a:
+    def test_independent_lcas_sweep_separately(self, figure_config):
+        result = optimize_script(S3, make_catalog(), figure_config)
+        per_lca = rounds_by_lca(result)
+        assert len(per_lca) == 2
+        for signatures in per_lca.values():
+            assert all(len(sig) == 1 for sig in signatures)
+
+
+class TestFigure4b:
+    def test_single_lca_cartesian(self, figure_config):
+        result = optimize_script(CROSS_JOIN_SCRIPT, make_catalog(),
+                                 figure_config)
+        per_lca = rounds_by_lca(result)
+        assert len(per_lca) == 1
+        signatures = next(iter(per_lca.values()))
+        assert all(len(sig) == 2 for sig in signatures)
+        shared = sorted({g for sig in signatures for g, _ in sig})
+        memo = result.details.memo
+        expected = 1
+        for gid in shared:
+            expected *= len(memo.group(gid).history)
+        assert len(signatures) == expected
+
+
+def test_print_figure4_round_logs(figure_config, capsys):
+    with capsys.disabled():
+        for name, text in (("4(a) S3", S3), ("4(b) cross joins",
+                                             CROSS_JOIN_SCRIPT)):
+            result = optimize_script(text, make_catalog(), figure_config)
+            print(f"\n=== Figure {name}: phase-2 rounds ===")
+            for lca, signature in result.details.engine.stats.round_log:
+                pretty = ", ".join(f"({g},{e})" for g, e in signature)
+                print(f"  LCA group#{lca}: {{{pretty}}}")
+
+
+@pytest.mark.parametrize(
+    "name,text", [("fig4a", S3), ("fig4b", CROSS_JOIN_SCRIPT)]
+)
+def test_bench_enforced_reoptimization(benchmark, figure_config, name, text):
+    def run():
+        return optimize_script(text, make_catalog(), figure_config)
+
+    result = benchmark(run)
+    assert result.details.engine.stats.rounds > 0

@@ -1,0 +1,69 @@
+"""Figure 5 / Section VIII-A — independent shared groups.
+
+The paper's example: two independent shared groups with 8 property sets
+each need 15 rounds under the extended round generation instead of the
+64 of the cartesian baseline.  This bench checks the arithmetic, then
+measures the real effect on a script with two independent shared groups
+(round counts and wall time, with identical final plan cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import optimize_script
+from repro.cse.large_scripts import cartesian_rounds, sequential_rounds
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.workloads.paper_scripts import make_catalog
+from tests.test_propagation import INDEPENDENT_SCRIPT
+
+
+def test_paper_arithmetic_8x8():
+    assert cartesian_rounds([8, 8]) == 64
+    assert sequential_rounds([8, 8]) == 15
+
+
+def run(independence: bool):
+    config = OptimizerConfig(
+        cost_params=CostParams(machines=25),
+        exploit_independence=independence,
+    )
+    return optimize_script(INDEPENDENT_SCRIPT, make_catalog(), config)
+
+
+def test_independence_reduces_rounds_without_quality_loss():
+    fast = run(independence=True)
+    slow = run(independence=False)
+    fast_rounds = fast.details.engine.stats.rounds
+    slow_rounds = slow.details.engine.stats.rounds
+    assert fast_rounds < slow_rounds
+    assert fast.cost == pytest.approx(slow.cost, rel=1e-9)
+    # With histories of size n1, n2 the counts must be exactly
+    # n1 + n2 - 1 versus n1 * n2.
+    memo = fast.details.memo
+    sizes = sorted(
+        len(g.history) for g in memo.shared_groups() if g.history
+    )
+    assert fast_rounds == sequential_rounds(sizes)
+    assert slow_rounds == cartesian_rounds(sizes)
+
+
+def test_print_round_comparison(capsys):
+    fast = run(True)
+    slow = run(False)
+    with capsys.disabled():
+        print("\n=== Figure 5 reproduction: rounds with independent groups ===")
+        print(f"cartesian  : {slow.details.engine.stats.rounds} rounds, "
+              f"cost {slow.cost:,.0f}")
+        print(f"independent: {fast.details.engine.stats.rounds} rounds, "
+              f"cost {fast.cost:,.0f}")
+        print(f"paper example: 8×8 histories → "
+              f"{cartesian_rounds([8, 8])} vs {sequential_rounds([8, 8])}")
+
+
+@pytest.mark.parametrize("independence", [True, False],
+                         ids=["independent", "cartesian"])
+def test_bench_round_strategies(benchmark, independence):
+    result = benchmark(lambda: run(independence))
+    assert result.plan is not None

@@ -1,0 +1,89 @@
+"""Figure 7 — estimated costs, conventional vs CSE-exploiting optimizer.
+
+The paper's headline result: 21–57% lower estimated costs across S1–S4
+and the two large real-world scripts.  This bench regenerates the table
+(printed with ``-s``), asserts the reproduction bands, and times the
+optimization of each script.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import optimize_script
+from repro.workloads.figure7 import (
+    PAPER_RATIOS,
+    format_table,
+    run_all,
+    run_script,
+)
+from repro.workloads.large_scripts import make_large_script
+from repro.workloads.paper_scripts import PAPER_SCRIPTS, make_catalog
+
+#: Tolerated absolute deviation of our cost ratio from the paper's.
+#: S3/S4 carry a wider band: their ratios depend on how heavy the join
+#: side of the script is in SCOPE's (unpublished) production cost model;
+#: see EXPERIMENTS.md.
+RATIO_TOLERANCE = {
+    "S1": 0.05,
+    "S2": 0.05,
+    "S3": 0.10,
+    "S4": 0.15,
+    "LS1": 0.05,
+    "LS2": 0.05,
+}
+
+
+@pytest.mark.parametrize("script", ["S1", "S2", "S3", "S4", "LS1", "LS2"])
+def test_figure7_ratio_in_band(script):
+    row = run_script(script)
+    assert row.cse_cost < row.conventional_cost, script
+    deviation = abs(row.ratio - row.paper_ratio)
+    assert deviation <= RATIO_TOLERANCE[script], (
+        f"{script}: ratio {row.ratio:.2f} vs paper {row.paper_ratio:.2f}"
+    )
+
+
+def test_figure7_savings_band_21_to_57_percent_extremes():
+    """The paper's summary sentence: 21 to 57% lower estimated costs."""
+    rows = run_all()
+    savings = {row.script: row.saving_pct for row in rows}
+    assert min(savings.values()) >= 15.0
+    assert savings["LS1"] == min(savings.values())  # smallest saving
+    assert savings["S4"] == max(savings.values())   # deepest saving
+    # The paper's qualitative ordering: S2 and S4 save the most of the
+    # small scripts, LS1 the least overall.
+    assert savings["S4"] > savings["S1"]
+    assert savings["S2"] > savings["S1"]
+
+
+def test_print_figure7_table(capsys):
+    rows = run_all()
+    table = format_table(rows)
+    with capsys.disabled():
+        print("\n=== Figure 7 reproduction ===")
+        print(table)
+
+
+@pytest.mark.parametrize("script", ["S1", "S2", "S3", "S4"])
+def test_bench_optimize_small_script(benchmark, script, figure_config):
+    """Optimization time of S1–S4 (paper: under one second each)."""
+    text = PAPER_SCRIPTS[script]
+
+    def run():
+        catalog = make_catalog()
+        return optimize_script(text, catalog, figure_config, exploit_cse=True)
+
+    result = benchmark(run)
+    assert result.plan is not None
+
+
+@pytest.mark.parametrize("script", ["LS1", "LS2"])
+def test_bench_optimize_large_script(benchmark, script, figure_config):
+    """Optimization time of the large scripts (paper budgets: 30s/60s)."""
+    text, catalog, _spec = make_large_script(script)
+
+    def run():
+        return optimize_script(text, catalog, figure_config, exploit_cse=True)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

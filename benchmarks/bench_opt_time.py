@@ -1,0 +1,73 @@
+"""Section IX timing claims — optimization cost and budgets.
+
+The paper reports: S1–S4 optimize in under one second; LS1 and LS2 fit
+30 s and 60 s budgets; the budget mechanism can stop the re-optimization
+at an intermediate round and keep the best plan found so far; and the
+optimization time is a small fraction of the (estimated) execution cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import optimize_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.workloads.large_scripts import make_large_script
+from repro.workloads.paper_scripts import PAPER_SCRIPTS, make_catalog
+
+
+@pytest.mark.parametrize("script", sorted(PAPER_SCRIPTS))
+def test_small_scripts_optimize_under_a_second(script, figure_config):
+    start = time.perf_counter()
+    optimize_script(PAPER_SCRIPTS[script], make_catalog(), figure_config)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0, f"{script} took {elapsed:.2f}s (paper: <1s)"
+
+
+@pytest.mark.parametrize("script,budget", [("LS1", 30.0), ("LS2", 60.0)])
+def test_large_scripts_fit_paper_budgets(script, budget):
+    text, catalog, _spec = make_large_script(script)
+    config = OptimizerConfig(
+        cost_params=CostParams(machines=25), budget_seconds=budget
+    )
+    start = time.perf_counter()
+    result = optimize_script(text, catalog, config)
+    elapsed = time.perf_counter() - start
+    assert result.plan is not None
+    assert elapsed < budget + 10.0
+
+
+def test_budget_interrupts_rounds_and_keeps_best():
+    text, catalog, _spec = make_large_script("LS1")
+    tight = OptimizerConfig(
+        cost_params=CostParams(machines=25), max_rounds=3
+    )
+    loose = OptimizerConfig(cost_params=CostParams(machines=25))
+    limited = optimize_script(text, catalog, tight)
+    full = optimize_script(text, catalog, loose)
+    assert limited.details.engine.stats.rounds <= 3
+    assert limited.plan is not None
+    # The budget-limited plan is valid and no better than the full sweep.
+    assert limited.cost >= full.cost * (1 - 1e-9)
+
+
+@pytest.mark.parametrize("script", sorted(PAPER_SCRIPTS))
+def test_bench_small_script_optimization(benchmark, script, figure_config):
+    text = PAPER_SCRIPTS[script]
+    result = benchmark(
+        lambda: optimize_script(text, make_catalog(), figure_config)
+    )
+    assert result.plan is not None
+
+
+def test_bench_ls1_end_to_end(benchmark):
+    text, catalog, _spec = make_large_script("LS1")
+    config = OptimizerConfig(
+        cost_params=CostParams(machines=25), budget_seconds=30.0
+    )
+    benchmark.pedantic(
+        lambda: optimize_script(text, catalog, config), rounds=1, iterations=1
+    )

@@ -1,0 +1,77 @@
+"""Optimizer scaling: cost of the CSE pipeline vs script size.
+
+Generates scripts from a few dozen operators up to LS2 size (1034) and
+measures optimization time, group counts, candidate counts, and phase-2
+rounds.  The paper's scalability claim is indirect (LS2 finishes within
+a 60 s budget); this bench characterizes where the time goes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import optimize_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.workloads.large_scripts import (
+    LargeScriptSpec,
+    build_catalog,
+    build_script,
+)
+
+
+def sized_spec(pipelines: int) -> LargeScriptSpec:
+    """A spec with ``pipelines`` shared pipelines of fixed shape."""
+    return LargeScriptSpec(
+        name=f"scale{pipelines}",
+        shared_consumers=tuple([2] * pipelines),
+        pre_chain=tuple([3] * pipelines),
+        unshared_chains=tuple([4] * pipelines),
+    )
+
+
+def optimize(spec: LargeScriptSpec):
+    text = build_script(spec)
+    catalog = build_catalog(spec)
+    config = OptimizerConfig(cost_params=CostParams(machines=25))
+    start = time.perf_counter()
+    result = optimize_script(text, catalog, config)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+@pytest.mark.parametrize("pipelines", [2, 4, 8])
+def test_scaling_is_roughly_linear_in_pipelines(pipelines):
+    spec = sized_spec(pipelines)
+    result, elapsed = optimize(spec)
+    stats = result.details.engine.stats
+    # Independent pipelines: rounds grow linearly, not multiplicatively.
+    assert stats.rounds <= pipelines * 8
+    assert result.plan is not None
+
+
+def test_print_scaling_table(capsys):
+    with capsys.disabled():
+        print("\n=== Optimizer scaling (shared+unshared pipelines) ===")
+        print(f"{'pipelines':>10}{'operators':>11}{'groups opt':>12}"
+              f"{'rounds':>8}{'time':>8}")
+        for pipelines in (2, 4, 8, 16):
+            spec = sized_spec(pipelines)
+            result, elapsed = optimize(spec)
+            stats = result.details.engine.stats
+            print(f"{pipelines:>10}{spec.operator_count():>11}"
+                  f"{stats.groups_optimized:>12}{stats.rounds:>8}"
+                  f"{elapsed:>7.2f}s")
+
+
+@pytest.mark.parametrize("pipelines", [4, 16])
+def test_bench_pipeline_scaling(benchmark, pipelines):
+    spec = sized_spec(pipelines)
+    text = build_script(spec)
+    catalog = build_catalog(spec)
+    config = OptimizerConfig(cost_params=CostParams(machines=25))
+    benchmark.pedantic(
+        lambda: optimize_script(text, catalog, config), rounds=1, iterations=1
+    )

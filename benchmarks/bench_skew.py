@@ -1,0 +1,78 @@
+"""Skew and the cost-based choice of the shared layout.
+
+The paper's phase 2 does not *always* pick the smallest reconciling
+column set — it prices every enforceable layout.  This bench sweeps the
+distinct-value count of column ``B`` in script S1: when ``B`` has enough
+distinct values to keep every machine busy, the single-column ``{B}``
+layout wins (both consumers aggregate in place); when ``B`` is too
+low-cardinality, partitioning on it would collapse the effective
+parallelism, and the rounds correctly fall back to a two-column layout
+that serves one consumer directly and lets the other compensate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import optimize_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.plan.physical import PhysSpool
+from repro.workloads.paper_scripts import S1, make_catalog
+
+MACHINES = 25
+
+
+def chosen_layout(ndv_b: int):
+    catalog = make_catalog(
+        ndv={"A": 250, "B": ndv_b, "C": 250, "D": 1_000_000}
+    )
+    config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+    baseline = optimize_script(S1, catalog, config, exploit_cse=False)
+    extended = optimize_script(S1, catalog, config, exploit_cse=True)
+    spools = extended.plan.find_all(PhysSpool)
+    layout = spools[0].props.partitioning if spools else None
+    return layout, extended.cost / baseline.cost
+
+
+def test_high_ndv_prefers_single_column():
+    layout, ratio = chosen_layout(250)
+    assert layout is not None
+    assert layout.columns == frozenset({"B"})
+    assert ratio < 0.7
+
+
+def test_low_ndv_abandons_the_reconciling_column():
+    """ndv(B)=2 on 25 machines: hash(B) would run on two machines; the
+    rounds pick a layout that keeps the cluster busy instead."""
+    layout, ratio = chosen_layout(2)
+    assert layout is not None
+    assert layout.columns != frozenset({"B"})
+    assert len(layout.columns) >= 2
+    assert ratio < 0.7  # sharing still pays — just with a different layout
+
+
+def test_crossover_is_monotone_in_parallelism():
+    """Once ndv(B) reaches the cluster size, {B} stays the choice."""
+    for ndv_b in (MACHINES, 4 * MACHINES, 10 * MACHINES):
+        layout, _ratio = chosen_layout(ndv_b)
+        assert layout.columns == frozenset({"B"}), f"ndv(B)={ndv_b}"
+
+
+def test_print_skew_sweep(capsys):
+    with capsys.disabled():
+        print("\n=== Shared-layout choice vs ndv(B) (25 machines) ===")
+        print(f"{'ndv(B)':>8}{'chosen layout':>16}{'cost ratio':>12}")
+        for ndv_b in (2, 5, 10, 25, 100, 250):
+            layout, ratio = chosen_layout(ndv_b)
+            print(f"{ndv_b:>8}{str(layout):>16}{ratio:>12.3f}")
+
+
+@pytest.mark.parametrize("ndv_b", [2, 250], ids=["skewed", "uniform"])
+def test_bench_skew_aware_optimization(benchmark, ndv_b):
+    catalog = make_catalog(
+        ndv={"A": 250, "B": ndv_b, "C": 250, "D": 1_000_000}
+    )
+    config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+    result = benchmark(lambda: optimize_script(S1, catalog, config))
+    assert result.plan is not None

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper; run
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see both the timing numbers and the regenerated artifacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+
+
+@pytest.fixture
+def figure_config() -> OptimizerConfig:
+    """The configuration used for all estimated-cost reproductions."""
+    return OptimizerConfig(cost_params=CostParams(machines=25))

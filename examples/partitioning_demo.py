@@ -1,0 +1,61 @@
+"""Figure 1(b): why repartitioning on {B} can serve everyone.
+
+Walks through the property algebra at the heart of the paper: a grouping
+consumer's partitioning requirement is a *range* of column sets, data
+hash-partitioned on a subset is partitioned on every superset, and the
+history expansion of Section V enumerates the concrete layouts phase 2
+can enforce.
+
+    python examples/partitioning_demo.py
+"""
+
+from repro.cse.history import PropertyHistory
+from repro.plan.properties import (
+    Partitioning,
+    PartitioningReq,
+    ReqProps,
+)
+
+
+def main() -> None:
+    print("=== The subset rule (Figure 1(b)) ===")
+    requirement = PartitioningReq.grouping({"A", "B", "C"})
+    print(f"grouping on (A,B,C) requires partitioning in the range "
+          f"{requirement}")
+    for cols in ({"A", "B", "C"}, {"B"}, {"A", "C"}, {"D"}, {"B", "D"}):
+        layout = Partitioning.hashed(cols)
+        verdict = "satisfies" if requirement.is_satisfied_by(layout) else \
+            "does NOT satisfy"
+        print(f"  hash({','.join(sorted(cols))}) {verdict} it")
+    print()
+
+    print("=== Competing consumers (script S1) ===")
+    req_r1 = PartitioningReq.grouping({"A", "B"})
+    req_r2 = PartitioningReq.grouping({"B", "C"})
+    print(f"consumer R1 (GROUP BY A,B) requires {req_r1}")
+    print(f"consumer R2 (GROUP BY B,C) requires {req_r2}")
+    for cols in ({"A", "B"}, {"B", "C"}, {"B"}):
+        layout = Partitioning.hashed(cols)
+        both = req_r1.is_satisfied_by(layout) and req_r2.is_satisfied_by(layout)
+        tag = "BOTH consumers" if both else "only one consumer"
+        print(f"  hash({','.join(sorted(cols))}) serves {tag}")
+    print("→ only a subset of {B} reconciles the two requirements; a "
+          "conventional, locally-optimising pass never picks it.")
+    print()
+
+    print("=== The property history of the shared group (Section V) ===")
+    history = PropertyHistory()
+    history.record_requirement(ReqProps(req_r1))
+    history.record_requirement(ReqProps(req_r2))
+    print("recorded entries (expanded to concrete layouts):")
+    for entry in history.entries:
+        count = history.satisfaction_count(entry)
+        print(f"  {entry}  — satisfies {count} of 2 recorded requirements")
+    print()
+    print("ranked for phase 2 (most promising first):")
+    for entry in history.ranked_entries():
+        print(f"  {entry}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy entry point so editable installs work offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Exploiting Common Subexpressions for Cloud
+Query Processing" (Silva, Larson, Zhou; ICDE 2012).
+
+Public API quick tour::
+
+    from repro import Catalog, ColumnType, optimize_script
+
+    catalog = Catalog()
+    catalog.register_file("test.log", [("A", ColumnType.INT), ...], rows=10**6)
+    result = optimize_script(script_text, catalog)          # CSE-aware
+    baseline = optimize_script(script_text, catalog, exploit_cse=False)
+    print(result.plan.pretty())
+    print(result.cost, baseline.cost)
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough including
+execution on the simulated cluster.
+"""
+
+from .api import OptimizationResult, optimize_plan, optimize_script
+from .plan.columns import Column, ColumnType, Schema
+from .scope.catalog import Catalog
+from .scope.compiler import compile_script
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "OptimizationResult",
+    "Schema",
+    "compile_script",
+    "optimize_plan",
+    "optimize_script",
+]

@@ -1,0 +1,129 @@
+"""Top-level convenience API.
+
+Everything the quickstart needs in two calls::
+
+    result = optimize_script(text, catalog)                   # CSE-aware
+    baseline = optimize_script(text, catalog, exploit_cse=False)
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+from .cse.pipeline import (
+    CseOptimizationResult,
+    optimize_conventional,
+    optimize_with_cse,
+)
+from .optimizer.engine import OptimizerConfig
+from .plan.logical import LogicalPlan
+from .plan.pruning import prune_columns
+from .plan.physical import PhysicalPlan
+from .scope.catalog import Catalog
+from .scope.compiler import compile_script
+
+# Deep scripts (LS2 has >1000 operators) recurse through the engine;
+# Python's default limit is too tight for DAGs a few hundred levels deep.
+_MIN_RECURSION_LIMIT = 20_000
+
+
+@dataclass
+class OptimizationResult:
+    """User-facing optimization outcome."""
+
+    #: The chosen physical plan (a DAG; shared spools appear once).
+    plan: PhysicalPlan
+    #: DAG-aware estimated cost of the chosen plan.
+    cost: float
+    #: True if the CSE pipeline ran (phase 2 et al.).
+    exploited_cse: bool
+    #: The full pipeline result for inspection (memo, histories, LCAs,
+    #: engine statistics, per-phase plans).
+    details: CseOptimizationResult
+
+    def explain(self) -> str:
+        """Readable plan rendering with per-node properties and costs."""
+        return self.plan.pretty()
+
+    def cse_summary(self) -> str:
+        """One-paragraph summary of what the CSE pipeline did.
+
+        Covers the shared groups found (explicit vs fingerprint-merged),
+        the LCAs, the phase-2 rounds evaluated, and which phase produced
+        the chosen plan.
+        """
+        details = self.details
+        if not self.exploited_cse:
+            return "conventional optimization (CSE pipeline not run)"
+        report = details.report
+        lines = [
+            f"shared groups: {len(report.shared_groups)} "
+            f"({len(report.explicit_shared)} explicit, "
+            f"{len(report.merged)} textual duplicate(s) merged)",
+        ]
+        for shared_gid, lca_gid in sorted(details.propagation.lca.items()):
+            consumers = sorted(
+                details.propagation.consumers.get(shared_gid, ())
+            )
+            lines.append(
+                f"  group #{shared_gid}: consumers {consumers}, "
+                f"LCA group #{lca_gid}"
+            )
+        stats = details.engine.stats
+        lines.append(
+            f"phase-2 rounds: {stats.rounds}"
+            + (" (budget exhausted)" if stats.budget_exhausted else "")
+        )
+        lines.append(
+            f"chosen plan: phase {details.chosen_phase} "
+            f"(phase 1: {details.phase1_cost:,.0f}, "
+            f"phase 2: {details.phase2_cost:,.0f})"
+        )
+        return "\n".join(lines)
+
+
+def _ensure_recursion_headroom() -> None:
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+def optimize_plan(
+    logical: LogicalPlan,
+    catalog: Catalog,
+    config: Optional[OptimizerConfig] = None,
+    exploit_cse: bool = True,
+    prune: bool = True,
+) -> OptimizationResult:
+    """Optimize an already-compiled logical DAG.
+
+    ``prune`` applies sharing-preserving column pruning first (a
+    semantic no-op that narrows scans, projections and aggregations to
+    the columns the outputs actually need).
+    """
+    _ensure_recursion_headroom()
+    if prune:
+        logical = prune_columns(logical)
+    if exploit_cse:
+        details = optimize_with_cse(logical, catalog, config)
+    else:
+        details = optimize_conventional(logical, catalog, config)
+    return OptimizationResult(
+        plan=details.plan,
+        cost=details.cost,
+        exploited_cse=exploit_cse,
+        details=details,
+    )
+
+
+def optimize_script(
+    text: str,
+    catalog: Catalog,
+    config: Optional[OptimizerConfig] = None,
+    exploit_cse: bool = True,
+    prune: bool = True,
+) -> OptimizationResult:
+    """Parse, compile and optimize a SCOPE script."""
+    logical = compile_script(text, catalog)
+    return optimize_plan(logical, catalog, config, exploit_cse, prune)

@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+::
+
+    python -m repro explain  script.scope --catalog catalog.json
+    python -m repro compare  script.scope --catalog catalog.json
+    python -m repro run      script.scope --catalog catalog.json --rows 5000
+    python -m repro figure7
+
+``explain`` optimizes a script and prints the chosen plan (optionally as
+Graphviz or JSON); ``compare`` shows conventional vs CSE side by side;
+``run`` additionally executes the plan on the cluster simulator over
+synthetic data matching the catalog statistics and cross-checks the
+result against the naive reference evaluator; ``figure7`` regenerates
+the paper's headline table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .api import optimize_script
+from .exec import Cluster, PlanExecutor
+from .naive import NaiveEvaluator
+from .optimizer.cost import CostParams
+from .optimizer.engine import OptimizerConfig
+from .optimizer.explain import (
+    compare_plans,
+    explain_dict,
+    explain_text,
+    render_stages,
+    stage_graph,
+    to_dot,
+)
+from .scope.compiler import compile_script
+from .scope.errors import ScopeError
+from .scope.statistics import catalog_from_json
+from .workloads.datagen import generate_for_catalog
+
+
+def _load_catalog(path: str):
+    with open(path) as handle:
+        return catalog_from_json(handle.read())
+
+
+def _load_script(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _config(args) -> OptimizerConfig:
+    return OptimizerConfig(
+        cost_params=CostParams(machines=args.machines),
+        budget_seconds=args.budget,
+        max_rounds=args.max_rounds,
+    )
+
+
+def cmd_explain(args) -> int:
+    catalog = _load_catalog(args.catalog)
+    text = _load_script(args.script)
+    config = _config(args)
+    if getattr(args, "trace", False):
+        import dataclasses
+
+        config = dataclasses.replace(config, trace=True)
+    result = optimize_script(
+        text, catalog, config, exploit_cse=not args.no_cse
+    )
+    if args.json:
+        print(json.dumps(explain_dict(result.plan), indent=2))
+    elif args.dot:
+        print(to_dot(result.plan))
+    else:
+        print(explain_text(result.plan, total_cost=result.cost))
+        print()
+        print(render_stages(stage_graph(result.plan)))
+        details = result.details
+        if result.exploited_cse:
+            print(f"\nshared groups: {len(details.report.shared_groups)}  "
+                  f"phase-2 rounds: {details.engine.stats.rounds}  "
+                  f"chosen phase: {details.chosen_phase}")
+        if getattr(args, "trace", False) and details.engine.trace is not None:
+            from .optimizer.trace import render_trace
+
+            print()
+            print(render_trace(details.engine.trace))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    catalog = _load_catalog(args.catalog)
+    text = _load_script(args.script)
+    conventional = optimize_script(text, catalog, _config(args),
+                                   exploit_cse=False)
+    extended = optimize_script(text, catalog, _config(args), exploit_cse=True)
+    print("=== conventional plan ===")
+    print(conventional.plan.pretty())
+    print("=== plan exploiting common subexpressions ===")
+    print(extended.plan.pretty())
+    print(compare_plans(conventional.plan, extended.plan,
+                        conventional.cost, extended.cost))
+    return 0
+
+
+def cmd_run(args) -> int:
+    catalog = _load_catalog(args.catalog)
+    text = _load_script(args.script)
+    result = optimize_script(
+        text, catalog, _config(args), exploit_cse=not args.no_cse
+    )
+    files = generate_for_catalog(catalog, seed=args.seed,
+                                 rows_override=args.rows)
+    cluster = Cluster(machines=args.machines)
+    for path, rows in files.items():
+        cluster.load_file(path, rows)
+    executor = PlanExecutor(cluster, validate=True)
+    outputs = executor.execute(result.plan)
+
+    expected = NaiveEvaluator(files).run(compile_script(text, catalog))
+    mismatches = [
+        path
+        for path, want in expected.items()
+        if outputs[path].sorted_rows() != want
+    ]
+
+    print(f"estimated cost: {result.cost:,.0f}")
+    print("--- execution metrics ---")
+    print(executor.metrics.summary())
+    print("--- outputs ---")
+    for path in sorted(outputs):
+        data = outputs[path]
+        print(f"  {path}: {data.total_rows()} rows "
+              f"({len(data.schema)} columns)")
+        if args.show_rows:
+            for row in data.sorted_rows()[: args.show_rows]:
+                print(f"    {row}")
+    if mismatches:
+        print(f"RESULT MISMATCH vs naive evaluation: {mismatches}",
+              file=sys.stderr)
+        return 1
+    print("verified: results identical to the naive reference evaluation")
+    return 0
+
+
+def cmd_figure7(args) -> int:
+    from .workloads.figure7 import format_table, run_all
+
+    scripts = args.scripts.split(",") if args.scripts else None
+    print(format_table(run_all(scripts, include_local_best=args.local_best)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-based common-subexpression optimizer (ICDE 2012 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, needs_script=True):
+        if needs_script:
+            p.add_argument("script", help="path to a SCOPE script")
+            p.add_argument("--catalog", required=True,
+                           help="path to a catalog JSON file")
+        p.add_argument("--machines", type=int, default=25,
+                       help="simulated cluster size (default 25)")
+        p.add_argument("--budget", type=float, default=None,
+                       help="optimization time budget in seconds")
+        p.add_argument("--max-rounds", type=int, default=None,
+                       help="cap on phase-2 enforcement rounds")
+        p.add_argument("--no-cse", action="store_true",
+                       help="conventional optimization only")
+
+    p_explain = sub.add_parser("explain", help="optimize and show the plan")
+    common(p_explain)
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the plan as JSON")
+    p_explain.add_argument("--dot", action="store_true",
+                           help="emit the plan as Graphviz dot")
+    p_explain.add_argument("--trace", action="store_true",
+                           help="also print the optimizer's search trace")
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_compare = sub.add_parser(
+        "compare", help="conventional vs CSE plans side by side"
+    )
+    common(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_run = sub.add_parser(
+        "run", help="optimize, execute on the simulator, verify vs oracle"
+    )
+    common(p_run)
+    p_run.add_argument("--rows", type=int, default=5_000,
+                       help="rows generated per input file (default 5000)")
+    p_run.add_argument("--seed", type=int, default=0, help="data seed")
+    p_run.add_argument("--show-rows", type=int, default=0,
+                       help="print up to N rows per output")
+    p_run.set_defaults(func=cmd_run)
+
+    p_fig = sub.add_parser("figure7", help="regenerate the Figure 7 table")
+    p_fig.add_argument("--scripts", default=None,
+                       help="comma-separated subset, e.g. S1,S2,LS1")
+    p_fig.add_argument("--local-best", action="store_true",
+                       help="also measure the related-work sharing baseline")
+    p_fig.set_defaults(func=cmd_figure7)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ScopeError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

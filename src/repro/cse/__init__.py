@@ -1,0 +1,32 @@
+"""The paper's contribution: cost-based common-subexpression exploitation."""
+
+from .fingerprint import (
+    CseReport,
+    compute_fingerprints,
+    identify_common_subexpressions,
+    structurally_equal,
+)
+from .history import HistoryEntry, PropertyHistory
+from .large_scripts import (
+    RoundPlanReport,
+    cartesian_rounds,
+    grouped_rounds,
+    round_plan,
+    round_plans,
+    sequential_rounds,
+)
+from .pipeline import (
+    CseOptimizationResult,
+    OptimizationFailure,
+    optimize_conventional,
+    optimize_local_best,
+    optimize_with_cse,
+)
+from .propagation import (
+    PropagationResult,
+    ShrdGrp,
+    compute_shared_reach,
+    propagate_shared_groups,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

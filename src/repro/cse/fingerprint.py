@@ -1,0 +1,288 @@
+"""Expression fingerprints and common-subexpression identification.
+
+Implements Section IV of the paper:
+
+* **Definition 1** — the fingerprint of an expression rooted at ``R``::
+
+      F(E) = R.FileID mod N                       if R reads a data file
+      F(E) = (R.OpID xor xor_i F(child_i)) mod N  otherwise
+
+  ``OpID`` identifies the *operation type* ("all group-by operations
+  have the same OpID"), so two group-bys with different keys over the
+  same input collide — the fingerprint is a fast, coarse filter and the
+  bucket-verification step performs the exact structural comparison.
+
+* **Algorithm 1** — ``IdentifyCommonSubexpressions``: first handle the
+  explicitly shared groups (a group referenced by two or more parents),
+  then fingerprint every memo subexpression bottom-up, compare colliding
+  bucket entries structurally, merge verified duplicates down to one
+  copy, and put a shared SPOOL group on top of each surviving common
+  subexpression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..optimizer.memo import Memo
+from ..plan.logical import LogicalExtract, LogicalSpool
+
+#: A Mersenne prime comfortably larger than any OpID/FileID (Definition
+#: 1 requires N "large enough to prevent collisions among the values of
+#: FileIDs and OpIDs").
+FINGERPRINT_MODULUS = (1 << 61) - 1
+
+
+def _mix(value: int) -> int:
+    """Deterministic 64-bit mixer (splitmix64 finalizer).
+
+    Spreads the small consecutive OP_TYPE_IDs / FileIDs over the hash
+    space so unrelated operators do not land in the same bucket, while
+    keeping the per-*type* (not per-payload) identity Definition 1 asks
+    for.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def op_id(op) -> int:
+    """The type-level operation identifier of Definition 1."""
+    return _mix(0x5EED0000 + op.OP_TYPE_ID)
+
+
+def file_id(op: LogicalExtract) -> int:
+    return _mix(0xF11E0000 + op.file_id)
+
+
+def compute_fingerprints(memo: Memo) -> Dict[int, int]:
+    """Fingerprints of every memo subexpression, bottom-up.
+
+    Uses the initial (and at this stage only) expression of each group,
+    as Algorithm 1 prescribes.
+    """
+    fingerprints: Dict[int, int] = {}
+
+    def visit(gid: int) -> int:
+        cached = fingerprints.get(gid)
+        if cached is not None:
+            return cached
+        expr = memo.group(gid).initial_expr
+        if isinstance(expr.op, LogicalExtract):
+            value = file_id(expr.op) % FINGERPRINT_MODULUS
+        else:
+            acc = op_id(expr.op)
+            for child in expr.children:
+                acc ^= visit(child)
+            value = acc % FINGERPRINT_MODULUS
+        fingerprints[gid] = value
+        return value
+
+    for gid in memo.reachable_from_root():
+        visit(gid)
+    return fingerprints
+
+
+def structurally_equal(memo: Memo, a: int, b: int, _cache=None) -> bool:
+    """Exact recursive comparison of two memo subexpressions.
+
+    This is the bucket-verification step of Algorithm 1 (line 5):
+    fingerprint collisions are only *potentially* equal; equality
+    requires identical operator payloads (keys, predicates, files) and
+    pairwise-equal children in order.
+    """
+    if _cache is None:
+        _cache = {}
+    if a == b:
+        return True
+    key = (a, b) if a < b else (b, a)
+    cached = _cache.get(key)
+    if cached is not None:
+        return cached
+    ea = memo.group(a).initial_expr
+    eb = memo.group(b).initial_expr
+    if ea.op != eb.op or len(ea.children) != len(eb.children):
+        _cache[key] = False
+        return False
+    result = all(
+        structurally_equal(memo, ca, cb, _cache)
+        for ca, cb in zip(ea.children, eb.children)
+    )
+    _cache[key] = result
+    return result
+
+
+@dataclass
+class CseReport:
+    """What Algorithm 1 found and did — useful for logs and tests."""
+
+    explicit_shared: List[int] = field(default_factory=list)
+    merged: List[Tuple[int, int]] = field(default_factory=list)  # (dup, keep)
+    spools: List[int] = field(default_factory=list)
+    bucket_collisions: int = 0
+    false_positives: int = 0
+
+    @property
+    def shared_groups(self) -> List[int]:
+        return sorted(set(self.explicit_shared) | set(self.spools))
+
+
+def _reference_counts(memo: Memo) -> Dict[int, int]:
+    """Total references to each group from initial expressions."""
+    counts: Dict[int, int] = {}
+    for gid in memo.reachable_from_root():
+        for child in memo.group(gid).initial_expr.children:
+            counts[child] = counts.get(child, 0) + 1
+    return counts
+
+
+def _existing_spool(memo: Memo, gid: int):
+    """The shared SPOOL group already covering ``gid``, if any."""
+    for parent in memo.parents_of(gid):
+        group = memo.group(parent)
+        if group.dead or not group.exprs:
+            continue
+        if isinstance(group.initial_expr.op, LogicalSpool) and group.is_shared:
+            if group.initial_expr.children == (gid,):
+                return parent
+    return None
+
+
+def identify_common_subexpressions(memo: Memo) -> CseReport:
+    """Algorithm 1: mark the root groups of all common subexpressions.
+
+    Mutates the memo: duplicate subexpressions are merged down to one
+    copy and every common subexpression gets a shared SPOOL group on
+    top, which all consumers reference.
+    """
+    report = CseReport()
+
+    # Line 1: explicitly given common subexpressions — a group referenced
+    # two or more times (from distinct parents, or twice by one parent).
+    # Reference counts are taken on the pre-spool DAG; inserting a spool
+    # moves all of a group's consumers onto the spool, so earlier
+    # insertions cannot invalidate later counts.
+    counts = _reference_counts(memo)
+    for gid in sorted(memo.reachable_from_root()):
+        group = memo.group(gid)
+        if group.dead or isinstance(group.initial_expr.op, LogicalSpool):
+            continue
+        if counts.get(gid, 0) > 1:
+            spool = memo.insert_spool_above(gid)
+            report.explicit_shared.append(spool)
+            report.spools.append(spool)
+
+    # Lines 2-3: fingerprint every subexpression into a hash table.
+    fingerprints = compute_fingerprints(memo)
+    buckets: Dict[int, List[int]] = {}
+    for gid, fp in fingerprints.items():
+        buckets.setdefault(fp, []).append(gid)
+
+    # Lines 4-11: verify colliding entries into equivalence classes.
+    cache: Dict[Tuple[int, int], bool] = {}
+    classes: List[List[int]] = []
+    for bucket in buckets.values():
+        if len(bucket) < 2:
+            continue
+        report.bucket_collisions += 1
+        bucket_classes: List[List[int]] = []
+        for gid in sorted(bucket):
+            if memo.group(gid).dead:
+                continue
+            for cls in bucket_classes:
+                if structurally_equal(memo, cls[0], gid, cache):
+                    cls.append(gid)
+                    break
+            else:
+                bucket_classes.append([gid])
+        if len(bucket_classes) > 1:
+            report.false_positives += len(bucket_classes) - 1
+        classes.extend(cls for cls in bucket_classes if len(cls) > 1)
+
+    # Merge larger (outer) duplicates first: merging two duplicated
+    # group-by trees also removes the duplication of everything beneath
+    # them, so the inner classes often collapse to a single live node
+    # and need no spool of their own.
+    sizes = _subtree_sizes(memo)
+    classes.sort(key=lambda cls: sizes.get(cls[0], 0), reverse=True)
+
+    for cls in classes:
+        live = [gid for gid in cls if not memo.group(gid).dead]
+        keep = live[0]
+        for dup in live[1:]:
+            memo.merge_group_into(dup, keep)
+            report.merged.append((dup, keep))
+        if _live_reference_count(memo, keep) < 2:
+            # All other references vanished with an outer merge; nothing
+            # is shared here anymore.
+            continue
+        spool = _existing_spool(memo, keep)
+        if spool is None:
+            spool = memo.insert_spool_above(keep)
+        else:
+            # Merged-in consumers still point at ``keep`` directly;
+            # route them through the existing spool.
+            memo.redirect_references(keep, spool, skip_group=spool)
+        memo.group(spool).is_shared = True
+        if spool not in report.spools:
+            report.spools.append(spool)
+
+    _drop_degenerate_spools(memo, report)
+    return report
+
+
+def _drop_degenerate_spools(memo: Memo, report: CseReport) -> None:
+    """Splice out spools left with fewer than two consumers.
+
+    The explicit-sharing step runs before the fingerprint step; merging
+    duplicated consumers can collapse an explicitly shared group's
+    consumer set to one, leaving a materialization point that shares
+    nothing.  Such spools are removed and their consumers repointed at
+    the underlying group.
+    """
+    for group in list(memo.shared_groups()):
+        if not isinstance(group.initial_expr.op, LogicalSpool):
+            continue
+        if _live_reference_count(memo, group.gid) >= 2:
+            continue
+        child = group.initial_expr.children[0]
+        memo.redirect_references(group.gid, child, skip_group=group.gid)
+        group.is_shared = False
+        group.dead = True
+        if group.gid in report.spools:
+            report.spools.remove(group.gid)
+        if group.gid in report.explicit_shared:
+            report.explicit_shared.remove(group.gid)
+
+
+def _subtree_sizes(memo: Memo) -> Dict[int, int]:
+    """Number of groups in each reachable subexpression."""
+    sizes: Dict[int, int] = {}
+
+    def visit(gid: int) -> int:
+        cached = sizes.get(gid)
+        if cached is not None:
+            return cached
+        sizes[gid] = 1  # guard against (impossible) cycles
+        total = 1 + sum(
+            visit(child) for child in memo.group(gid).initial_expr.children
+        )
+        sizes[gid] = total
+        return total
+
+    if memo.root is not None:
+        visit(memo.root)
+    return sizes
+
+
+def _live_reference_count(memo: Memo, gid: int) -> int:
+    """References to ``gid`` from groups reachable from the root."""
+    count = 0
+    for parent in memo.reachable_from_root():
+        group = memo.group(parent)
+        if group.dead:
+            continue
+        count += sum(1 for c in group.initial_expr.children if c == gid)
+    return count

@@ -1,0 +1,100 @@
+"""Analysis helpers for the large-script techniques (paper, Section VIII).
+
+The mechanisms themselves live where they act:
+
+* VIII-A (independent shared groups) — detection in
+  ``repro.cse.propagation._independent_sets``, greedy round generation
+  in ``SearchEngine._optimize_with_rounds``;
+* VIII-B (ranking shared groups by repartitioning savings) —
+  ``SearchEngine._ordered_shared``;
+* VIII-C (ranking property sets by phase-1 frequency) —
+  ``PropertyHistory.ranked_entries``;
+* the optimization budget — ``repro.optimizer.engine.Budget``.
+
+This module provides the *round-count arithmetic* those techniques are
+about, so tests and benchmarks can check statements like the paper's
+Figure 5 example: two independent shared groups with 8 property sets
+each take 15 rounds instead of 64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..optimizer.engine import SearchEngine
+
+
+def cartesian_rounds(history_sizes: Sequence[int]) -> int:
+    """Rounds of the base algorithm: the full cartesian product."""
+    total = 1
+    for size in history_sizes:
+        total *= max(size, 1)
+    return total
+
+
+def sequential_rounds(history_sizes: Sequence[int]) -> int:
+    """Rounds with independent-group exploitation (Section VIII-A).
+
+    The first group is swept with every other group pinned to its
+    initial property set; each later group is swept with the earlier
+    groups pinned to their winners — and the all-initials combination is
+    evaluated only once, hence the ``- (k - 1)``::
+
+        8 + 8  ->  8 + (8 - 1) = 15   (the paper's Figure 5 example)
+    """
+    sizes = [max(s, 1) for s in history_sizes]
+    if not sizes:
+        return 0
+    return sizes[0] + sum(s - 1 for s in sizes[1:])
+
+
+def grouped_rounds(unit_history_sizes: Sequence[Sequence[int]]) -> int:
+    """Rounds when some shared groups are mutually dependent.
+
+    Each *unit* (an independent set of shared groups) is explored as a
+    cartesian product; across units the search is greedy.  With all
+    units singletons this reduces to :func:`sequential_rounds`; with a
+    single unit it is :func:`cartesian_rounds`.
+    """
+    unit_products = [cartesian_rounds(sizes) for sizes in unit_history_sizes]
+    return sequential_rounds(unit_products) if unit_products else 0
+
+
+@dataclass
+class RoundPlanReport:
+    """How phase 2 will sweep the shared groups of one LCA."""
+
+    lca: int
+    #: Units in the order they will be swept, with history sizes.
+    units: List[List[int]]
+    unit_history_sizes: List[List[int]]
+    planned_rounds: int
+    cartesian_equivalent: int
+
+
+def round_plan(engine: SearchEngine, lca_gid: int) -> RoundPlanReport:
+    """Predict phase-2 round counts for an LCA after phase 1 has run."""
+    group = engine.memo.group(lca_gid)
+    ordered = engine._ordered_shared(list(group.lca_for))
+    ordered = [g for g in ordered if engine._entries_for(g)]
+    units = engine._independent_partition(lca_gid, ordered)
+    sizes = [[len(engine._entries_for(g)) for g in unit] for unit in units]
+    return RoundPlanReport(
+        lca=lca_gid,
+        units=units,
+        unit_history_sizes=sizes,
+        planned_rounds=grouped_rounds(sizes),
+        cartesian_equivalent=cartesian_rounds(
+            [len(engine._entries_for(g)) for g in ordered]
+        ),
+    )
+
+
+def round_plans(engine: SearchEngine) -> Dict[int, RoundPlanReport]:
+    """Round predictions for every LCA in the engine's memo."""
+    return {
+        group.gid: round_plan(engine, group.gid)
+        for group in engine.memo.live_groups()
+        if group.lca_for
+    }

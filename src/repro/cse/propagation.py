@@ -1,0 +1,241 @@
+"""Propagating shared-group information and identifying LCAs.
+
+Implements Algorithm 3 of the paper (Section VI): a bottom-up traversal
+of the operator DAG that attaches to every group the list of shared
+groups below it (with consumer bookkeeping) and identifies, for each
+shared group, the **LCA** of its consumers — the lowest group contained
+in *every* path from a consumer to the root (Definition 2).  The LCA is
+where phase 2 starts its enforcement rounds.
+
+Two deliberate points:
+
+* The traversal runs over the **initial** expression of each group —
+  the original operator DAG of the script, which is what the paper's
+  Figures 3–5 annotate.  Alternatives added by exploration (e.g. the
+  local pre-aggregation groups) share their children with the initial
+  expressions and are handled separately by
+  :func:`compute_shared_reach`.
+* ``SetLCA`` overwrites: the final winner is the *highest* merge point
+  of consumer information, which is provably on every consumer→root
+  path (any split above a merge would re-merge again below the root and
+  fire another overwrite).  This reproduces Figure 3(c), where the LCA
+  (group 10) is not the lowest common ancestor (group 6).
+
+The module also detects **independent shared groups** (Definition 3,
+Section VIII-A): shared groups with the same LCA whose consuming-path
+sub-DAGs overlap only at/above the LCA, allowing phase 2 to optimize
+them greedily one at a time instead of over the full cartesian product
+of property combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..optimizer.memo import Memo
+
+
+@dataclass
+class ShrdGrp:
+    """Bookkeeping node for one shared group, attached to an ancestor.
+
+    ``all_consumers`` is the full consumer set of the shared group (its
+    parent groups in the operator DAG); ``found`` accumulates the
+    consumers already seen below the group this node is attached to.
+    """
+
+    grp_no: int
+    all_consumers: FrozenSet[int]
+    found: Set[int] = field(default_factory=set)
+
+    def all_found(self) -> bool:
+        return self.all_consumers <= self.found
+
+    def copy(self) -> "ShrdGrp":
+        return ShrdGrp(self.grp_no, self.all_consumers, set(self.found))
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of Algorithm 3 over one memo."""
+
+    #: shared gid -> LCA gid (None if the shared group has < 2 consumers
+    #: reachable from the root, which Algorithm 1 should prevent).
+    lca: Dict[int, Optional[int]]
+    #: shared gid -> consumer gids (parents in the initial DAG).
+    consumers: Dict[int, FrozenSet[int]]
+    #: gid -> ShrdGrp list attached by the propagation (for inspection
+    #: and tests reproducing the annotations of Figure 3).
+    shared_below: Dict[int, List[ShrdGrp]]
+    #: LCA gid -> groups ordered as they will be enforced.
+    lca_to_shared: Dict[int, List[int]]
+    #: LCA gid -> list of *independent sets* of its shared groups
+    #: (Definition 3); singleton sets mean fully independent.
+    independent_sets: Dict[int, List[FrozenSet[int]]]
+
+
+def _initial_children(memo: Memo, gid: int) -> tuple:
+    return memo.group(gid).initial_expr.children
+
+
+def _initial_parents(memo: Memo) -> Dict[int, Set[int]]:
+    parents: Dict[int, Set[int]] = {}
+    seen: Set[int] = set()
+    stack = [memo.root]
+    while stack:
+        gid = stack.pop()
+        if gid in seen:
+            continue
+        seen.add(gid)
+        for child in _initial_children(memo, gid):
+            parents.setdefault(child, set()).add(gid)
+            stack.append(child)
+    return parents
+
+
+def propagate_shared_groups(memo: Memo) -> PropagationResult:
+    """Run Algorithm 3 from the memo root.
+
+    Also stores the resulting ``shared_below`` lists and ``lca_for``
+    links on the memo groups so the engine can use them directly.
+    """
+    parents = _initial_parents(memo)
+    lca: Dict[int, Optional[int]] = {}
+    shared_below: Dict[int, List[ShrdGrp]] = {}
+    consumers: Dict[int, FrozenSet[int]] = {}
+    visited: Set[int] = set()
+
+    for group in memo.shared_groups():
+        consumers[group.gid] = frozenset(parents.get(group.gid, set()))
+        lca[group.gid] = None
+
+    def visit(gid: int) -> None:
+        if gid in visited:
+            return
+        visited.add(gid)
+        own: List[ShrdGrp] = []
+        shared_below[gid] = own
+        group = memo.group(gid)
+        if group.is_shared:
+            own.append(ShrdGrp(gid, consumers[gid]))
+
+        for input_gid in _initial_children(memo, gid):
+            visit(input_gid)
+            for shrd_i in shared_below[input_gid]:
+                match = None
+                for shrd_g in own:
+                    if shrd_g.grp_no == shrd_i.grp_no:
+                        match = shrd_g
+                        break
+                if match is not None:
+                    match.found |= shrd_i.found
+                    if input_gid == shrd_i.grp_no:
+                        # This group consumes the shared group directly.
+                        match.found.add(gid)
+                    if match.all_found():
+                        # Potential LCA; later (higher) merges overwrite.
+                        lca[match.grp_no] = gid
+                else:
+                    copy = shrd_i.copy()
+                    if input_gid == shrd_i.grp_no:
+                        copy.found.add(gid)
+                    if input_gid == shrd_i.grp_no and copy.all_found():
+                        # Degenerate but possible: a single group is the
+                        # only consumer of the shared group (e.g. a
+                        # self-join of a shared relation).
+                        lca[copy.grp_no] = gid
+                    own.append(copy)
+
+    visit(memo.root)
+
+    lca_to_shared: Dict[int, List[int]] = {}
+    for shared_gid, lca_gid in lca.items():
+        if lca_gid is not None:
+            lca_to_shared.setdefault(lca_gid, []).append(shared_gid)
+
+    independent_sets = _independent_sets(memo, lca_to_shared, shared_below)
+
+    # Annotate the memo for the engine.
+    for group in memo.live_groups():
+        group.shared_below = shared_below.get(group.gid, [])
+        group.lca_for = sorted(lca_to_shared.get(group.gid, []))
+
+    return PropagationResult(
+        lca=lca,
+        consumers=consumers,
+        shared_below=shared_below,
+        lca_to_shared={k: sorted(v) for k, v in lca_to_shared.items()},
+        independent_sets=independent_sets,
+    )
+
+
+def _independent_sets(
+    memo: Memo,
+    lca_to_shared: Dict[int, List[int]],
+    shared_below: Dict[int, List[ShrdGrp]],
+) -> Dict[int, List[FrozenSet[int]]]:
+    """Partition each LCA's shared groups into independent sets.
+
+    Following Section VIII-A: take the shared-group lists below each
+    *input* of the LCA (restricted to groups whose LCA this is) and
+    iteratively merge the sets that overlap.  Shared groups that never
+    co-occur under one input end up in different (independent) sets.
+    """
+    result: Dict[int, List[FrozenSet[int]]] = {}
+    for lca_gid, shared_gids in lca_to_shared.items():
+        mine = set(shared_gids)
+        input_sets: List[Set[int]] = []
+        for input_gid in _initial_children(memo, lca_gid):
+            below = {
+                s.grp_no for s in shared_below.get(input_gid, []) if s.grp_no in mine
+            }
+            if below:
+                input_sets.append(below)
+        # A shared group can also be a direct input of the LCA itself.
+        for gid in mine:
+            if not any(gid in s for s in input_sets):
+                input_sets.append({gid})
+        merged: List[Set[int]] = []
+        for current in input_sets:
+            overlapping = [s for s in merged if s & current]
+            for s in overlapping:
+                merged.remove(s)
+                current = current | s
+            merged.append(current)
+        result[lca_gid] = [frozenset(s) for s in merged]
+    return result
+
+
+def compute_shared_reach(memo: Memo) -> Dict[int, FrozenSet[int]]:
+    """Shared groups reachable from each group via *any* expression.
+
+    This is the projection domain of the enforcement context in the
+    winner cache (DESIGN.md, decision 1): two optimizations of a group
+    may share a winner iff the enforcement maps agree on the shared
+    groups its full expression space can reach.
+    """
+    reach: Dict[int, FrozenSet[int]] = {}
+
+    def visit(gid: int, in_progress: Set[int]) -> FrozenSet[int]:
+        cached = reach.get(gid)
+        if cached is not None:
+            return cached
+        if gid in in_progress:  # pragma: no cover - memo DAGs are acyclic
+            return frozenset()
+        in_progress.add(gid)
+        group = memo.group(gid)
+        acc: Set[int] = set()
+        if group.is_shared:
+            acc.add(gid)
+        for expr in group.exprs:
+            for child in expr.children:
+                acc |= visit(child, in_progress)
+        in_progress.discard(gid)
+        result = frozenset(acc)
+        reach[gid] = result
+        return result
+
+    for group in memo.live_groups():
+        visit(group.gid, set())
+    return reach

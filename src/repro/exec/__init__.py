@@ -1,0 +1,15 @@
+"""Distributed execution simulator (the Cosmos/Dryad substrate)."""
+
+from .cluster import Cluster
+from .datasets import Dataset, hash_partition_index
+from .metrics import ExecutionMetrics
+from .runtime import ExecutionError, PlanExecutor
+
+__all__ = [
+    "Cluster",
+    "Dataset",
+    "ExecutionError",
+    "ExecutionMetrics",
+    "PlanExecutor",
+    "hash_partition_index",
+]

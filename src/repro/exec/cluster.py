@@ -1,0 +1,38 @@
+"""The simulated cluster: input files, machines, output store.
+
+Stands in for the Cosmos/Dryad layer of the paper's stack.  Input
+"files" are in-memory row lists registered per path; executing a plan
+reads them, moves rows between simulated machines, and writes result
+files into :attr:`Cluster.outputs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..plan.expressions import Row
+from .datasets import Dataset
+
+
+@dataclass
+class Cluster:
+    """A fixed-size cluster with a shared input/output file namespace."""
+
+    machines: int = 4
+    files: Dict[str, List[Row]] = field(default_factory=dict)
+    outputs: Dict[str, Dataset] = field(default_factory=dict)
+
+    def load_file(self, path: str, rows: List[Row]) -> None:
+        """Register (or replace) an input file's contents."""
+        if self.machines < 1:
+            raise ValueError("cluster needs at least one machine")
+        self.files[path] = list(rows)
+
+    def read_file(self, path: str) -> List[Row]:
+        if path not in self.files:
+            raise KeyError(f"input file {path!r} not loaded into the cluster")
+        return self.files[path]
+
+    def output_rows(self, path: str) -> Optional[Dataset]:
+        return self.outputs.get(path)

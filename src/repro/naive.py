@@ -1,0 +1,155 @@
+"""Naive single-node reference evaluator — the correctness oracle.
+
+Evaluates a *logical* plan DAG directly over in-memory rows, with no
+optimizer and no distribution.  Tests compare its per-output results
+against executing the optimized physical plans on the simulated cluster:
+if the optimizer or the runtime mishandles properties, splits, spools or
+enforcement, the multisets differ and the test fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .plan.expressions import Row, Value
+from .plan.logical import (
+    GroupByMode,
+    JoinKind,
+    LogicalExtract,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalOutput,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSequence,
+    LogicalSpool,
+    LogicalTopN,
+    LogicalUnionAll,
+)
+
+
+class NaiveEvaluator:
+    """Evaluates logical DAGs over ``{path: [row dict, ...]}`` inputs."""
+
+    def __init__(self, files: Dict[str, List[Row]]):
+        self._files = files
+        self._cache: Dict[int, List[Row]] = {}
+        self._outputs_with_schema: Dict[str, Tuple] = {}
+
+    def run(self, plan: LogicalPlan) -> Dict[str, List[Tuple[Value, ...]]]:
+        """Evaluate the whole script; returns canonical rows per output.
+
+        Rows are tuples in output-schema order, sorted, so results can be
+        compared directly with ``Dataset.sorted_rows()``.
+        """
+        self._outputs_with_schema.clear()
+        self._cache.clear()
+        self._eval(plan)
+        canonical: Dict[str, List[Tuple[Value, ...]]] = {}
+        for path, (schema, rows) in self._outputs_with_schema.items():
+            names = schema.names
+            tuples = [tuple(row[c] for c in names) for row in rows]
+            canonical[path] = sorted(
+                tuples, key=lambda t: tuple((v is None, v) for v in t)
+            )
+        return canonical
+
+    def _eval(self, node: LogicalPlan) -> List[Row]:
+        cached = self._cache.get(id(node))
+        if cached is not None:
+            return cached
+        op = node.op
+        if isinstance(op, LogicalExtract):
+            rows = [
+                {c: row[c] for c in op.schema.names}
+                for row in self._files[op.path]
+            ]
+        elif isinstance(op, LogicalFilter):
+            rows = [
+                row
+                for row in self._eval(node.children[0])
+                if op.predicate.evaluate(row)
+            ]
+        elif isinstance(op, LogicalProject):
+            rows = [
+                {ne.alias: ne.expr.evaluate(row) for ne in op.exprs}
+                for row in self._eval(node.children[0])
+            ]
+        elif isinstance(op, LogicalGroupBy):
+            if op.mode is not GroupByMode.FULL:
+                raise ValueError(
+                    "the naive evaluator runs pre-optimization DAGs only"
+                )
+            rows = self._group_by(op, self._eval(node.children[0]))
+        elif isinstance(op, LogicalJoin):
+            rows = self._join(op, node)
+        elif isinstance(op, LogicalUnionAll):
+            rows = []
+            for child in node.children:
+                rows.extend(self._eval(child))
+        elif isinstance(op, LogicalTopN):
+            if op.mode is not GroupByMode.FULL:
+                raise ValueError(
+                    "the naive evaluator runs pre-optimization DAGs only"
+                )
+            child_rows = self._eval(node.children[0])
+            names = node.schema.names
+            tiebreak = [c for c in names if c not in op.order_columns]
+            key_cols = list(op.order_columns) + tiebreak
+            rows = sorted(
+                child_rows,
+                key=lambda row: tuple(
+                    (row[c] is None, row[c]) for c in key_cols
+                ),
+            )[: op.n]
+        elif isinstance(op, LogicalSpool):
+            rows = self._eval(node.children[0])
+        elif isinstance(op, LogicalOutput):
+            rows = self._eval(node.children[0])
+            self._outputs_with_schema[op.path] = (node.schema, rows)
+        elif isinstance(op, LogicalSequence):
+            for child in node.children:
+                self._eval(child)
+            rows = []
+        else:  # pragma: no cover - exhaustive over the logical algebra
+            raise TypeError(f"naive evaluator: unsupported {type(op).__name__}")
+        self._cache[id(node)] = rows
+        return rows
+
+    def _group_by(self, op: LogicalGroupBy, rows: List[Row]) -> List[Row]:
+        groups: Dict[Tuple, List] = {}
+        for row in rows:
+            key = tuple(row[c] for c in op.keys)
+            states = groups.get(key)
+            if states is None:
+                states = [agg.init_state() for agg in op.aggregates]
+            groups[key] = [
+                agg.accumulate(state, row)
+                for agg, state in zip(op.aggregates, states)
+            ]
+        out: List[Row] = []
+        for key, states in groups.items():
+            row: Row = dict(zip(op.keys, key))
+            for agg, state in zip(op.aggregates, states):
+                row[agg.alias] = agg.finalize(state)
+            out.append(row)
+        return out
+
+    def _join(self, op: LogicalJoin, node: LogicalPlan) -> List[Row]:
+        left = self._eval(node.children[0])
+        right = self._eval(node.children[1])
+        table: Dict[Tuple, List[Row]] = {}
+        for row in right:
+            table.setdefault(tuple(row[c] for c in op.right_keys), []).append(row)
+        padding = {c: None for c in node.children[1].schema.names}
+        out: List[Row] = []
+        for row in left:
+            key = tuple(row[c] for c in op.left_keys)
+            matches = () if None in key else table.get(key, ())
+            if matches:
+                for match in matches:
+                    out.append({**row, **match})
+            elif op.kind is JoinKind.LEFT:
+                out.append({**row, **padding})
+        return out

@@ -1,0 +1,50 @@
+"""Cascades-style optimizer: memo, rules, cost model, search engine."""
+
+from .cardinality import CardinalityEstimator, Stats, annotate_memo
+from .cost import CostModel, CostParams
+from .engine import (
+    PHASE_CONVENTIONAL,
+    PHASE_CSE,
+    Budget,
+    EngineStats,
+    OptimizerConfig,
+    SearchEngine,
+)
+from .explain import (
+    compare_plans,
+    cost_breakdown,
+    explain_dict,
+    explain_text,
+    render_stages,
+    stage_graph,
+    to_dot,
+)
+from .memo import Group, GroupExpr, Memo
+from .trace import OptimizerTrace, TraceEvent, render_trace
+
+__all__ = [
+    "Budget",
+    "compare_plans",
+    "cost_breakdown",
+    "explain_dict",
+    "explain_text",
+    "render_stages",
+    "stage_graph",
+    "to_dot",
+    "CardinalityEstimator",
+    "CostModel",
+    "CostParams",
+    "EngineStats",
+    "Group",
+    "GroupExpr",
+    "Memo",
+    "OptimizerConfig",
+    "OptimizerTrace",
+    "TraceEvent",
+    "render_trace",
+    "PHASE_CONVENTIONAL",
+    "PHASE_CSE",
+    "SearchEngine",
+    "Stats",
+    "annotate_memo",
+]

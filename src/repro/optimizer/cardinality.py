@@ -1,0 +1,312 @@
+"""Cardinality and distinct-value estimation.
+
+Logical statistics are derived bottom-up per memo group from catalog
+statistics, using the standard textbook estimators (uniformity and
+independence, capped by input size).  Each group gets a :class:`Stats`
+object holding the estimated row count, a per-column NDV map, and the
+average row width — everything the cost model needs.
+
+The paper does not modify SCOPE's estimation ("these cost estimation
+techniques are not modified in this paper"), so a standard estimator is
+the faithful substrate here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..plan.columns import Schema
+from ..plan.expressions import (
+    AggFunc,
+    BinaryExpr,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    Literal,
+    NotExpr,
+)
+from ..plan.logical import (
+    GroupByMode,
+    JoinKind,
+    LogicalExtract,
+    LogicalTopN,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalOp,
+    LogicalOutput,
+    LogicalProject,
+    LogicalSequence,
+    LogicalSpool,
+    LogicalUnionAll,
+)
+from ..scope.catalog import Catalog
+
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+EQUALITY_DEFAULT_NDV = 100
+
+
+@dataclass
+class Stats:
+    """Estimated logical statistics of one relation."""
+
+    rows: float
+    ndv: Dict[str, float] = field(default_factory=dict)
+    width: float = 8.0
+    #: Per-column histograms, carried from the base table through
+    #: filters and pass-through projections (an approximation: the
+    #: distribution is assumed unchanged by uncorrelated predicates).
+    histograms: Dict[str, object] = field(default_factory=dict)
+
+    def ndv_of(self, column: str) -> float:
+        known = self.ndv.get(column)
+        if known is None:
+            return max(1.0, min(self.rows, EQUALITY_DEFAULT_NDV))
+        return max(1.0, min(known, self.rows))
+
+    def bytes(self) -> float:
+        return self.rows * self.width
+
+    def scaled(self, factor: float) -> "Stats":
+        """Stats after keeping a ``factor`` fraction of the rows.
+
+        NDVs shrink with the standard "balls in bins" damping: reducing
+        rows by ``factor`` cannot reduce an NDV below the new row count.
+        """
+        rows = max(1.0, self.rows * factor)
+        ndv = {c: min(v, rows) for c, v in self.ndv.items()}
+        return Stats(rows, ndv, self.width, dict(self.histograms))
+
+
+class CardinalityEstimator:
+    """Derives group statistics bottom-up.
+
+    Parameters
+    ----------
+    catalog:
+        Source of base-file statistics.
+    machines:
+        Cluster size; needed to bound the output of LOCAL (per-partition)
+        pre-aggregations, whose row count is at most
+        ``group_count × partitions``.
+    """
+
+    def __init__(self, catalog: Catalog, machines: int = 100):
+        self._catalog = catalog
+        self.machines = machines
+
+    # -- dispatch ---------------------------------------------------------
+
+    def derive(self, op: LogicalOp, child_stats: Sequence[Stats],
+               schema: Schema) -> Stats:
+        """Estimate the output stats of ``op`` over ``child_stats``."""
+        if isinstance(op, LogicalExtract):
+            return self._extract(op)
+        if isinstance(op, LogicalFilter):
+            return self._filter(op, child_stats[0])
+        if isinstance(op, LogicalProject):
+            return self._project(op, child_stats[0], schema)
+        if isinstance(op, LogicalGroupBy):
+            return self._group_by(op, child_stats[0], schema)
+        if isinstance(op, LogicalJoin):
+            return self._join(op, child_stats[0], child_stats[1], schema)
+        if isinstance(op, LogicalUnionAll):
+            return self._union(child_stats)
+        if isinstance(op, LogicalTopN):
+            return self._top_n(op, child_stats[0])
+        if isinstance(op, (LogicalSpool, LogicalOutput)):
+            return child_stats[0]
+        if isinstance(op, LogicalSequence):
+            return Stats(rows=0.0, ndv={}, width=0.0)
+        raise TypeError(f"no estimator for {type(op).__name__}")
+
+    # -- per-operator estimators --------------------------------------------
+
+    def _extract(self, op: LogicalExtract) -> Stats:
+        stats = self._catalog.lookup(op.path)
+        ndv = {c: float(stats.ndv_of(c)) for c in op.schema.names}
+        histograms = {
+            c: h for c, h in stats.histograms.items() if c in op.schema
+        }
+        return Stats(float(stats.rows), ndv,
+                     float(op.schema.row_width_bytes()), histograms)
+
+    def _filter(self, op: LogicalFilter, child: Stats) -> Stats:
+        return child.scaled(self._selectivity(op.predicate, child))
+
+    def _selectivity(self, pred: Expr, child: Stats) -> float:
+        if isinstance(pred, BinaryExpr):
+            if pred.op is BinaryOp.AND:
+                return self._selectivity(pred.left, child) * self._selectivity(
+                    pred.right, child
+                )
+            if pred.op is BinaryOp.OR:
+                a = self._selectivity(pred.left, child)
+                b = self._selectivity(pred.right, child)
+                return min(1.0, a + b - a * b)
+            if pred.op.is_comparison:
+                estimate = self._histogram_selectivity(pred, child)
+                if estimate is not None:
+                    return estimate
+            if pred.op is BinaryOp.EQ:
+                column = _single_column(pred)
+                if column is not None:
+                    return 1.0 / child.ndv_of(column)
+                return DEFAULT_SELECTIVITY
+            if pred.op is BinaryOp.NE:
+                column = _single_column(pred)
+                if column is not None:
+                    return 1.0 - 1.0 / child.ndv_of(column)
+                return 1.0 - DEFAULT_SELECTIVITY
+            if pred.op.is_comparison:
+                return DEFAULT_SELECTIVITY
+        if isinstance(pred, NotExpr):
+            return max(0.0, 1.0 - self._selectivity(pred.operand, child))
+        return DEFAULT_SELECTIVITY
+
+    def _histogram_selectivity(self, pred: BinaryExpr,
+                               child: Stats) -> Optional[float]:
+        """Histogram-based estimate for ``col CMP literal``, if possible."""
+        column_side, literal_side, op = None, None, pred.op
+        if isinstance(pred.left, ColumnRef) and isinstance(pred.right, Literal):
+            column_side, literal_side = pred.left, pred.right
+        elif isinstance(pred.right, ColumnRef) and isinstance(pred.left, Literal):
+            # Mirror the comparison: k < col  ≡  col > k, etc.
+            mirror = {
+                BinaryOp.LT: BinaryOp.GT,
+                BinaryOp.LE: BinaryOp.GE,
+                BinaryOp.GT: BinaryOp.LT,
+                BinaryOp.GE: BinaryOp.LE,
+            }
+            column_side, literal_side = pred.right, pred.left
+            op = mirror.get(op, op)
+        if column_side is None:
+            return None
+        value = literal_side.value
+        if not isinstance(value, (int, float)):
+            return None
+        histogram = child.histograms.get(column_side.name)
+        if histogram is None:
+            return None
+        return histogram.selectivity(op, float(value))
+
+    def _project(self, op: LogicalProject, child: Stats, schema: Schema) -> Stats:
+        ndv: Dict[str, float] = {}
+        histograms: Dict[str, object] = {}
+        for item in op.exprs:
+            if isinstance(item.expr, ColumnRef):
+                ndv[item.alias] = child.ndv_of(item.expr.name)
+                source_hist = child.histograms.get(item.expr.name)
+                if source_hist is not None:
+                    histograms[item.alias] = source_hist
+            else:
+                refs = item.expr.referenced_columns()
+                if refs:
+                    # A function of its inputs has at most the product of
+                    # their NDVs, at most the row count.
+                    prod = 1.0
+                    for ref in refs:
+                        prod = min(child.rows, prod * child.ndv_of(ref))
+                    ndv[item.alias] = prod
+                else:
+                    ndv[item.alias] = 1.0
+        return Stats(child.rows, ndv, float(schema.row_width_bytes()),
+                     histograms)
+
+    def _group_count(self, keys, child: Stats) -> float:
+        if not keys:
+            return 1.0
+        count = 1.0
+        for key in keys:
+            count = min(child.rows, count * child.ndv_of(key))
+        return count
+
+    def _group_by(self, op: LogicalGroupBy, child: Stats, schema: Schema) -> Stats:
+        groups = self._group_count(op.keys, child)
+        if op.mode is GroupByMode.LOCAL:
+            # A per-partition pre-aggregation emits at most one row per
+            # (group, partition) and never more than its input.
+            rows = min(child.rows, groups * self.machines)
+        else:
+            rows = groups
+        ndv: Dict[str, float] = {}
+        for key in op.keys:
+            ndv[key] = min(child.ndv_of(key), rows)
+        for agg in op.aggregates:
+            if agg.func is AggFunc.COUNT:
+                ndv[agg.alias] = min(rows, math.sqrt(max(rows, 1.0)))
+            else:
+                ndv[agg.alias] = min(rows, max(1.0, rows / 2.0))
+        return Stats(rows, ndv, float(schema.row_width_bytes()))
+
+    def _join(self, op: LogicalJoin, left: Stats, right: Stats,
+              schema: Schema) -> Stats:
+        denom = 1.0
+        for lk, rk in zip(op.left_keys, op.right_keys):
+            denom *= max(left.ndv_of(lk), right.ndv_of(rk))
+        rows = max(1.0, left.rows * right.rows / max(denom, 1.0))
+        if op.kind is JoinKind.LEFT:
+            # Every left row survives, matched or not.
+            rows = max(rows, left.rows)
+        ndv = {}
+        for col, val in left.ndv.items():
+            ndv[col] = min(val, rows)
+        for col, val in right.ndv.items():
+            ndv.setdefault(col, min(val, rows))
+        return Stats(rows, ndv, float(schema.row_width_bytes()))
+
+    def _top_n(self, op: LogicalTopN, child: Stats) -> Stats:
+        if op.mode is GroupByMode.LOCAL:
+            limit = float(op.n * self.machines)
+        else:  # FULL and FINAL both produce the global answer
+            limit = float(op.n)
+        if child.rows <= limit:
+            return child
+        return child.scaled(limit / child.rows)
+
+    def _union(self, child_stats: Sequence[Stats]) -> Stats:
+        rows = sum(s.rows for s in child_stats)
+        ndv: Dict[str, float] = {}
+        for stats in child_stats:
+            for col, val in stats.ndv.items():
+                ndv[col] = min(rows, ndv.get(col, 0.0) + val)
+        width = child_stats[0].width if child_stats else 8.0
+        return Stats(rows, ndv, width)
+
+
+def _single_column(pred: BinaryExpr) -> Optional[str]:
+    """Column name of a ``col = literal`` (or ``literal = col``) predicate."""
+    if isinstance(pred.left, ColumnRef) and isinstance(pred.right, Literal):
+        return pred.left.name
+    if isinstance(pred.right, ColumnRef) and isinstance(pred.left, Literal):
+        return pred.right.name
+    return None
+
+
+def annotate_memo(memo, estimator: CardinalityEstimator) -> None:
+    """Fill ``group.stats`` for every live group, bottom-up.
+
+    Uses each group's *initial* expression, mirroring how the fingerprint
+    step works on the pre-exploration memo.  Rule-created groups get
+    stats at creation time via :func:`stats_for_expr`.
+    """
+    def fill(gid: int) -> Stats:
+        group = memo.group(gid)
+        if group.stats is not None:
+            return group.stats
+        expr = group.initial_expr
+        child_stats = [fill(c) for c in expr.children]
+        group.stats = estimator.derive(expr.op, child_stats, group.schema)
+        return group.stats
+
+    fill(memo.root)
+
+
+def stats_for_expr(memo, estimator: CardinalityEstimator, op: LogicalOp,
+                   children) -> Stats:
+    """Stats for a rule-created expression over existing groups."""
+    child_stats = [memo.group(c).stats for c in children]
+    schema = op.derive_schema([memo.group(c).schema for c in children])
+    return estimator.derive(op, child_stats, schema)

@@ -1,0 +1,251 @@
+"""EXPLAIN support: structured plan reports and exports.
+
+Provides three views of an optimized plan:
+
+* :func:`explain_text` — the operator tree with per-node rows, costs,
+  and delivered physical properties (plus a cost breakdown by operator
+  class, which makes the "exchanges dominate" story visible);
+* :func:`explain_dict` — a JSON-serializable structure for tooling;
+* :func:`to_dot` — a Graphviz rendering of the plan DAG in which shared
+  spools visibly fan out to their consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..plan.physical import (
+    PhysBroadcastJoin,
+    PhysExtract,
+    PhysicalPlan,
+    PhysMerge,
+    PhysOutput,
+    PhysRangeRepartition,
+    PhysRepartition,
+    PhysSpool,
+)
+
+#: Operator classes for the cost breakdown.
+_CATEGORIES = (
+    ("exchange", (PhysRepartition, PhysRangeRepartition, PhysMerge,
+                  PhysBroadcastJoin)),
+    ("scan", (PhysExtract,)),
+    ("spool", (PhysSpool,)),
+    ("output", (PhysOutput,)),
+)
+
+
+def _category(node: PhysicalPlan) -> str:
+    for name, types in _CATEGORIES:
+        if isinstance(node.op, types):
+            return name
+    return "compute"
+
+
+def cost_breakdown(plan: PhysicalPlan) -> Dict[str, float]:
+    """Self-cost totals per operator category (each node counted once)."""
+    totals: Dict[str, float] = {}
+    for node in plan.iter_nodes():
+        category = _category(node)
+        totals[category] = totals.get(category, 0.0) + node.self_cost
+    return totals
+
+
+def explain_dict(plan: PhysicalPlan) -> Dict[str, Any]:
+    """JSON-serializable plan description.
+
+    Shared sub-plans appear once, referenced by node id from all their
+    consumers (``{"ref": <id>}``).
+    """
+    ids: Dict[int, int] = {}
+
+    def visit(node: PhysicalPlan) -> Dict[str, Any]:
+        existing = ids.get(id(node))
+        if existing is not None:
+            return {"ref": existing}
+        node_id = len(ids)
+        ids[id(node)] = node_id
+        return {
+            "id": node_id,
+            "operator": node.op.name,
+            "detail": node.op.detail(),
+            "rows": node.rows,
+            "cost": node.cost,
+            "self_cost": node.self_cost,
+            "partitioning": str(node.props.partitioning),
+            "sort_order": str(node.props.sort_order),
+            "schema": list(node.schema.names),
+            "children": [visit(child) for child in node.children],
+        }
+
+    return visit(plan)
+
+
+def explain_text(plan: PhysicalPlan,
+                 total_cost: Optional[float] = None) -> str:
+    """Readable report: plan tree plus a cost breakdown."""
+    lines: List[str] = []
+    lines.append(plan.pretty().rstrip())
+    lines.append("")
+    breakdown = cost_breakdown(plan)
+    total = sum(breakdown.values())
+    shown_total = total_cost if total_cost is not None else total
+    lines.append(f"total cost (DAG): {shown_total:,.1f}")
+    lines.append("self-cost by operator class:")
+    for name, value in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * value / total if total else 0.0
+        lines.append(f"  {name:<10}{value:>16,.1f}  ({share:.1f}%)")
+    spools = plan.find_all(PhysSpool)
+    if spools:
+        lines.append(f"shared spools: {len(spools)}")
+    return "\n".join(lines)
+
+
+def to_dot(plan: PhysicalPlan, name: str = "plan") -> str:
+    """Graphviz (dot) rendering of the plan DAG."""
+    ids: Dict[int, int] = {}
+    nodes: List[str] = []
+    edges: List[str] = []
+
+    def visit(node: PhysicalPlan) -> int:
+        existing = ids.get(id(node))
+        if existing is not None:
+            return existing
+        node_id = len(ids)
+        ids[id(node)] = node_id
+        detail = node.op.detail()
+        label = node.op.name + (f"\\n{detail}" if detail else "")
+        label += f"\\nrows={node.rows:.0f}"
+        shape = "box"
+        style = ""
+        if isinstance(node.op, PhysSpool):
+            shape = "cylinder"
+            style = ', style=filled, fillcolor="lightyellow"'
+        elif isinstance(node.op, (PhysRepartition, PhysMerge)):
+            style = ', style=filled, fillcolor="lightblue"'
+        nodes.append(f'  n{node_id} [label="{label}", shape={shape}{style}];')
+        for child in node.children:
+            child_id = visit(child)
+            edges.append(f"  n{node_id} -> n{child_id};")
+        return node_id
+
+    visit(plan)
+    body = "\n".join(nodes + edges)
+    return f"digraph {name} {{\n  rankdir=BT;\n{body}\n}}\n"
+
+
+@dataclass
+class Stage:
+    """One execution stage: a pipeline between exchange boundaries.
+
+    This is how the Dryad/Cosmos layer would run the plan: every
+    exchange (repartition / gather) or materialization point cuts the
+    DAG into stages whose vertices execute machine-locally.
+    """
+
+    index: int
+    operators: List[str] = field(default_factory=list)
+    #: Stages whose output this stage consumes (via an exchange/spool).
+    inputs: List[int] = field(default_factory=list)
+    #: Rows entering the stage's boundary operator (0 for leaf stages).
+    boundary_rows: float = 0.0
+    #: The boundary operator that starts this stage ("" for the root).
+    boundary: str = ""
+
+
+def _is_stage_boundary(node: PhysicalPlan) -> bool:
+    return isinstance(
+        node.op,
+        (PhysRepartition, PhysRangeRepartition, PhysMerge, PhysSpool,
+         PhysBroadcastJoin),
+    )
+
+
+def stage_graph(plan: PhysicalPlan) -> List[Stage]:
+    """Cut a plan into Dryad-style stages at exchange boundaries.
+
+    Returns stages in a bottom-up order; stage 0 contains the deepest
+    pipeline.  A shared spool produces one stage consumed by several
+    later stages.
+    """
+    stages: List[Stage] = []
+    node_stage: Dict[int, int] = {}
+
+    def new_stage(boundary: str = "", rows: float = 0.0) -> Stage:
+        stage = Stage(index=len(stages), boundary=boundary,
+                      boundary_rows=rows)
+        stages.append(stage)
+        return stage
+
+    def visit(node: PhysicalPlan) -> int:
+        """Returns the index of the stage *producing* this node."""
+        cached = node_stage.get(id(node))
+        if cached is not None:
+            return cached
+        child_stages = [visit(child) for child in node.children]
+        if _is_stage_boundary(node):
+            rows = node.children[0].rows if node.children else 0.0
+            stage = new_stage(boundary=node.op.name, rows=rows)
+            stage.inputs = sorted(set(child_stages))
+        else:
+            # Fuse into the (single-input) child's stage when possible;
+            # multi-input compute nodes fuse into the left input's stage
+            # and record the others as stage inputs.
+            if child_stages:
+                stage = stages[child_stages[0]]
+                for other in child_stages[1:]:
+                    if other != stage.index and other not in stage.inputs:
+                        stage.inputs.append(other)
+            else:
+                stage = new_stage()
+        stage.operators.append(node.op.name)
+        node_stage[id(node)] = stage.index
+        return stage.index
+
+    visit(plan)
+    return stages
+
+
+def render_stages(stages: List[Stage]) -> str:
+    """Readable stage listing (bottom-up)."""
+    lines = [f"{len(stages)} execution stages:"]
+    for stage in stages:
+        inputs = (
+            " <- " + ",".join(f"S{i}" for i in stage.inputs)
+            if stage.inputs
+            else ""
+        )
+        boundary = (
+            f" [{stage.boundary}, {stage.boundary_rows:,.0f} rows in]"
+            if stage.boundary
+            else ""
+        )
+        ops = " → ".join(stage.operators)
+        lines.append(f"  S{stage.index}{boundary}{inputs}: {ops}")
+    return "\n".join(lines)
+
+
+def compare_plans(conventional: PhysicalPlan, extended: PhysicalPlan,
+                  conventional_cost: float, extended_cost: float) -> str:
+    """Side-by-side summary of a baseline/CSE plan pair."""
+    def stats(plan: PhysicalPlan) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in plan.iter_nodes():
+            counts[_category(node)] = counts.get(_category(node), 0) + 1
+        return counts
+
+    base = stats(conventional)
+    ext = stats(extended)
+    categories = sorted(set(base) | set(ext))
+    lines = [
+        f"{'':<12}{'conventional':>14}{'with CSE':>12}",
+        f"{'cost':<12}{conventional_cost:>14,.0f}{extended_cost:>12,.0f}",
+    ]
+    for category in categories:
+        lines.append(
+            f"{category:<12}{base.get(category, 0):>14}{ext.get(category, 0):>12}"
+        )
+    ratio = extended_cost / conventional_cost if conventional_cost else 1.0
+    lines.append(f"{'ratio':<12}{'':>14}{ratio:>12.2f}")
+    return "\n".join(lines)

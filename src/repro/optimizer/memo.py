@@ -1,0 +1,305 @@
+"""The memo: compact storage for all rewritings of a script.
+
+The memo is the central Cascades data structure (paper, Section III):
+
+* each :class:`Group` holds a set of logically-equivalent
+  :class:`GroupExpr` entries — "All the group expressions of a group
+  generate the same set of tuples";
+* each group expression is one operator whose children are *group
+  numbers*, not plans;
+* ingestion creates **one group per distinct DAG node** without value
+  deduplication, so that textually duplicated subexpressions remain
+  separate groups for Algorithm 1 (fingerprinting) to find and merge —
+  exactly the paper's pipeline;
+* groups created later by transformation rules *are* deduplicated by
+  value (operator + child group ids) to keep the search space compact.
+
+The memo also carries the per-group annotations the CSE framework needs:
+the shared flag, the property history (Section V), the shared-groups-
+below lists and LCA links (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..plan.columns import Schema
+from ..plan.logical import LogicalOp, LogicalPlan, LogicalSpool
+
+
+@dataclass(frozen=True, eq=False)
+class GroupExpr:
+    """One operator with children referenced by group number.
+
+    Hashing an operator payload walks its whole expression tree, and the
+    memo hashes expressions constantly (deduplication in ``add_expr``,
+    the rule-created-group index), so the hash is computed once and
+    cached on the instance.
+    """
+
+    op: LogicalOp
+    children: Tuple[int, ...]
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.op, self.children))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, GroupExpr):
+            return NotImplemented
+        return self.children == other.children and self.op == other.op
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kids = ",".join(str(c) for c in self.children)
+        return f"{self.op.name}({kids})"
+
+
+class Group:
+    """A set of logically equivalent expressions plus CSE annotations."""
+
+    def __init__(self, gid: int, schema: Schema):
+        self.gid = gid
+        self.schema = schema
+        self.exprs: List[GroupExpr] = []
+        self._expr_set: Set[GroupExpr] = set()
+        #: Marked by Algorithm 1 when this group roots a shared
+        #: subexpression (always a SPOOL group in our pipeline).
+        self.is_shared = False
+        #: True once Algorithm 1 merged this group away.
+        self.dead = False
+        #: Property history recorded during phase 1 (Section V); the CSE
+        #: pipeline attaches a ``repro.cse.history.PropertyHistory``.
+        self.history = None
+        #: ``repro.cse.propagation.ShrdGrpInfo`` list: shared groups at
+        #: or below this group, with consumer bookkeeping (Section VI).
+        self.shared_below: List = []
+        #: Shared group ids for which this group is the LCA.
+        self.lca_for: List[int] = []
+        #: Winner cache: (ReqProps, enforcement key, space id) -> winner.
+        self.winners: Dict = {}
+        #: Logical statistics (rows, ndv, width), filled lazily.
+        self.stats = None
+        #: Phases whose transformation rules already ran to fixpoint.
+        self.explored_spaces: Set[int] = set()
+
+    @property
+    def initial_expr(self) -> GroupExpr:
+        """The first (pre-exploration) expression — used by fingerprints."""
+        return self.exprs[0]
+
+    def add_expr(self, expr: GroupExpr) -> bool:
+        """Add an expression unless an identical one is present."""
+        if expr in self._expr_set:
+            return False
+        self.exprs.append(expr)
+        self._expr_set.add(expr)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = " shared" if self.is_shared else ""
+        return f"Group#{self.gid}{flags}[{'; '.join(map(str, self.exprs))}]"
+
+
+class Memo:
+    """The memo structure plus DAG bookkeeping helpers."""
+
+    def __init__(self):
+        self.groups: List[Group] = []
+        self.root: Optional[int] = None
+        # Value index for *rule-created* groups only (see module doc).
+        self._value_index: Dict[GroupExpr, int] = {}
+        self._parents_cache: Optional[Dict[int, Set[int]]] = None
+        self._ref_counts: Optional[Dict[int, int]] = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_logical_plan(cls, plan: LogicalPlan) -> "Memo":
+        """Ingest a logical DAG, one group per distinct DAG node."""
+        memo = cls()
+        mapping: Dict[int, int] = {}
+
+        def visit(node: LogicalPlan) -> int:
+            gid = mapping.get(id(node))
+            if gid is not None:
+                return gid
+            child_gids = tuple(visit(c) for c in node.children)
+            gid = memo._alloc_group(node.schema)
+            memo.groups[gid].add_expr(GroupExpr(node.op, child_gids))
+            mapping[id(node)] = gid
+            return gid
+
+        memo.root = visit(plan)
+        return memo
+
+    def _alloc_group(self, schema: Schema) -> int:
+        gid = len(self.groups)
+        self.groups.append(Group(gid, schema))
+        self._parents_cache = None
+        self._ref_counts = None
+        return gid
+
+    def group(self, gid: int) -> Group:
+        return self.groups[gid]
+
+    def add_expr_to_group(self, gid: int, expr: GroupExpr) -> bool:
+        """Register a rule-produced alternative in an existing group."""
+        added = self.group(gid).add_expr(expr)
+        if added:
+            # Initial-expression reference counts are unaffected: rule
+            # alternatives never change a group's initial expression.
+            self._parents_cache = None
+        return added
+
+    def get_or_create_group(self, op: LogicalOp, children: Tuple[int, ...],
+                            schema: Schema) -> int:
+        """Find or create a group for a rule-created expression."""
+        expr = GroupExpr(op, children)
+        gid = self._value_index.get(expr)
+        if gid is not None:
+            return gid
+        gid = self._alloc_group(schema)
+        self.groups[gid].add_expr(expr)
+        self._value_index[expr] = gid
+        return gid
+
+    # -- DAG bookkeeping -------------------------------------------------
+
+    def live_groups(self) -> List[Group]:
+        return [g for g in self.groups if not g.dead]
+
+    def parents_of(self, gid: int) -> Set[int]:
+        """Groups having at least one expression referencing ``gid``."""
+        if self._parents_cache is None:
+            cache: Dict[int, Set[int]] = {g.gid: set() for g in self.groups}
+            for group in self.groups:
+                if group.dead:
+                    continue
+                for expr in group.exprs:
+                    for child in expr.children:
+                        cache[child].add(group.gid)
+            self._parents_cache = cache
+        return self._parents_cache[gid]
+
+    def initial_reference_count(self, gid: int) -> int:
+        """References to ``gid`` in the initial operator DAG.
+
+        This is the execution multiplicity of a shared group: how many
+        consumer edges will read its result in any complete plan.  Used
+        by the engine's cost-based materialize-vs-recompute decision.
+        """
+        if self._ref_counts is None:
+            counts: Dict[int, int] = {}
+            for parent in self.reachable_from_root():
+                for child in self.group(parent).initial_expr.children:
+                    counts[child] = counts.get(child, 0) + 1
+            self._ref_counts = counts
+        return self._ref_counts.get(gid, 0)
+
+    def reachable_from_root(self) -> Set[int]:
+        """Group ids reachable from the root via any expression."""
+        assert self.root is not None
+        seen: Set[int] = set()
+        stack = [self.root]
+        while stack:
+            gid = stack.pop()
+            if gid in seen:
+                continue
+            seen.add(gid)
+            for expr in self.group(gid).exprs:
+                stack.extend(expr.children)
+        return seen
+
+    def operator_count(self) -> int:
+        """Number of distinct operators in the initial DAG.
+
+        Counts one (initial) expression per live, reachable group — the
+        quantity the paper reports as "operators in the initial operator
+        DAG" for LS1 (101) and LS2 (1034).
+        """
+        return len([g for g in self.reachable_from_root()
+                    if not self.group(g).dead])
+
+    # -- surgery used by Algorithm 1 --------------------------------------
+
+    def redirect_references(self, old_gid: int, new_gid: int,
+                            skip_group: Optional[int] = None) -> int:
+        """Rewrite every child reference to ``old_gid`` into ``new_gid``.
+
+        Returns the number of rewritten expressions.  ``skip_group``
+        protects the freshly inserted SPOOL group from rewriting its own
+        child pointer.
+        """
+        rewritten = 0
+        for group in self.groups:
+            if group.dead or group.gid == skip_group:
+                continue
+            changed = False
+            new_exprs: List[GroupExpr] = []
+            for expr in group.exprs:
+                if old_gid in expr.children:
+                    kids = tuple(
+                        new_gid if c == old_gid else c for c in expr.children
+                    )
+                    expr = GroupExpr(expr.op, kids)
+                    changed = True
+                    rewritten += 1
+                new_exprs.append(expr)
+            if changed:
+                group.exprs = []
+                group._expr_set = set()
+                for expr in new_exprs:
+                    group.add_expr(expr)
+        if self.root == old_gid:
+            self.root = new_gid
+        self._parents_cache = None
+        self._ref_counts = None
+        return rewritten
+
+    def merge_group_into(self, dup_gid: int, keep_gid: int) -> None:
+        """Remove a duplicate subexpression root, repointing consumers.
+
+        Implements Algorithm 1 line 7: "Remove from M all but one of the
+        subexpressions".
+        """
+        if dup_gid == keep_gid:
+            return
+        self.redirect_references(dup_gid, keep_gid)
+        self.group(dup_gid).dead = True
+        self._parents_cache = None
+        self._ref_counts = None
+
+    def insert_spool_above(self, gid: int) -> int:
+        """Insert a SPOOL group on top of ``gid`` (Algorithm 1, line 8).
+
+        All existing consumers are repointed to the new SPOOL group,
+        which is marked shared.
+        """
+        spool_gid = self._alloc_group(self.group(gid).schema)
+        self.redirect_references(gid, spool_gid, skip_group=spool_gid)
+        self.group(spool_gid).add_expr(GroupExpr(LogicalSpool(), (gid,)))
+        self.group(spool_gid).is_shared = True
+        self._parents_cache = None
+        self._ref_counts = None
+        return spool_gid
+
+    def shared_groups(self) -> List[Group]:
+        return [g for g in self.live_groups() if g.is_shared]
+
+    # -- debugging ---------------------------------------------------------
+
+    def dump(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"root: {self.root}"]
+        for group in self.groups:
+            if group.dead:
+                continue
+            flags = " shared" if group.is_shared else ""
+            exprs = "; ".join(str(e) for e in group.exprs)
+            lines.append(f"  #{group.gid}{flags}: {exprs}")
+        return "\n".join(lines)

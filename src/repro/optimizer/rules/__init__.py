@@ -1,0 +1,22 @@
+"""Optimizer rules: logical transformations and physical implementations."""
+
+from .transformation import (
+    DEFAULT_RULES,
+    MergeConsecutiveFilters,
+    PushFilterBelowJoin,
+    PushFilterThroughProject,
+    SplitGroupBy,
+    TransformationRule,
+)
+from .implementation import Candidate, enumerate_implementations
+
+__all__ = [
+    "Candidate",
+    "DEFAULT_RULES",
+    "MergeConsecutiveFilters",
+    "PushFilterBelowJoin",
+    "PushFilterThroughProject",
+    "SplitGroupBy",
+    "TransformationRule",
+    "enumerate_implementations",
+]

@@ -1,0 +1,511 @@
+"""Physical implementation rules.
+
+For a logical group expression and a set of required properties, these
+rules enumerate :class:`Candidate` physical operators together with the
+required properties of their children — the paper's ``DetChildProp``
+(Algorithm 2, line 12).  A candidate may carry a *validator* re-checking
+its real preconditions against the children's delivered properties
+(``PropertySatisfied`` in the paper), which matters in phase 2 where a
+child's requirement can be overridden by CSE enforcement.
+
+Requirement derivation follows the SCOPE conventions:
+
+* a grouping consumer on keys ``K`` requires its input partitioned on
+  the range ``[∅, K]`` and sorted on some permutation of ``K``
+  (StreamAgg) or not at all (HashAgg);
+* co-partitioned joins require *exact* matching partitionings on the
+  two sides (a range would let the sides pick different subsets and
+  break co-partitioning);
+* interesting sort orders are propagated: if the parent wants a sort
+  whose columns are grouping keys, the StreamAgg picks a key permutation
+  extending the parent's order — this is what makes Figure 8's
+  ``Sort (B,A,C)`` (instead of ``(A,B,C)``) emerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ...plan.logical import (
+    GroupByMode,
+    LogicalExtract,
+    LogicalTopN,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalOutput,
+    LogicalProject,
+    LogicalSequence,
+    LogicalSpool,
+    LogicalUnionAll,
+)
+from ...plan.expressions import ColumnRef
+from ...plan.physical import (
+    PhysBroadcastJoin,
+    PhysPassThrough,
+    PhysExtract,
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysicalOp,
+    PhysicalPlan,
+    PhysMergeJoin,
+    PhysOutput,
+    PhysProject,
+    PhysSequence,
+    PhysSpool,
+    PhysStreamAgg,
+    PhysTopN,
+    PhysUnionAll,
+)
+from ...plan.properties import (
+    PartitioningReq,
+    PartitionKind,
+    PartReqKind,
+    ReqProps,
+    SortOrder,
+)
+from ..memo import GroupExpr, Memo
+
+Validator = Callable[[Sequence[PhysicalPlan]], bool]
+
+
+@dataclass
+class Candidate:
+    """One physical alternative: operator + per-child requirements."""
+
+    op: PhysicalOp
+    child_gids: Tuple[int, ...]
+    child_reqs: Tuple[ReqProps, ...]
+    validator: Optional[Validator] = None
+
+
+ANY = ReqProps.anything()
+
+
+def enumerate_implementations(
+    memo: Memo, expr: GroupExpr, req: ReqProps
+) -> Iterator[Candidate]:
+    """Yield the physical candidates for ``expr`` under requirement ``req``."""
+    op = expr.op
+    if isinstance(op, LogicalExtract):
+        yield Candidate(
+            PhysExtract(op.file_id, op.path, op.extractor, op.schema), (), ()
+        )
+    elif isinstance(op, LogicalFilter):
+        yield Candidate(PhysFilter(op.predicate), expr.children, (req,))
+    elif isinstance(op, LogicalProject):
+        yield from _project_candidates(op, expr, req)
+    elif isinstance(op, LogicalGroupBy):
+        yield from _group_by_candidates(op, expr, req)
+    elif isinstance(op, LogicalJoin):
+        yield from _join_candidates(memo, op, expr, req)
+    elif isinstance(op, LogicalTopN):
+        yield from _top_n_candidates(op, expr, req)
+    elif isinstance(op, LogicalSpool):
+        yield Candidate(PhysSpool(), expr.children, (req,))
+        # Sharing stays cost-based: recomputing per consumer is an
+        # alternative the optimizer may prefer for cheap intermediates.
+        yield Candidate(PhysPassThrough(), expr.children, (req,))
+    elif isinstance(op, LogicalOutput):
+        if op.sort_columns:
+            # A globally sorted output, two ways: gather-merge onto one
+            # writer (serial), or range-partition + per-partition sort
+            # (parallel sorted writers; the range layout makes the
+            # concatenation of partitions globally ordered).
+            yield Candidate(
+                PhysOutput(op.path, op.sort_columns),
+                expr.children,
+                (ReqProps(PartitioningReq.serial(),
+                          SortOrder(op.sort_columns)),),
+            )
+            yield Candidate(
+                PhysOutput(op.path, op.sort_columns),
+                expr.children,
+                (ReqProps(PartitioningReq.range_sorted(op.sort_columns),
+                          SortOrder(op.sort_columns)),),
+            )
+        else:
+            yield Candidate(PhysOutput(op.path), expr.children, (ANY,))
+    elif isinstance(op, LogicalSequence):
+        yield Candidate(
+            PhysSequence(len(expr.children)),
+            expr.children,
+            tuple(ANY for _ in expr.children),
+        )
+    elif isinstance(op, LogicalUnionAll):
+        yield Candidate(
+            PhysUnionAll(len(expr.children)),
+            expr.children,
+            tuple(ANY for _ in expr.children),
+        )
+    else:  # pragma: no cover - exhaustive over the logical algebra
+        raise TypeError(f"no implementation rule for {type(op).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Project
+# ---------------------------------------------------------------------------
+
+
+def _project_candidates(op: LogicalProject, expr: GroupExpr,
+                        req: ReqProps) -> Iterator[Candidate]:
+    """Translate the requirement through the projection when possible."""
+    inverse = {}
+    for item in op.exprs:
+        if isinstance(item.expr, ColumnRef) and item.alias not in inverse:
+            inverse[item.alias] = item.expr.name
+
+    preq = req.partitioning
+    if preq.kind is PartReqKind.RANGE:
+        if all(c in inverse for c in preq.lo):
+            hi = frozenset(inverse[c] for c in preq.hi if c in inverse)
+            lo = frozenset(inverse[c] for c in preq.lo)
+            if lo <= hi and hi:
+                child_preq = PartitioningReq.range(lo, hi)
+            else:
+                child_preq = PartitioningReq.none()
+        else:
+            child_preq = PartitioningReq.none()
+    elif preq.kind is PartReqKind.RANGE_SORTED:
+        if all(c in inverse for c in preq.sorted_order):
+            child_preq = PartitioningReq.range_sorted(
+                inverse[c] for c in preq.sorted_order
+            )
+        else:
+            child_preq = PartitioningReq.none()
+    else:
+        child_preq = preq
+
+    order: List[str] = []
+    for col in req.sort_order.columns:
+        if col not in inverse:
+            break
+        order.append(inverse[col])
+    translated_fully = len(order) == len(req.sort_order.columns)
+    child_sort = SortOrder(tuple(order)) if translated_fully else SortOrder()
+
+    child_req = ReqProps(child_preq, child_sort)
+    yield Candidate(PhysProject(op.exprs), expr.children, (child_req,))
+
+
+# ---------------------------------------------------------------------------
+# GroupBy
+# ---------------------------------------------------------------------------
+
+
+def _key_orders(keys: Tuple[str, ...], req: ReqProps) -> List[Tuple[str, ...]]:
+    """Interesting sort permutations of the grouping keys.
+
+    Always includes the keys as written; additionally, when the parent's
+    required order is a sequence of grouping keys, an order extending it
+    (so the aggregation's output satisfies the parent without a sort).
+    """
+    orders = [tuple(keys)]
+    want = req.sort_order.columns
+    if want and set(want) <= set(keys) and len(set(want)) == len(want):
+        extended = tuple(want) + tuple(k for k in keys if k not in want)
+        if extended not in orders:
+            orders.append(extended)
+    return orders
+
+
+def _agg_child_partitioning(
+    preq: PartitioningReq, keys: Tuple[str, ...]
+) -> Optional[PartitioningReq]:
+    """Child partitioning requirement of a FULL/FINAL aggregation.
+
+    The aggregation needs its input partitioned on a subset of the keys
+    (range ``[∅, keys]``); since it preserves partitioning, the child's
+    layout must *also* satisfy the parent requirement.  Returns the
+    intersection, or ``None`` when it is empty (the enforcer path covers
+    that case by repartitioning above the aggregation).
+    """
+    if not keys:
+        # Scalar aggregate: everything must be on one machine.
+        if preq.kind in (PartReqKind.RANGE, PartReqKind.RANGE_SORTED):
+            return None
+        return PartitioningReq.serial()
+    key_set = frozenset(keys)
+    if preq.kind is PartReqKind.NONE:
+        return PartitioningReq.grouping(keys)
+    if preq.kind is PartReqKind.SERIAL:
+        return PartitioningReq.serial()
+    if preq.kind is PartReqKind.RANGE_SORTED:
+        # The aggregation preserves a range layout only if the boundary
+        # columns are grouping keys; require the longest usable prefix.
+        prefix = []
+        for col in preq.sorted_order:
+            if col not in key_set:
+                break
+            prefix.append(col)
+        if not prefix:
+            return None
+        return PartitioningReq.range_sorted(prefix)
+    hi = preq.hi & key_set
+    if not preq.lo <= hi or not hi:
+        return None
+    return PartitioningReq.range(preq.lo, hi)
+
+
+def _stream_agg_validator(op: PhysStreamAgg) -> Validator:
+    def validate(children: Sequence[PhysicalPlan]) -> bool:
+        child = children[0]
+        if not child.props.sort_order.satisfies(SortOrder(op.key_order)):
+            return False
+        if op.mode is not GroupByMode.LOCAL:
+            return child.props.partitioning.partitioned_on(op.key_order) or (
+                not op.key_order
+                and child.props.partitioning.kind is PartitionKind.SERIAL
+            )
+        return True
+
+    return validate
+
+
+def _hash_agg_validator(op: PhysHashAgg) -> Validator:
+    def validate(children: Sequence[PhysicalPlan]) -> bool:
+        child = children[0]
+        if op.mode is GroupByMode.LOCAL:
+            return True
+        if not op.keys:
+            return child.props.partitioning.kind is PartitionKind.SERIAL
+        return child.props.partitioning.partitioned_on(op.keys)
+
+    return validate
+
+
+def _local_agg_child_partitioning(
+    preq: PartitioningReq, keys: Tuple[str, ...]
+) -> PartitioningReq:
+    """Child partitioning requirement of a LOCAL (per-partition) agg.
+
+    A local aggregation imposes no partitioning of its own; it merely
+    passes the parent's requirement through, restricted to columns that
+    survive (the grouping keys).  An untranslatable requirement degrades
+    to "no requirement" — the enforcer path repartitions above.
+    """
+    key_set = frozenset(keys)
+    if preq.kind is PartReqKind.RANGE_SORTED:
+        prefix = []
+        for col in preq.sorted_order:
+            if col not in key_set:
+                break
+            prefix.append(col)
+        if prefix:
+            return PartitioningReq.range_sorted(prefix)
+        return PartitioningReq.none()
+    if preq.kind is not PartReqKind.RANGE:
+        return preq
+    hi = preq.hi & key_set
+    if hi and preq.lo <= hi:
+        return PartitioningReq.range(preq.lo, hi)
+    return PartitioningReq.none()
+
+
+def _group_by_candidates(op: LogicalGroupBy, expr: GroupExpr,
+                         req: ReqProps) -> Iterator[Candidate]:
+    if op.mode is GroupByMode.LOCAL:
+        child_preq = _local_agg_child_partitioning(req.partitioning, op.keys)
+    else:
+        child_preq = _agg_child_partitioning(req.partitioning, op.keys)
+        if child_preq is None:
+            return
+
+    for key_order in _key_orders(op.keys, req):
+        stream = PhysStreamAgg(key_order, op.aggregates, op.mode)
+        child_req = ReqProps(child_preq, SortOrder(key_order))
+        yield Candidate(
+            stream, expr.children, (child_req,), _stream_agg_validator(stream)
+        )
+
+    hash_agg = PhysHashAgg(op.keys, op.aggregates, op.mode)
+    yield Candidate(
+        hash_agg,
+        expr.children,
+        (ReqProps(child_preq, SortOrder()),),
+        _hash_agg_validator(hash_agg),
+    )
+
+
+def _top_n_candidates(op: LogicalTopN, expr: GroupExpr,
+                      req: ReqProps) -> Iterator[Candidate]:
+    if op.mode is GroupByMode.LOCAL:
+        # Per-partition selection: no requirement of its own; pass the
+        # parent's partitioning demand through (restricted to schema
+        # columns, which a TopN always preserves).
+        child_req = ReqProps(req.partitioning, SortOrder())
+        yield Candidate(
+            PhysTopN(op.n, op.order_columns, GroupByMode.LOCAL),
+            expr.children,
+            (child_req,),
+        )
+        return
+
+    def serial_validator(children: Sequence[PhysicalPlan]) -> bool:
+        return children[0].props.partitioning.kind is PartitionKind.SERIAL
+
+    yield Candidate(
+        PhysTopN(op.n, op.order_columns, op.mode),
+        expr.children,
+        (ReqProps.serial(),),
+        serial_validator,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Join
+# ---------------------------------------------------------------------------
+
+
+def _aligned_right(left_cols, left_keys, right_keys) -> Tuple[str, ...]:
+    """Right-side columns corresponding to a set of left join keys."""
+    mapping = dict(zip(left_keys, right_keys))
+    return tuple(sorted(mapping[c] for c in left_cols))
+
+
+def _join_partition_choices(op: LogicalJoin, req: ReqProps):
+    """Candidate (left cols, right cols) co-partitionings, or serial."""
+    choices = []
+    full_left = tuple(sorted(set(op.left_keys)))
+    choices.append((full_left, _aligned_right(full_left, op.left_keys,
+                                              op.right_keys)))
+    preq = req.partitioning
+    if preq.kind is PartReqKind.RANGE:
+        key_set = set(op.left_keys)
+        target = preq.hi & key_set
+        if target and preq.lo <= target:
+            cols = tuple(sorted(target))
+            pair = (cols, _aligned_right(cols, op.left_keys, op.right_keys))
+            if pair not in choices:
+                choices.append(pair)
+        if preq.lo and preq.lo <= key_set:
+            cols = tuple(sorted(preq.lo))
+            pair = (cols, _aligned_right(cols, op.left_keys, op.right_keys))
+            if pair not in choices:
+                choices.append(pair)
+    return choices
+
+
+def _co_partition_validator(left_keys, right_keys) -> Validator:
+    mapping = dict(zip(left_keys, right_keys))
+
+    def validate(children: Sequence[PhysicalPlan]) -> bool:
+        left = children[0].props.partitioning
+        right = children[1].props.partitioning
+        if left.kind is PartitionKind.SERIAL and right.kind is PartitionKind.SERIAL:
+            return True
+        if left.kind is PartitionKind.HASH and right.kind is PartitionKind.HASH:
+            if not left.columns <= set(mapping):
+                return False
+            return right.columns == frozenset(mapping[c] for c in left.columns)
+        return False
+
+    return validate
+
+
+def _merge_join_validator(op: PhysMergeJoin) -> Validator:
+    co_part = _co_partition_validator(op.left_keys, op.right_keys)
+
+    def validate(children: Sequence[PhysicalPlan]) -> bool:
+        if not co_part(children):
+            return False
+        left_ok = children[0].props.sort_order.satisfies(SortOrder(op.left_keys))
+        right_ok = children[1].props.sort_order.satisfies(SortOrder(op.right_keys))
+        return left_ok and right_ok
+
+    return validate
+
+
+def _join_key_orders(op: LogicalJoin, req: ReqProps):
+    """Interesting merge-join key orders (left order, aligned right order)."""
+    orders = [(op.left_keys, op.right_keys)]
+    want = req.sort_order.columns
+    left_set = set(op.left_keys)
+    if want and set(want) <= left_set and len(set(want)) == len(want):
+        mapping = dict(zip(op.left_keys, op.right_keys))
+        left = tuple(want) + tuple(k for k in op.left_keys if k not in want)
+        right = tuple(mapping[k] for k in left)
+        if (left, right) not in orders:
+            orders.append((left, right))
+    return orders
+
+
+def _join_candidates(memo: Memo, op: LogicalJoin, expr: GroupExpr,
+                     req: ReqProps) -> Iterator[Candidate]:
+    partition_pairs = list(_join_partition_choices(op, req))
+
+    for left_cols, right_cols in partition_pairs:
+        left_preq = PartitioningReq.exact(left_cols)
+        right_preq = PartitioningReq.exact(right_cols)
+
+        for left_order, right_order in _join_key_orders(op, req):
+            merge = PhysMergeJoin(left_order, right_order, op.kind)
+            yield Candidate(
+                merge,
+                expr.children,
+                (
+                    ReqProps(left_preq, SortOrder(left_order)),
+                    ReqProps(right_preq, SortOrder(right_order)),
+                ),
+                _merge_join_validator(merge),
+            )
+
+        hash_join = PhysHashJoin(op.left_keys, op.right_keys, op.kind)
+        yield Candidate(
+            hash_join,
+            expr.children,
+            (ReqProps(left_preq, SortOrder()), ReqProps(right_preq, SortOrder())),
+            _co_partition_validator(op.left_keys, op.right_keys),
+        )
+
+    # Serial variants (both inputs gathered onto one machine).
+    serial = ReqProps.serial()
+    merge = PhysMergeJoin(op.left_keys, op.right_keys, op.kind)
+    yield Candidate(
+        merge,
+        expr.children,
+        (
+            ReqProps(serial.partitioning, SortOrder(op.left_keys)),
+            ReqProps(serial.partitioning, SortOrder(op.right_keys)),
+        ),
+        _merge_join_validator(merge),
+    )
+    yield Candidate(
+        PhysHashJoin(op.left_keys, op.right_keys, op.kind),
+        expr.children,
+        (serial, serial),
+        _co_partition_validator(op.left_keys, op.right_keys),
+    )
+
+    # Broadcast: replicate the right side, keep the left side's layout.
+    left_schema = memo.group(expr.children[0]).schema
+    left_names = set(left_schema.names)
+    preq = req.partitioning
+    if preq.kind is PartReqKind.RANGE:
+        hi = preq.hi & left_names
+        if hi and preq.lo <= hi:
+            left_req = PartitioningReq.range(preq.lo, hi)
+        else:
+            left_req = PartitioningReq.none()
+    elif preq.kind is PartReqKind.RANGE_SORTED:
+        # Only pass the order down if the left side produces it.
+        if set(preq.sorted_order) <= left_names:
+            left_req = preq
+        else:
+            left_req = PartitioningReq.none()
+    else:
+        left_req = preq
+
+    def broadcast_validator(children: Sequence[PhysicalPlan]) -> bool:
+        # Replicating onto a serial left side is pointless but harmless;
+        # require a parallel-friendly left to keep plans sensible.
+        return children[0].props.partitioning.kind is not PartitionKind.SERIAL
+
+    yield Candidate(
+        PhysBroadcastJoin(op.left_keys, op.right_keys, op.kind),
+        expr.children,
+        (ReqProps(left_req, SortOrder()), ANY),
+        broadcast_validator,
+    )

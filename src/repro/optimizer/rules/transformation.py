@@ -1,0 +1,293 @@
+"""Logical transformation rules.
+
+Rules rewrite a group expression into logically equivalent alternatives
+inside the same group, possibly creating new (deduplicated) groups for
+new intermediate relations.  The rule surface is intentionally the one
+the paper's plan space needs:
+
+* :class:`SplitGroupBy` is the load-bearing rule — it rewrites a full
+  aggregation into a final aggregation over a local (per-partition)
+  pre-aggregation, enabling the ``local agg → repartition → global agg``
+  shape of every plan in Figure 8;
+* the filter rules (merge, push through project, push below join) give
+  the logical-exploration step of Algorithm 2 realistic work and are
+  exercised by the example workloads.
+
+Each rule implements ``apply(memo, gid, expr, env) -> iterable of new
+GroupExpr`` where ``env`` provides statistics derivation for new groups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ...plan.expressions import (
+    Aggregate,
+    BinaryExpr,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    NamedExpr,
+    conjuncts,
+)
+from ...plan.logical import (
+    GroupByMode,
+    JoinKind,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalOp,
+    LogicalProject,
+    LogicalTopN,
+)
+from ..memo import GroupExpr, Memo
+
+
+class RuleEnv:
+    """Services a rule needs to create new groups with statistics."""
+
+    def __init__(self, memo: Memo, estimator):
+        self.memo = memo
+        self.estimator = estimator
+
+    def make_group(self, op: LogicalOp, children: Tuple[int, ...]) -> int:
+        """Get-or-create a group for ``op`` over ``children`` with stats."""
+        schemas = [self.memo.group(c).schema for c in children]
+        schema = op.derive_schema(schemas)
+        gid = self.memo.get_or_create_group(op, children, schema)
+        group = self.memo.group(gid)
+        if group.stats is None:
+            child_stats = [self.memo.group(c).stats for c in children]
+            group.stats = self.estimator.derive(op, child_stats, schema)
+        return gid
+
+
+class TransformationRule:
+    """Base class; subclasses are stateless and reusable."""
+
+    name = "rule"
+
+    def apply(self, memo: Memo, gid: int, expr: GroupExpr,
+              env: RuleEnv) -> Iterable[GroupExpr]:
+        raise NotImplementedError
+
+
+class SplitGroupBy(TransformationRule):
+    """``GB_full(keys)(x)  →  GB_final(keys)(GB_local(keys)(x))``.
+
+    The local stage applies the original aggregates within each
+    partition; the final stage merges partial states (SUM of partial
+    SUMs/COUNTs, MIN of MINs, ...).  AVG was already decomposed into
+    SUM + COUNT by the compiler, so every aggregate is splittable.
+    """
+
+    name = "split-groupby"
+
+    def apply(self, memo, gid, expr, env):
+        op = expr.op
+        if not isinstance(op, LogicalGroupBy) or op.mode is not GroupByMode.FULL:
+            return
+        local_aggs = tuple(
+            Aggregate(a.func.partial_func, a.arg, a.alias) for a in op.aggregates
+        )
+        merge_aggs = tuple(
+            Aggregate(a.func.merge_func, ColumnRef(a.alias), a.alias)
+            for a in op.aggregates
+        )
+        local_op = LogicalGroupBy(op.keys, local_aggs, GroupByMode.LOCAL)
+        local_gid = env.make_group(local_op, expr.children)
+        final_op = LogicalGroupBy(op.keys, merge_aggs, GroupByMode.FINAL)
+        yield GroupExpr(final_op, (local_gid,))
+
+
+class SplitTopN(TransformationRule):
+    """``TopN_full(x)  →  TopN_full(TopN_local(x))``.
+
+    The global top-n is contained in the union of the per-partition
+    top-n's, so a local pre-selection shrinks the data crossing the
+    gather to at most ``n × partitions`` rows.
+    """
+
+    name = "split-topn"
+
+    def apply(self, memo, gid, expr, env):
+        op = expr.op
+        if not isinstance(op, LogicalTopN) or op.mode is not GroupByMode.FULL:
+            return
+        local_op = LogicalTopN(op.n, op.order_columns, GroupByMode.LOCAL)
+        local_gid = env.make_group(local_op, expr.children)
+        # FINAL marks the merged selection (same semantics as FULL) so
+        # the rule does not re-split its own output.
+        yield GroupExpr(
+            LogicalTopN(op.n, op.order_columns, GroupByMode.FINAL),
+            (local_gid,),
+        )
+
+
+class MergeConsecutiveFilters(TransformationRule):
+    """``Filter(p)(Filter(q)(x))  →  Filter(p AND q)(x)``."""
+
+    name = "merge-filters"
+
+    def apply(self, memo, gid, expr, env):
+        if not isinstance(expr.op, LogicalFilter):
+            return
+        child = memo.group(expr.children[0])
+        for child_expr in list(child.exprs):
+            if isinstance(child_expr.op, LogicalFilter):
+                merged = BinaryExpr(
+                    BinaryOp.AND, expr.op.predicate, child_expr.op.predicate
+                )
+                yield GroupExpr(LogicalFilter(merged), child_expr.children)
+
+
+class PushFilterThroughProject(TransformationRule):
+    """``Filter(p)(Project(es)(x)) → Project(es)(Filter(p')(x))``.
+
+    Applies when every column referenced by ``p`` is a pass-through of
+    the projection; ``p'`` is ``p`` with output names substituted by the
+    underlying input names.
+    """
+
+    name = "push-filter-project"
+
+    def apply(self, memo, gid, expr, env):
+        if not isinstance(expr.op, LogicalFilter):
+            return
+        child = memo.group(expr.children[0])
+        for child_expr in list(child.exprs):
+            if not isinstance(child_expr.op, LogicalProject):
+                continue
+            mapping = {}
+            for item in child_expr.op.exprs:
+                if isinstance(item.expr, ColumnRef):
+                    mapping[item.alias] = item.expr.name
+            refs = expr.op.predicate.referenced_columns()
+            if not refs <= set(mapping):
+                continue
+            pushed = _substitute(expr.op.predicate, mapping)
+            filter_gid = env.make_group(LogicalFilter(pushed), child_expr.children)
+            yield GroupExpr(child_expr.op, (filter_gid,))
+
+
+class CommuteJoin(TransformationRule):
+    """``Join(L, R)  →  Project(reorder)(Join(R, L))`` for inner joins.
+
+    Commuting lets the physical rules consider the mirrored build/probe
+    and broadcast sides (e.g. replicate a tiny *left* input).  The
+    column order of a join output is part of its schema, so the
+    commuted join lives in a new group and a reordering projection
+    brings its columns back — that projection is what keeps both
+    expressions in the same (schema-identical) group.
+
+    LEFT joins do not commute.  The ``left gid < right gid`` guard makes
+    the rule fire at most once per join (commuting the commuted join
+    would reproduce the original shape ad infinitum otherwise).
+    """
+
+    name = "commute-join"
+
+    def apply(self, memo, gid, expr, env):
+        op = expr.op
+        if not isinstance(op, LogicalJoin) or op.kind is not JoinKind.INNER:
+            return
+        left_gid, right_gid = expr.children
+        if left_gid >= right_gid:
+            return
+        swapped = LogicalJoin(op.right_keys, op.left_keys, JoinKind.INNER)
+        swapped_gid = env.make_group(swapped, (right_gid, left_gid))
+        original_order = (
+            memo.group(left_gid).schema.names
+            + memo.group(right_gid).schema.names
+        )
+        reorder = LogicalProject(
+            tuple(NamedExpr(ColumnRef(name), name) for name in original_order)
+        )
+        yield GroupExpr(reorder, (swapped_gid,))
+
+
+class PushFilterBelowJoin(TransformationRule):
+    """Push single-side conjuncts of a filter below an inner join."""
+
+    name = "push-filter-join"
+
+    def apply(self, memo, gid, expr, env):
+        if not isinstance(expr.op, LogicalFilter):
+            return
+        child = memo.group(expr.children[0])
+        for child_expr in list(child.exprs):
+            if not isinstance(child_expr.op, LogicalJoin):
+                continue
+            left = memo.group(child_expr.children[0])
+            right = memo.group(child_expr.children[1])
+            left_cols = set(left.schema.names)
+            right_cols = set(right.schema.names)
+            left_preds: List[Expr] = []
+            right_preds: List[Expr] = []
+            rest: List[Expr] = []
+            is_left_join = child_expr.op.kind is JoinKind.LEFT
+            for conj in conjuncts(expr.op.predicate):
+                refs = conj.referenced_columns()
+                if refs <= left_cols:
+                    # Safe for any join kind: unmatched left rows carry
+                    # their own columns unchanged.
+                    left_preds.append(conj)
+                elif refs <= right_cols and not is_left_join:
+                    # NOT safe below a LEFT join: filtering the right
+                    # input before the join keeps null-padded rows a
+                    # WHERE filter would have dropped.
+                    right_preds.append(conj)
+                else:
+                    rest.append(conj)
+            if not left_preds and not right_preds:
+                continue
+            new_left = child_expr.children[0]
+            new_right = child_expr.children[1]
+            if left_preds:
+                new_left = env.make_group(
+                    LogicalFilter(_and_all(left_preds)), (new_left,)
+                )
+            if right_preds:
+                new_right = env.make_group(
+                    LogicalFilter(_and_all(right_preds)), (new_right,)
+                )
+            join_expr = GroupExpr(child_expr.op, (new_left, new_right))
+            if rest:
+                join_gid = env.make_group(child_expr.op, (new_left, new_right))
+                yield GroupExpr(LogicalFilter(_and_all(rest)), (join_gid,))
+            else:
+                yield join_expr
+
+
+def _and_all(preds: List[Expr]) -> Expr:
+    result = preds[0]
+    for pred in preds[1:]:
+        result = BinaryExpr(BinaryOp.AND, result, pred)
+    return result
+
+
+def _substitute(expr: Expr, mapping) -> Expr:
+    """Rewrite column references through an alias mapping."""
+    from ...plan.expressions import Literal, NotExpr
+
+    if isinstance(expr, ColumnRef):
+        return ColumnRef(mapping.get(expr.name, expr.name))
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, NotExpr):
+        return NotExpr(_substitute(expr.operand, mapping))
+    if isinstance(expr, BinaryExpr):
+        return BinaryExpr(
+            expr.op, _substitute(expr.left, mapping), _substitute(expr.right, mapping)
+        )
+    return expr
+
+
+DEFAULT_RULES: Tuple[TransformationRule, ...] = (
+    SplitGroupBy(),
+    SplitTopN(),
+    CommuteJoin(),
+    MergeConsecutiveFilters(),
+    PushFilterThroughProject(),
+    PushFilterBelowJoin(),
+)

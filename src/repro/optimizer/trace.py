@@ -1,0 +1,113 @@
+"""Optimizer tracing: a structured record of search decisions.
+
+Enabled with ``OptimizerConfig(trace=True)``; the engine then appends
+:class:`TraceEvent` records for every group optimization, transformation
+rule firing, and phase-2 round.  The trace answers the questions that
+come up when a plan looks wrong: *which requirements was this group
+optimized under?  which enforcement rounds ran, and what did each cost?
+did the rule I added ever fire?*
+
+The trace is append-only and cheap (tuples into a list); rendering is
+done on demand by :func:`render_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    ``kind`` is one of ``"group"``, ``"rule"``, ``"round"``; the other
+    fields are populated as applicable.
+    """
+
+    kind: str
+    gid: int
+    phase: int = 0
+    detail: str = ""
+    cost: Optional[float] = None
+
+
+@dataclass
+class OptimizerTrace:
+    """Append-only sink for engine events."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def group_optimized(self, gid: int, req, phase: int,
+                        cost: Optional[float]) -> None:
+        self.events.append(
+            TraceEvent("group", gid, phase, detail=str(req), cost=cost)
+        )
+
+    def rule_fired(self, gid: int, rule_name: str, produced: int) -> None:
+        self.events.append(
+            TraceEvent("rule", gid, detail=f"{rule_name} (+{produced})")
+        )
+
+    def round_evaluated(self, lca_gid: int, assignment, phase: int,
+                        cost: Optional[float]) -> None:
+        detail = ", ".join(
+            f"#{gid}→{entry}" for gid, entry in sorted(assignment.items())
+        )
+        self.events.append(
+            TraceEvent("round", lca_gid, phase, detail=detail, cost=cost)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def rounds(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "round"]
+
+    def rules(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "rule"]
+
+    def groups(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "group"]
+
+    def rule_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.rules():
+            name = event.detail.split(" ")[0]
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def render_trace(trace: OptimizerTrace, max_groups: int = 40) -> str:
+    """Readable multi-section rendering of a trace."""
+    lines: List[str] = []
+
+    counts = trace.rule_counts()
+    lines.append("=== transformation rules fired ===")
+    if counts:
+        for name, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<24}{count:>6}×")
+    else:
+        lines.append("  (none)")
+
+    rounds = trace.rounds()
+    lines.append(f"=== phase-2 rounds ({len(rounds)}) ===")
+    for event in rounds:
+        cost = f"{event.cost:,.0f}" if event.cost is not None else "infeasible"
+        lines.append(f"  LCA #{event.gid}: {{{event.detail}}} -> {cost}")
+
+    groups = trace.groups()
+    lines.append(
+        f"=== group optimizations ({len(groups)}, showing ≤{max_groups}) ==="
+    )
+    for event in groups[:max_groups]:
+        cost = f"{event.cost:,.0f}" if event.cost is not None else "no plan"
+        lines.append(
+            f"  phase {event.phase} group #{event.gid} [{event.detail}] "
+            f"-> {cost}"
+        )
+    if len(groups) > max_groups:
+        lines.append(f"  ... {len(groups) - max_groups} more")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Relational algebra: columns, expressions, logical/physical operators,
+and the physical-property framework."""
+
+from .columns import Column, ColumnType, Schema
+from .expressions import (
+    AggFunc,
+    Aggregate,
+    BinaryExpr,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    Literal,
+    NamedExpr,
+    NotExpr,
+)
+from .logical import (
+    GroupByMode,
+    JoinKind,
+    LogicalExtract,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalOp,
+    LogicalOutput,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSequence,
+    LogicalSpool,
+    LogicalTopN,
+    LogicalUnionAll,
+)
+from .physical import (
+    PhysBroadcastJoin,
+    PhysExtract,
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysicalOp,
+    PhysicalPlan,
+    PhysMerge,
+    PhysMergeJoin,
+    PhysOutput,
+    PhysPassThrough,
+    PhysProject,
+    PhysRangeRepartition,
+    PhysRepartition,
+    PhysSequence,
+    PhysSort,
+    PhysSpool,
+    PhysStreamAgg,
+    PhysTopN,
+    PhysUnionAll,
+)
+from .properties import (
+    Partitioning,
+    PartitioningReq,
+    PartitionKind,
+    PartReqKind,
+    PhysicalProps,
+    ReqProps,
+    SortOrder,
+    enforced_props_for,
+    subsets_nonempty,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,145 @@
+"""Columns and schemas for the relational algebra layer.
+
+A :class:`Column` is a named, typed attribute of a relation.  A
+:class:`Schema` is an ordered list of columns.  Both are immutable and
+hashable so they can participate in memo deduplication and in physical
+property descriptions (partitioning keys, sort keys).
+
+Column identity is *by name* within a single query DAG.  The SCOPE
+resolver (``repro.scope.resolver``) guarantees that names are unique per
+relation and that join outputs disambiguate clashing names (``R1.B`` in
+the paper's script S3 resolves to the column named ``B`` of the left
+input).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    The paper's scripts use integer-like log attributes and SUM
+    aggregates; we add strings and floats so realistic examples (URLs,
+    latencies) type-check.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def width_bytes(self) -> int:
+        """Average on-the-wire width used by the cost model."""
+        if self is ColumnType.INT:
+            return 8
+        if self is ColumnType.FLOAT:
+            return 8
+        return 24
+
+
+@dataclass(frozen=True, order=True)
+class Column:
+    """A named, typed attribute.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the relation (after resolution).
+    ctype:
+        The column's type, used for widths and runtime checks.
+    """
+
+    name: str
+    ctype: ColumnType = ColumnType.INT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    def renamed(self, name: str) -> "Column":
+        """Return a copy of this column under a new name."""
+        return Column(name, self.ctype)
+
+
+class Schema:
+    """An ordered, immutable list of :class:`Column` objects.
+
+    Supports positional lookup (used by the execution engine, which
+    stores rows as tuples) and name lookup (used by the planner).
+    """
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: Iterable[Column]):
+        cols = tuple(columns)
+        index = {}
+        for pos, col in enumerate(cols):
+            if col.name in index:
+                raise ValueError(f"duplicate column name {col.name!r} in schema")
+            index[col.name] = pos
+        self._columns: Tuple[Column, ...] = cols
+        self._index = index
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, Column):
+            return item.name in self._index
+        return item in self._index
+
+    def __getitem__(self, key) -> Column:
+        if isinstance(key, int):
+            return self._columns[key]
+        return self._columns[self._index[key]]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{c.name}:{c.ctype.value}" for c in self._columns)
+        return f"Schema({inner})"
+
+    def position(self, name: str) -> int:
+        """Return the tuple position of column ``name``.
+
+        Raises ``KeyError`` for unknown names, which the resolver turns
+        into a user-facing error.
+        """
+        return self._index[name]
+
+    def get(self, name: str) -> Optional[Column]:
+        pos = self._index.get(name)
+        return None if pos is None else self._columns[pos]
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema with only ``names``, in the given order."""
+        return Schema(self[name] for name in names)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a join output: this schema followed by ``other``.
+
+        Name clashes must have been resolved (renamed) beforehand.
+        """
+        return Schema(self._columns + other._columns)
+
+    def row_width_bytes(self) -> int:
+        """Average row width, used by the cost model."""
+        return sum(c.ctype.width_bytes for c in self._columns)

@@ -1,0 +1,305 @@
+"""Scalar and aggregate expressions.
+
+The expression language is deliberately the subset the paper's scripts
+need, plus enough arithmetic/comparison to write realistic examples:
+
+* column references,
+* literals,
+* binary arithmetic (``+ - * /``) and comparisons (``= <> < <= > >=``),
+* boolean ``AND`` / ``OR`` / ``NOT``,
+* aggregate calls ``SUM``, ``COUNT``, ``MIN``, ``MAX``, ``AVG``.
+
+All nodes are immutable and hashable: the memo deduplicates operators by
+value, and expression fingerprinting (``repro.cse.fingerprint``) hashes
+them.  Evaluation (`Expr.evaluate`) operates on a row dict and is shared
+by the naive reference evaluator and the cluster simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple, Union
+
+Value = Union[int, float, str, None]
+Row = Dict[str, Value]
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        """Names of all columns this expression reads."""
+        raise NotImplementedError
+
+    def evaluate(self, row: Row) -> Value:
+        """Evaluate against a row (mapping column name -> value)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """Reference to a column by (resolved) name."""
+
+    name: str
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, row: Row) -> Value:
+        return row[self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value."""
+
+    value: Value
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, row: Row) -> Value:
+        return self.value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+class BinaryOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "AND"
+    OR = "OR"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (
+            BinaryOp.EQ,
+            BinaryOp.NE,
+            BinaryOp.LT,
+            BinaryOp.LE,
+            BinaryOp.GT,
+            BinaryOp.GE,
+        )
+
+    @property
+    def is_boolean(self) -> bool:
+        return self in (BinaryOp.AND, BinaryOp.OR)
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expr):
+    """A binary arithmetic, comparison or boolean expression."""
+
+    op: BinaryOp
+    left: Expr
+    right: Expr
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def evaluate(self, row: Row) -> Value:
+        op = self.op
+        if op is BinaryOp.AND:
+            return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+        if op is BinaryOp.OR:
+            return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if lhs is None or rhs is None:
+            # Simplified SQL null semantics: arithmetic over NULL is
+            # NULL; comparisons with NULL are not satisfied (two-valued:
+            # the UNKNOWN of three-valued logic collapses to False).
+            if op.is_comparison:
+                return False
+            return None
+        if op is BinaryOp.ADD:
+            return lhs + rhs
+        if op is BinaryOp.SUB:
+            return lhs - rhs
+        if op is BinaryOp.MUL:
+            return lhs * rhs
+        if op is BinaryOp.DIV:
+            return lhs / rhs
+        if op is BinaryOp.EQ:
+            return lhs == rhs
+        if op is BinaryOp.NE:
+            return lhs != rhs
+        if op is BinaryOp.LT:
+            return lhs < rhs
+        if op is BinaryOp.LE:
+            return lhs <= rhs
+        if op is BinaryOp.GT:
+            return lhs > rhs
+        if op is BinaryOp.GE:
+            return lhs >= rhs
+        raise AssertionError(f"unhandled operator {op}")  # pragma: no cover
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op.value} {self.right})"
+
+
+@dataclass(frozen=True)
+class NotExpr(Expr):
+    """Boolean negation."""
+
+    operand: Expr
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.operand.referenced_columns()
+
+    def evaluate(self, row: Row) -> Value:
+        return not bool(self.operand.evaluate(row))
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+class AggFunc(enum.Enum):
+    """Supported aggregate functions.
+
+    Every function is *decomposable* into a local (partial) aggregation
+    and a global (final) aggregation, which is what allows the optimizer
+    to split a GroupBy into a local pre-aggregation below the exchange
+    and a final aggregation above it (the (3)/(5) steps of Figure 8).
+    """
+
+    SUM = "Sum"
+    COUNT = "Count"
+    MIN = "Min"
+    MAX = "Max"
+    AVG = "Avg"
+
+    @property
+    def partial_func(self) -> "AggFunc":
+        """Aggregate applied at the local (pre-aggregation) stage."""
+        # AVG is decomposed into SUM + COUNT by the split rule, never
+        # applied partially as-is.
+        if self is AggFunc.AVG:
+            raise ValueError("AVG must be decomposed before splitting")
+        return self
+
+    @property
+    def merge_func(self) -> "AggFunc":
+        """Aggregate that merges partial results at the final stage."""
+        if self is AggFunc.COUNT:
+            return AggFunc.SUM
+        if self is AggFunc.AVG:
+            raise ValueError("AVG must be decomposed before splitting")
+        return self
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A single aggregate computation ``func(arg) AS alias``.
+
+    ``arg`` is ``None`` only for ``COUNT(*)``.
+    """
+
+    func: AggFunc
+    arg: Union[Expr, None]
+    alias: str
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        if self.arg is None:
+            return frozenset()
+        return self.arg.referenced_columns()
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func.value}({inner}) AS {self.alias}"
+
+    def init_state(self) -> Value:
+        if self.func is AggFunc.COUNT:
+            return 0
+        return None
+
+    def accumulate(self, state: Value, row: Row) -> Value:
+        """Fold one input row into the running state."""
+        func = self.func
+        if func is AggFunc.COUNT:
+            if self.arg is None:
+                return state + 1
+            return state + (0 if self.arg.evaluate(row) is None else 1)
+        value = self.arg.evaluate(row)
+        if value is None:
+            return state
+        if state is None:
+            if func is AggFunc.AVG:
+                return (value, 1)
+            return value
+        if func is AggFunc.SUM:
+            return state + value
+        if func is AggFunc.MIN:
+            return min(state, value)
+        if func is AggFunc.MAX:
+            return max(state, value)
+        if func is AggFunc.AVG:
+            total, count = state
+            return (total + value, count + 1)
+        raise AssertionError(f"unhandled aggregate {func}")  # pragma: no cover
+
+    def finalize(self, state: Value) -> Value:
+        if self.func is AggFunc.AVG:
+            if state is None:
+                return None
+            total, count = state
+            return total / count
+        return state
+
+
+@dataclass(frozen=True)
+class NamedExpr:
+    """A projected expression with an output name (``expr AS alias``)."""
+
+    expr: Expr
+    alias: str
+
+    def referenced_columns(self) -> FrozenSet[str]:
+        return self.expr.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}"
+
+
+def conjuncts(pred: Expr) -> Tuple[Expr, ...]:
+    """Split a predicate into its top-level AND-ed conjuncts."""
+    if isinstance(pred, BinaryExpr) and pred.op is BinaryOp.AND:
+        return conjuncts(pred.left) + conjuncts(pred.right)
+    return (pred,)
+
+
+def equi_join_keys(pred: Expr) -> Union[Tuple[Tuple[str, ...], Tuple[str, ...]], None]:
+    """Extract equi-join keys from a conjunction of column equalities.
+
+    Returns ``(left_names, right_names)`` if every conjunct is a
+    ``ColumnRef = ColumnRef`` comparison, else ``None``.  The caller
+    decides which side each column belongs to.
+    """
+    left_names = []
+    right_names = []
+    for conj in conjuncts(pred):
+        if not (
+            isinstance(conj, BinaryExpr)
+            and conj.op is BinaryOp.EQ
+            and isinstance(conj.left, ColumnRef)
+            and isinstance(conj.right, ColumnRef)
+        ):
+            return None
+        left_names.append(conj.left.name)
+        right_names.append(conj.right.name)
+    return tuple(left_names), tuple(right_names)

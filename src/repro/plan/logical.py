@@ -1,0 +1,399 @@
+"""Logical operators.
+
+Logical operators are immutable *payload* objects: they describe what an
+operation computes but do not hold their children.  Children live either
+in a :class:`LogicalPlan` DAG node (the compiler's output) or as memo
+group references inside a group expression (the optimizer's
+representation).  Keeping payloads free of child pointers lets the memo
+deduplicate expressions by value, which is what Cascades requires.
+
+Operator set (the paper's scripts plus enough for realistic examples):
+
+========================  =====================================================
+:class:`LogicalExtract`   read a distributed file with a user extractor
+:class:`LogicalFilter`    row predicate
+:class:`LogicalProject`   compute/rename/drop columns
+:class:`LogicalGroupBy`   grouping aggregation (FULL / LOCAL / FINAL modes)
+:class:`LogicalJoin`      inner equi-join
+:class:`LogicalUnionAll`  bag union of union-compatible inputs
+:class:`LogicalSpool`     materialization point for a shared subexpression
+:class:`LogicalOutput`    write a result to a distributed file (terminal)
+:class:`LogicalSequence`  ties several terminals into one script (the paper's
+                          Sequence operator)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from .columns import Column, ColumnType, Schema
+from .expressions import AggFunc, Aggregate, ColumnRef, Expr, NamedExpr
+
+
+class LogicalOp:
+    """Base class of all logical operator payloads."""
+
+    #: Stable per-class identifier used by expression fingerprints
+    #: (Definition 1: "all group-by operations have the same OpID").
+    OP_TYPE_ID: int = 0
+    #: Number of children; ``None`` means variadic (Sequence, UnionAll).
+    ARITY = 1
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Logical", "")
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.ARITY == 0
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        """Output schema given the children's schemas."""
+        raise NotImplementedError
+
+    def detail(self) -> str:
+        """Short human-readable payload description for plan printing."""
+        return ""
+
+
+@dataclass(frozen=True)
+class LogicalExtract(LogicalOp):
+    """Read a distributed input file using a named extractor.
+
+    ``file_id`` is the catalog's unique identifier for the file — the
+    quantity Definition 1 calls ``FileID``.
+    """
+
+    file_id: int
+    path: str
+    extractor: str
+    schema: Schema
+
+    OP_TYPE_ID = 1
+    ARITY = 0
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        return self.schema
+
+    def detail(self) -> str:
+        return f"{self.path}"
+
+
+@dataclass(frozen=True)
+class LogicalFilter(LogicalOp):
+    """Keep rows satisfying ``predicate``."""
+
+    predicate: Expr
+
+    OP_TYPE_ID = 2
+    ARITY = 1
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        return child_schemas[0]
+
+    def detail(self) -> str:
+        return str(self.predicate)
+
+
+def _infer_type(expr: Expr, child: Schema) -> ColumnType:
+    """Best-effort output type of a scalar expression."""
+    if isinstance(expr, ColumnRef):
+        col = child.get(expr.name)
+        return col.ctype if col is not None else ColumnType.INT
+    from .expressions import BinaryExpr, Literal, NotExpr
+
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            return ColumnType.STRING
+        if isinstance(expr.value, float):
+            return ColumnType.FLOAT
+        return ColumnType.INT
+    if isinstance(expr, NotExpr):
+        return ColumnType.INT
+    if isinstance(expr, BinaryExpr):
+        if expr.op.is_comparison or expr.op.is_boolean:
+            return ColumnType.INT
+        left = _infer_type(expr.left, child)
+        right = _infer_type(expr.right, child)
+        if ColumnType.FLOAT in (left, right):
+            return ColumnType.FLOAT
+        return left
+    return ColumnType.INT
+
+
+@dataclass(frozen=True)
+class LogicalProject(LogicalOp):
+    """Compute ``exprs`` and emit them under their aliases."""
+
+    exprs: Tuple[NamedExpr, ...]
+
+    OP_TYPE_ID = 3
+    ARITY = 1
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        child = child_schemas[0]
+        return Schema(
+            Column(ne.alias, _infer_type(ne.expr, child)) for ne in self.exprs
+        )
+
+    def detail(self) -> str:
+        return ", ".join(str(ne) for ne in self.exprs)
+
+
+class GroupByMode(enum.Enum):
+    """How a grouping aggregation participates in a two-level split.
+
+    ``FULL`` is the user-visible aggregation.  The split transformation
+    rewrites ``FULL`` into ``FINAL`` over ``LOCAL``: the local stage
+    pre-aggregates within each partition (no partitioning requirement),
+    the final stage merges partial states and *does* require the input to
+    be partitioned on a subset of the keys.
+    """
+
+    FULL = "full"
+    LOCAL = "local"
+    FINAL = "final"
+
+
+@dataclass(frozen=True)
+class LogicalGroupBy(LogicalOp):
+    """Grouping aggregation on ``keys`` computing ``aggregates``."""
+
+    keys: Tuple[str, ...]
+    aggregates: Tuple[Aggregate, ...]
+    mode: GroupByMode = GroupByMode.FULL
+
+    OP_TYPE_ID = 4
+    ARITY = 1
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        child = child_schemas[0]
+        cols: List[Column] = [child[k] for k in self.keys]
+        for agg in self.aggregates:
+            if agg.func is AggFunc.COUNT:
+                ctype = ColumnType.INT
+            elif agg.func is AggFunc.AVG:
+                ctype = ColumnType.FLOAT
+            else:
+                ctype = _infer_type(agg.arg, child)
+            cols.append(Column(agg.alias, ctype))
+        return Schema(cols)
+
+    @property
+    def key_set(self):
+        return frozenset(self.keys)
+
+    def detail(self) -> str:
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        mode = "" if self.mode is GroupByMode.FULL else f" [{self.mode.value}]"
+        return f"keys=({','.join(self.keys)}) {aggs}{mode}"
+
+
+class JoinKind(enum.Enum):
+    """Join semantics.
+
+    INNER emits matching pairs; LEFT additionally emits every unmatched
+    left row padded with NULLs for the right side's columns.
+    """
+
+    INNER = "inner"
+    LEFT = "left"
+
+
+@dataclass(frozen=True)
+class LogicalJoin(LogicalOp):
+    """Equi-join on ``left_keys[i] = right_keys[i]``.
+
+    Key names refer to the left/right child schemas respectively.  The
+    compiler renames clashing right-side columns before building the
+    join, so the concatenated output schema is clash-free.
+    """
+
+    left_keys: Tuple[str, ...]
+    right_keys: Tuple[str, ...]
+    kind: "JoinKind" = None  # type: ignore[assignment]
+
+    OP_TYPE_ID = 5
+    ARITY = 2
+
+    def __post_init__(self):
+        if self.kind is None:
+            object.__setattr__(self, "kind", JoinKind.INNER)
+        if len(self.left_keys) != len(self.right_keys):
+            raise ValueError("join key lists must have equal length")
+        if not self.left_keys:
+            raise ValueError("equi-join requires at least one key pair")
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        return child_schemas[0].concat(child_schemas[1])
+
+    def detail(self) -> str:
+        pairs = ", ".join(
+            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        if self.kind is JoinKind.LEFT:
+            return f"LEFT {pairs}"
+        return pairs
+
+
+@dataclass(frozen=True)
+class LogicalUnionAll(LogicalOp):
+    """Bag union of union-compatible inputs (schema of the first child)."""
+
+    n_inputs: int = 2
+
+    OP_TYPE_ID = 6
+    ARITY = None
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        first = child_schemas[0]
+        for other in child_schemas[1:]:
+            if len(other) != len(first):
+                raise ValueError("UNION ALL inputs must have equal arity")
+        return first
+
+
+@dataclass(frozen=True)
+class LogicalTopN(LogicalOp):
+    """Keep the first ``n`` rows of a deterministic total order.
+
+    The order is ``order_columns`` followed by every remaining schema
+    column (ties broken by the full row), which makes TOP results
+    deterministic and therefore oracle-comparable.  ``mode`` mirrors the
+    aggregation split: LOCAL keeps a per-partition top-n (a superset of
+    the global answer), FULL computes the final answer and requires a
+    single partition.
+    """
+
+    n: int
+    order_columns: Tuple[str, ...]
+    mode: GroupByMode = GroupByMode.FULL
+
+    OP_TYPE_ID = 10
+    ARITY = 1
+
+    def __post_init__(self):
+        if self.n < 1:
+            raise ValueError("TOP requires a positive row count")
+        if not self.order_columns:
+            raise ValueError("TOP requires an ORDER BY")
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        return child_schemas[0]
+
+    def detail(self) -> str:
+        mode = "" if self.mode is GroupByMode.FULL else f" [{self.mode.value}]"
+        return f"{self.n} ORDER BY {','.join(self.order_columns)}{mode}"
+
+
+@dataclass(frozen=True)
+class LogicalSpool(LogicalOp):
+    """Materialization point inserted on top of a shared subexpression.
+
+    This is the paper's SPOOL operator (Algorithm 1): the single node all
+    consumers of a common subexpression point to.  It is a logical no-op
+    (output = input); its physical implementations decide whether to
+    actually materialize or to recompute per consumer.
+    """
+
+    OP_TYPE_ID = 7
+    ARITY = 1
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        return child_schemas[0]
+
+
+@dataclass(frozen=True)
+class LogicalOutput(LogicalOp):
+    """Write the input relation to a distributed output file.
+
+    A non-empty ``sort_columns`` requests a globally sorted output: the
+    implementation gathers the rows onto one writer in that order (the
+    only globally-ordered layout the simulator models).
+    """
+
+    path: str
+    sort_columns: Tuple[str, ...] = ()
+
+    OP_TYPE_ID = 8
+    ARITY = 1
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        return child_schemas[0]
+
+    def detail(self) -> str:
+        if self.sort_columns:
+            return f"{self.path} ORDER BY {','.join(self.sort_columns)}"
+        return self.path
+
+
+@dataclass(frozen=True)
+class LogicalSequence(LogicalOp):
+    """Combine all terminal operators of a script into a single root.
+
+    The Sequence operator does not process data; it only states that the
+    overall plan is composed of several sub-plans (paper, Section IX).
+    """
+
+    n_inputs: int = 2
+
+    OP_TYPE_ID = 9
+    ARITY = None
+
+    def derive_schema(self, child_schemas: Sequence[Schema]) -> Schema:
+        return Schema(())
+
+
+@dataclass
+class LogicalPlan:
+    """A node of the compiler's logical operator DAG.
+
+    Children are direct references, so a relation consumed twice appears
+    as one node with two parents — the *explicitly given* common
+    subexpressions of Algorithm 1.
+    """
+
+    op: LogicalOp
+    children: List["LogicalPlan"] = field(default_factory=list)
+
+    def __post_init__(self):
+        arity = self.op.ARITY
+        if arity is not None and len(self.children) != arity:
+            raise ValueError(
+                f"{self.op.name} expects {arity} children, got {len(self.children)}"
+            )
+        self._schema = self.op.derive_schema([c.schema for c in self.children])
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def iter_nodes(self):
+        """Yield each distinct node once (pre-order over the DAG)."""
+        seen = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(reversed(node.children))
+
+    def count_operators(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def pretty(self, indent: int = 0, _seen=None) -> str:
+        """Indented text rendering of the DAG (shared nodes marked)."""
+        if _seen is None:
+            _seen = {}
+        pad = "  " * indent
+        if id(self) in _seen:
+            return f"{pad}{self.op.name} <shared #{_seen[id(self)]}>\n"
+        _seen[id(self)] = len(_seen) + 1
+        detail = self.op.detail()
+        line = f"{pad}{self.op.name}" + (f" [{detail}]" if detail else "") + "\n"
+        return line + "".join(c.pretty(indent + 1, _seen) for c in self.children)

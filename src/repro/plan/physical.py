@@ -1,0 +1,549 @@
+"""Physical operators and physical plans.
+
+Physical operators are the implementation algorithms the optimizer can
+choose: parallel scans, exchange operators (hash repartitioning with or
+without a merging sort, gather-merge), local sorts, stream/hash
+aggregation at local/final/full scope, merge/hash/broadcast joins,
+spools, and parallel outputs — the operator vocabulary of the plans in
+Figure 8 of the paper.
+
+Each operator knows how to *derive its delivered physical properties*
+from its children's delivered properties
+(:meth:`PhysicalOp.derive_props`).  What each operator *requires* of its
+children is decided by the optimizer's implementation rules
+(``repro.optimizer.rules``), because requirements depend on the search
+context; the runtime (``repro.exec``) independently re-validates the
+requirements at execution time so that optimizer bugs fail loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from .columns import Schema
+from .expressions import Aggregate, ColumnRef, Expr, NamedExpr
+from .logical import GroupByMode, JoinKind
+from .properties import (
+    Partitioning,
+    PartitionKind,
+    PhysicalProps,
+    ReqProps,
+    SortOrder,
+)
+
+
+class PhysicalOp:
+    """Base class of all physical operator payloads."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Phys", "")
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        """Delivered properties given the children's delivered properties."""
+        raise NotImplementedError
+
+    def detail(self) -> str:
+        return ""
+
+
+# ---------------------------------------------------------------------------
+# Leaf / data access
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysExtract(PhysicalOp):
+    """Parallel scan of a distributed input file.
+
+    The file's blocks are spread over the cluster, so the scan delivers
+    RANDOM partitioning and no sort order — matching step (1) of both
+    plans in Figure 8 ("test.log is partitioned and distributed across
+    all machines").
+    """
+
+    file_id: int
+    path: str
+    extractor: str
+    schema: Schema
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return PhysicalProps(Partitioning.random(), SortOrder())
+
+    def detail(self) -> str:
+        return self.path
+
+
+# ---------------------------------------------------------------------------
+# Exchanges (the expensive operators in a cloud setting)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysRepartition(PhysicalOp):
+    """Hash-repartition rows on ``columns`` across the cluster.
+
+    If ``merge_sort`` is non-empty and every input stream is sorted on
+    it, the receiving side merges the incoming streams, preserving the
+    order — the paper's ``Repartition`` + ``SortMerge`` pair in Figure 8.
+    """
+
+    columns: Tuple[str, ...]
+    merge_sort: SortOrder = field(default_factory=SortOrder)
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        child = child_props[0]
+        if self.merge_sort.is_sorted and child.sort_order.satisfies(self.merge_sort):
+            order = self.merge_sort
+        else:
+            order = SortOrder()
+        return PhysicalProps(Partitioning.hashed(self.columns), order)
+
+    def detail(self) -> str:
+        cols = ",".join(self.columns)
+        if self.merge_sort.is_sorted:
+            return f"({cols}) merge-sort {self.merge_sort}"
+        return f"({cols})"
+
+
+@dataclass(frozen=True)
+class PhysRangeRepartition(PhysicalOp):
+    """Range-repartition rows on an ordered column list.
+
+    The runtime computes boundaries from exact quantiles of the distinct
+    key values (a production system samples), so equal keys are never
+    split across partitions and partition *i* holds strictly smaller
+    keys than partition *i+1*.  With ``merge_sort`` set (and sorted
+    inputs) the receivers merge, preserving the order — which, combined
+    with the range layout, makes the dataset globally sorted.
+    """
+
+    order: Tuple[str, ...]
+    merge_sort: SortOrder = field(default_factory=SortOrder)
+
+    def __post_init__(self):
+        if not self.order:
+            raise ValueError("range repartitioning needs a column order")
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        child = child_props[0]
+        if self.merge_sort.is_sorted and child.sort_order.satisfies(self.merge_sort):
+            order = self.merge_sort
+        else:
+            order = SortOrder()
+        return PhysicalProps(Partitioning.ranged(self.order), order)
+
+    def detail(self) -> str:
+        cols = ",".join(self.order)
+        if self.merge_sort.is_sorted:
+            return f"({cols}) merge-sort {self.merge_sort}"
+        return f"({cols})"
+
+
+@dataclass(frozen=True)
+class PhysMerge(PhysicalOp):
+    """Gather every partition onto a single machine (SERIAL output).
+
+    With a non-empty ``merge_sort`` (and sorted inputs) this is a
+    sorted merge; otherwise a plain concatenation.
+    """
+
+    merge_sort: SortOrder = field(default_factory=SortOrder)
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        child = child_props[0]
+        if self.merge_sort.is_sorted and child.sort_order.satisfies(self.merge_sort):
+            order = self.merge_sort
+        else:
+            order = SortOrder()
+        return PhysicalProps(Partitioning.serial(), order)
+
+    def detail(self) -> str:
+        return f"merge-sort {self.merge_sort}" if self.merge_sort.is_sorted else ""
+
+
+# ---------------------------------------------------------------------------
+# Row-at-a-time operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysFilter(PhysicalOp):
+    """Apply a predicate; preserves all properties."""
+
+    predicate: Expr
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return child_props[0]
+
+    def detail(self) -> str:
+        return str(self.predicate)
+
+
+def _surviving_names(exprs: Tuple[NamedExpr, ...]) -> dict:
+    """Map input column name -> output name for pass-through projections."""
+    passthrough = {}
+    for ne in exprs:
+        if isinstance(ne.expr, ColumnRef) and ne.expr.name not in passthrough:
+            passthrough[ne.expr.name] = ne.alias
+    return passthrough
+
+
+@dataclass(frozen=True)
+class PhysProject(PhysicalOp):
+    """Compute scalar expressions.
+
+    Partitioning survives only if every partitioning column passes
+    through unchanged (possibly renamed); the sort order survives up to
+    the first non-surviving column.
+    """
+
+    exprs: Tuple[NamedExpr, ...]
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        child = child_props[0]
+        survive = _surviving_names(self.exprs)
+        part = child.partitioning
+        if part.kind is PartitionKind.HASH:
+            if all(c in survive for c in part.columns):
+                part = Partitioning.hashed(survive[c] for c in part.columns)
+            else:
+                part = Partitioning.random()
+        elif part.kind is PartitionKind.RANGE:
+            if all(c in survive for c in part.order):
+                part = Partitioning.ranged(survive[c] for c in part.order)
+            else:
+                part = Partitioning.random()
+        order_cols = []
+        for col in child.sort_order.columns:
+            if col not in survive:
+                break
+            order_cols.append(survive[col])
+        return PhysicalProps(part, SortOrder(tuple(order_cols)))
+
+    def detail(self) -> str:
+        return ", ".join(str(ne) for ne in self.exprs)
+
+
+@dataclass(frozen=True)
+class PhysSort(PhysicalOp):
+    """Sort each partition locally on ``order``; partitioning preserved."""
+
+    order: SortOrder
+
+    def __post_init__(self):
+        if not self.order.is_sorted:
+            raise ValueError("sort requires a non-empty order")
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return PhysicalProps(child_props[0].partitioning, self.order)
+
+    def detail(self) -> str:
+        return str(self.order)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def _surviving_partitioning(part: Partitioning, keys) -> Partitioning:
+    """Partitioning after an aggregation that keeps only ``keys``.
+
+    A hash partitioning on columns the aggregation drops is no longer
+    expressible (and no longer useful) in the output schema.
+    """
+    if part.kind in (PartitionKind.HASH, PartitionKind.RANGE) and \
+            not part.columns <= frozenset(keys):
+        return Partitioning.random()
+    return part
+
+
+@dataclass(frozen=True)
+class PhysStreamAgg(PhysicalOp):
+    """Sort-based aggregation over a specific key *order*.
+
+    Requires the input sorted on ``key_order`` (some permutation of the
+    grouping keys, chosen by the implementation rule to match the
+    surrounding plan — this is why Figure 8 sorts on ``(B,A,C)`` on one
+    side and ``(C,B,A)`` on the other).  For FULL/FINAL scope the input
+    must additionally be partitioned on a subset of the keys.
+    """
+
+    key_order: Tuple[str, ...]
+    aggregates: Tuple[Aggregate, ...]
+    mode: GroupByMode = GroupByMode.FULL
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        child = child_props[0]
+        part = _surviving_partitioning(child.partitioning, self.key_order)
+        return PhysicalProps(part, SortOrder(self.key_order))
+
+    def detail(self) -> str:
+        keys = ",".join(self.key_order)
+        return f"({keys}) [{self.mode.value}]"
+
+
+@dataclass(frozen=True)
+class PhysHashAgg(PhysicalOp):
+    """Hash-based aggregation; no sort requirement, destroys order."""
+
+    keys: Tuple[str, ...]
+    aggregates: Tuple[Aggregate, ...]
+    mode: GroupByMode = GroupByMode.FULL
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        part = _surviving_partitioning(child_props[0].partitioning, self.keys)
+        return PhysicalProps(part, SortOrder())
+
+    def detail(self) -> str:
+        keys = ",".join(self.keys)
+        return f"({keys}) [{self.mode.value}]"
+
+
+@dataclass(frozen=True)
+class PhysTopN(PhysicalOp):
+    """Sort-select the first ``n`` rows of the deterministic order.
+
+    LOCAL keeps a per-partition top-n; FULL computes the final answer
+    over a single partition.  Both sort internally, so no input sort is
+    required, and the output is sorted on ``order_columns``.
+    """
+
+    n: int
+    order_columns: Tuple[str, ...]
+    mode: GroupByMode = GroupByMode.FULL
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        child = child_props[0]
+        if self.mode is GroupByMode.LOCAL:
+            part = child.partitioning
+        else:
+            part = Partitioning.serial()
+        return PhysicalProps(part, SortOrder(self.order_columns))
+
+    def detail(self) -> str:
+        mode = "" if self.mode is not GroupByMode.LOCAL else " [local]"
+        return f"{self.n} ORDER BY {','.join(self.order_columns)}{mode}"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysMergeJoin(PhysicalOp):
+    """Sorted merge join.
+
+    Requires both inputs sorted on the chosen key order and
+    co-partitioned on matching key subsets (enforced by the
+    implementation rule); delivers the left sort order and the left
+    partitioning.
+    """
+
+    left_keys: Tuple[str, ...]
+    right_keys: Tuple[str, ...]
+    kind: JoinKind = JoinKind.INNER
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        left = child_props[0]
+        return PhysicalProps(left.partitioning, SortOrder(self.left_keys))
+
+    def detail(self) -> str:
+        return ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+
+
+@dataclass(frozen=True)
+class PhysHashJoin(PhysicalOp):
+    """Partitioned hash join; destroys order, keeps left partitioning."""
+
+    left_keys: Tuple[str, ...]
+    right_keys: Tuple[str, ...]
+    kind: JoinKind = JoinKind.INNER
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return PhysicalProps(child_props[0].partitioning, SortOrder())
+
+    def detail(self) -> str:
+        return ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+
+
+@dataclass(frozen=True)
+class PhysBroadcastJoin(PhysicalOp):
+    """Hash join with the (small) right side broadcast to every partition.
+
+    Places no partitioning requirement on either side; pays network cost
+    proportional to right size × degree of parallelism.
+    """
+
+    left_keys: Tuple[str, ...]
+    right_keys: Tuple[str, ...]
+    kind: JoinKind = JoinKind.INNER
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return PhysicalProps(child_props[0].partitioning, SortOrder())
+
+    def detail(self) -> str:
+        return ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+
+
+# ---------------------------------------------------------------------------
+# Sharing, outputs, glue
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysSpool(PhysicalOp):
+    """Materialize the input once; each consumer re-reads it.
+
+    The cost model charges the build side once per distinct (group,
+    required properties) pair and a read per consumer — the DAG-aware
+    accounting that makes sharing pay off (DESIGN.md, decision 4).
+    Properties pass through: the materialized result keeps the layout it
+    was built with.
+    """
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return child_props[0]
+
+
+@dataclass(frozen=True)
+class PhysPassThrough(PhysicalOp):
+    """Non-materializing implementation of a SPOOL group.
+
+    Keeps the decision to share *cost-based*: when the shared
+    subexpression is cheaper to recompute per consumer than to
+    materialize and re-read (tiny intermediate results), the optimizer
+    can pick this no-op and fall back to duplicated execution.  The
+    runtime re-executes its input once per consumer, and the DAG-aware
+    coster charges it accordingly.
+    """
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return child_props[0]
+
+
+@dataclass(frozen=True)
+class PhysOutput(PhysicalOp):
+    """Write the input to a distributed file, one stream per partition.
+
+    With non-empty ``sort_columns`` the writer requires a single,
+    globally sorted input stream (gather-merge enforced below it).
+    """
+
+    path: str
+    sort_columns: Tuple[str, ...] = ()
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return PhysicalProps(Partitioning.random(), SortOrder())
+
+    def detail(self) -> str:
+        if self.sort_columns:
+            return f"{self.path} ORDER BY {','.join(self.sort_columns)}"
+        return self.path
+
+
+@dataclass(frozen=True)
+class PhysSequence(PhysicalOp):
+    """Root combinator over the script's terminal sub-plans."""
+
+    n_inputs: int = 2
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return PhysicalProps(Partitioning.random(), SortOrder())
+
+
+@dataclass(frozen=True)
+class PhysUnionAll(PhysicalOp):
+    """Bag union; no guarantees about layout of the result."""
+
+    n_inputs: int = 2
+
+    def derive_props(self, child_props: Sequence[PhysicalProps]) -> PhysicalProps:
+        return PhysicalProps(Partitioning.random(), SortOrder())
+
+
+# ---------------------------------------------------------------------------
+# Physical plan nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PhysicalPlan:
+    """A node of a physical plan.
+
+    Plans are DAGs: the memo's winner cache returns the *same*
+    ``PhysicalPlan`` object whenever a (group, required properties,
+    enforcement context) triple repeats, so shared spools appear once by
+    object identity and the DAG-aware coster can deduplicate them.
+
+    Attributes
+    ----------
+    op:
+        The physical operator payload.
+    children:
+        Child plans.
+    schema:
+        Output schema.
+    props:
+        Delivered physical properties.
+    group_id:
+        The memo group this plan implements (``None`` for plans built
+        outside the optimizer, e.g. in tests).
+    required:
+        The required properties this plan was optimized for.
+    cost:
+        Estimated cost of the *tree* rooted here (set by the optimizer).
+    self_cost:
+        This node's own cost contribution (``cost`` minus children).
+    rows:
+        Estimated output row count (set by the optimizer).
+    """
+
+    op: PhysicalOp
+    children: Tuple["PhysicalPlan", ...]
+    schema: Schema
+    props: PhysicalProps
+    group_id: Optional[int] = None
+    required: Optional[ReqProps] = None
+    cost: float = 0.0
+    self_cost: float = 0.0
+    rows: float = 0.0
+
+    def iter_nodes(self):
+        """Yield each distinct node once (by object identity)."""
+        seen = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(reversed(node.children))
+
+    def count_operator(self, op_type) -> int:
+        """Count distinct nodes whose operator is an ``op_type``."""
+        return sum(1 for n in self.iter_nodes() if isinstance(n.op, op_type))
+
+    def find_all(self, op_type):
+        return [n for n in self.iter_nodes() if isinstance(n.op, op_type)]
+
+    def pretty(self, indent: int = 0, _seen=None) -> str:
+        """Indented rendering; shared sub-plans are printed once."""
+        if _seen is None:
+            _seen = {}
+        pad = "  " * indent
+        if id(self) in _seen:
+            return f"{pad}^ shared {self.op.name} (see *{_seen[id(self)]})\n"
+        mark = ""
+        if isinstance(self.op, PhysSpool):
+            _seen[id(self)] = len(_seen) + 1
+            mark = f" *{_seen[id(self)]}"
+        detail = self.op.detail()
+        extras = f" [{detail}]" if detail else ""
+        stats = f"  {{rows={self.rows:.0f} cost={self.cost:.1f} {self.props}}}"
+        line = f"{pad}{self.op.name}{extras}{mark}{stats}\n"
+        return line + "".join(c.pretty(indent + 1, _seen) for c in self.children)

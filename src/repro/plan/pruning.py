@@ -1,0 +1,171 @@
+"""Column pruning over logical plan DAGs.
+
+Narrows every operator to the columns its consumers actually need:
+unused extract columns are dropped at the scan, projections shed unused
+items, aggregations shed unused aggregate computations (grouping keys
+are always kept — dropping one would change the grouping semantics),
+and joins carry only their keys plus what flows onward.
+
+Pruning is **sharing-aware**: a node consumed by several parents keeps
+the *union* of their requirements and remains a single shared node, so
+common-subexpression detection downstream is unaffected.  The pass runs
+in two phases — a top-down requirement collection over the DAG followed
+by a memoized bottom-up rewrite — and is a semantic no-op: the rows of
+every OUTPUT are unchanged (property-tested against the naive oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .logical import (
+    LogicalFilter,
+    LogicalTopN,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalOp,
+    LogicalOutput,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSequence,
+    LogicalSpool,
+    LogicalUnionAll,
+    LogicalExtract,
+)
+
+
+def _required_child_columns(
+    node: LogicalPlan, required: FrozenSet[str]
+) -> List[FrozenSet[str]]:
+    """Columns each child must provide so ``node`` can emit ``required``."""
+    op = node.op
+    if isinstance(op, LogicalOutput):
+        # The output file writes the relation as the script defined it.
+        return [frozenset(node.children[0].schema.names)]
+    if isinstance(op, LogicalSequence):
+        return [frozenset(c.schema.names) for c in node.children]
+    if isinstance(op, LogicalFilter):
+        return [required | op.predicate.referenced_columns()]
+    if isinstance(op, LogicalProject):
+        needed: Set[str] = set()
+        for item in op.exprs:
+            if item.alias in required:
+                needed |= item.expr.referenced_columns()
+        return [frozenset(needed)]
+    if isinstance(op, LogicalGroupBy):
+        needed = set(op.keys)
+        for agg in op.aggregates:
+            if agg.alias in required:
+                needed |= agg.referenced_columns()
+        return [frozenset(needed)]
+    if isinstance(op, LogicalJoin):
+        left_names = set(node.children[0].schema.names)
+        right_names = set(node.children[1].schema.names)
+        left = (required & left_names) | set(op.left_keys)
+        right = (required & right_names) | set(op.right_keys)
+        return [frozenset(left), frozenset(right)]
+    if isinstance(op, LogicalUnionAll):
+        # Union is positional and its branches may be shared elsewhere
+        # with different requirements, which could desynchronize the
+        # branch arities; be conservative and keep branches whole.
+        return [frozenset(child.schema.names) for child in node.children]
+    if isinstance(op, LogicalTopN):
+        # Tie-breaking uses every column: pruning below a TOP would
+        # change which rows are selected.
+        return [frozenset(node.children[0].schema.names)]
+    if isinstance(op, LogicalSpool):
+        return [required]
+    if isinstance(op, LogicalExtract):
+        return []
+    raise TypeError(f"no pruning rule for {type(op).__name__}")  # pragma: no cover
+
+
+def _collect_requirements(root: LogicalPlan) -> Dict[int, Set[str]]:
+    """Union of required output columns per DAG node (by identity)."""
+    required: Dict[int, Set[str]] = {id(root): set(root.schema.names)}
+    order: List[LogicalPlan] = []
+    seen: Set[int] = set()
+
+    def topo(node: LogicalPlan) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        order.append(node)
+        for child in node.children:
+            topo(child)
+
+    topo(root)
+    # ``order`` is a pre-order; process parents before children by
+    # iterating it directly — every node appears before its descendants
+    # *somewhere*, but a shared child may be reached via a later parent,
+    # so iterate until the requirement sets stop growing.
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            need = frozenset(required.get(id(node), set(node.schema.names)))
+            child_needs = _required_child_columns(node, need)
+            for child, child_need in zip(node.children, child_needs):
+                bucket = required.setdefault(id(child), set())
+                before = len(bucket)
+                bucket |= child_need
+                if len(bucket) != before:
+                    changed = True
+    return required
+
+
+def _ordered(names: Set[str], schema_order: Tuple[str, ...]) -> Tuple[str, ...]:
+    return tuple(n for n in schema_order if n in names)
+
+
+def prune_columns(root: LogicalPlan) -> LogicalPlan:
+    """Return an equivalent DAG with unused columns removed.
+
+    Node identity of shared subexpressions is preserved: a node with two
+    parents in the input has exactly one (pruned) counterpart in the
+    output.
+    """
+    required = _collect_requirements(root)
+    rebuilt: Dict[int, LogicalPlan] = {}
+
+    def rebuild(node: LogicalPlan) -> LogicalPlan:
+        cached = rebuilt.get(id(node))
+        if cached is not None:
+            return cached
+        children = [rebuild(child) for child in node.children]
+        need = required.get(id(node), set(node.schema.names))
+        op = _pruned_op(node, need, children)
+        result = LogicalPlan(op, children)
+        rebuilt[id(node)] = result
+        return result
+
+    return rebuild(root)
+
+
+def _pruned_op(node: LogicalPlan, need: Set[str],
+               children: List[LogicalPlan]) -> LogicalOp:
+    op = node.op
+    if isinstance(op, LogicalExtract):
+        keep = _ordered(need, op.schema.names)
+        if not keep:
+            # A consumer needs at least row multiplicity (e.g. COUNT(*));
+            # keep the narrowest column.
+            keep = op.schema.names[:1]
+        if keep == op.schema.names:
+            return op
+        return LogicalExtract(
+            op.file_id, op.path, op.extractor, op.schema.project(keep)
+        )
+    if isinstance(op, LogicalProject):
+        keep_items = tuple(i for i in op.exprs if i.alias in need)
+        if not keep_items:
+            keep_items = op.exprs[:1]
+        return LogicalProject(keep_items)
+    if isinstance(op, LogicalGroupBy):
+        keep_aggs = tuple(a for a in op.aggregates if a.alias in need)
+        if keep_aggs == op.aggregates:
+            return op
+        return LogicalGroupBy(op.keys, keep_aggs, op.mode)
+    # Filters, joins, spools, outputs, sequence, union: payload unchanged
+    # (their columns were accounted for in the requirement collection).
+    return op

@@ -1,0 +1,25 @@
+"""SCOPE-like script frontend: lexer, parser, catalog and compiler."""
+
+from .ast import Script
+from .catalog import Catalog, FileStats
+from .compiler import Compiler, compile_script
+from .errors import CatalogError, LexError, ParseError, ResolutionError, ScopeError
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "Compiler",
+    "FileStats",
+    "LexError",
+    "ParseError",
+    "ResolutionError",
+    "Script",
+    "ScopeError",
+    "Token",
+    "TokenKind",
+    "compile_script",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,174 @@
+"""Abstract syntax tree of the SCOPE script subset.
+
+The parser produces these nodes; the compiler resolves names against the
+environment/catalog and lowers them into the logical algebra
+(``repro.plan.logical``).  Expression AST nodes are distinct from the
+plan-level expressions because they may still contain *qualified*
+references (``R1.B``) and un-resolved aggregate calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class EExpr:
+    """Base class of AST expressions."""
+
+
+@dataclass(frozen=True)
+class ERef(EExpr):
+    """Column reference, optionally qualified: ``B`` or ``R1.B``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class ELit(EExpr):
+    """Numeric or string literal."""
+
+    value: Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class EBin(EExpr):
+    """Binary expression; ``op`` is the surface-syntax operator string."""
+
+    op: str
+    left: EExpr
+    right: EExpr
+
+
+@dataclass(frozen=True)
+class ENot(EExpr):
+    operand: EExpr
+
+
+@dataclass(frozen=True)
+class ECall(EExpr):
+    """Function call — in this subset always an aggregate.
+
+    ``arg`` is ``None`` for ``COUNT(*)``; ``distinct`` marks
+    ``COUNT(DISTINCT expr)``.
+    """
+
+    func: str
+    arg: Optional[EExpr]
+    distinct: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of a SELECT list: an expression with an optional alias."""
+
+    expr: EExpr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FromRel:
+    """A FROM-clause relation reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """An ANSI join step: ``[LEFT [OUTER] | INNER] JOIN rel ON cond``."""
+
+    rel: FromRel
+    condition: EExpr
+    #: "inner" or "left".
+    kind: str = "inner"
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """The body of one SELECT (no assignment target)."""
+
+    items: Tuple[SelectItem, ...]
+    from_rels: Tuple[FromRel, ...]
+    where: Optional[EExpr] = None
+    group_by: Tuple[ERef, ...] = ()
+    having: Optional[EExpr] = None
+    #: SELECT DISTINCT: deduplicate the result rows.
+    distinct: bool = False
+    #: ANSI JOIN steps applied (left-deep) after the comma-joined rels.
+    joins: Tuple["JoinClause", ...] = ()
+    #: ``SELECT TOP n ... ORDER BY cols``: keep the first ``top`` rows
+    #: of the (deterministic) total order.  ``None`` = no limit.
+    top: "Optional[int]" = None
+    #: The ORDER BY of a TOP query (required when ``top`` is set).
+    top_order: Tuple[ERef, ...] = ()
+
+
+class Statement:
+    """Base class of script statements."""
+
+
+@dataclass(frozen=True)
+class ExtractStmt(Statement):
+    """``name = EXTRACT cols FROM "path" USING Extractor;``"""
+
+    target: str
+    columns: Tuple[str, ...]
+    path: str
+    extractor: str
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    """``name = SELECT ... [UNION ALL SELECT ...];``
+
+    ``queries`` has one entry per UNION ALL branch (usually one).
+    """
+
+    target: str
+    queries: Tuple[SelectQuery, ...]
+
+
+@dataclass(frozen=True)
+class OutputStmt(Statement):
+    """``OUTPUT name TO "path" [ORDER BY cols];``
+
+    A non-empty ``order_by`` requests a globally sorted output file.
+    """
+
+    source: str
+    path: str
+    order_by: Tuple[ERef, ...] = ()
+
+
+@dataclass
+class Script:
+    """A parsed script: an ordered list of statements."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+    def targets(self) -> List[str]:
+        """Assignment targets in script order."""
+        return [
+            s.target
+            for s in self.statements
+            if isinstance(s, (ExtractStmt, SelectStmt))
+        ]

@@ -1,0 +1,98 @@
+"""Catalog of input files and their statistics.
+
+The optimizer's cardinality estimation needs, per input file:
+
+* the schema produced by the extractor,
+* the row count,
+* per-column number of distinct values (NDV).
+
+SCOPE obtains these from Cosmos metadata; here users register them
+explicitly (or let :meth:`Catalog.register_file` synthesize defaults).
+``file_id`` is the unique identifier Definition 1 of the paper feeds into
+expression fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..plan.columns import Column, ColumnType, Schema
+from .errors import CatalogError
+from .histogram import Histogram
+
+DEFAULT_ROWS = 1_000_000
+DEFAULT_NDV_FRACTION = 0.01
+
+
+@dataclass
+class FileStats:
+    """Statistics of one registered input file."""
+
+    file_id: int
+    path: str
+    schema: Schema
+    rows: int
+    ndv: Dict[str, int] = field(default_factory=dict)
+    #: Optional per-column equi-depth histograms (numeric columns) used
+    #: for range-predicate selectivity; see ``repro.scope.histogram``.
+    histograms: Dict[str, "Histogram"] = field(default_factory=dict)
+
+    def ndv_of(self, column: str) -> int:
+        """NDV of ``column`` (defaulting to a fraction of the row count)."""
+        known = self.ndv.get(column)
+        if known is not None:
+            return max(1, min(known, self.rows))
+        return max(1, int(self.rows * DEFAULT_NDV_FRACTION))
+
+
+class Catalog:
+    """Registry of input files keyed by path."""
+
+    def __init__(self):
+        self._files: Dict[str, FileStats] = {}
+        self._next_id = 1
+
+    def register_file(
+        self,
+        path: str,
+        columns: Iterable[Tuple[str, ColumnType]],
+        rows: int = DEFAULT_ROWS,
+        ndv: Optional[Dict[str, int]] = None,
+        histograms: Optional[Dict[str, "Histogram"]] = None,
+    ) -> FileStats:
+        """Register an input file.
+
+        Re-registering the same path replaces its statistics but keeps
+        its ``file_id`` — the identity of the file (and hence expression
+        fingerprints) must not change when stats are refreshed.
+        """
+        schema = Schema(Column(name, ctype) for name, ctype in columns)
+        existing = self._files.get(path)
+        file_id = existing.file_id if existing else self._next_id
+        if not existing:
+            self._next_id += 1
+        stats = FileStats(
+            file_id=file_id,
+            path=path,
+            schema=schema,
+            rows=rows,
+            ndv=dict(ndv or {}),
+            histograms=dict(histograms or {}),
+        )
+        self._files[path] = stats
+        return stats
+
+    def lookup(self, path: str) -> FileStats:
+        stats = self._files.get(path)
+        if stats is None:
+            raise CatalogError(
+                f"input file {path!r} is not registered in the catalog"
+            )
+        return stats
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def files(self) -> Tuple[FileStats, ...]:
+        return tuple(self._files.values())

@@ -1,0 +1,729 @@
+"""Compile a parsed SCOPE script into a logical operator DAG.
+
+The compiler performs name resolution against the statement environment
+and the catalog, lowers SELECT blocks into Filter/Join/GroupBy/Project
+chains, and stitches the script's OUTPUT statements together under a
+Sequence root (paper, Section I: "If a script has several terminal
+operators ... they are connected by a Sequence operator").
+
+Relations assigned earlier in the script are looked up *by object*, so a
+relation consumed twice becomes one DAG node with two parents — the
+explicitly-given common subexpressions of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..plan.columns import Schema
+from ..plan.expressions import (
+    AggFunc,
+    Aggregate,
+    BinaryExpr,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    Literal,
+    NamedExpr,
+    NotExpr,
+)
+from ..plan.logical import (
+    JoinKind,
+    LogicalExtract,
+    LogicalTopN,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalOutput,
+    LogicalPlan,
+    LogicalProject,
+    LogicalSequence,
+    LogicalUnionAll,
+)
+from .ast import (
+    EBin,
+    ECall,
+    EExpr,
+    ELit,
+    ENot,
+    ERef,
+    ExtractStmt,
+    JoinClause,
+    OutputStmt,
+    Script,
+    SelectItem,
+    SelectQuery,
+    SelectStmt,
+)
+from .catalog import Catalog
+from .errors import ResolutionError
+from .parser import parse
+
+_AGG_FUNCS = {f.value.upper(): f for f in AggFunc}
+
+_BINOPS = {op.value: op for op in BinaryOp}
+
+
+@dataclass
+class _Binding:
+    """A FROM-clause relation inside one SELECT scope.
+
+    ``columns`` maps the relation's own column names to their resolved
+    names in the combined join schema (identical unless a clash forced a
+    rename like ``R2.B``).
+    """
+
+    name: str
+    plan: LogicalPlan
+    columns: Dict[str, str]
+
+
+class _Scope:
+    """Name-resolution scope of one SELECT block."""
+
+    def __init__(self, bindings: List[_Binding]):
+        self.bindings = bindings
+
+    def resolve(self, ref: ERef) -> str:
+        """Resolve a (possibly qualified) reference to a schema name."""
+        if ref.qualifier is not None:
+            for binding in self.bindings:
+                if binding.name == ref.qualifier:
+                    resolved = binding.columns.get(ref.name)
+                    if resolved is None:
+                        raise ResolutionError(
+                            f"relation {ref.qualifier} has no column {ref.name}"
+                        )
+                    return resolved
+            raise ResolutionError(f"unknown relation qualifier {ref.qualifier!r}")
+        matches = [
+            b.columns[ref.name] for b in self.bindings if ref.name in b.columns
+        ]
+        if not matches:
+            raise ResolutionError(f"unknown column {ref.name!r}")
+        if len(set(matches)) > 1:
+            raise ResolutionError(
+                f"ambiguous column {ref.name!r}; qualify it (e.g. R1.{ref.name})"
+            )
+        return matches[0]
+
+
+def _lower_scalar(expr: EExpr, scope: _Scope) -> Expr:
+    """Lower a scalar (non-aggregate) AST expression to a plan expression."""
+    if isinstance(expr, ERef):
+        return ColumnRef(scope.resolve(expr))
+    if isinstance(expr, ELit):
+        return Literal(expr.value)
+    if isinstance(expr, ENot):
+        return NotExpr(_lower_scalar(expr.operand, scope))
+    if isinstance(expr, EBin):
+        op = _BINOPS.get(expr.op)
+        if op is None:
+            raise ResolutionError(f"unsupported operator {expr.op!r}")
+        return BinaryExpr(
+            op, _lower_scalar(expr.left, scope), _lower_scalar(expr.right, scope)
+        )
+    if isinstance(expr, ECall):
+        raise ResolutionError(
+            f"aggregate {expr.func} is not allowed here (only in SELECT items)"
+        )
+    raise ResolutionError(f"unsupported expression {expr!r}")
+
+
+def _contains_aggregate(expr: EExpr) -> bool:
+    if isinstance(expr, ECall):
+        return True
+    if isinstance(expr, EBin):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ENot):
+        return _contains_aggregate(expr.operand)
+    return False
+
+
+class Compiler:
+    """Compiles statements in script order, threading the environment."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._env: Dict[str, LogicalPlan] = {}
+        self._outputs: List[LogicalPlan] = []
+
+    # -- public entry points -------------------------------------------
+
+    def compile_script(self, script: Script) -> LogicalPlan:
+        for stmt in script.statements:
+            if isinstance(stmt, ExtractStmt):
+                self._env[stmt.target] = self._compile_extract(stmt)
+            elif isinstance(stmt, SelectStmt):
+                self._env[stmt.target] = self._compile_select(stmt)
+            elif isinstance(stmt, OutputStmt):
+                self._outputs.append(self._compile_output(stmt))
+            else:  # pragma: no cover - parser produces no other kinds
+                raise ResolutionError(f"unsupported statement {stmt!r}")
+        if not self._outputs:
+            raise ResolutionError("script has no OUTPUT statement")
+        if len(self._outputs) == 1:
+            return self._outputs[0]
+        return LogicalPlan(
+            LogicalSequence(len(self._outputs)), list(self._outputs)
+        )
+
+    # -- statements -----------------------------------------------------
+
+    def _compile_extract(self, stmt: ExtractStmt) -> LogicalPlan:
+        stats = self._catalog.lookup(stmt.path)
+        missing = [c for c in stmt.columns if c not in stats.schema]
+        if missing:
+            raise ResolutionError(
+                f"extract columns {missing} not in registered schema of {stmt.path!r}"
+            )
+        schema = stats.schema.project(stmt.columns)
+        op = LogicalExtract(stats.file_id, stmt.path, stmt.extractor, schema)
+        return LogicalPlan(op, [])
+
+    def _compile_output(self, stmt: OutputStmt) -> LogicalPlan:
+        child = self._env.get(stmt.source)
+        if child is None:
+            raise ResolutionError(f"OUTPUT of unknown relation {stmt.source!r}")
+        order = []
+        for ref in stmt.order_by:
+            if ref.qualifier is not None:
+                raise ResolutionError(
+                    "OUTPUT ORDER BY takes unqualified column names"
+                )
+            if ref.name not in child.schema:
+                raise ResolutionError(
+                    f"OUTPUT ORDER BY column {ref.name!r} not in "
+                    f"{stmt.source!r}"
+                )
+            order.append(ref.name)
+        return LogicalPlan(LogicalOutput(stmt.path, tuple(order)), [child])
+
+    def _compile_select(self, stmt: SelectStmt) -> LogicalPlan:
+        branches = [self._compile_query(q) for q in stmt.queries]
+        if len(branches) == 1:
+            return branches[0]
+        first_schema = branches[0].schema
+        aligned = [branches[0]]
+        for branch in branches[1:]:
+            if len(branch.schema) != len(first_schema):
+                raise ResolutionError("UNION ALL branches differ in arity")
+            if branch.schema.names != first_schema.names:
+                renames = tuple(
+                    NamedExpr(ColumnRef(src.name), dst.name)
+                    for src, dst in zip(branch.schema, first_schema)
+                )
+                branch = LogicalPlan(LogicalProject(renames), [branch])
+            aligned.append(branch)
+        return LogicalPlan(LogicalUnionAll(len(aligned)), aligned)
+
+    # -- SELECT lowering --------------------------------------------------
+
+    def _compile_query(self, query: SelectQuery) -> LogicalPlan:
+        plan, scope, join_filters = self._compile_from_where(query)
+        if join_filters:
+            plan = LogicalPlan(LogicalFilter(_and_all(join_filters)), [plan])
+
+        has_aggs = any(_contains_aggregate(item.expr) for item in query.items)
+        if query.group_by or has_aggs:
+            if query.distinct:
+                raise ResolutionError(
+                    "SELECT DISTINCT cannot be combined with GROUP BY or "
+                    "aggregates (the grouped result is already distinct)"
+                )
+            plan = self._compile_aggregation(query, plan, scope)
+        else:
+            if query.having is not None:
+                raise ResolutionError(
+                    "HAVING requires GROUP BY or aggregates"
+                )
+            plan = self._projection(query.items, plan, scope)
+            if query.distinct:
+                dedup = LogicalGroupBy(tuple(plan.schema.names), ())
+                plan = LogicalPlan(dedup, [plan])
+        if query.top is not None:
+            plan = self._apply_top(query, plan)
+        return plan
+
+    def _apply_top(self, query: SelectQuery, plan: LogicalPlan) -> LogicalPlan:
+        """Wrap the SELECT result in a TOP-N over its output columns."""
+        order = []
+        for ref in query.top_order:
+            if ref.qualifier is not None:
+                raise ResolutionError(
+                    "TOP ... ORDER BY takes output column names (no "
+                    "qualifiers)"
+                )
+            if ref.name not in plan.schema:
+                raise ResolutionError(
+                    f"TOP ORDER BY column {ref.name!r} is not produced by "
+                    "this SELECT"
+                )
+            order.append(ref.name)
+        return LogicalPlan(LogicalTopN(query.top, tuple(order)), [plan])
+
+    def _compile_from_where(
+        self, query: SelectQuery
+    ) -> Tuple[LogicalPlan, _Scope, List[Expr]]:
+        """Build the join tree and classify WHERE conjuncts.
+
+        Returns the joined plan, the resolution scope, and the residual
+        (non-join) predicates, already lowered.
+        """
+        seen = set()
+        for rel in query.from_rels:
+            if rel.binding in seen:
+                raise ResolutionError(
+                    f"duplicate relation binding {rel.binding!r}; use AS aliases"
+                )
+            seen.add(rel.binding)
+
+        bindings: List[_Binding] = []
+        for rel in query.from_rels:
+            child = self._env.get(rel.name)
+            if child is None:
+                raise ResolutionError(f"unknown relation {rel.name!r} in FROM")
+            bindings.append(
+                _Binding(rel.binding, child, {c: c for c in child.schema.names})
+            )
+
+        conjuncts = _split_conjuncts(query.where) if query.where else []
+        consumed = [False] * len(conjuncts)
+
+        plan = bindings[0].plan
+        joined = [bindings[0]]
+        for binding in bindings[1:]:
+            plan = self._join_in(plan, joined, binding, conjuncts, consumed)
+            joined.append(binding)
+
+        for clause in query.joins:
+            plan = self._ansi_join_in(plan, joined, clause)
+
+        scope = _Scope(joined)
+
+        residual = [
+            _lower_scalar(conj, scope)
+            for conj, used in zip(conjuncts, consumed)
+            if not used
+        ]
+        return plan, scope, residual
+
+    def _ansi_join_in(
+        self,
+        left_plan: LogicalPlan,
+        joined: List[_Binding],
+        clause: JoinClause,
+    ) -> LogicalPlan:
+        """Apply one ``[LEFT] JOIN rel ON cond`` step (left-deep)."""
+        if any(b.name == clause.rel.binding for b in joined):
+            raise ResolutionError(
+                f"duplicate relation binding {clause.rel.binding!r}; "
+                "use AS aliases"
+            )
+        child = self._env.get(clause.rel.name)
+        if child is None:
+            raise ResolutionError(
+                f"unknown relation {clause.rel.name!r} in JOIN"
+            )
+        binding = _Binding(
+            clause.rel.binding, child, {c: c for c in child.schema.names}
+        )
+        on_conjuncts = _split_conjuncts(clause.condition)
+        consumed = [False] * len(on_conjuncts)
+        kind = JoinKind.LEFT if clause.kind == "left" else JoinKind.INNER
+        plan = self._join_in(
+            left_plan, joined, binding, on_conjuncts, consumed, kind
+        )
+        joined.append(binding)
+        leftovers = [c for c, used in zip(on_conjuncts, consumed) if not used]
+        if leftovers:
+            # Residual non-equi ON predicates change outer-join semantics
+            # (they are not WHERE filters); keep the language honest.
+            raise ResolutionError(
+                "JOIN ... ON supports only equality predicates between "
+                f"the two sides; cannot handle {leftovers[0]!r}"
+            )
+        return plan
+
+    def _join_in(
+        self,
+        left_plan: LogicalPlan,
+        joined: List[_Binding],
+        right: _Binding,
+        conjuncts: List[EExpr],
+        consumed: List[bool],
+        kind: JoinKind = JoinKind.INNER,
+    ) -> LogicalPlan:
+        """Join ``right`` into the accumulated left side.
+
+        Renames clashing right-side columns (``R2.B``) and consumes the
+        WHERE conjuncts that are equi-predicates between the two sides.
+        """
+        left_names = set()
+        for binding in joined:
+            left_names.update(binding.columns.values())
+
+        renames: Dict[str, str] = {}
+        for col in right.plan.schema.names:
+            renames[col] = f"{right.name}.{col}" if col in left_names else col
+        right_plan = right.plan
+        if any(src != dst for src, dst in renames.items()):
+            exprs = tuple(
+                NamedExpr(ColumnRef(col), renames[col])
+                for col in right.plan.schema.names
+            )
+            right_plan = LogicalPlan(LogicalProject(exprs), [right_plan])
+        right.columns = dict(renames)
+
+        left_scope = _Scope(joined)
+        left_keys: List[str] = []
+        right_keys: List[str] = []
+        for idx, conj in enumerate(conjuncts):
+            if consumed[idx]:
+                continue
+            pair = _equi_pair(conj)
+            if pair is None:
+                continue
+            a, b = pair
+            sides = (_try_side(a, left_scope, right), _try_side(b, left_scope, right))
+            if sides == ("left", "right"):
+                left_keys.append(left_scope.resolve(a))
+                right_keys.append(right.columns[b.name])
+            elif sides == ("right", "left"):
+                left_keys.append(left_scope.resolve(b))
+                right_keys.append(right.columns[a.name])
+            else:
+                continue
+            consumed[idx] = True
+        if not left_keys:
+            raise ResolutionError(
+                f"no equi-join predicate connects {right.name!r} to the FROM "
+                "relations before it (cross joins are not supported)"
+            )
+        op = LogicalJoin(tuple(left_keys), tuple(right_keys), kind)
+        return LogicalPlan(op, [left_plan, right_plan])
+
+    # -- aggregation ------------------------------------------------------
+
+    def _compile_aggregation(
+        self, query: SelectQuery, plan: LogicalPlan, scope: _Scope
+    ) -> LogicalPlan:
+        if any(
+            isinstance(item.expr, ECall) and item.expr.distinct
+            for item in query.items
+        ):
+            return self._compile_distinct_count(query, plan, scope)
+        keys = tuple(scope.resolve(ref) for ref in query.group_by)
+        key_set = set(keys)
+
+        aggregates: List[Aggregate] = []
+        out_items: List[NamedExpr] = []
+        for item in query.items:
+            expr = item.expr
+            if isinstance(expr, ECall):
+                out_items.append(
+                    self._lower_aggregate(expr, item.alias, scope, aggregates)
+                )
+            elif _contains_aggregate(expr):
+                raise ResolutionError(
+                    "aggregates may not be nested inside scalar expressions; "
+                    "compute them with AS aliases first"
+                )
+            else:
+                lowered = _lower_scalar(expr, scope)
+                refs = lowered.referenced_columns()
+                if not refs <= key_set:
+                    bad = sorted(refs - key_set)
+                    raise ResolutionError(
+                        f"non-aggregated columns {bad} must appear in GROUP BY"
+                    )
+                alias = item.alias or _default_alias(expr)
+                out_items.append(NamedExpr(lowered, alias))
+
+        having_pred = None
+        if query.having is not None:
+            # HAVING may reference output aliases or aggregate calls
+            # directly (``HAVING Sum(D) > 5``); direct calls reuse an
+            # existing aggregate when one matches, otherwise a hidden
+            # aggregate is added for the duration of the filter.
+            having_expr = self._rewrite_having_aggregates(
+                query.having, scope, aggregates
+            )
+            having_pred = having_expr
+
+        gb = LogicalGroupBy(keys, tuple(aggregates))
+        plan = LogicalPlan(gb, [plan])
+
+        if having_pred is not None:
+            having_scope = _Scope(
+                [_Binding("", plan, {c: c for c in plan.schema.names})]
+            )
+            plan = LogicalPlan(
+                LogicalFilter(_lower_scalar(having_pred, having_scope)),
+                [plan],
+            )
+
+        if _needs_projection(out_items, plan.schema):
+            plan = LogicalPlan(LogicalProject(tuple(out_items)), [plan])
+        return plan
+
+    def _rewrite_having_aggregates(
+        self,
+        expr: EExpr,
+        scope: _Scope,
+        aggregates: List[Aggregate],
+    ) -> EExpr:
+        """Replace aggregate calls in HAVING with alias references.
+
+        A call matching an aggregate already computed by the SELECT
+        reuses its alias; otherwise a hidden aggregate (named
+        ``__having<i>``) is appended so the filter can reference it.
+        Hidden aggregates are dropped again by the final projection.
+        """
+        if isinstance(expr, ECall):
+            if expr.distinct:
+                raise ResolutionError(
+                    "COUNT(DISTINCT ...) is not supported in HAVING"
+                )
+            func = _AGG_FUNCS.get(expr.func.upper())
+            if func is None:
+                raise ResolutionError(
+                    f"unknown aggregate function {expr.func!r} in HAVING"
+                )
+            if func is AggFunc.AVG:
+                raise ResolutionError(
+                    "AVG in HAVING is not supported; compute it with an "
+                    "AS alias in the SELECT list"
+                )
+            arg = None if expr.arg is None else _lower_scalar(expr.arg, scope)
+            for agg in aggregates:
+                if agg.func is func and agg.arg == arg:
+                    return ERef(agg.alias)
+            alias = f"__having{len(aggregates)}"
+            aggregates.append(Aggregate(func, arg, alias))
+            return ERef(alias)
+        if isinstance(expr, EBin):
+            return EBin(
+                expr.op,
+                self._rewrite_having_aggregates(expr.left, scope, aggregates),
+                self._rewrite_having_aggregates(expr.right, scope, aggregates),
+            )
+        if isinstance(expr, ENot):
+            return ENot(
+                self._rewrite_having_aggregates(expr.operand, scope,
+                                                aggregates)
+            )
+        return expr
+
+    def _compile_distinct_count(
+        self, query: SelectQuery, plan: LogicalPlan, scope: _Scope
+    ) -> LogicalPlan:
+        """Rewrite ``COUNT(DISTINCT x)`` into dedup-then-count.
+
+        ``SELECT K, Count(DISTINCT X) FROM R GROUP BY K`` becomes a
+        duplicate-eliminating aggregation on ``(K, X)`` followed by a
+        plain ``Count(X)`` on ``K`` — both stages are ordinary group-bys
+        that split, share and enforce like any other.  To keep the
+        rewrite simple the distinct count must be the only aggregate of
+        its SELECT and its argument a plain column.
+        """
+        keys = tuple(scope.resolve(ref) for ref in query.group_by)
+        calls = [
+            item
+            for item in query.items
+            if isinstance(item.expr, ECall)
+        ]
+        distinct_calls = [c for c in calls if c.expr.distinct]
+        if len(calls) != 1 or len(distinct_calls) != 1:
+            raise ResolutionError(
+                "COUNT(DISTINCT ...) must be the only aggregate in its "
+                "SELECT (combine via separate statements and a join)"
+            )
+        call = distinct_calls[0].expr
+        if call.func.upper() != "COUNT":
+            raise ResolutionError(
+                f"DISTINCT is only supported inside COUNT, not {call.func}"
+            )
+        if not isinstance(call.arg, ERef):
+            raise ResolutionError(
+                "COUNT(DISTINCT ...) takes a plain column reference"
+            )
+        arg_col = scope.resolve(call.arg)
+        if arg_col in keys:
+            raise ResolutionError(
+                f"COUNT(DISTINCT {call.arg.name}) over a grouping key is "
+                "always 1; drop the DISTINCT"
+            )
+        alias = distinct_calls[0].alias or f"CountD_{call.arg.name}"
+
+        # Stage 1: eliminate duplicate (keys..., arg) combinations.
+        dedup = LogicalGroupBy(keys + (arg_col,), ())
+        plan = LogicalPlan(dedup, [plan])
+        # Stage 2: count the surviving arg values per key.
+        counting = LogicalGroupBy(
+            keys,
+            (Aggregate(AggFunc.COUNT, ColumnRef(arg_col), alias),),
+        )
+        plan = LogicalPlan(counting, [plan])
+
+        if query.having is not None:
+            having_scope = _Scope(
+                [_Binding("", plan, {c: c for c in plan.schema.names})]
+            )
+            plan = LogicalPlan(
+                LogicalFilter(_lower_scalar(query.having, having_scope)),
+                [plan],
+            )
+
+        out_items: List[NamedExpr] = []
+        for item in query.items:
+            if isinstance(item.expr, ECall):
+                out_items.append(NamedExpr(ColumnRef(alias), alias))
+            else:
+                lowered = _lower_scalar(item.expr, scope)
+                out_items.append(
+                    NamedExpr(lowered, item.alias or _default_alias(item.expr))
+                )
+        if _needs_projection(out_items, plan.schema):
+            plan = LogicalPlan(LogicalProject(tuple(out_items)), [plan])
+        return plan
+
+    def _lower_aggregate(
+        self,
+        call: ECall,
+        alias: Optional[str],
+        scope: _Scope,
+        aggregates: List[Aggregate],
+    ) -> NamedExpr:
+        """Lower one aggregate call, decomposing AVG into SUM/COUNT.
+
+        Returns the post-aggregation output expression for this item and
+        appends the underlying aggregate computations to ``aggregates``.
+        """
+        func = _AGG_FUNCS.get(call.func.upper())
+        if func is None:
+            raise ResolutionError(f"unknown aggregate function {call.func!r}")
+        if call.distinct:
+            raise ResolutionError(
+                "COUNT(DISTINCT ...) must be the only aggregate in its "
+                "SELECT (combine via separate statements and a join)"
+            )
+        if call.arg is None and func is not AggFunc.COUNT:
+            raise ResolutionError(f"{call.func}(*) is only valid for COUNT")
+        arg = None if call.arg is None else _lower_scalar(call.arg, scope)
+        name = alias or _default_agg_alias(func, arg)
+        if func is AggFunc.AVG:
+            # Decompose so the split-GroupBy rule can always apply.
+            sum_alias = f"__{name}_sum"
+            cnt_alias = f"__{name}_cnt"
+            aggregates.append(Aggregate(AggFunc.SUM, arg, sum_alias))
+            aggregates.append(Aggregate(AggFunc.COUNT, arg, cnt_alias))
+            ratio = BinaryExpr(
+                BinaryOp.DIV, ColumnRef(sum_alias), ColumnRef(cnt_alias)
+            )
+            return NamedExpr(ratio, name)
+        aggregates.append(Aggregate(func, arg, name))
+        return NamedExpr(ColumnRef(name), name)
+
+    # -- plain projection --------------------------------------------------
+
+    def _projection(
+        self, items: Tuple[SelectItem, ...], plan: LogicalPlan, scope: _Scope
+    ) -> LogicalPlan:
+        out_items = []
+        for item in items:
+            lowered = _lower_scalar(item.expr, scope)
+            alias = item.alias or _default_alias(item.expr)
+            out_items.append(NamedExpr(lowered, alias))
+        if _needs_projection(out_items, plan.schema):
+            return LogicalPlan(LogicalProject(tuple(out_items)), [plan])
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _and_all(preds: List[Expr]) -> Expr:
+    """Conjoin lowered predicates left-to-right."""
+    result = preds[0]
+    for pred in preds[1:]:
+        result = BinaryExpr(BinaryOp.AND, result, pred)
+    return result
+
+
+def _split_conjuncts(expr: EExpr) -> List[EExpr]:
+    if isinstance(expr, EBin) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _equi_pair(conj: EExpr) -> Optional[Tuple[ERef, ERef]]:
+    if (
+        isinstance(conj, EBin)
+        and conj.op == "="
+        and isinstance(conj.left, ERef)
+        and isinstance(conj.right, ERef)
+    ):
+        return conj.left, conj.right
+    return None
+
+
+def _try_side(ref: ERef, left_scope: _Scope, right: _Binding) -> Optional[str]:
+    """Classify a reference as belonging to the left side or the right."""
+    if ref.qualifier is not None:
+        if ref.qualifier == right.name:
+            return "right" if ref.name in right.columns else None
+        try:
+            left_scope.resolve(ref)
+            return "left"
+        except ResolutionError:
+            return None
+    in_right = ref.name in right.columns
+    try:
+        left_scope.resolve(ref)
+        in_left = True
+    except ResolutionError:
+        in_left = False
+    if in_left and in_right:
+        raise ResolutionError(
+            f"ambiguous column {ref.name!r} in join predicate; qualify it"
+        )
+    if in_left:
+        return "left"
+    if in_right:
+        return "right"
+    return None
+
+
+def _needs_projection(items: List[NamedExpr], schema: Schema) -> bool:
+    """True unless ``items`` is exactly the identity over ``schema``."""
+    if len(items) != len(schema):
+        return True
+    for item, col in zip(items, schema):
+        if not isinstance(item.expr, ColumnRef):
+            return True
+        if item.expr.name != col.name or item.alias != col.name:
+            return True
+    return False
+
+
+def _default_alias(expr: EExpr) -> str:
+    if isinstance(expr, ERef):
+        return expr.name
+    raise ResolutionError(f"expression {expr!r} needs an AS alias")
+
+
+def _default_agg_alias(func: AggFunc, arg) -> str:
+    if arg is None:
+        return f"{func.value}_all"
+    cols = sorted(arg.referenced_columns())
+    suffix = "_".join(cols) if cols else "expr"
+    return f"{func.value}_{suffix}"
+
+
+def compile_script(text: str, catalog: Catalog) -> LogicalPlan:
+    """Parse and compile ``text`` into a logical DAG in one call."""
+    return Compiler(catalog).compile_script(parse(text))

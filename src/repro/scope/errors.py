@@ -1,0 +1,33 @@
+"""User-facing errors raised by the SCOPE frontend."""
+
+from __future__ import annotations
+
+
+class ScopeError(Exception):
+    """Base class for all frontend errors."""
+
+
+class LexError(ScopeError):
+    """Invalid character or malformed token in a script."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"lex error at {line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ScopeError):
+    """Script does not match the grammar."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"parse error at {line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ResolutionError(ScopeError):
+    """Name resolution failure (unknown relation/column, ambiguity...)."""
+
+
+class CatalogError(ScopeError):
+    """Unknown input file or inconsistent registration."""

@@ -1,0 +1,160 @@
+"""Equi-depth histograms for selectivity estimation.
+
+The default estimator uses magic constants for range predicates (1/3 for
+``col > k``).  A histogram built from data — or from a declared domain —
+replaces the guess with a measured distribution: ``selectivity(op, k)``
+returns the fraction of rows satisfying ``col op k``.
+
+Buckets are equi-depth (equal row counts per bucket), the standard
+choice for skewed data; each bucket records its inclusive bounds, row
+count and distinct-value count, supporting equality estimates via the
+uniform-within-bucket assumption.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..plan.expressions import BinaryOp
+
+DEFAULT_BUCKETS = 32
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket: ``[low, high]`` inclusive."""
+
+    low: float
+    high: float
+    rows: int
+    distinct: int
+
+
+class Histogram:
+    """An equi-depth histogram over one numeric column."""
+
+    def __init__(self, buckets: Sequence[Bucket], total_rows: int):
+        self.buckets: Tuple[Bucket, ...] = tuple(buckets)
+        self.total_rows = total_rows
+        self._highs = [b.high for b in self.buckets]
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Sequence[float],
+                    n_buckets: int = DEFAULT_BUCKETS) -> "Histogram":
+        """Build from concrete values (exact equi-depth split)."""
+        cleaned = sorted(v for v in values if v is not None)
+        if not cleaned:
+            raise ValueError("cannot build a histogram from no values")
+        total = len(cleaned)
+        n_buckets = max(1, min(n_buckets, total))
+        buckets: List[Bucket] = []
+        step = total / n_buckets
+        start = 0
+        for i in range(n_buckets):
+            end = int(round((i + 1) * step))
+            end = min(max(end, start + 1), total)
+            chunk = cleaned[start:end]
+            if not chunk:
+                continue
+            # Never split equal values across buckets: extend to cover
+            # the run of the boundary value.
+            while end < total and cleaned[end] == chunk[-1]:
+                chunk.append(cleaned[end])
+                end += 1
+            buckets.append(
+                Bucket(
+                    low=float(chunk[0]),
+                    high=float(chunk[-1]),
+                    rows=len(chunk),
+                    distinct=len(set(chunk)),
+                )
+            )
+            start = end
+            if start >= total:
+                break
+        return cls(buckets, total)
+
+    # -- estimation ---------------------------------------------------------
+
+    def _fraction_below(self, value: float, inclusive: bool) -> float:
+        """Fraction of rows with ``col < value`` (or ``<=``)."""
+        rows = 0.0
+        for bucket in self.buckets:
+            if bucket.high < value or (inclusive and bucket.high == value):
+                rows += bucket.rows
+            elif bucket.low > value or (not inclusive and bucket.low == value):
+                break
+            else:
+                # Partial bucket: linear interpolation within the range.
+                width = bucket.high - bucket.low
+                if width <= 0:
+                    covered = 1.0 if (inclusive or value > bucket.low) else 0.0
+                else:
+                    covered = (value - bucket.low) / width
+                    if inclusive:
+                        covered += 1.0 / max(bucket.distinct, 1)
+                rows += bucket.rows * max(0.0, min(1.0, covered))
+        return min(1.0, rows / self.total_rows) if self.total_rows else 0.0
+
+    def selectivity_eq(self, value: float) -> float:
+        index = bisect.bisect_left(self._highs, value)
+        if index >= len(self.buckets):
+            return 0.0
+        bucket = self.buckets[index]
+        if not (bucket.low <= value <= bucket.high):
+            return 0.0
+        per_value = bucket.rows / max(bucket.distinct, 1)
+        return min(1.0, per_value / self.total_rows)
+
+    def selectivity(self, op: BinaryOp, value: float) -> Optional[float]:
+        """Selectivity of ``col op value``; None for unsupported ops."""
+        if op is BinaryOp.EQ:
+            return self.selectivity_eq(value)
+        if op is BinaryOp.NE:
+            return max(0.0, 1.0 - self.selectivity_eq(value))
+        if op is BinaryOp.LT:
+            return self._fraction_below(value, inclusive=False)
+        if op is BinaryOp.LE:
+            return self._fraction_below(value, inclusive=True)
+        if op is BinaryOp.GT:
+            return max(0.0, 1.0 - self._fraction_below(value, inclusive=True))
+        if op is BinaryOp.GE:
+            return max(0.0, 1.0 - self._fraction_below(value, inclusive=False))
+        return None
+
+    # -- (de)serialization ------------------------------------------------------
+
+    def to_list(self) -> List[dict]:
+        return [
+            {"low": b.low, "high": b.high, "rows": b.rows,
+             "distinct": b.distinct}
+            for b in self.buckets
+        ]
+
+    @classmethod
+    def from_list(cls, items: Sequence[dict]) -> "Histogram":
+        buckets = [
+            Bucket(
+                low=float(item["low"]),
+                high=float(item["high"]),
+                rows=int(item["rows"]),
+                distinct=int(item["distinct"]),
+            )
+            for item in items
+        ]
+        total = sum(b.rows for b in buckets)
+        return cls(buckets, total)
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Histogram({len(self.buckets)} buckets, "
+            f"{self.total_rows} rows, "
+            f"[{self.buckets[0].low}, {self.buckets[-1].high}])"
+        )

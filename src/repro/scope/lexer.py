@@ -1,0 +1,147 @@
+"""Tokenizer for the SCOPE script subset.
+
+Keywords are case-insensitive (the paper's scripts use upper case, SCOPE
+accepts mixed case); identifiers are case-sensitive.  String literals
+use double quotes with ``\\`` passing through verbatim so Windows-style
+paths like ``"...\\test.log"`` from the paper lex unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError
+
+KEYWORDS = {
+    "EXTRACT",
+    "FROM",
+    "USING",
+    "SELECT",
+    "AS",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "OUTPUT",
+    "TO",
+    "AND",
+    "OR",
+    "NOT",
+    "UNION",
+    "ALL",
+    "DISTINCT",
+    "ORDER",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "ON",
+    "TOP",
+}
+
+SYMBOLS = (
+    # Longest first so <= beats <.
+    "<=",
+    ">=",
+    "<>",
+    "=",
+    "<",
+    ">",
+    "(",
+    ")",
+    ",",
+    ";",
+    "*",
+    ".",
+    "+",
+    "-",
+    "/",
+)
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value == word
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.value == sym
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind is TokenKind.EOF:
+            return "<end of script>"
+        return repr(self.value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        col = pos - line_start + 1
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if text.startswith("//", pos):
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if ch == '"':
+            end = text.find('"', pos + 1)
+            if end == -1:
+                raise LexError("unterminated string literal", line, col)
+            yield Token(TokenKind.STRING, text[pos + 1 : end], line, col)
+            pos = end + 1
+            continue
+        if ch.isdigit():
+            start = pos
+            while pos < n and (text[pos].isdigit() or text[pos] == "."):
+                pos += 1
+            yield Token(TokenKind.NUMBER, text[start:pos], line, col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            if word.upper() in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, word.upper(), line, col)
+            else:
+                yield Token(TokenKind.IDENT, word, line, col)
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, pos):
+                yield Token(TokenKind.SYMBOL, sym, line, col)
+                pos += len(sym)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    yield Token(TokenKind.EOF, "", line, n - line_start + 1)

@@ -1,0 +1,154 @@
+"""Statistics collection and catalog (de)serialization.
+
+SCOPE gets table statistics from Cosmos metadata; here they can be
+
+* declared explicitly (``Catalog.register_file``),
+* **collected from data** (:func:`collect_statistics`,
+  :meth:`register_data` below) — exact row counts and per-column
+  distinct counts computed from in-memory rows, which closes the loop
+  for experiments that both optimize and execute, or
+* loaded from / saved to JSON (:func:`catalog_from_json`,
+  :func:`catalog_to_json`) for use with the command-line interface.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..plan.columns import ColumnType
+from ..plan.expressions import Row
+from .catalog import Catalog, FileStats
+from .errors import CatalogError
+from .histogram import Histogram
+
+_TYPE_NAMES = {t.value: t for t in ColumnType}
+
+
+def infer_column_type(values: Iterable) -> ColumnType:
+    """Best-effort column type from sample values."""
+    seen_float = False
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return ColumnType.INT
+        if isinstance(value, str):
+            return ColumnType.STRING
+        if isinstance(value, float):
+            seen_float = True
+        elif not isinstance(value, int):
+            return ColumnType.STRING
+    return ColumnType.FLOAT if seen_float else ColumnType.INT
+
+
+def collect_statistics(
+    rows: List[Row], columns: Optional[List[str]] = None
+) -> Tuple[int, Dict[str, int], Dict[str, ColumnType]]:
+    """Exact row count, per-column NDV and inferred types of ``rows``."""
+    if not rows:
+        raise CatalogError("cannot collect statistics from an empty rowset")
+    names = columns or list(rows[0].keys())
+    distinct: Dict[str, set] = {name: set() for name in names}
+    for row in rows:
+        for name in names:
+            distinct[name].add(row.get(name))
+    ndv = {name: len(values) for name, values in distinct.items()}
+    types = {
+        name: infer_column_type(v for v in distinct[name]) for name in names
+    }
+    return len(rows), ndv, types
+
+
+def register_data(catalog: Catalog, path: str, rows: List[Row],
+                  build_histograms: bool = True) -> FileStats:
+    """Register a file in ``catalog`` with statistics computed from rows.
+
+    The schema (column order) follows the first row's key order.  Numeric
+    columns additionally get equi-depth histograms for range-predicate
+    selectivity (disable with ``build_histograms=False``).
+    """
+    count, ndv, types = collect_statistics(rows)
+    columns = [(name, types[name]) for name in rows[0].keys()]
+    histograms = {}
+    if build_histograms:
+        for name, ctype in columns:
+            if ctype is ColumnType.STRING:
+                continue
+            values = [row.get(name) for row in rows]
+            if any(v is not None for v in values):
+                histograms[name] = Histogram.from_values(
+                    [v for v in values if v is not None]
+                )
+    return catalog.register_file(path, columns, rows=count, ndv=ndv,
+                                 histograms=histograms)
+
+
+# ---------------------------------------------------------------------------
+# JSON (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def catalog_to_json(catalog: Catalog) -> str:
+    """Serialize a catalog to a JSON document."""
+    files = []
+    for stats in catalog.files():
+        entry = {
+            "path": stats.path,
+            "rows": stats.rows,
+            "columns": [
+                {"name": col.name, "type": col.ctype.value}
+                for col in stats.schema
+            ],
+            "ndv": dict(stats.ndv),
+        }
+        if stats.histograms:
+            entry["histograms"] = {
+                name: hist.to_list()
+                for name, hist in stats.histograms.items()
+            }
+        files.append(entry)
+    return json.dumps({"files": files}, indent=2)
+
+
+def catalog_from_json(text: str) -> Catalog:
+    """Load a catalog from the JSON format of :func:`catalog_to_json`.
+
+    Schema example::
+
+        {"files": [{"path": "test.log", "rows": 1000000,
+                    "columns": [{"name": "A", "type": "int"}, ...],
+                    "ndv": {"A": 250}}]}
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CatalogError(f"invalid catalog JSON: {exc}") from exc
+    if not isinstance(document, dict) or "files" not in document:
+        raise CatalogError('catalog JSON must be an object with a "files" list')
+    catalog = Catalog()
+    for entry in document["files"]:
+        try:
+            columns = []
+            for col in entry["columns"]:
+                ctype = _TYPE_NAMES.get(col.get("type", "int"))
+                if ctype is None:
+                    raise CatalogError(
+                        f"unknown column type {col.get('type')!r} "
+                        f"in {entry.get('path')!r}"
+                    )
+                columns.append((col["name"], ctype))
+            histograms = {
+                name: Histogram.from_list(items)
+                for name, items in entry.get("histograms", {}).items()
+            }
+            catalog.register_file(
+                entry["path"],
+                columns,
+                rows=int(entry.get("rows", 1_000_000)),
+                ndv={k: int(v) for k, v in entry.get("ndv", {}).items()},
+                histograms=histograms,
+            )
+        except KeyError as exc:
+            raise CatalogError(f"catalog entry missing field {exc}") from exc
+    return catalog

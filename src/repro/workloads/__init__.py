@@ -1,0 +1,28 @@
+"""Evaluation workloads: the paper's scripts, LS generators, data."""
+
+from .datagen import (
+    generate_for_catalog,
+    generate_rows,
+    generate_skewed_rows,
+    load_into_cluster,
+)
+from .figure7 import Figure7Row, format_table, run_all, run_script
+from .large_scripts import (
+    LargeScriptSpec,
+    build_catalog,
+    build_script,
+    ls1_spec,
+    ls2_spec,
+    make_large_script,
+)
+from .paper_scripts import (
+    PAPER_SCRIPTS,
+    S1,
+    S2,
+    S3,
+    S4,
+    make_catalog,
+    make_exec_catalog,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,162 @@
+"""The Figure 7 harness: estimated costs with and without CSE.
+
+Reproduces the paper's main result table: for every evaluation script
+(S1–S4, LS1, LS2), the estimated plan cost under conventional
+optimization and under the CSE-exploiting optimizer, plus the ratio.
+The paper's measured ratios are included for comparison:
+
+========  =========================  ==============
+script    paper estimated costs      paper ratio
+========  =========================  ==============
+S1        8185 → 5037                 62%
+S2        (bar chart)                 45%
+S3        (bar chart)                 55%
+S4        (bar chart)                 43%
+LS1       (bar chart)                 79%
+LS2       (bar chart, /10 scale)      55%
+========  =========================  ==============
+
+Absolute numbers are not comparable (our substrate is a simulator with
+its own cost units); the ratios and their ordering are the reproduction
+target.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..api import optimize_script
+from ..cse.pipeline import optimize_local_best
+from ..optimizer.cost import CostParams
+from ..optimizer.engine import OptimizerConfig
+from ..plan.pruning import prune_columns
+from ..scope.compiler import compile_script
+from .large_scripts import make_large_script
+from .paper_scripts import PAPER_SCRIPTS, make_catalog
+
+#: Cost ratio (CSE / conventional) the paper reports per script.
+PAPER_RATIOS: Dict[str, float] = {
+    "S1": 0.62,
+    "S2": 0.45,
+    "S3": 0.55,
+    "S4": 0.43,
+    "LS1": 0.79,
+    "LS2": 0.55,
+}
+
+#: Optimization time budget per script (paper, Section IX).
+BUDGETS: Dict[str, Optional[float]] = {
+    "S1": None,
+    "S2": None,
+    "S3": None,
+    "S4": None,
+    "LS1": 30.0,
+    "LS2": 60.0,
+}
+
+#: Cluster size used for the estimated-cost runs.
+FIGURE7_MACHINES = 25
+
+
+@dataclass
+class Figure7Row:
+    """One row of the Figure 7 table."""
+
+    script: str
+    conventional_cost: float
+    cse_cost: float
+    paper_ratio: float
+    rounds: int
+    optimize_seconds: float
+    #: Cost under the related-work baseline (share with locally optimal
+    #: properties; see ``repro.cse.pipeline.optimize_local_best``), or
+    #: ``None`` when not measured.
+    local_best_cost: Optional[float] = None
+
+    @property
+    def ratio(self) -> float:
+        return self.cse_cost / self.conventional_cost
+
+    @property
+    def saving_pct(self) -> float:
+        return 100.0 * (1.0 - self.ratio)
+
+
+def _config(script: str) -> OptimizerConfig:
+    return OptimizerConfig(
+        cost_params=CostParams(machines=FIGURE7_MACHINES),
+        budget_seconds=BUDGETS.get(script),
+    )
+
+
+def run_script(script: str, include_local_best: bool = False) -> Figure7Row:
+    """Optimize one evaluation script both ways and report the row.
+
+    With ``include_local_best`` the related-work sharing baseline is
+    measured as well (slower: one more full optimization).
+    """
+    if script in PAPER_SCRIPTS:
+        text = PAPER_SCRIPTS[script]
+        catalog = make_catalog()
+    else:
+        text, catalog, _spec = make_large_script(script)
+    config = _config(script)
+    start = time.perf_counter()
+    conventional = optimize_script(text, catalog, config, exploit_cse=False)
+    cse = optimize_script(text, catalog, config, exploit_cse=True)
+    elapsed = time.perf_counter() - start
+    local_cost = None
+    if include_local_best:
+        logical = prune_columns(compile_script(text, catalog))
+        local_cost = optimize_local_best(logical, catalog, config).cost
+    return Figure7Row(
+        script=script,
+        conventional_cost=conventional.cost,
+        cse_cost=cse.cost,
+        paper_ratio=PAPER_RATIOS[script],
+        rounds=cse.details.engine.stats.rounds,
+        optimize_seconds=elapsed,
+        local_best_cost=local_cost,
+    )
+
+
+def run_all(scripts: Optional[List[str]] = None,
+            include_local_best: bool = False) -> List[Figure7Row]:
+    names = scripts or ["S1", "S2", "S3", "S4", "LS1", "LS2"]
+    return [run_script(name, include_local_best) for name in names]
+
+
+def format_table(rows: List[Figure7Row]) -> str:
+    """Render the Figure 7 table the way the paper's bar chart reads."""
+    with_local = any(row.local_best_cost is not None for row in rows)
+    header = (
+        f"{'script':<7}{'conventional':>16}"
+        + (f"{'local-best':>16}" if with_local else "")
+        + f"{'with CSE':>16}"
+        f"{'ratio':>8}{'paper':>8}{'saving':>9}{'rounds':>8}{'opt(s)':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        local = ""
+        if with_local:
+            local = (
+                f"{row.local_best_cost:>16,.0f}"
+                if row.local_best_cost is not None
+                else f"{'-':>16}"
+            )
+        lines.append(
+            f"{row.script:<7}{row.conventional_cost:>16,.0f}{local}"
+            f"{row.cse_cost:>16,.0f}{row.ratio:>8.2f}{row.paper_ratio:>8.2f}"
+            f"{row.saving_pct:>8.0f}%{row.rounds:>8}{row.optimize_seconds:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_table(run_all()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""The paper's evaluation scripts S1–S4 (Figure 6), verbatim.
+
+Each script comes with a catalog builder providing the statistics used
+by the Figure 7 reproduction (estimated costs) and a smaller variant for
+actually executing plans on the simulated cluster.
+
+Statistic choices (see EXPERIMENTS.md for the calibration rationale):
+
+* the input log is large relative to everything downstream, so
+  extracting it twice is the dominant waste of conventional plans;
+* grouping-key NDVs are at least the cluster size, so repartitioning on
+  a single column (the paper's ``{B}`` choice at the shared node) does
+  not lose parallelism;
+* the product of the grouping-key NDVs is well below rows/machines, so
+  local pre-aggregation pays and the repartitioned intermediates are
+  much smaller than the input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..plan.columns import ColumnType
+from ..scope.catalog import Catalog
+
+S1 = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+"""
+
+S2 = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,A,Sum(S) AS S1 FROM R GROUP BY B,A;
+R2 = SELECT A,C,Sum(S) AS S2 FROM R GROUP BY A,C;
+R3 = SELECT A,Sum(S) AS S3 FROM R GROUP BY A;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+OUTPUT R3 TO "result3.out";
+"""
+
+S3 = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+R2 = SELECT B,A,Sum(S) AS S2 FROM R GROUP BY B,A;
+RR = SELECT R1.B,A,C,S1,S2 FROM R1,R2 WHERE R1.B=R2.B;
+T0 = EXTRACT A,B,C,D FROM "test2.log" USING LogExtractor;
+T = SELECT A,B,C,Sum(D) AS S FROM T0 GROUP BY A,B,C;
+T1 = SELECT B,C,Sum(S) AS S1 FROM T GROUP BY B,C;
+T2 = SELECT B,A,Sum(S) AS S2 FROM T GROUP BY B,A;
+TT = SELECT T1.B,A,C,S1,S2 FROM T1,T2 WHERE T1.B=T2.B;
+OUTPUT RR TO "result1.out";
+OUTPUT TT TO "result2.out";
+"""
+
+S4 = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+R2 = SELECT B,A,Sum(S) AS S2 FROM R GROUP BY B,A;
+RR = SELECT R1.B,A,C FROM R1,R2 WHERE R1.B=R2.B;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+OUTPUT RR TO "result3.out";
+"""
+
+PAPER_SCRIPTS: Dict[str, str] = {"S1": S1, "S2": S2, "S3": S3, "S4": S4}
+
+#: Default statistics used for the Figure 7 (estimated-cost) runs.
+BENCH_ROWS = 100_000_000
+BENCH_NDV = {"A": 250, "B": 250, "C": 250, "D": 1_000_000}
+
+
+def make_catalog(
+    rows: int = BENCH_ROWS, ndv: Optional[Dict[str, int]] = None
+) -> Catalog:
+    """Catalog with ``test.log`` and ``test2.log`` registered.
+
+    ``test2.log`` (used only by S3) gets the same schema and statistics
+    as ``test.log`` but is a distinct file — the paper's S3 exercises two
+    shared groups over two *different* inputs.
+    """
+    ndv = dict(ndv or BENCH_NDV)
+    catalog = Catalog()
+    columns = [(name, ColumnType.INT) for name in ("A", "B", "C", "D")]
+    catalog.register_file("test.log", columns, rows=rows, ndv=ndv)
+    catalog.register_file("test2.log", columns, rows=rows, ndv=ndv)
+    return catalog
+
+
+#: Row count used when plans are actually executed in tests/examples.
+EXEC_ROWS = 4_000
+EXEC_NDV = {"A": 7, "B": 5, "C": 6, "D": 50}
+
+
+def make_exec_catalog(rows: int = EXEC_ROWS,
+                      ndv: Optional[Dict[str, int]] = None) -> Catalog:
+    """Small-scale catalog matching the generated execution data."""
+    return make_catalog(rows=rows, ndv=dict(ndv or EXEC_NDV))

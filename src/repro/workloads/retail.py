@@ -1,0 +1,131 @@
+"""A retail analytics workload (TPC-H flavoured, CSE heavy).
+
+A small star schema — sales facts with customer and product dimensions —
+and a reporting script whose queries share two classic common
+subexpressions:
+
+* ``Enriched`` — sales joined with both dimensions (explicitly shared by
+  four reports);
+* per-customer revenue, written twice by different "analysts" (a textual
+  duplicate for the fingerprint step).
+
+Used by ``examples/retail_report.py`` and the workload tests; data
+generation produces skewed quantities so the histogram-based selectivity
+estimation has something real to estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..plan.expressions import Row
+from ..scope.catalog import Catalog
+from ..scope.statistics import register_data
+
+REPORT_SCRIPT = """
+Sales = EXTRACT OrderId,CustId,ProdId,Qty,Price FROM "sales.log"
+        USING SalesExtractor;
+Customers = EXTRACT CustId,Segment,Nation FROM "customers.log"
+            USING CustExtractor;
+Products = EXTRACT ProdId,Category,Cost FROM "products.log"
+           USING ProdExtractor;
+
+// Pre-aggregate the raw facts per (customer, product) — the paper's
+// "initial aggregation" pattern, and the expensive shared work.
+Daily = SELECT CustId,ProdId,Sum(Qty) AS Qty,Sum(Price) AS Price
+        FROM Sales GROUP BY CustId,ProdId;
+
+// The shared enriched table: every report starts from it.
+Enriched = SELECT Daily.CustId AS CustId,Segment,Nation,Category,Qty,Price
+           FROM Daily
+           JOIN Customers ON Daily.CustId = Customers.CustId
+           LEFT OUTER JOIN Products ON Daily.ProdId = Products.ProdId;
+
+// Report 1: revenue by market segment.
+BySegment = SELECT Segment,Sum(Price) AS Revenue,Sum(Qty) AS Units
+            FROM Enriched GROUP BY Segment;
+
+// Report 2: revenue by nation and category.
+ByNation = SELECT Nation,Category,Sum(Price) AS Revenue
+           FROM Enriched GROUP BY Nation,Category;
+
+// Report 3: big orders only.
+BigOrders = SELECT Segment,Count(*) AS N FROM Enriched
+            WHERE Qty > 40 GROUP BY Segment;
+
+// Report 4: an analyst re-derived per-customer revenue...
+CustRevenueA = SELECT CustId,Sum(Price) AS Revenue FROM Enriched
+               GROUP BY CustId;
+// ...and a second analyst wrote the identical query elsewhere.
+CustRevenueB = SELECT CustId,Sum(Price) AS Revenue FROM Enriched
+               GROUP BY CustId;
+TopSpenders = SELECT CustId,Revenue FROM CustRevenueA WHERE Revenue > 5000;
+Loyalty = SELECT CustRevenueB.CustId,Revenue,Segment
+          FROM CustRevenueB JOIN Customers
+          ON CustRevenueB.CustId = Customers.CustId;
+
+OUTPUT BySegment TO "by_segment.out" ORDER BY Segment;
+OUTPUT ByNation TO "by_nation.out";
+OUTPUT BigOrders TO "big_orders.out";
+OUTPUT TopSpenders TO "top_spenders.out";
+OUTPUT Loyalty TO "loyalty.out";
+"""
+
+
+def generate_retail_data(
+    n_sales: int = 5_000,
+    n_customers: int = 300,
+    n_products: int = 80,
+    seed: int = 0,
+) -> Dict[str, List[Row]]:
+    """Synthetic star-schema data with a skewed quantity distribution."""
+    rng = random.Random(seed)
+    customers = [
+        {
+            "CustId": cust_id,
+            "Segment": rng.randrange(5),
+            "Nation": rng.randrange(12),
+        }
+        for cust_id in range(n_customers)
+    ]
+    products = [
+        {
+            "ProdId": prod_id,
+            "Category": rng.randrange(8),
+            "Cost": rng.randrange(1, 100),
+        }
+        for prod_id in range(n_products)
+    ]
+    sales = []
+    for order_id in range(n_sales):
+        # Quantities are skewed: mostly small baskets, a heavy tail.
+        qty = 1 + min(int(rng.expovariate(0.12)), 99)
+        sales.append(
+            {
+                "OrderId": order_id,
+                "CustId": rng.randrange(n_customers),
+                # Some products were discontinued: their ids miss the
+                # dimension table, exercising the LEFT join padding.
+                "ProdId": rng.randrange(int(n_products * 1.1)),
+                "Qty": qty,
+                "Price": qty * rng.randrange(2, 50),
+            }
+        )
+    return {
+        "sales.log": sales,
+        "customers.log": customers,
+        "products.log": products,
+    }
+
+
+def make_retail_catalog(
+    data: Dict[str, List[Row]] = None, seed: int = 0
+) -> Tuple[Catalog, Dict[str, List[Row]]]:
+    """Catalog with statistics (incl. histograms) collected from data."""
+    if data is None:
+        data = generate_retail_data(seed=seed)
+    catalog = Catalog()
+    for path, rows in data.items():
+        register_data(catalog, path, rows)
+    return catalog, data

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.plan.columns import ColumnType
+from repro.scope.catalog import Catalog
+
+
+@pytest.fixture
+def abcd_catalog() -> Catalog:
+    """A catalog with the paper's ``test.log``/``test2.log`` at test scale."""
+    catalog = Catalog()
+    columns = [(name, ColumnType.INT) for name in ("A", "B", "C", "D")]
+    ndv = {"A": 7, "B": 5, "C": 6, "D": 50}
+    catalog.register_file("test.log", columns, rows=4_000, ndv=ndv)
+    catalog.register_file("test2.log", columns, rows=4_000, ndv=ndv)
+    return catalog
+
+
+@pytest.fixture
+def small_config() -> OptimizerConfig:
+    """Optimizer configuration for a 4-machine test cluster."""
+    return OptimizerConfig(cost_params=CostParams(machines=4))

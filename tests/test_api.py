@@ -1,0 +1,112 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+from repro import (
+    Catalog,
+    Column,
+    ColumnType,
+    OptimizationResult,
+    Schema,
+    compile_script,
+    optimize_plan,
+    optimize_script,
+)
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.plan.expressions import Aggregate, AggFunc, ColumnRef
+from repro.plan.logical import (
+    LogicalExtract,
+    LogicalGroupBy,
+    LogicalOutput,
+    LogicalPlan,
+    LogicalSequence,
+)
+from repro.workloads.paper_scripts import S1
+
+
+class TestExports:
+    def test_dunder_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestOptimizePlan:
+    def hand_built_dag(self, catalog):
+        """Build S1's DAG programmatically (no parser)."""
+        stats = catalog.lookup("test.log")
+        extract = LogicalPlan(
+            LogicalExtract(stats.file_id, "test.log", "E", stats.schema), []
+        )
+        shared = LogicalPlan(
+            LogicalGroupBy(
+                ("A", "B", "C"),
+                (Aggregate(AggFunc.SUM, ColumnRef("D"), "S"),),
+            ),
+            [extract],
+        )
+        consumer1 = LogicalPlan(
+            LogicalGroupBy(
+                ("A", "B"), (Aggregate(AggFunc.SUM, ColumnRef("S"), "S1"),)
+            ),
+            [shared],
+        )
+        consumer2 = LogicalPlan(
+            LogicalGroupBy(
+                ("B", "C"), (Aggregate(AggFunc.SUM, ColumnRef("S"), "S1"),)
+            ),
+            [shared],
+        )
+        out1 = LogicalPlan(LogicalOutput("r1"), [consumer1])
+        out2 = LogicalPlan(LogicalOutput("r2"), [consumer2])
+        return LogicalPlan(LogicalSequence(2), [out1, out2])
+
+    def test_optimize_hand_built_dag(self, abcd_catalog):
+        config = OptimizerConfig(cost_params=CostParams(machines=4))
+        dag = self.hand_built_dag(abcd_catalog)
+        result = optimize_plan(dag, abcd_catalog, config)
+        assert isinstance(result, OptimizationResult)
+        assert result.exploited_cse
+        assert len(result.details.report.shared_groups) == 1
+
+    def test_hand_built_equals_parsed(self, abcd_catalog):
+        config = OptimizerConfig(cost_params=CostParams(machines=4))
+        by_hand = optimize_plan(
+            self.hand_built_dag(abcd_catalog), abcd_catalog, config
+        )
+        parsed = optimize_script(S1, abcd_catalog, config)
+        assert by_hand.cost == pytest.approx(parsed.cost)
+
+    def test_prune_flag(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT A,B,C,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Sum(B) AS SB FROM R0 GROUP BY A;\n"
+            'OUTPUT R TO "o";'
+        )
+        config = OptimizerConfig(cost_params=CostParams(machines=4))
+        pruned = optimize_script(text, abcd_catalog, config, prune=True)
+        unpruned = optimize_script(text, abcd_catalog, config, prune=False)
+        assert pruned.cost < unpruned.cost
+
+
+class TestResultObject:
+    def test_fields(self, abcd_catalog):
+        config = OptimizerConfig(cost_params=CostParams(machines=4))
+        result = optimize_script(S1, abcd_catalog, config)
+        assert result.cost > 0
+        assert result.plan is not None
+        assert "Spool" in result.explain()
+        assert "shared groups" in result.cse_summary()
+
+    def test_schema_helpers(self):
+        schema = Schema([Column("A", ColumnType.INT)])
+        assert schema.names == ("A",)
+
+    def test_default_config(self, abcd_catalog):
+        # No config: library defaults apply.
+        result = optimize_script(S1, abcd_catalog)
+        assert result.plan is not None

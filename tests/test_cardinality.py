@@ -1,0 +1,155 @@
+"""Tests for cardinality estimation."""
+
+import pytest
+
+from repro.optimizer.cardinality import CardinalityEstimator, Stats, annotate_memo
+from repro.optimizer.memo import Memo
+from repro.plan.expressions import (
+    Aggregate,
+    AggFunc,
+    BinaryExpr,
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    NamedExpr,
+)
+from repro.plan.logical import (
+    GroupByMode,
+    LogicalExtract,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalProject,
+    LogicalUnionAll,
+)
+from repro.scope.compiler import compile_script
+from repro.workloads.paper_scripts import S1
+
+
+@pytest.fixture
+def estimator(abcd_catalog):
+    return CardinalityEstimator(abcd_catalog, machines=4)
+
+
+@pytest.fixture
+def base_stats(abcd_catalog, estimator):
+    stats = abcd_catalog.lookup("test.log")
+    op = LogicalExtract(stats.file_id, "test.log", "E", stats.schema)
+    return op, estimator.derive(op, [], stats.schema)
+
+
+class TestLeafAndFilter:
+    def test_extract_uses_catalog(self, base_stats):
+        _, stats = base_stats
+        assert stats.rows == 4000
+        assert stats.ndv_of("A") == 7
+
+    def test_equality_filter_selectivity(self, base_stats, estimator):
+        op, stats = base_stats
+        pred = BinaryExpr(BinaryOp.EQ, ColumnRef("A"), Literal(3))
+        out = estimator.derive(LogicalFilter(pred), [stats], op.schema)
+        assert out.rows == pytest.approx(4000 / 7)
+
+    def test_and_multiplies(self, base_stats, estimator):
+        op, stats = base_stats
+        pred = BinaryExpr(
+            BinaryOp.AND,
+            BinaryExpr(BinaryOp.EQ, ColumnRef("A"), Literal(1)),
+            BinaryExpr(BinaryOp.EQ, ColumnRef("B"), Literal(1)),
+        )
+        out = estimator.derive(LogicalFilter(pred), [stats], op.schema)
+        assert out.rows == pytest.approx(4000 / 35)
+
+    def test_range_filter_default_selectivity(self, base_stats, estimator):
+        op, stats = base_stats
+        pred = BinaryExpr(BinaryOp.GT, ColumnRef("D"), Literal(10))
+        out = estimator.derive(LogicalFilter(pred), [stats], op.schema)
+        assert out.rows == pytest.approx(4000 / 3)
+
+    def test_filter_caps_ndv_at_rows(self, base_stats, estimator):
+        op, stats = base_stats
+        pred = BinaryExpr(BinaryOp.EQ, ColumnRef("D"), Literal(1))
+        out = estimator.derive(LogicalFilter(pred), [stats], op.schema)
+        assert out.ndv_of("D") <= out.rows
+
+
+class TestGroupBy:
+    def agg(self):
+        return (Aggregate(AggFunc.SUM, ColumnRef("D"), "S"),)
+
+    def test_full_group_count(self, base_stats, estimator):
+        op, stats = base_stats
+        gb = LogicalGroupBy(("A", "B"), self.agg())
+        out = estimator.derive(gb, [stats], gb.derive_schema([op.schema]))
+        assert out.rows == pytest.approx(35)  # 7 × 5
+
+    def test_group_count_capped_by_rows(self, base_stats, estimator):
+        op, stats = base_stats
+        gb = LogicalGroupBy(("D",), self.agg())
+        # ndv(D)=50 < rows → 50 groups; never above input rows.
+        out = estimator.derive(gb, [stats], gb.derive_schema([op.schema]))
+        assert out.rows == 50
+
+    def test_local_mode_bounded_by_groups_times_machines(
+        self, base_stats, estimator
+    ):
+        op, stats = base_stats
+        gb = LogicalGroupBy(("A", "B"), self.agg(), GroupByMode.LOCAL)
+        out = estimator.derive(gb, [stats], gb.derive_schema([op.schema]))
+        assert out.rows == pytest.approx(35 * 4)
+
+    def test_local_mode_never_exceeds_input(self, abcd_catalog):
+        estimator = CardinalityEstimator(abcd_catalog, machines=10_000)
+        stats = abcd_catalog.lookup("test.log")
+        op = LogicalExtract(stats.file_id, "test.log", "E", stats.schema)
+        base = estimator.derive(op, [], stats.schema)
+        gb = LogicalGroupBy(("A", "B"), self.agg(), GroupByMode.LOCAL)
+        out = estimator.derive(gb, [base], gb.derive_schema([op.schema]))
+        assert out.rows == base.rows
+
+    def test_scalar_aggregate_single_row(self, base_stats, estimator):
+        op, stats = base_stats
+        gb = LogicalGroupBy((), self.agg())
+        out = estimator.derive(gb, [stats], gb.derive_schema([op.schema]))
+        assert out.rows == 1
+
+
+class TestJoinProjectUnion:
+    def test_join_uses_max_ndv(self, base_stats, estimator):
+        op, stats = base_stats
+        join = LogicalJoin(("A",), ("A",))
+        # Join a relation with itself (schemas would clash; fake the
+        # right side with renamed stats).
+        right = Stats(stats.rows, dict(stats.ndv), stats.width)
+        schema = op.schema  # schema content is irrelevant to row counts
+        out = estimator._join(join, stats, right, schema)
+        assert out.rows == pytest.approx(4000 * 4000 / 7)
+
+    def test_project_passthrough_keeps_ndv(self, base_stats, estimator):
+        op, stats = base_stats
+        project = LogicalProject(
+            (NamedExpr(ColumnRef("A"), "X"), NamedExpr(ColumnRef("B"), "B"))
+        )
+        out = estimator.derive(project, [stats],
+                               project.derive_schema([op.schema]))
+        assert out.ndv_of("X") == stats.ndv_of("A")
+
+    def test_union_sums_rows(self, base_stats, estimator):
+        op, stats = base_stats
+        union = LogicalUnionAll(2)
+        out = estimator.derive(union, [stats, stats], op.schema)
+        assert out.rows == 8000
+
+
+class TestAnnotation:
+    def test_annotate_memo_fills_all_reachable(self, abcd_catalog):
+        memo = Memo.from_logical_plan(compile_script(S1, abcd_catalog))
+        annotate_memo(memo, CardinalityEstimator(abcd_catalog, machines=4))
+        for gid in memo.reachable_from_root():
+            assert memo.group(gid).stats is not None
+
+    def test_stats_scaled_ndv_damping(self):
+        stats = Stats(1000, {"A": 900}, 8.0)
+        scaled = stats.scaled(0.01)
+        assert scaled.rows == 10
+        assert scaled.ndv_of("A") == 10

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.plan.columns import ColumnType
+from repro.scope.catalog import Catalog
+from repro.scope.statistics import catalog_to_json
+
+S1_TEXT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    script = tmp_path / "s1.scope"
+    script.write_text(S1_TEXT)
+    catalog = Catalog()
+    catalog.register_file(
+        "test.log",
+        [(c, ColumnType.INT) for c in ("A", "B", "C", "D")],
+        rows=10_000,
+        ndv={"A": 8, "B": 6, "C": 9, "D": 500},
+    )
+    catalog_path = tmp_path / "catalog.json"
+    catalog_path.write_text(catalog_to_json(catalog))
+    return str(script), str(catalog_path)
+
+
+class TestExplain:
+    def test_text_output(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["explain", script, "--catalog", catalog,
+                     "--machines", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total cost (DAG)" in out
+        assert "phase-2 rounds" in out
+
+    def test_json_output(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["explain", script, "--catalog", catalog, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["operator"] == "Sequence"
+
+    def test_dot_output(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["explain", script, "--catalog", catalog, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_no_cse_flag(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["explain", script, "--catalog", catalog,
+                     "--no-cse"]) == 0
+        out = capsys.readouterr().out
+        assert "shared spools" not in out
+
+
+class TestCompare:
+    def test_shows_both_plans(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["compare", script, "--catalog", catalog]) == 0
+        out = capsys.readouterr().out
+        assert "conventional plan" in out
+        assert "ratio" in out
+
+
+class TestRun:
+    def test_executes_and_verifies(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "1500", "--show-rows", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified: results identical" in out
+        assert "result1.out" in out
+
+    def test_run_without_cse(self, workspace):
+        script, catalog = workspace
+        assert main(["run", script, "--catalog", catalog,
+                     "--rows", "800", "--no-cse"]) == 0
+
+
+class TestErrors:
+    def test_missing_catalog_file(self, workspace, capsys):
+        script, _catalog = workspace
+        code = main(["explain", script, "--catalog", "/nonexistent.json"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_script(self, tmp_path, workspace, capsys):
+        _script, catalog = workspace
+        bad = tmp_path / "bad.scope"
+        bad.write_text("THIS IS NOT SCOPE;")
+        code = main(["explain", str(bad), "--catalog", catalog])
+        assert code == 2
+
+    def test_unknown_relation(self, tmp_path, workspace, capsys):
+        _script, catalog = workspace
+        bad = tmp_path / "bad2.scope"
+        bad.write_text('OUTPUT nope TO "x";')
+        assert main(["explain", str(bad), "--catalog", catalog]) == 2
+
+
+class TestFigure7Command:
+    def test_subset(self, capsys):
+        assert main(["figure7", "--scripts", "S1"]) == 0
+        out = capsys.readouterr().out
+        assert "S1" in out
+        assert "paper" in out
+
+
+class TestCseSummary:
+    def test_summary_text(self, workspace):
+        from repro.api import optimize_script
+        from repro.scope.statistics import catalog_from_json
+
+        script_path, catalog_path = workspace
+        with open(catalog_path) as handle:
+            catalog = catalog_from_json(handle.read())
+        with open(script_path) as handle:
+            text = handle.read()
+        result = optimize_script(text, catalog)
+        summary = result.cse_summary()
+        assert "shared groups: 1" in summary
+        assert "LCA group" in summary
+        assert "chosen plan: phase" in summary
+
+    def test_summary_without_cse(self, workspace):
+        from repro.api import optimize_script
+        from repro.scope.statistics import catalog_from_json
+
+        script_path, catalog_path = workspace
+        with open(catalog_path) as handle:
+            catalog = catalog_from_json(handle.read())
+        with open(script_path) as handle:
+            text = handle.read()
+        result = optimize_script(text, catalog, exploit_cse=False)
+        assert "not run" in result.cse_summary()

@@ -1,0 +1,76 @@
+"""Unit tests for columns and schemas."""
+
+import pytest
+
+from repro.plan.columns import Column, ColumnType, Schema
+
+
+def make_schema(*names):
+    return Schema(Column(n) for n in names)
+
+
+class TestColumn:
+    def test_default_type_is_int(self):
+        assert Column("A").ctype is ColumnType.INT
+
+    def test_renamed_keeps_type(self):
+        col = Column("A", ColumnType.STRING)
+        renamed = col.renamed("B")
+        assert renamed.name == "B"
+        assert renamed.ctype is ColumnType.STRING
+
+    def test_columns_are_hashable_and_comparable(self):
+        assert Column("A") == Column("A")
+        assert len({Column("A"), Column("A"), Column("B")}) == 2
+
+    def test_type_widths(self):
+        assert ColumnType.INT.width_bytes == 8
+        assert ColumnType.FLOAT.width_bytes == 8
+        assert ColumnType.STRING.width_bytes == 24
+
+
+class TestSchema:
+    def test_positional_and_name_lookup(self):
+        schema = make_schema("A", "B", "C")
+        assert schema[0].name == "A"
+        assert schema["B"].name == "B"
+        assert schema.position("C") == 2
+
+    def test_contains_accepts_names_and_columns(self):
+        schema = make_schema("A", "B")
+        assert "A" in schema
+        assert Column("B") in schema
+        assert "Z" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_schema("A", "A")
+
+    def test_project_preserves_requested_order(self):
+        schema = make_schema("A", "B", "C")
+        projected = schema.project(["C", "A"])
+        assert projected.names == ("C", "A")
+
+    def test_project_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_schema("A").project(["B"])
+
+    def test_concat(self):
+        left = make_schema("A", "B")
+        right = make_schema("C")
+        assert left.concat(right).names == ("A", "B", "C")
+
+    def test_concat_with_clash_rejected(self):
+        with pytest.raises(ValueError):
+            make_schema("A").concat(make_schema("A"))
+
+    def test_row_width(self):
+        schema = Schema(
+            [Column("A", ColumnType.INT), Column("S", ColumnType.STRING)]
+        )
+        assert schema.row_width_bytes() == 8 + 24
+
+    def test_equality_and_hash(self):
+        assert make_schema("A", "B") == make_schema("A", "B")
+        assert hash(make_schema("A")) == hash(make_schema("A"))
+        assert make_schema("A", "B") != make_schema("B", "A")

@@ -1,0 +1,178 @@
+"""Tests for the cost model, including tree-vs-DAG costing."""
+
+import pytest
+
+from repro.optimizer.cardinality import Stats
+from repro.optimizer.cost import CostModel, CostParams
+from repro.plan.columns import Column, ColumnType, Schema
+from repro.plan.physical import (
+    PhysExtract,
+    PhysFilter,
+    PhysicalPlan,
+    PhysMerge,
+    PhysRepartition,
+    PhysSort,
+    PhysSpool,
+    PhysStreamAgg,
+)
+from repro.plan.properties import (
+    Partitioning,
+    PhysicalProps,
+    SortOrder,
+)
+from repro.plan.expressions import ColumnRef, Literal, BinaryExpr, BinaryOp
+
+
+SCHEMA = Schema([Column("A"), Column("B")])
+
+
+def make_plan(op, children=(), props=None, rows=1000.0, self_cost=0.0):
+    node = PhysicalPlan(
+        op=op,
+        children=tuple(children),
+        schema=SCHEMA,
+        props=props or PhysicalProps(),
+        cost=self_cost + sum(c.cost for c in children),
+        self_cost=self_cost,
+        rows=rows,
+    )
+    return node
+
+
+@pytest.fixture
+def model():
+    return CostModel(CostParams(machines=10))
+
+
+def stats(rows=1000.0, ndv=None):
+    return Stats(rows, ndv or {"A": 100, "B": 100}, 16.0)
+
+
+class TestParallelism:
+    def test_serial_is_one(self, model):
+        assert model.parallelism(Partitioning.serial(), stats()) == 1.0
+
+    def test_random_is_machine_count(self, model):
+        assert model.parallelism(Partitioning.random(), stats()) == 10.0
+
+    def test_hash_bounded_by_ndv(self, model):
+        low = model.parallelism(
+            Partitioning.hashed({"A"}), stats(ndv={"A": 3})
+        )
+        assert low == 3.0
+
+    def test_hash_bounded_by_machines(self, model):
+        high = model.parallelism(
+            Partitioning.hashed({"A"}), stats(ndv={"A": 1000})
+        )
+        assert high == 10.0
+
+
+class TestOperatorCosts:
+    def test_exchange_dominates_cpu(self, model):
+        s = stats()
+        scan = make_plan(PhysExtract(1, "f", "E", SCHEMA))
+        repart = model.operator_cost(
+            PhysRepartition(("A",)), s, [scan], [s]
+        )
+        pred = BinaryExpr(BinaryOp.GT, ColumnRef("A"), Literal(0))
+        filt = model.operator_cost(PhysFilter(pred), s, [scan], [s])
+        assert repart > 10 * filt
+
+    def test_skew_penalty_on_low_ndv_columns(self, model):
+        s = stats(ndv={"A": 2, "B": 1000})
+        narrow = model.operator_cost(PhysRepartition(("A",)), s,
+                                     [make_plan(PhysExtract(1, "f", "E", SCHEMA))],
+                                     [s])
+        wide = model.operator_cost(PhysRepartition(("B",)), s,
+                                   [make_plan(PhysExtract(1, "f", "E", SCHEMA))],
+                                   [s])
+        assert narrow > wide
+
+    def test_serial_input_slows_cpu_operators(self, model):
+        s = stats()
+        serial_child = make_plan(
+            PhysExtract(1, "f", "E", SCHEMA),
+            props=PhysicalProps(Partitioning.serial()),
+        )
+        parallel_child = make_plan(
+            PhysExtract(1, "f", "E", SCHEMA),
+            props=PhysicalProps(Partitioning.random()),
+        )
+        agg = PhysStreamAgg(("A",), ())
+        slow = model.operator_cost(agg, s, [serial_child], [s])
+        fast = model.operator_cost(agg, s, [parallel_child], [s])
+        assert slow > fast
+
+    def test_merge_pays_full_volume(self, model):
+        s = stats()
+        child = make_plan(PhysExtract(1, "f", "E", SCHEMA))
+        cost = model.operator_cost(PhysMerge(), s, [child], [s])
+        assert cost >= s.bytes() * model.params.net_byte
+
+    def test_sort_scales_superlinearly(self, model):
+        child = make_plan(PhysExtract(1, "f", "E", SCHEMA))
+        small = model.operator_cost(PhysSort(SortOrder.of("A")),
+                                    stats(1000), [child], [stats(1000)])
+        big = model.operator_cost(PhysSort(SortOrder.of("A")),
+                                  stats(100000), [child], [stats(100000)])
+        assert big > 100 * small
+
+
+class TestDagCost:
+    def build_shared_spool_plan(self):
+        scan = make_plan(PhysExtract(1, "f", "E", SCHEMA), self_cost=100.0)
+        spool = make_plan(PhysSpool(), [scan], self_cost=30.0, rows=10.0)
+        left = make_plan(PhysSort(SortOrder.of("A")), [spool], self_cost=5.0)
+        right = make_plan(PhysSort(SortOrder.of("B")), [spool], self_cost=7.0)
+        root = make_plan(PhysMerge(), [left, right], self_cost=1.0)
+        return root, spool
+
+    def test_spool_build_charged_once(self, model):
+        root, spool = self.build_shared_spool_plan()
+        cost = model.dag_cost(root)
+        read = model.spool_read_cost(spool)
+        # 100 (scan) + 30 (spool build+first read) + read + 5 + 7 + 1.
+        assert cost == pytest.approx(100 + 30 + read + 5 + 7 + 1)
+
+    def test_tree_cost_counts_duplicates(self, model):
+        root, _ = self.build_shared_spool_plan()
+        # Tree cost: the spool subtree is charged once per consumer.
+        assert root.cost == pytest.approx(2 * (100 + 30) + 5 + 7 + 1)
+
+    def test_non_spool_sharing_is_reexecuted(self, model):
+        """A multi-referenced non-spool node costs once per reference —
+        the runtime recomputes it (Figure 8(a) semantics)."""
+        scan = make_plan(PhysExtract(1, "f", "E", SCHEMA), self_cost=100.0)
+        left = make_plan(PhysSort(SortOrder.of("A")), [scan], self_cost=5.0)
+        right = make_plan(PhysSort(SortOrder.of("B")), [scan], self_cost=7.0)
+        root = make_plan(PhysMerge(), [left, right], self_cost=1.0)
+        assert model.dag_cost(root) == pytest.approx(2 * 100 + 5 + 7 + 1)
+
+    def test_plan_without_sharing_equals_tree_cost(self, model):
+        scan = make_plan(PhysExtract(1, "f", "E", SCHEMA), self_cost=100.0)
+        sort = make_plan(PhysSort(SortOrder.of("A")), [scan], self_cost=5.0)
+        assert model.dag_cost(sort) == pytest.approx(sort.cost)
+
+    def test_nested_spools(self, model):
+        scan = make_plan(PhysExtract(1, "f", "E", SCHEMA), self_cost=100.0)
+        inner = make_plan(PhysSpool(), [scan], self_cost=10.0, rows=10.0)
+        mid_l = make_plan(PhysSort(SortOrder.of("A")), [inner], self_cost=1.0)
+        mid_r = make_plan(PhysSort(SortOrder.of("B")), [inner], self_cost=1.0)
+        outer = make_plan(PhysSpool(), [mid_l], self_cost=20.0, rows=10.0)
+        root = make_plan(PhysMerge(), [outer, outer, mid_r], self_cost=0.0)
+        cost = model.dag_cost(root)
+        inner_read = model.spool_read_cost(inner)
+        outer_read = model.spool_read_cost(outer)
+        expected = (100 + 10) + 1 + 20 + outer_read + (inner_read + 1)
+        assert cost == pytest.approx(expected)
+
+
+class TestParamValidation:
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(CostParams(machines=0))
+
+    def test_nonpositive_network_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(CostParams(net_byte=0.0))

@@ -1,0 +1,134 @@
+"""Tests for the EXPLAIN module."""
+
+import json
+
+from repro.api import optimize_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.optimizer.explain import (
+    compare_plans,
+    cost_breakdown,
+    explain_dict,
+    explain_text,
+    to_dot,
+)
+from repro.workloads.paper_scripts import S1
+
+
+def optimized(abcd_catalog, exploit_cse=True):
+    config = OptimizerConfig(cost_params=CostParams(machines=4))
+    return optimize_script(S1, abcd_catalog, config, exploit_cse=exploit_cse)
+
+
+class TestExplainDict:
+    def test_json_serializable(self, abcd_catalog):
+        result = optimized(abcd_catalog)
+        doc = explain_dict(result.plan)
+        json.dumps(doc)  # must not raise
+
+    def test_shared_nodes_become_refs(self, abcd_catalog):
+        result = optimized(abcd_catalog)
+        doc = explain_dict(result.plan)
+        refs = []
+
+        def walk(node):
+            if "ref" in node:
+                refs.append(node["ref"])
+                return
+            for child in node["children"]:
+                walk(child)
+
+        walk(doc)
+        assert refs, "the shared spool must appear as a reference"
+
+    def test_contains_properties_and_costs(self, abcd_catalog):
+        result = optimized(abcd_catalog)
+        doc = explain_dict(result.plan)
+        assert doc["operator"] == "Sequence"
+        assert "partitioning" in doc
+        assert doc["cost"] >= doc["self_cost"]
+
+
+class TestExplainText:
+    def test_contains_breakdown(self, abcd_catalog):
+        result = optimized(abcd_catalog)
+        text = explain_text(result.plan, total_cost=result.cost)
+        assert "total cost (DAG)" in text
+        assert "exchange" in text
+        assert "shared spools: 1" in text
+
+    def test_breakdown_sums_to_distinct_self_costs(self, abcd_catalog):
+        result = optimized(abcd_catalog)
+        breakdown = cost_breakdown(result.plan)
+        total = sum(n.self_cost for n in result.plan.iter_nodes())
+        assert abs(sum(breakdown.values()) - total) < 1e-6
+
+
+class TestDot:
+    def test_valid_shape(self, abcd_catalog):
+        result = optimized(abcd_catalog)
+        dot = to_dot(result.plan)
+        assert dot.startswith("digraph plan {")
+        assert dot.rstrip().endswith("}")
+        assert "cylinder" in dot  # the spool
+        assert "->" in dot
+
+    def test_shared_node_rendered_once(self, abcd_catalog):
+        result = optimized(abcd_catalog)
+        dot = to_dot(result.plan)
+        assert dot.count("cylinder") == 1
+
+
+class TestCompare:
+    def test_summary_mentions_both_costs(self, abcd_catalog):
+        base = optimized(abcd_catalog, exploit_cse=False)
+        ext = optimized(abcd_catalog, exploit_cse=True)
+        text = compare_plans(base.plan, ext.plan, base.cost, ext.cost)
+        assert "ratio" in text
+        assert f"{base.cost:,.0f}" in text
+
+
+class TestStageGraph:
+    def test_cse_plan_stage_structure(self, abcd_catalog):
+        from repro.optimizer.explain import render_stages, stage_graph
+
+        result = optimized(abcd_catalog)
+        stages = stage_graph(result.plan)
+        assert len(stages) >= 3
+        # Exactly one spool stage, consumed by a later stage.
+        spool_stages = [s for s in stages if s.boundary == "Spool"]
+        assert len(spool_stages) == 1
+        text = render_stages(stages)
+        assert "execution stages" in text
+        assert "Spool" in text
+
+    def test_baseline_has_more_exchange_stages(self, abcd_catalog):
+        from repro.optimizer.explain import stage_graph
+
+        base = optimized(abcd_catalog, exploit_cse=False)
+        ext = optimized(abcd_catalog, exploit_cse=True)
+        base_exchanges = [
+            s for s in stage_graph(base.plan)
+            if s.boundary in ("Repartition", "RangeRepartition", "Merge")
+        ]
+        ext_exchanges = [
+            s for s in stage_graph(ext.plan)
+            if s.boundary in ("Repartition", "RangeRepartition", "Merge")
+        ]
+        assert len(ext_exchanges) < len(base_exchanges)
+
+    def test_boundary_rows_recorded(self, abcd_catalog):
+        from repro.optimizer.explain import stage_graph
+
+        result = optimized(abcd_catalog)
+        for stage in stage_graph(result.plan):
+            if stage.boundary:
+                assert stage.boundary_rows > 0
+
+    def test_every_operator_in_exactly_one_stage(self, abcd_catalog):
+        from repro.optimizer.explain import stage_graph
+
+        result = optimized(abcd_catalog)
+        total_ops = sum(1 for _ in result.plan.iter_nodes())
+        staged_ops = sum(len(s.operators) for s in stage_graph(result.plan))
+        assert staged_ops == total_ops

@@ -1,0 +1,142 @@
+"""Unit tests for scalar and aggregate expressions."""
+
+import pytest
+
+from repro.plan.expressions import (
+    AggFunc,
+    Aggregate,
+    BinaryExpr,
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    NotExpr,
+    conjuncts,
+    equi_join_keys,
+)
+
+
+def col(name):
+    return ColumnRef(name)
+
+
+def eq(a, b):
+    return BinaryExpr(BinaryOp.EQ, a, b)
+
+
+class TestScalarEvaluation:
+    def test_column_ref(self):
+        assert col("A").evaluate({"A": 3}) == 3
+
+    def test_literal(self):
+        assert Literal(7).evaluate({}) == 7
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (BinaryOp.ADD, 7),
+            (BinaryOp.SUB, 3),
+            (BinaryOp.MUL, 10),
+            (BinaryOp.DIV, 2.5),
+        ],
+    )
+    def test_arithmetic(self, op, expected):
+        expr = BinaryExpr(op, col("A"), col("B"))
+        assert expr.evaluate({"A": 5, "B": 2}) == expected
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (BinaryOp.EQ, 1, 1, True),
+            (BinaryOp.NE, 1, 2, True),
+            (BinaryOp.LT, 1, 2, True),
+            (BinaryOp.LE, 2, 2, True),
+            (BinaryOp.GT, 3, 2, True),
+            (BinaryOp.GE, 1, 2, False),
+        ],
+    )
+    def test_comparisons(self, op, a, b, expected):
+        expr = BinaryExpr(op, col("A"), col("B"))
+        assert expr.evaluate({"A": a, "B": b}) == expected
+
+    def test_boolean_logic(self):
+        pred = BinaryExpr(
+            BinaryOp.AND,
+            BinaryExpr(BinaryOp.OR, col("X"), col("Y")),
+            NotExpr(col("Z")),
+        )
+        assert pred.evaluate({"X": 0, "Y": 1, "Z": 0}) is True
+        assert pred.evaluate({"X": 0, "Y": 0, "Z": 0}) is False
+        assert pred.evaluate({"X": 1, "Y": 1, "Z": 1}) is False
+
+    def test_referenced_columns(self):
+        expr = BinaryExpr(BinaryOp.ADD, col("A"), BinaryExpr(
+            BinaryOp.MUL, col("B"), Literal(2)))
+        assert expr.referenced_columns() == {"A", "B"}
+
+
+class TestAggregates:
+    def run_agg(self, agg, values, column="D"):
+        state = agg.init_state()
+        for value in values:
+            state = agg.accumulate(state, {column: value})
+        return agg.finalize(state)
+
+    def test_sum(self):
+        agg = Aggregate(AggFunc.SUM, col("D"), "S")
+        assert self.run_agg(agg, [1, 2, 3]) == 6
+
+    def test_sum_ignores_nulls(self):
+        agg = Aggregate(AggFunc.SUM, col("D"), "S")
+        assert self.run_agg(agg, [1, None, 3]) == 4
+
+    def test_sum_of_nothing_is_null(self):
+        agg = Aggregate(AggFunc.SUM, col("D"), "S")
+        assert self.run_agg(agg, []) is None
+
+    def test_count_star(self):
+        agg = Aggregate(AggFunc.COUNT, None, "C")
+        assert self.run_agg(agg, [5, None, 7]) == 3
+
+    def test_count_column_skips_nulls(self):
+        agg = Aggregate(AggFunc.COUNT, col("D"), "C")
+        assert self.run_agg(agg, [5, None, 7]) == 2
+
+    def test_min_max(self):
+        assert self.run_agg(Aggregate(AggFunc.MIN, col("D"), "m"), [4, 1, 9]) == 1
+        assert self.run_agg(Aggregate(AggFunc.MAX, col("D"), "m"), [4, 1, 9]) == 9
+
+    def test_avg(self):
+        agg = Aggregate(AggFunc.AVG, col("D"), "a")
+        assert self.run_agg(agg, [2, 4]) == 3.0
+
+    def test_decomposition_mapping(self):
+        assert AggFunc.SUM.merge_func is AggFunc.SUM
+        assert AggFunc.COUNT.merge_func is AggFunc.SUM
+        assert AggFunc.MIN.merge_func is AggFunc.MIN
+        assert AggFunc.MAX.merge_func is AggFunc.MAX
+
+    def test_avg_cannot_split_directly(self):
+        with pytest.raises(ValueError):
+            AggFunc.AVG.partial_func
+        with pytest.raises(ValueError):
+            AggFunc.AVG.merge_func
+
+
+class TestPredicateHelpers:
+    def test_conjuncts_flattens_ands(self):
+        pred = BinaryExpr(
+            BinaryOp.AND,
+            eq(col("A"), col("B")),
+            BinaryExpr(BinaryOp.AND, eq(col("C"), col("D")), col("E")),
+        )
+        assert len(conjuncts(pred)) == 3
+
+    def test_equi_join_keys(self):
+        pred = BinaryExpr(
+            BinaryOp.AND, eq(col("A"), col("X")), eq(col("B"), col("Y"))
+        )
+        assert equi_join_keys(pred) == (("A", "B"), ("X", "Y"))
+
+    def test_equi_join_keys_rejects_non_equality(self):
+        pred = BinaryExpr(BinaryOp.LT, col("A"), col("X"))
+        assert equi_join_keys(pred) is None

@@ -1,0 +1,180 @@
+"""Unit tests for expression fingerprints and Algorithm 1 (Section IV)."""
+
+import pytest
+
+from repro.cse.fingerprint import (
+    compute_fingerprints,
+    identify_common_subexpressions,
+    op_id,
+    structurally_equal,
+)
+from repro.optimizer.memo import Memo
+from repro.plan.logical import LogicalGroupBy, LogicalSpool
+from repro.scope.compiler import compile_script
+from repro.workloads.paper_scripts import S1, S2, S3, S4
+
+
+def memo_for(text, catalog):
+    return Memo.from_logical_plan(compile_script(text, catalog))
+
+
+def spool_groups(memo):
+    return [
+        g
+        for g in memo.live_groups()
+        if isinstance(g.initial_expr.op, LogicalSpool)
+    ]
+
+
+class TestFingerprints:
+    def test_equal_subexpressions_have_equal_fingerprints(self, abcd_catalog):
+        text = (
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R1 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            "R2 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            'OUTPUT R1 TO "o1";\nOUTPUT R2 TO "o2";'
+        )
+        memo = memo_for(text, abcd_catalog)
+        fps = compute_fingerprints(memo)
+        gb_gids = [
+            g.gid
+            for g in memo.live_groups()
+            if isinstance(g.initial_expr.op, LogicalGroupBy)
+        ]
+        assert fps[gb_gids[0]] == fps[gb_gids[1]]
+
+    def test_different_files_have_different_fingerprints(self, abcd_catalog):
+        text = (
+            'X = EXTRACT A FROM "test.log" USING E;\n'
+            'Y = EXTRACT A FROM "test2.log" USING E;\n'
+            'OUTPUT X TO "o1";\nOUTPUT Y TO "o2";'
+        )
+        memo = memo_for(text, abcd_catalog)
+        fps = compute_fingerprints(memo)
+        extracts = [
+            g.gid for g in memo.live_groups() if not g.initial_expr.children
+        ]
+        assert fps[extracts[0]] != fps[extracts[1]]
+
+    def test_type_level_opid_collides_on_purpose(self, abcd_catalog):
+        """Definition 1: all group-bys share one OpID, so two group-bys
+        with different keys over the same child have EQUAL fingerprints —
+        the bucket verification must tell them apart."""
+        memo = memo_for(S1, abcd_catalog)
+        fps = compute_fingerprints(memo)
+        consumer_gids = [
+            g.gid
+            for g in memo.live_groups()
+            if isinstance(g.initial_expr.op, LogicalGroupBy)
+            and g.initial_expr.op.keys in (("A", "B"), ("B", "C"))
+        ]
+        assert fps[consumer_gids[0]] == fps[consumer_gids[1]]
+        assert not structurally_equal(memo, *consumer_gids)
+
+    def test_op_ids_stable_per_type(self):
+        from repro.plan.logical import LogicalFilter
+        from repro.plan.expressions import ColumnRef
+
+        a = LogicalGroupBy(("A",), ())
+        b = LogicalGroupBy(("B", "C"), ())
+        assert op_id(a) == op_id(b)
+        assert op_id(a) != op_id(LogicalFilter(ColumnRef("A")))
+
+
+class TestStructuralEquality:
+    def test_reflexive_and_recursive(self, abcd_catalog):
+        text = (
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            'Y = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R1 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            "R2 = SELECT A,Sum(D) AS S FROM Y GROUP BY A;\n"
+            'OUTPUT R1 TO "o1";\nOUTPUT R2 TO "o2";'
+        )
+        memo = memo_for(text, abcd_catalog)
+        gb_gids = [
+            g.gid
+            for g in memo.live_groups()
+            if isinstance(g.initial_expr.op, LogicalGroupBy)
+        ]
+        # Same file, same chain, different DAG nodes: structurally equal.
+        assert structurally_equal(memo, *gb_gids)
+
+
+class TestAlgorithm1:
+    def test_s1_explicit_sharing(self, abcd_catalog):
+        memo = memo_for(S1, abcd_catalog)
+        report = identify_common_subexpressions(memo)
+        assert len(report.shared_groups) == 1
+        spools = spool_groups(memo)
+        assert len(spools) == 1
+        assert spools[0].is_shared
+        assert len(memo.parents_of(spools[0].gid)) == 2
+
+    @pytest.mark.parametrize(
+        "script,expected_shared",
+        [(S1, 1), (S2, 1), (S3, 2), (S4, 3)],
+    )
+    def test_shared_group_counts_per_paper(self, abcd_catalog, script,
+                                           expected_shared):
+        """Figure 6: S1/S2 one shared group, S3 two, S4 three (R, R1, R2)."""
+        memo = memo_for(script, abcd_catalog)
+        report = identify_common_subexpressions(memo)
+        assert len(report.shared_groups) == expected_shared
+
+    def test_textual_duplicates_merged_and_spooled(self, abcd_catalog):
+        text = (
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            'Y = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R1 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            "R2 = SELECT A,Sum(D) AS S FROM Y GROUP BY A;\n"
+            'OUTPUT R1 TO "o1";\nOUTPUT R2 TO "o2";'
+        )
+        memo = memo_for(text, abcd_catalog)
+        report = identify_common_subexpressions(memo)
+        assert report.merged, "duplicated subexpressions must be merged"
+        spools = spool_groups(memo)
+        assert len(spools) == 1
+        assert len(memo.parents_of(spools[0].gid)) == 2
+
+    def test_duplicate_of_explicitly_shared_expression(self, abcd_catalog):
+        """A textual duplicate of an already-shared relation must route
+        its consumer through the existing spool."""
+        text = (
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R1 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"   # R1 shared
+            "C1 = SELECT A FROM R1 WHERE S > 1;\n"
+            "C2 = SELECT A FROM R1 WHERE S > 2;\n"
+            "R2 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"   # duplicate of R1
+            "C3 = SELECT A FROM R2 WHERE S > 3;\n"
+            'OUTPUT C1 TO "o1";\nOUTPUT C2 TO "o2";\nOUTPUT C3 TO "o3";'
+        )
+        memo = memo_for(text, abcd_catalog)
+        identify_common_subexpressions(memo)
+        gb_spools = [
+            s
+            for s in spool_groups(memo)
+            if isinstance(
+                memo.group(s.initial_expr.children[0]).initial_expr.op,
+                LogicalGroupBy,
+            )
+        ]
+        assert len(gb_spools) == 1
+        assert len(memo.parents_of(gb_spools[0].gid)) == 3
+
+    def test_no_sharing_no_spools(self, abcd_catalog):
+        text = (
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            'OUTPUT R TO "o";'
+        )
+        memo = memo_for(text, abcd_catalog)
+        report = identify_common_subexpressions(memo)
+        assert not report.shared_groups
+        assert not spool_groups(memo)
+
+    def test_idempotent(self, abcd_catalog):
+        memo = memo_for(S1, abcd_catalog)
+        identify_common_subexpressions(memo)
+        before = len(spool_groups(memo))
+        identify_common_subexpressions(memo)
+        assert len(spool_groups(memo)) == before

@@ -1,0 +1,111 @@
+"""Tests for the shared-group property history (Section V)."""
+
+from repro.cse.history import HistoryEntry, PropertyHistory
+from repro.plan.properties import (
+    Partitioning,
+    PartitioningReq,
+    PhysicalProps,
+    ReqProps,
+    SortOrder,
+)
+
+
+def grouping_req(*cols):
+    return ReqProps(PartitioningReq.grouping(set(cols)))
+
+
+class TestRecording:
+    def test_range_expansion_matches_paper_example(self):
+        """Section V: recording [∅,{A,B,C}] stores the seven subsets."""
+        history = PropertyHistory()
+        history.record_requirement(grouping_req("A", "B", "C"))
+        col_sets = {e.partitioning.columns for e in history.entries}
+        assert col_sets == {
+            frozenset(s)
+            for s in (
+                {"A"}, {"B"}, {"C"},
+                {"A", "B"}, {"B", "C"}, {"A", "C"},
+                {"A", "B", "C"},
+            )
+        }
+
+    def test_duplicate_requirements_ignored(self):
+        history = PropertyHistory()
+        history.record_requirement(grouping_req("A", "B"))
+        n = len(history)
+        history.record_requirement(grouping_req("A", "B"))
+        assert len(history) == n
+
+    def test_overlapping_requirements_merge_entries(self):
+        """S1's consumers: [∅,{A,B}] and [∅,{B,C}] → 5 distinct layouts."""
+        history = PropertyHistory()
+        history.record_requirement(grouping_req("A", "B"))
+        history.record_requirement(grouping_req("B", "C"))
+        col_sets = {e.partitioning.columns for e in history.entries}
+        assert col_sets == {
+            frozenset(s)
+            for s in ({"A"}, {"B"}, {"A", "B"}, {"C"}, {"B", "C"})
+        }
+
+    def test_serial_requirement_recorded(self):
+        history = PropertyHistory()
+        history.record_requirement(ReqProps.serial())
+        assert [e.partitioning for e in history.entries] == [
+            Partitioning.serial()
+        ]
+
+    def test_no_partitioning_requirement_records_nothing(self):
+        history = PropertyHistory()
+        history.record_requirement(ReqProps.anything())
+        assert len(history) == 0
+
+    def test_expansion_cap_keeps_upper_bound(self):
+        history = PropertyHistory(max_subset_size=1)
+        history.record_requirement(grouping_req("A", "B", "C"))
+        col_sets = {e.partitioning.columns for e in history.entries}
+        assert frozenset({"A", "B", "C"}) in col_sets
+        assert frozenset({"A", "B"}) not in col_sets
+
+
+class TestRanking:
+    def test_frequency_ranking(self):
+        """Section VIII-C: more frequently winning layouts come first."""
+        history = PropertyHistory()
+        history.record_requirement(grouping_req("A", "B"))
+        win = PhysicalProps(Partitioning.hashed({"B"}), SortOrder())
+        for _ in range(3):
+            history.note_winner(win)
+        history.note_winner(
+            PhysicalProps(Partitioning.hashed({"A", "B"}), SortOrder())
+        )
+        ranked = history.ranked_entries()
+        assert ranked[0].partitioning == Partitioning.hashed({"B"})
+        assert ranked[1].partitioning == Partitioning.hashed({"A", "B"})
+
+    def test_unseen_winner_ignored(self):
+        history = PropertyHistory()
+        history.record_requirement(grouping_req("A"))
+        history.note_winner(
+            PhysicalProps(Partitioning.hashed({"Z"}), SortOrder())
+        )
+        assert all(history.frequency_of(e) == 0 for e in history.entries)
+
+    def test_stable_order_for_ties(self):
+        history = PropertyHistory()
+        history.record_requirement(grouping_req("A", "B"))
+        assert history.ranked_entries() == history.entries
+
+
+class TestEntries:
+    def test_as_req_pins_layout(self):
+        entry = HistoryEntry(Partitioning.hashed({"B"}))
+        req = entry.as_req()
+        assert req.partitioning.is_satisfied_by(Partitioning.hashed({"B"}))
+        assert not req.partitioning.is_satisfied_by(
+            Partitioning.hashed({"A", "B"})
+        )
+
+    def test_entries_hashable(self):
+        a = HistoryEntry(Partitioning.hashed({"B"}))
+        b = HistoryEntry(Partitioning.hashed({"B"}))
+        assert len({a, b}) == 1

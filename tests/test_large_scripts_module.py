@@ -1,0 +1,114 @@
+"""Tests for the Section VIII round arithmetic and LS generators."""
+
+import pytest
+
+from repro.cse.large_scripts import (
+    cartesian_rounds,
+    grouped_rounds,
+    round_plans,
+    sequential_rounds,
+)
+from repro.cse.pipeline import optimize_with_cse
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.optimizer.memo import Memo
+from repro.scope.compiler import compile_script
+from repro.workloads.large_scripts import (
+    LargeScriptSpec,
+    build_catalog,
+    build_script,
+    ls1_spec,
+    ls2_spec,
+    make_large_script,
+)
+
+
+class TestRoundArithmetic:
+    def test_paper_figure5_example(self):
+        """Figure 5: 8 × 8 histories → 64 cartesian, 15 sequential."""
+        assert cartesian_rounds([8, 8]) == 64
+        assert sequential_rounds([8, 8]) == 15
+
+    def test_cartesian(self):
+        assert cartesian_rounds([]) == 1
+        assert cartesian_rounds([5]) == 5
+        assert cartesian_rounds([2, 3, 4]) == 24
+
+    def test_sequential(self):
+        assert sequential_rounds([]) == 0
+        assert sequential_rounds([5]) == 5
+        assert sequential_rounds([2, 3, 4]) == 2 + 2 + 3
+
+    def test_grouped(self):
+        # Two dependent pairs: cartesian inside, greedy across.
+        assert grouped_rounds([[2, 3], [4]]) == 6 + 3
+        assert grouped_rounds([[8], [8]]) == 15
+        assert grouped_rounds([]) == 0
+
+
+class TestGenerators:
+    def test_ls1_operator_count(self, ):
+        text, catalog, spec = make_large_script("LS1")
+        memo = Memo.from_logical_plan(compile_script(text, catalog))
+        assert memo.operator_count() == 101
+
+    def test_ls2_operator_count(self):
+        text, catalog, spec = make_large_script("LS2")
+        memo = Memo.from_logical_plan(compile_script(text, catalog))
+        assert memo.operator_count() == 1034
+
+    def test_ls1_shared_group_shape(self):
+        text, catalog, _spec = make_large_script("LS1")
+        cfg = OptimizerConfig(cost_params=CostParams(machines=4))
+        result = optimize_with_cse(compile_script(text, catalog), catalog, cfg)
+        shared = result.report.shared_groups
+        assert len(shared) == 4
+        consumer_counts = sorted(
+            len(result.propagation.consumers[gid]) for gid in shared
+        )
+        assert consumer_counts == [2, 2, 2, 3]
+
+    def test_spec_arithmetic_matches_compiler(self):
+        spec = LargeScriptSpec(
+            name="tiny",
+            shared_consumers=(2,),
+            pre_chain=(3,),
+            unshared_chains=(1, 2),
+        )
+        text = build_script(spec)
+        catalog = build_catalog(spec)
+        memo = Memo.from_logical_plan(compile_script(text, catalog))
+        assert memo.operator_count() == spec.operator_count()
+
+    def test_specs_are_fresh_objects(self):
+        assert ls1_spec() is not ls1_spec()
+        assert ls2_spec().shared_consumers.count(2) == 15
+
+
+class TestRoundPlans:
+    def test_round_plan_predicts_engine_rounds(self):
+        spec = LargeScriptSpec(
+            name="tiny2",
+            shared_consumers=(2, 2),
+            pre_chain=(1, 1),
+        )
+        text = build_script(spec)
+        catalog = build_catalog(spec)
+        cfg = OptimizerConfig(cost_params=CostParams(machines=4))
+        result = optimize_with_cse(compile_script(text, catalog), catalog, cfg)
+        plans = round_plans(result.engine)
+        predicted = sum(p.planned_rounds for p in plans.values())
+        assert predicted == result.engine.stats.rounds
+
+    def test_independent_groups_cheaper_than_cartesian(self):
+        spec = LargeScriptSpec(
+            name="tiny3",
+            shared_consumers=(2, 2),
+            pre_chain=(1, 1),
+        )
+        text = build_script(spec)
+        catalog = build_catalog(spec)
+        cfg = OptimizerConfig(cost_params=CostParams(machines=4))
+        result = optimize_with_cse(compile_script(text, catalog), catalog, cfg)
+        for plan in round_plans(result.engine).values():
+            assert plan.planned_rounds <= plan.cartesian_equivalent

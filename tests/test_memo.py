@@ -1,0 +1,130 @@
+"""Unit tests for the memo structure."""
+
+import pytest
+
+from repro.optimizer.memo import GroupExpr, Memo
+from repro.plan.logical import (
+    LogicalExtract,
+    LogicalGroupBy,
+    LogicalOutput,
+    LogicalSequence,
+    LogicalSpool,
+)
+from repro.scope.compiler import compile_script
+from repro.workloads.paper_scripts import S1
+
+
+@pytest.fixture
+def s1_memo(abcd_catalog):
+    return Memo.from_logical_plan(compile_script(S1, abcd_catalog))
+
+
+class TestIngestion:
+    def test_one_group_per_dag_node(self, s1_memo):
+        # S1: extract, GB(R), GB(R1), GB(R2), 2 outputs, sequence = 7.
+        assert s1_memo.operator_count() == 7
+
+    def test_shared_dag_node_becomes_one_group(self, s1_memo):
+        # The GB(A,B,C) group is referenced by both consumer group-bys.
+        shared = [
+            g
+            for g in s1_memo.live_groups()
+            if isinstance(g.initial_expr.op, LogicalGroupBy)
+            and g.initial_expr.op.keys == ("A", "B", "C")
+        ]
+        assert len(shared) == 1
+        assert len(s1_memo.parents_of(shared[0].gid)) == 2
+
+    def test_root_is_sequence(self, s1_memo):
+        root = s1_memo.group(s1_memo.root)
+        assert isinstance(root.initial_expr.op, LogicalSequence)
+
+    def test_textual_duplicates_stay_separate(self, abcd_catalog):
+        """Ingestion must NOT value-deduplicate: that is Algorithm 1's job."""
+        text = (
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R1 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            "R2 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            'OUTPUT R1 TO "o1";\nOUTPUT R2 TO "o2";'
+        )
+        memo = Memo.from_logical_plan(compile_script(text, abcd_catalog))
+        group_bys = [
+            g
+            for g in memo.live_groups()
+            if isinstance(g.initial_expr.op, LogicalGroupBy)
+        ]
+        assert len(group_bys) == 2
+
+
+class TestSurgery:
+    def test_insert_spool_above(self, s1_memo):
+        shared_gid = next(
+            g.gid
+            for g in s1_memo.live_groups()
+            if isinstance(g.initial_expr.op, LogicalGroupBy)
+            and g.initial_expr.op.keys == ("A", "B", "C")
+        )
+        before_parents = s1_memo.parents_of(shared_gid)
+        spool_gid = s1_memo.insert_spool_above(shared_gid)
+        spool = s1_memo.group(spool_gid)
+        assert isinstance(spool.initial_expr.op, LogicalSpool)
+        assert spool.is_shared
+        assert spool.initial_expr.children == (shared_gid,)
+        # Old consumers now reference the spool; the shared group's only
+        # parent is the spool.
+        assert s1_memo.parents_of(shared_gid) == {spool_gid}
+        assert s1_memo.parents_of(spool_gid) == before_parents
+
+    def test_merge_group_into(self, abcd_catalog):
+        text = (
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R1 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            "R2 = SELECT A,Sum(D) AS S FROM X GROUP BY A;\n"
+            'OUTPUT R1 TO "o1";\nOUTPUT R2 TO "o2";'
+        )
+        memo = Memo.from_logical_plan(compile_script(text, abcd_catalog))
+        gb_gids = [
+            g.gid
+            for g in memo.live_groups()
+            if isinstance(g.initial_expr.op, LogicalGroupBy)
+        ]
+        keep, dup = gb_gids
+        memo.merge_group_into(dup, keep)
+        assert memo.group(dup).dead
+        assert len(memo.parents_of(keep)) == 2
+
+    def test_redirect_updates_root(self, abcd_catalog):
+        text = 'X = EXTRACT A FROM "test.log" USING E;\nOUTPUT X TO "o";'
+        memo = Memo.from_logical_plan(compile_script(text, abcd_catalog))
+        old_root = memo.root
+        new_gid = memo._alloc_group(memo.group(old_root).schema)
+        memo.groups[new_gid].add_expr(memo.group(old_root).initial_expr)
+        memo.redirect_references(old_root, new_gid)
+        assert memo.root == new_gid
+
+
+class TestExpressionDedup:
+    def test_add_expr_deduplicates(self, s1_memo):
+        group = s1_memo.group(s1_memo.root)
+        expr = group.initial_expr
+        assert not group.add_expr(expr)
+        assert len(group.exprs) == 1
+
+    def test_get_or_create_group_dedups_by_value(self, s1_memo):
+        extract_group = next(
+            g
+            for g in s1_memo.live_groups()
+            if isinstance(g.initial_expr.op, LogicalExtract)
+        )
+        op = LogicalGroupBy(("A",), (), )
+        a = s1_memo.get_or_create_group(op, (extract_group.gid,),
+                                        extract_group.schema.project(["A"]))
+        b = s1_memo.get_or_create_group(op, (extract_group.gid,),
+                                        extract_group.schema.project(["A"]))
+        assert a == b
+
+    def test_initial_expr_stable_after_additions(self, s1_memo):
+        group = s1_memo.group(s1_memo.root)
+        first = group.initial_expr
+        group.add_expr(GroupExpr(LogicalSequence(3), first.children))
+        assert group.initial_expr is first

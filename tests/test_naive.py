@@ -1,0 +1,137 @@
+"""Unit tests for the naive reference evaluator itself.
+
+The oracle must be trustworthy: these tests check it against hand-
+computed results on tiny inputs.
+"""
+
+import pytest
+
+from repro.naive import NaiveEvaluator
+from repro.plan.logical import GroupByMode, LogicalGroupBy, LogicalPlan
+from repro.scope.compiler import compile_script
+
+FILES = {
+    "test.log": [
+        {"A": 1, "B": 1, "C": 1, "D": 10},
+        {"A": 1, "B": 1, "C": 2, "D": 20},
+        {"A": 2, "B": 1, "C": 1, "D": 5},
+        {"A": 2, "B": 2, "C": 1, "D": 7},
+    ],
+    "test2.log": [
+        {"A": 1, "B": 1, "C": 1, "D": 100},
+    ],
+}
+
+
+def run(text, abcd_catalog):
+    return NaiveEvaluator(FILES).run(compile_script(text, abcd_catalog))
+
+
+class TestHandComputed:
+    def test_group_by_sum(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT A,B,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;\n"
+            'OUTPUT R TO "o";'
+        )
+        assert run(text, abcd_catalog)["o"] == [(1, 30), (2, 12)]
+
+    def test_filter_then_count(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Count(*) AS N FROM R0 WHERE D > 6 GROUP BY A;\n"
+            'OUTPUT R TO "o";'
+        )
+        assert run(text, abcd_catalog)["o"] == [(1, 2), (2, 1)]
+
+    def test_join(self, abcd_catalog):
+        text = (
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            'Y = EXTRACT A,D FROM "test2.log" USING E;\n'
+            "J = SELECT X.A,X.D AS DX,Y.D AS DY FROM X, Y WHERE X.A = Y.A;\n"
+            'OUTPUT J TO "o";'
+        )
+        assert run(text, abcd_catalog)["o"] == [(1, 10, 100), (1, 20, 100)]
+
+    def test_distinct(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT A,B FROM "test.log" USING E;\n'
+            "R = SELECT DISTINCT A,B FROM R0;\n"
+            'OUTPUT R TO "o";'
+        )
+        assert run(text, abcd_catalog)["o"] == [(1, 1), (2, 1), (2, 2)]
+
+    def test_union_all_keeps_duplicates(self, abcd_catalog):
+        text = (
+            'X = EXTRACT A FROM "test2.log" USING E;\n'
+            "R = SELECT A FROM X UNION ALL SELECT A FROM X;\n"
+            'OUTPUT R TO "o";'
+        )
+        assert run(text, abcd_catalog)["o"] == [(1,), (1,)]
+
+    def test_scalar_aggregate(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT D FROM "test.log" USING E;\n'
+            "R = SELECT Sum(D) AS S,Count(*) AS N,Min(D) AS MN,Max(D) AS MX "
+            "FROM R0;\n"
+            'OUTPUT R TO "o";'
+        )
+        assert run(text, abcd_catalog)["o"] == [(42, 4, 5, 20)]
+
+    def test_avg(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Avg(D) AS M FROM R0 GROUP BY A;\n"
+            'OUTPUT R TO "o";'
+        )
+        assert run(text, abcd_catalog)["o"] == [(1, 15.0), (2, 6.0)]
+
+    def test_having(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Sum(D) AS S FROM R0 GROUP BY A HAVING S > 20;\n"
+            'OUTPUT R TO "o";'
+        )
+        assert run(text, abcd_catalog)["o"] == [(1, 30)]
+
+    def test_multiple_outputs(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;\n"
+            'OUTPUT R TO "a";\nOUTPUT R0 TO "b";'
+        )
+        outputs = run(text, abcd_catalog)
+        assert set(outputs) == {"a", "b"}
+        assert len(outputs["b"]) == 4
+
+
+class TestGuards:
+    def test_rejects_split_group_bys(self, abcd_catalog):
+        text = (
+            'R0 = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;\n"
+            'OUTPUT R TO "o";'
+        )
+        plan = compile_script(text, abcd_catalog)
+        gb = next(
+            n for n in plan.iter_nodes() if isinstance(n.op, LogicalGroupBy)
+        )
+        local = LogicalPlan(
+            LogicalGroupBy(gb.op.keys, gb.op.aggregates, GroupByMode.LOCAL),
+            list(gb.children),
+        )
+        with pytest.raises(ValueError):
+            NaiveEvaluator(FILES)._eval(local)
+
+    def test_shared_nodes_evaluated_once(self, abcd_catalog):
+        """The evaluator caches by node identity (pure functions), so a
+        shared relation contributes the same rows to both consumers."""
+        text = (
+            'R0 = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;\n"
+            "X = SELECT A,S FROM R WHERE S > 0;\n"
+            "Y = SELECT A,S FROM R WHERE S > 20;\n"
+            'OUTPUT X TO "x";\nOUTPUT Y TO "y";'
+        )
+        outputs = run(text, abcd_catalog)
+        assert set(outputs["y"]) <= set(outputs["x"])

@@ -1,0 +1,167 @@
+"""Unit tests for per-operator delivered-property derivation."""
+
+import pytest
+
+from repro.plan.columns import Column, Schema
+from repro.plan.expressions import (
+    Aggregate,
+    AggFunc,
+    BinaryExpr,
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    NamedExpr,
+)
+from repro.plan.logical import GroupByMode
+from repro.plan.physical import (
+    PhysExtract,
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysMerge,
+    PhysMergeJoin,
+    PhysPassThrough,
+    PhysProject,
+    PhysRangeRepartition,
+    PhysRepartition,
+    PhysSort,
+    PhysSpool,
+    PhysStreamAgg,
+    PhysTopN,
+)
+from repro.plan.properties import (
+    Partitioning,
+    PartitionKind,
+    PhysicalProps,
+    SortOrder,
+)
+
+HASH_B_SORTED = PhysicalProps(
+    Partitioning.hashed({"B"}), SortOrder.of("B", "A")
+)
+RANDOM = PhysicalProps()
+
+
+class TestExchanges:
+    def test_repartition_delivers_hash(self):
+        props = PhysRepartition(("A", "B")).derive_props([RANDOM])
+        assert props.partitioning == Partitioning.hashed({"A", "B"})
+        assert not props.sort_order.is_sorted
+
+    def test_repartition_merge_sort_preserved_when_input_sorted(self):
+        op = PhysRepartition(("B",), merge_sort=SortOrder.of("B", "A"))
+        props = op.derive_props([HASH_B_SORTED])
+        assert props.sort_order == SortOrder.of("B", "A")
+
+    def test_repartition_merge_sort_dropped_when_input_unsorted(self):
+        op = PhysRepartition(("B",), merge_sort=SortOrder.of("B", "A"))
+        props = op.derive_props([RANDOM])
+        assert not props.sort_order.is_sorted
+
+    def test_merge_delivers_serial(self):
+        props = PhysMerge().derive_props([HASH_B_SORTED])
+        assert props.partitioning.kind is PartitionKind.SERIAL
+
+    def test_range_repartition_delivers_range(self):
+        props = PhysRangeRepartition(("B", "A")).derive_props([RANDOM])
+        assert props.partitioning == Partitioning.ranged(("B", "A"))
+
+
+class TestComputeOperators:
+    def test_filter_preserves_everything(self):
+        pred = BinaryExpr(BinaryOp.GT, ColumnRef("A"), Literal(1))
+        assert PhysFilter(pred).derive_props([HASH_B_SORTED]) == HASH_B_SORTED
+
+    def test_sort_overrides_order_keeps_partitioning(self):
+        props = PhysSort(SortOrder.of("A")).derive_props([HASH_B_SORTED])
+        assert props.partitioning == HASH_B_SORTED.partitioning
+        assert props.sort_order == SortOrder.of("A")
+
+    def test_project_renames_partitioning_columns(self):
+        exprs = (
+            NamedExpr(ColumnRef("B"), "Bee"),
+            NamedExpr(ColumnRef("A"), "A"),
+        )
+        props = PhysProject(exprs).derive_props([HASH_B_SORTED])
+        assert props.partitioning == Partitioning.hashed({"Bee"})
+        assert props.sort_order == SortOrder.of("Bee", "A")
+
+    def test_project_dropping_partition_column_degrades(self):
+        exprs = (NamedExpr(ColumnRef("A"), "A"),)
+        props = PhysProject(exprs).derive_props([HASH_B_SORTED])
+        assert props.partitioning.kind is PartitionKind.RANDOM
+        assert not props.sort_order.is_sorted
+
+    def test_project_computed_column_breaks_survival(self):
+        exprs = (
+            NamedExpr(BinaryExpr(BinaryOp.ADD, ColumnRef("B"), Literal(1)),
+                      "B"),
+        )
+        props = PhysProject(exprs).derive_props([HASH_B_SORTED])
+        assert props.partitioning.kind is PartitionKind.RANDOM
+
+    def test_project_renames_range_partitioning(self):
+        ranged = PhysicalProps(Partitioning.ranged(("B",)),
+                               SortOrder.of("B"))
+        exprs = (NamedExpr(ColumnRef("B"), "K"),)
+        props = PhysProject(exprs).derive_props([ranged])
+        assert props.partitioning == Partitioning.ranged(("K",))
+
+
+class TestAggregates:
+    AGGS = (Aggregate(AggFunc.SUM, ColumnRef("D"), "S"),)
+
+    def test_stream_agg_delivers_key_order(self):
+        op = PhysStreamAgg(("B", "A"), self.AGGS, GroupByMode.FULL)
+        props = op.derive_props([HASH_B_SORTED])
+        assert props.sort_order == SortOrder.of("B", "A")
+        assert props.partitioning == Partitioning.hashed({"B"})
+
+    def test_agg_drops_partitioning_on_aggregated_columns(self):
+        child = PhysicalProps(Partitioning.hashed({"D"}), SortOrder())
+        op = PhysHashAgg(("A",), self.AGGS, GroupByMode.LOCAL)
+        props = op.derive_props([child])
+        assert props.partitioning.kind is PartitionKind.RANDOM
+
+    def test_hash_agg_destroys_order(self):
+        op = PhysHashAgg(("B",), self.AGGS, GroupByMode.FULL)
+        props = op.derive_props([HASH_B_SORTED])
+        assert not props.sort_order.is_sorted
+
+    def test_topn_full_is_serial_and_sorted(self):
+        op = PhysTopN(5, ("A",), GroupByMode.FULL)
+        props = op.derive_props([HASH_B_SORTED])
+        assert props.partitioning.kind is PartitionKind.SERIAL
+        assert props.sort_order == SortOrder.of("A")
+
+    def test_topn_local_keeps_partitioning(self):
+        op = PhysTopN(5, ("A",), GroupByMode.LOCAL)
+        props = op.derive_props([HASH_B_SORTED])
+        assert props.partitioning == HASH_B_SORTED.partitioning
+
+
+class TestJoinsAndSharing:
+    def test_merge_join_delivers_left_layout(self):
+        left = PhysicalProps(Partitioning.hashed({"K"}), SortOrder.of("K"))
+        right = PhysicalProps(Partitioning.hashed({"J"}), SortOrder.of("J"))
+        op = PhysMergeJoin(("K",), ("J",))
+        props = op.derive_props([left, right])
+        assert props.partitioning == left.partitioning
+        assert props.sort_order == SortOrder.of("K")
+
+    def test_hash_join_destroys_order(self):
+        left = PhysicalProps(Partitioning.hashed({"K"}), SortOrder.of("K"))
+        right = PhysicalProps(Partitioning.hashed({"J"}), SortOrder())
+        props = PhysHashJoin(("K",), ("J",)).derive_props([left, right])
+        assert props.partitioning == left.partitioning
+        assert not props.sort_order.is_sorted
+
+    def test_spool_and_passthrough_are_transparent(self):
+        assert PhysSpool().derive_props([HASH_B_SORTED]) == HASH_B_SORTED
+        assert PhysPassThrough().derive_props([HASH_B_SORTED]) == HASH_B_SORTED
+
+    def test_extract_delivers_nothing(self):
+        schema = Schema([Column("A")])
+        props = PhysExtract(1, "f", "E", schema).derive_props([])
+        assert props.partitioning.kind is PartitionKind.RANDOM
+        assert not props.sort_order.is_sorted

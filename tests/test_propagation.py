@@ -1,0 +1,207 @@
+"""Tests for Algorithm 3: shared-group propagation and LCA identification.
+
+Reproduces the scenarios of Figure 3 (single shared group; two shared
+groups; LCA above the lowest common ancestor) and the independence
+analysis of Section VIII-A / Figure 5.
+"""
+
+import pytest
+
+from repro.cse.fingerprint import identify_common_subexpressions
+from repro.cse.propagation import compute_shared_reach, propagate_shared_groups
+from repro.optimizer.memo import Memo
+from repro.plan.logical import (
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalSequence,
+    LogicalSpool,
+)
+from repro.scope.compiler import compile_script
+from repro.workloads.paper_scripts import S1, S3
+
+# Figure 3(b) / Figure 4(b): the joins cross the two pipelines, so the
+# consumer paths of both shared groups only converge at the root.
+CROSS_JOIN_SCRIPT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+R2 = SELECT B,A,Sum(S) AS S2 FROM R GROUP BY B,A;
+T0 = EXTRACT A,B,C,D FROM "test2.log" USING LogExtractor;
+T = SELECT A,B,C,Sum(D) AS S FROM T0 GROUP BY A,B,C;
+T1 = SELECT B,C,Sum(S) AS S1 FROM T GROUP BY B,C;
+T2 = SELECT B,A,Sum(S) AS S2 FROM T GROUP BY B,A;
+F1 = SELECT R1.B,R1.C,T1.S1 FROM R1,T1 WHERE R1.B=T1.B;
+F2 = SELECT R2.B,R2.A,T2.S2 FROM R2,T2 WHERE R2.B=T2.B;
+OUTPUT F1 TO "result1.out";
+OUTPUT F2 TO "result2.out";
+"""
+
+# Figure 5: two shared groups whose consumers go straight to outputs —
+# independent, same LCA (the root).
+INDEPENDENT_SCRIPT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT A,B,Sum(S) AS S1 FROM R GROUP BY A,B;
+R2 = SELECT B,C,Sum(S) AS S2 FROM R GROUP BY B,C;
+T0 = EXTRACT A,B,C,D FROM "test2.log" USING LogExtractor;
+T = SELECT A,B,C,Sum(D) AS S FROM T0 GROUP BY A,B,C;
+T1 = SELECT A,B,Sum(S) AS S1 FROM T GROUP BY A,B;
+T2 = SELECT B,C,Sum(S) AS S2 FROM T GROUP BY B,C;
+OUTPUT R1 TO "r1.out";
+OUTPUT R2 TO "r2.out";
+OUTPUT T1 TO "t1.out";
+OUTPUT T2 TO "t2.out";
+"""
+
+# Figure 3(c): one shared group whose consumers ALSO feed a join; the
+# join is the lowest common ancestor, but the direct outputs of R1/R2
+# bypass it, so the LCA per Definition 2 is the root.
+FIG3C_SCRIPT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R1 = SELECT B,C,Sum(S) AS S1 FROM R GROUP BY B,C;
+R2 = SELECT B,A,Sum(S) AS S2 FROM R GROUP BY B,A;
+RR = SELECT R1.B,A,C FROM R1,R2 WHERE R1.B=R2.B;
+OUTPUT R1 TO "result1.out";
+OUTPUT R2 TO "result2.out";
+OUTPUT RR TO "result3.out";
+"""
+
+
+def prepared_memo(text, catalog):
+    memo = Memo.from_logical_plan(compile_script(text, catalog))
+    identify_common_subexpressions(memo)
+    return memo
+
+
+def spool_gid_over_keys(memo, keys):
+    """The shared spool group sitting above the GB with ``keys``."""
+    for group in memo.live_groups():
+        if isinstance(group.initial_expr.op, LogicalSpool):
+            child = memo.group(group.initial_expr.children[0])
+            op = child.initial_expr.op
+            if isinstance(op, LogicalGroupBy) and op.keys == keys:
+                return group.gid
+    raise AssertionError(f"no spool over GB{keys}")
+
+
+def group_of(memo, op_type):
+    return [g for g in memo.live_groups() if isinstance(g.initial_expr.op, op_type)]
+
+
+class TestFigure3a:
+    """S1: single shared group; LCA is the Sequence root."""
+
+    def test_lca_is_root(self, abcd_catalog):
+        memo = prepared_memo(S1, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        spool = spool_gid_over_keys(memo, ("A", "B", "C"))
+        assert result.lca[spool] == memo.root
+        assert isinstance(
+            memo.group(memo.root).initial_expr.op, LogicalSequence
+        )
+
+    def test_consumers_are_the_two_group_bys(self, abcd_catalog):
+        memo = prepared_memo(S1, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        spool = spool_gid_over_keys(memo, ("A", "B", "C"))
+        consumer_keys = {
+            memo.group(gid).initial_expr.op.keys
+            for gid in result.consumers[spool]
+        }
+        assert consumer_keys == {("A", "B"), ("B", "C")}
+
+    def test_shared_below_annotations(self, abcd_catalog):
+        """Figure 3(a): every group above the spool knows about it."""
+        memo = prepared_memo(S1, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        spool = spool_gid_over_keys(memo, ("A", "B", "C"))
+        for gid, infos in result.shared_below.items():
+            names = {s.grp_no for s in infos}
+            if gid == memo.root:
+                assert names == {spool}
+                assert infos[0].all_found()
+
+
+class TestFigure4a:
+    """S3: two shared groups whose LCAs are the two joins."""
+
+    def test_each_spool_has_its_own_join_lca(self, abcd_catalog):
+        memo = prepared_memo(S3, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        assert len(result.lca) == 2
+        join_gids = {g.gid for g in group_of(memo, LogicalJoin)}
+        lcas = set(result.lca.values())
+        assert lcas <= join_gids | {
+            p
+            for j in join_gids
+            for p in memo.parents_of(j)
+        }
+        assert len(lcas) == 2
+        assert memo.root not in lcas
+
+    def test_lca_to_shared_mapping(self, abcd_catalog):
+        memo = prepared_memo(S3, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        for lca_gid, shared in result.lca_to_shared.items():
+            assert len(shared) == 1
+
+
+class TestFigure3bAnd4b:
+    """Cross joins: both shared groups share the root as LCA and are
+    NOT independent."""
+
+    def test_single_root_lca_for_both(self, abcd_catalog):
+        memo = prepared_memo(CROSS_JOIN_SCRIPT, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        assert len(result.lca) == 2
+        assert set(result.lca.values()) == {memo.root}
+        assert sorted(result.lca_to_shared[memo.root]) == sorted(result.lca)
+
+    def test_not_independent(self, abcd_catalog):
+        memo = prepared_memo(CROSS_JOIN_SCRIPT, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        sets = result.independent_sets[memo.root]
+        assert len(sets) == 1
+        assert len(sets[0]) == 2
+
+
+class TestFigure5Independence:
+    def test_independent_shared_groups(self, abcd_catalog):
+        memo = prepared_memo(INDEPENDENT_SCRIPT, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        assert set(result.lca.values()) == {memo.root}
+        sets = result.independent_sets[memo.root]
+        assert len(sets) == 2
+        assert all(len(s) == 1 for s in sets)
+
+
+class TestFigure3c:
+    """LCA is not the lowest common ancestor when paths bypass it."""
+
+    def test_lca_is_root_not_join(self, abcd_catalog):
+        memo = prepared_memo(FIG3C_SCRIPT, abcd_catalog)
+        result = propagate_shared_groups(memo)
+        spool = spool_gid_over_keys(memo, ("A", "B", "C"))
+        # The join is a common ancestor of both consumers, but R1 and R2
+        # are also output directly — those paths bypass the join, so the
+        # LCA of the GB(A,B,C) spool must be the root.
+        assert result.lca[spool] == memo.root
+
+
+class TestSharedReach:
+    def test_reach_includes_nested_shared(self, abcd_catalog):
+        memo = prepared_memo(FIG3C_SCRIPT, abcd_catalog)
+        reach = compute_shared_reach(memo)
+        shared = {g.gid for g in memo.shared_groups()}
+        assert reach[memo.root] == frozenset(shared)
+        for gid in shared:
+            assert gid in reach[gid]
+
+    def test_leaf_reach_is_empty(self, abcd_catalog):
+        memo = prepared_memo(S1, abcd_catalog)
+        reach = compute_shared_reach(memo)
+        extract = next(
+            g.gid for g in memo.live_groups() if not g.initial_expr.children
+        )
+        assert reach[extract] == frozenset()

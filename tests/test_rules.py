@@ -1,0 +1,243 @@
+"""Tests for transformation and implementation rules."""
+
+import pytest
+
+from repro.optimizer.cardinality import CardinalityEstimator, annotate_memo
+from repro.optimizer.memo import Memo
+from repro.optimizer.rules.implementation import enumerate_implementations
+from repro.optimizer.rules.transformation import (
+    MergeConsecutiveFilters,
+    PushFilterBelowJoin,
+    PushFilterThroughProject,
+    RuleEnv,
+    SplitGroupBy,
+)
+from repro.plan.expressions import AggFunc
+from repro.plan.logical import (
+    GroupByMode,
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalProject,
+)
+from repro.plan.physical import (
+    PhysHashAgg,
+    PhysicalPlan,
+    PhysMergeJoin,
+    PhysStreamAgg,
+)
+from repro.plan.properties import (
+    PartitioningReq,
+    PartReqKind,
+    ReqProps,
+    SortOrder,
+)
+from repro.scope.compiler import compile_script
+from repro.workloads.paper_scripts import S1, S4
+
+
+def prepared(text, catalog):
+    memo = Memo.from_logical_plan(compile_script(text, catalog))
+    estimator = CardinalityEstimator(catalog, machines=4)
+    annotate_memo(memo, estimator)
+    return memo, RuleEnv(memo, estimator)
+
+
+def find_group(memo, predicate):
+    return next(g for g in memo.live_groups() if predicate(g.initial_expr.op))
+
+
+class TestSplitGroupBy:
+    def test_split_produces_final_over_local(self, abcd_catalog):
+        memo, env = prepared(S1, abcd_catalog)
+        group = find_group(
+            memo,
+            lambda op: isinstance(op, LogicalGroupBy)
+            and op.keys == ("A", "B", "C"),
+        )
+        rule = SplitGroupBy()
+        produced = list(rule.apply(memo, group.gid, group.initial_expr, env))
+        assert len(produced) == 1
+        final = produced[0]
+        assert final.op.mode is GroupByMode.FINAL
+        local_group = memo.group(final.children[0])
+        assert local_group.initial_expr.op.mode is GroupByMode.LOCAL
+
+    def test_merge_aggregates_use_merge_funcs(self, abcd_catalog):
+        memo, env = prepared(
+            'X = EXTRACT A,D FROM "test.log" USING E;\n'
+            "R = SELECT A,Count(D) AS C,Min(D) AS M FROM X GROUP BY A;\n"
+            'OUTPUT R TO "o";',
+            abcd_catalog,
+        )
+        group = find_group(memo, lambda op: isinstance(op, LogicalGroupBy))
+        final = next(
+            SplitGroupBy().apply(memo, group.gid, group.initial_expr, env)
+        )
+        funcs = {a.alias: a.func for a in final.op.aggregates}
+        assert funcs["C"] is AggFunc.SUM  # count of partials is summed
+        assert funcs["M"] is AggFunc.MIN
+
+    def test_local_and_final_not_resplit(self, abcd_catalog):
+        memo, env = prepared(S1, abcd_catalog)
+        group = find_group(
+            memo,
+            lambda op: isinstance(op, LogicalGroupBy)
+            and op.keys == ("A", "B", "C"),
+        )
+        rule = SplitGroupBy()
+        final = next(rule.apply(memo, group.gid, group.initial_expr, env))
+        assert not list(rule.apply(memo, group.gid, final, env))
+
+    def test_local_group_dedup(self, abcd_catalog):
+        memo, env = prepared(S1, abcd_catalog)
+        group = find_group(
+            memo,
+            lambda op: isinstance(op, LogicalGroupBy)
+            and op.keys == ("A", "B", "C"),
+        )
+        rule = SplitGroupBy()
+        a = next(rule.apply(memo, group.gid, group.initial_expr, env))
+        b = next(rule.apply(memo, group.gid, group.initial_expr, env))
+        assert a.children == b.children
+
+
+class TestFilterRules:
+    def test_merge_consecutive_filters(self, abcd_catalog):
+        memo, env = prepared(
+            'X = EXTRACT A,B FROM "test.log" USING E;\n'
+            "Y = SELECT A,B FROM X WHERE A > 1;\n"
+            "Z = SELECT A,B FROM Y WHERE B > 2;\n"
+            'OUTPUT Z TO "o";',
+            abcd_catalog,
+        )
+        outer = find_group(
+            memo,
+            lambda op: isinstance(op, LogicalFilter)
+            and "B" in op.predicate.referenced_columns(),
+        )
+        produced = list(
+            MergeConsecutiveFilters().apply(
+                memo, outer.gid, outer.initial_expr, env
+            )
+        )
+        assert len(produced) == 1
+        merged = produced[0]
+        assert merged.op.predicate.referenced_columns() == {"A", "B"}
+
+    def test_push_filter_through_project(self, abcd_catalog):
+        memo, env = prepared(
+            'X = EXTRACT A,B FROM "test.log" USING E;\n'
+            "Y = SELECT B AS P, A AS Q FROM X;\n"
+            "Z = SELECT P,Q FROM Y WHERE P > 1;\n"
+            'OUTPUT Z TO "o";',
+            abcd_catalog,
+        )
+        outer = find_group(memo, lambda op: isinstance(op, LogicalFilter))
+        produced = list(
+            PushFilterThroughProject().apply(
+                memo, outer.gid, outer.initial_expr, env
+            )
+        )
+        assert len(produced) == 1
+        assert isinstance(produced[0].op, LogicalProject)
+        pushed_filter = memo.group(produced[0].children[0])
+        assert isinstance(pushed_filter.initial_expr.op, LogicalFilter)
+        refs = pushed_filter.initial_expr.op.predicate.referenced_columns()
+        assert refs == {"B"}  # P maps back to B
+
+    def test_push_filter_below_join_splits_sides(self, abcd_catalog):
+        memo, env = prepared(
+            'X = EXTRACT A,B FROM "test.log" USING E;\n'
+            'Y = EXTRACT A,C FROM "test2.log" USING E;\n'
+            "Z = SELECT X.A,B,C FROM X,Y WHERE X.A = Y.A AND B > 1 AND C > 2;\n"
+            'OUTPUT Z TO "o";',
+            abcd_catalog,
+        )
+        outer = find_group(memo, lambda op: isinstance(op, LogicalFilter))
+        produced = list(
+            PushFilterBelowJoin().apply(memo, outer.gid, outer.initial_expr, env)
+        )
+        assert produced
+        join_expr = produced[0]
+        assert isinstance(join_expr.op, LogicalJoin)
+        left = memo.group(join_expr.children[0])
+        right = memo.group(join_expr.children[1])
+        assert isinstance(left.initial_expr.op, LogicalFilter)
+        # Right side is a rename project over the filtered extract or a
+        # filter directly, depending on rename placement.
+        assert isinstance(right.initial_expr.op, (LogicalFilter, LogicalProject))
+
+
+class TestImplementationRules:
+    def req_grouping(self, *cols):
+        return ReqProps(PartitioningReq.grouping(set(cols)))
+
+    def gb_group(self, memo, keys):
+        return find_group(
+            memo,
+            lambda op: isinstance(op, LogicalGroupBy) and op.keys == keys,
+        )
+
+    def test_group_by_offers_stream_and_hash(self, abcd_catalog):
+        memo, env = prepared(S1, abcd_catalog)
+        group = self.gb_group(memo, ("A", "B", "C"))
+        cands = list(
+            enumerate_implementations(
+                memo, group.initial_expr, ReqProps.anything()
+            )
+        )
+        kinds = {type(c.op) for c in cands}
+        assert PhysStreamAgg in kinds
+        assert PhysHashAgg in kinds
+
+    def test_stream_agg_aligns_with_required_sort(self, abcd_catalog):
+        """The interesting-order propagation behind Figure 8's (B,A,C)."""
+        memo, env = prepared(S1, abcd_catalog)
+        group = self.gb_group(memo, ("A", "B", "C"))
+        req = ReqProps(sort_order=SortOrder.of("B", "A"))
+        cands = [
+            c
+            for c in enumerate_implementations(memo, group.initial_expr, req)
+            if isinstance(c.op, PhysStreamAgg)
+        ]
+        orders = {c.op.key_order for c in cands}
+        assert ("B", "A", "C") in orders
+
+    def test_agg_child_requirement_intersects_keys(self, abcd_catalog):
+        memo, env = prepared(S1, abcd_catalog)
+        group = self.gb_group(memo, ("A", "B", "C"))
+        req = self.req_grouping("A", "B")
+        cands = list(
+            enumerate_implementations(memo, group.initial_expr, req)
+        )
+        for cand in cands:
+            preq = cand.child_reqs[0].partitioning
+            assert preq.kind is PartReqKind.RANGE
+            assert preq.hi <= {"A", "B"}
+
+    def test_incompatible_requirement_yields_no_direct_candidates(
+        self, abcd_catalog
+    ):
+        memo, env = prepared(S1, abcd_catalog)
+        group = self.gb_group(memo, ("A", "B", "C"))
+        # Partitioning on D cannot be delivered by an agg on A,B,C.
+        req = ReqProps(PartitioningReq.exact({"D"}))
+        assert not list(
+            enumerate_implementations(memo, group.initial_expr, req)
+        )
+
+    def test_join_candidates_co_partition_exactly(self, abcd_catalog):
+        memo, env = prepared(S4, abcd_catalog)
+        group = find_group(memo, lambda op: isinstance(op, LogicalJoin))
+        cands = list(
+            enumerate_implementations(
+                memo, group.initial_expr, ReqProps.anything()
+            )
+        )
+        merge_joins = [c for c in cands if isinstance(c.op, PhysMergeJoin)]
+        assert merge_joins
+        for cand in merge_joins:
+            left_req, right_req = cand.child_reqs
+            if left_req.partitioning.kind is PartReqKind.RANGE:
+                assert left_req.partitioning.lo == left_req.partitioning.hi

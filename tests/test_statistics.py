@@ -1,0 +1,100 @@
+"""Tests for statistics collection and catalog JSON (de)serialization."""
+
+import pytest
+
+from repro.plan.columns import ColumnType
+from repro.scope.catalog import Catalog
+from repro.scope.errors import CatalogError
+from repro.scope.statistics import (
+    catalog_from_json,
+    catalog_to_json,
+    collect_statistics,
+    infer_column_type,
+    register_data,
+)
+
+
+class TestTypeInference:
+    def test_ints(self):
+        assert infer_column_type([1, 2, 3]) is ColumnType.INT
+
+    def test_floats_win_over_ints(self):
+        assert infer_column_type([1, 2.5]) is ColumnType.FLOAT
+
+    def test_strings(self):
+        assert infer_column_type(["a", "b"]) is ColumnType.STRING
+
+    def test_nones_ignored(self):
+        assert infer_column_type([None, 7]) is ColumnType.INT
+
+
+class TestCollection:
+    def test_exact_counts(self):
+        rows = [{"A": i % 3, "B": i % 5} for i in range(30)]
+        count, ndv, types = collect_statistics(rows)
+        assert count == 30
+        assert ndv == {"A": 3, "B": 5}
+        assert types["A"] is ColumnType.INT
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            collect_statistics([])
+
+    def test_register_data(self):
+        catalog = Catalog()
+        rows = [{"A": i % 4, "Name": f"u{i % 2}"} for i in range(20)]
+        stats = register_data(catalog, "data.log", rows)
+        assert stats.rows == 20
+        assert stats.ndv_of("A") == 4
+        assert stats.schema["Name"].ctype is ColumnType.STRING
+        assert "data.log" in catalog
+
+
+class TestJsonRoundtrip:
+    def make_catalog(self):
+        catalog = Catalog()
+        catalog.register_file(
+            "a.log",
+            [("X", ColumnType.INT), ("Y", ColumnType.STRING)],
+            rows=1234,
+            ndv={"X": 99},
+        )
+        catalog.register_file(
+            "b.log", [("Z", ColumnType.FLOAT)], rows=777
+        )
+        return catalog
+
+    def test_roundtrip(self):
+        original = self.make_catalog()
+        restored = catalog_from_json(catalog_to_json(original))
+        for stats in original.files():
+            copy = restored.lookup(stats.path)
+            assert copy.rows == stats.rows
+            assert copy.schema == stats.schema
+            assert copy.ndv_of("X" if stats.path == "a.log" else "Z") == \
+                stats.ndv_of("X" if stats.path == "a.log" else "Z")
+
+    def test_bad_json(self):
+        with pytest.raises(CatalogError):
+            catalog_from_json("{not json")
+
+    def test_missing_files_key(self):
+        with pytest.raises(CatalogError):
+            catalog_from_json("{}")
+
+    def test_unknown_type(self):
+        with pytest.raises(CatalogError):
+            catalog_from_json(
+                '{"files": [{"path": "f", "rows": 1, '
+                '"columns": [{"name": "A", "type": "uuid"}]}]}'
+            )
+
+    def test_missing_column_field(self):
+        with pytest.raises(CatalogError):
+            catalog_from_json('{"files": [{"path": "f"}]}')
+
+    def test_reregistering_keeps_file_id(self):
+        catalog = self.make_catalog()
+        before = catalog.lookup("a.log").file_id
+        catalog.register_file("a.log", [("X", ColumnType.INT)], rows=5)
+        assert catalog.lookup("a.log").file_id == before

@@ -1,0 +1,82 @@
+"""Tests for the optimizer trace facility."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import optimize_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.optimizer.trace import OptimizerTrace, render_trace
+from repro.workloads.paper_scripts import S1
+
+
+@pytest.fixture
+def traced_result(abcd_catalog):
+    config = OptimizerConfig(
+        cost_params=CostParams(machines=4), trace=True
+    )
+    return optimize_script(S1, abcd_catalog, config)
+
+
+class TestCollection:
+    def test_disabled_by_default(self, abcd_catalog):
+        config = OptimizerConfig(cost_params=CostParams(machines=4))
+        result = optimize_script(S1, abcd_catalog, config)
+        assert result.details.engine.trace is None
+
+    def test_rounds_traced_with_costs(self, traced_result):
+        trace = traced_result.details.engine.trace
+        rounds = trace.rounds()
+        assert len(rounds) == traced_result.details.engine.stats.rounds
+        assert all(e.cost is not None for e in rounds)
+        # The winning round's cost matches the chosen phase-2 plan.
+        best = min(e.cost for e in rounds)
+        assert best == pytest.approx(traced_result.details.phase2_cost)
+
+    def test_rules_traced(self, traced_result):
+        trace = traced_result.details.engine.trace
+        counts = trace.rule_counts()
+        assert counts.get("split-groupby", 0) >= 1
+
+    def test_groups_traced_per_requirement(self, traced_result):
+        trace = traced_result.details.engine.trace
+        groups = trace.groups()
+        assert groups
+        # Every traced group event carries the requirement it was
+        # optimized under.
+        assert all("part=" in e.detail for e in groups)
+
+
+class TestRendering:
+    def test_render_sections(self, traced_result):
+        text = render_trace(traced_result.details.engine.trace)
+        assert "transformation rules fired" in text
+        assert "phase-2 rounds" in text
+        assert "group optimizations" in text
+        assert "split-groupby" in text
+
+    def test_render_empty_trace(self):
+        text = render_trace(OptimizerTrace())
+        assert "(none)" in text
+
+    def test_render_caps_group_listing(self, traced_result):
+        trace = traced_result.details.engine.trace
+        text = render_trace(trace, max_groups=2)
+        assert "more" in text
+
+
+class TestCliIntegration:
+    def test_explain_trace_flag(self, tmp_path, abcd_catalog, capsys):
+        from repro.cli import main
+        from repro.scope.statistics import catalog_to_json
+
+        script = tmp_path / "s.scope"
+        script.write_text(S1)
+        catalog_path = tmp_path / "c.json"
+        catalog_path.write_text(catalog_to_json(abcd_catalog))
+        assert main(["explain", str(script), "--catalog", str(catalog_path),
+                     "--machines", "4", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "phase-2 rounds" in out
+        assert "transformation rules fired" in out

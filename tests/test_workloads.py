@@ -1,0 +1,126 @@
+"""Tests for the workloads package: data generation and the Figure 7
+harness plumbing."""
+
+import pytest
+
+from repro.exec import Cluster
+from repro.workloads.datagen import (
+    generate_for_catalog,
+    generate_rows,
+    load_into_cluster,
+)
+from repro.workloads.figure7 import (
+    BUDGETS,
+    PAPER_RATIOS,
+    Figure7Row,
+    format_table,
+)
+from repro.workloads.paper_scripts import (
+    PAPER_SCRIPTS,
+    make_catalog,
+    make_exec_catalog,
+)
+
+
+class TestDatagen:
+    def test_deterministic_per_seed(self):
+        a = generate_rows(["A", "B"], 50, {"A": 5, "B": 3}, seed=7)
+        b = generate_rows(["A", "B"], 50, {"A": 5, "B": 3}, seed=7)
+        c = generate_rows(["A", "B"], 50, {"A": 5, "B": 3}, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_values_within_declared_domain(self):
+        rows = generate_rows(["A"], 200, {"A": 4}, seed=1)
+        assert {row["A"] for row in rows} <= set(range(4))
+
+    def test_generate_for_catalog_covers_all_files(self):
+        catalog = make_exec_catalog(rows=100)
+        files = generate_for_catalog(catalog, seed=0)
+        assert set(files) == {"test.log", "test2.log"}
+        assert all(len(rows) == 100 for rows in files.values())
+
+    def test_rows_override_caps(self):
+        catalog = make_catalog()  # 100M declared rows
+        files = generate_for_catalog(catalog, seed=0, rows_override=50)
+        assert all(len(rows) == 50 for rows in files.values())
+
+    def test_different_files_get_different_data(self):
+        catalog = make_exec_catalog(rows=100)
+        files = generate_for_catalog(catalog, seed=0)
+        assert files["test.log"] != files["test2.log"]
+
+    def test_load_into_cluster(self):
+        cluster = Cluster(machines=2)
+        load_into_cluster(cluster, make_exec_catalog(rows=10))
+        assert len(cluster.read_file("test.log")) == 10
+
+
+class TestPaperScripts:
+    def test_all_scripts_present(self):
+        assert set(PAPER_SCRIPTS) == {"S1", "S2", "S3", "S4"}
+
+    def test_s3_uses_second_log(self):
+        assert "test2.log" in PAPER_SCRIPTS["S3"]
+        assert "test2.log" not in PAPER_SCRIPTS["S1"]
+
+    def test_catalog_registers_both_logs(self):
+        catalog = make_catalog()
+        assert "test.log" in catalog
+        assert "test2.log" in catalog
+        a = catalog.lookup("test.log")
+        b = catalog.lookup("test2.log")
+        assert a.file_id != b.file_id
+        assert a.schema == b.schema
+
+
+class TestFigure7Harness:
+    def test_paper_ratios_cover_all_scripts(self):
+        assert set(PAPER_RATIOS) == {"S1", "S2", "S3", "S4", "LS1", "LS2"}
+        assert set(BUDGETS) == set(PAPER_RATIOS)
+
+    def test_row_derived_fields(self):
+        row = Figure7Row(
+            script="S1",
+            conventional_cost=100.0,
+            cse_cost=62.0,
+            paper_ratio=0.62,
+            rounds=5,
+            optimize_seconds=0.1,
+        )
+        assert row.ratio == pytest.approx(0.62)
+        assert row.saving_pct == pytest.approx(38.0)
+
+    def test_format_table(self):
+        row = Figure7Row("S1", 100.0, 62.0, 0.62, 5, 0.1)
+        table = format_table([row])
+        assert "S1" in table
+        assert "0.62" in table
+
+
+class TestSkewedDatagen:
+    def test_zipf_skew_shape(self):
+        from collections import Counter
+
+        from repro.workloads.datagen import generate_skewed_rows
+
+        rows = generate_skewed_rows(["A"], 2000, {"A": 100}, seed=2)
+        counts = Counter(row["A"] for row in rows)
+        most_common = counts.most_common(1)[0]
+        assert most_common[0] == 0  # rank-0 value dominates
+        assert most_common[1] > 2000 / 100 * 5  # far above uniform share
+
+    def test_values_within_domain(self):
+        from repro.workloads.datagen import generate_skewed_rows
+
+        rows = generate_skewed_rows(["A", "B"], 500, {"A": 10, "B": 3},
+                                    seed=0)
+        assert {row["A"] for row in rows} <= set(range(10))
+        assert {row["B"] for row in rows} <= set(range(3))
+
+    def test_deterministic(self):
+        from repro.workloads.datagen import generate_skewed_rows
+
+        a = generate_skewed_rows(["A"], 100, {"A": 10}, seed=3)
+        b = generate_skewed_rows(["A"], 100, {"A": 10}, seed=3)
+        assert a == b
