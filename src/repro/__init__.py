@@ -20,16 +20,28 @@ from .api import OptimizationResult, optimize_plan, optimize_script
 from .plan.columns import Column, ColumnType, Schema
 from .scope.catalog import Catalog
 from .scope.compiler import compile_script
+from .verify import (
+    PlanVerificationError,
+    VerificationReport,
+    check_plan,
+    set_default_verify,
+    verify_plan,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Catalog",
     "Column",
     "ColumnType",
     "OptimizationResult",
+    "PlanVerificationError",
     "Schema",
+    "VerificationReport",
+    "check_plan",
     "compile_script",
     "optimize_plan",
     "optimize_script",
+    "set_default_verify",
+    "verify_plan",
 ]

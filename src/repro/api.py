@@ -23,6 +23,7 @@ from .plan.pruning import prune_columns
 from .plan.physical import PhysicalPlan
 from .scope.catalog import Catalog
 from .scope.compiler import compile_script
+from .verify import check_plan, default_verify
 
 # Deep scripts (LS2 has >1000 operators) recurse through the engine;
 # Python's default limit is too tight for DAGs a few hundred levels deep.
@@ -95,12 +96,19 @@ def optimize_plan(
     config: Optional[OptimizerConfig] = None,
     exploit_cse: bool = True,
     prune: bool = True,
+    verify: Optional[bool] = None,
 ) -> OptimizationResult:
     """Optimize an already-compiled logical DAG.
 
     ``prune`` applies sharing-preserving column pruning first (a
     semantic no-op that narrows scans, projections and aggregations to
     the columns the outputs actually need).
+
+    ``verify`` runs :func:`repro.verify.verify_plan` over the chosen
+    plan and raises :class:`repro.verify.PlanVerificationError` on any
+    invariant violation.  ``None`` (the default) defers to the global
+    default — off normally, on under ``REPRO_VERIFY=1`` or
+    :func:`repro.verify.set_default_verify`.
     """
     _ensure_recursion_headroom()
     if prune:
@@ -109,6 +117,9 @@ def optimize_plan(
         details = optimize_with_cse(logical, catalog, config)
     else:
         details = optimize_conventional(logical, catalog, config)
+    if default_verify() if verify is None else verify:
+        mode = "cse" if exploit_cse else "conventional"
+        check_plan(details.plan, f"optimized plan ({mode})")
     return OptimizationResult(
         plan=details.plan,
         cost=details.cost,
@@ -123,7 +134,8 @@ def optimize_script(
     config: Optional[OptimizerConfig] = None,
     exploit_cse: bool = True,
     prune: bool = True,
+    verify: Optional[bool] = None,
 ) -> OptimizationResult:
     """Parse, compile and optimize a SCOPE script."""
     logical = compile_script(text, catalog)
-    return optimize_plan(logical, catalog, config, exploit_cse, prune)
+    return optimize_plan(logical, catalog, config, exploit_cse, prune, verify)

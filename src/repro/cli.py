@@ -5,14 +5,17 @@
     python -m repro explain  script.scope --catalog catalog.json
     python -m repro compare  script.scope --catalog catalog.json
     python -m repro run      script.scope --catalog catalog.json --rows 5000
+    python -m repro verify   script.scope --catalog catalog.json
     python -m repro figure7
 
 ``explain`` optimizes a script and prints the chosen plan (optionally as
 Graphviz or JSON); ``compare`` shows conventional vs CSE side by side;
 ``run`` additionally executes the plan on the cluster simulator over
 synthetic data matching the catalog statistics and cross-checks the
-result against the naive reference evaluator; ``figure7`` regenerates
-the paper's headline table.
+result against the naive reference evaluator; ``verify`` statically
+checks every optimized plan against the invariant catalog of
+``repro.verify`` and prints a structured violation report; ``figure7``
+regenerates the paper's headline table.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from .optimizer.explain import (
 from .scope.compiler import compile_script
 from .scope.errors import ScopeError
 from .scope.statistics import catalog_from_json
+from .verify import verify_plan
 from .workloads.datagen import generate_for_catalog
 
 
@@ -146,6 +150,45 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    catalog = _load_catalog(args.catalog)
+    text = _load_script(args.script)
+    config = _config(args)
+    modes = [("cse", True)]
+    if args.no_cse:
+        modes = [("conventional", False)]
+    elif not args.cse_only:
+        modes.append(("conventional", False))
+
+    reports = {}
+    failed = False
+    for label, exploit_cse in modes:
+        result = optimize_script(text, catalog, config,
+                                 exploit_cse=exploit_cse, verify=False)
+        plans = {"chosen": result.plan}
+        if args.phases and exploit_cse:
+            details = result.details
+            if details.phase1_plan is not None:
+                plans["phase1"] = details.phase1_plan
+            if details.phase2_plan is not None:
+                plans["phase2"] = details.phase2_plan
+        for plan_label, plan in plans.items():
+            report = verify_plan(plan)
+            reports[f"{label}/{plan_label}"] = report
+            failed = failed or not report.ok
+
+    if args.json:
+        print(json.dumps(
+            {name: report.to_dict() for name, report in reports.items()},
+            indent=2,
+        ))
+    else:
+        for name, report in reports.items():
+            print(f"--- {name} ---")
+            print(report.render())
+    return 1 if failed else 0
+
+
 def cmd_figure7(args) -> int:
     from .workloads.figure7 import format_table, run_all
 
@@ -202,6 +245,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--show-rows", type=int, default=0,
                        help="print up to N rows per output")
     p_run.set_defaults(func=cmd_run)
+
+    p_verify = sub.add_parser(
+        "verify", help="statically check optimized plans against the "
+        "invariant catalog"
+    )
+    common(p_verify)
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit the violation report as JSON")
+    p_verify.add_argument("--phases", action="store_true",
+                          help="also verify the per-phase plans, not just "
+                          "the chosen one")
+    p_verify.add_argument("--cse-only", action="store_true",
+                          help="skip the conventional baseline plan")
+    p_verify.set_defaults(func=cmd_verify)
 
     p_fig = sub.add_parser("figure7", help="regenerate the Figure 7 table")
     p_fig.add_argument("--scripts", default=None,

@@ -32,6 +32,7 @@ from ..plan.logical import LogicalPlan
 from ..plan.properties import ReqProps
 from ..plan.physical import PhysicalPlan
 from ..scope.catalog import Catalog
+from ..verify import check_plan
 from .fingerprint import CseReport, identify_common_subexpressions
 from .propagation import PropagationResult, propagate_shared_groups
 
@@ -63,6 +64,19 @@ class CseOptimizationResult:
     #: returns anything worse than it.
     fallback_cost: float = float("inf")
 
+    def verify_phases(self) -> None:
+        """Statically verify every plan the pipeline produced.
+
+        Raises :class:`repro.verify.PlanVerificationError` naming the
+        offending phase — catching a phase-2 bug even when the cheaper
+        phase-1 plan was ultimately chosen.
+        """
+        if self.phase1_plan is not None:
+            check_plan(self.phase1_plan, "phase-1 plan")
+        if self.phase2_plan is not None:
+            check_plan(self.phase2_plan, "phase-2 plan")
+        check_plan(self.plan, f"chosen plan (phase {self.chosen_phase})")
+
 
 class OptimizationFailure(RuntimeError):
     """The engine produced no feasible plan (indicates a planner bug)."""
@@ -72,8 +86,13 @@ def optimize_with_cse(
     logical: LogicalPlan,
     catalog: Catalog,
     config: Optional[OptimizerConfig] = None,
+    verify: bool = False,
 ) -> CseOptimizationResult:
-    """Run the full pipeline of Figure 2 on a logical script DAG."""
+    """Run the full pipeline of Figure 2 on a logical script DAG.
+
+    With ``verify`` the plans of *both* phases (and the chosen plan) are
+    statically checked via :mod:`repro.verify` before returning.
+    """
     memo = Memo.from_logical_plan(logical)
 
     # Step 1 — before the first optimization phase.
@@ -111,7 +130,7 @@ def optimize_with_cse(
     if fallback.cost < cost:
         plan, cost, chosen = fallback.plan, fallback.cost, 1
 
-    return CseOptimizationResult(
+    result = CseOptimizationResult(
         plan=plan,
         cost=cost,
         phase1_plan=phase1_plan,
@@ -125,12 +144,16 @@ def optimize_with_cse(
         memo=memo,
         fallback_cost=fallback.cost,
     )
+    if verify:
+        result.verify_phases()
+    return result
 
 
 def optimize_local_best(
     logical: LogicalPlan,
     catalog: Catalog,
     config: Optional[OptimizerConfig] = None,
+    verify: bool = False,
 ) -> CseOptimizationResult:
     """The related-work baseline: share, but choose properties locally.
 
@@ -199,7 +222,7 @@ def optimize_local_best(
     else:
         plan, cost = phase1_plan, phase1_cost
 
-    return CseOptimizationResult(
+    result = CseOptimizationResult(
         plan=plan,
         cost=cost,
         phase1_plan=phase1_plan,
@@ -212,12 +235,16 @@ def optimize_local_best(
         engine=engine,
         memo=memo,
     )
+    if verify:
+        result.verify_phases()
+    return result
 
 
 def optimize_conventional(
     logical: LogicalPlan,
     catalog: Catalog,
     config: Optional[OptimizerConfig] = None,
+    verify: bool = False,
 ) -> CseOptimizationResult:
     """Baseline: the original SCOPE optimizer, no CSE machinery at all.
 
@@ -231,6 +258,8 @@ def optimize_conventional(
     plan = engine.optimize(PHASE_CONVENTIONAL)
     if plan is None:
         raise OptimizationFailure("conventional optimization produced no plan")
+    if verify:
+        check_plan(plan, "conventional plan")
     cost = engine.plan_cost(plan)
     return CseOptimizationResult(
         plan=plan,

@@ -102,6 +102,41 @@ def explain_text(plan: PhysicalPlan,
     return "\n".join(lines)
 
 
+def explain_normalized(plan: PhysicalPlan) -> str:
+    """Stable plan rendering for golden-snapshot tests.
+
+    Shows the operator tree, operator details, delivered physical
+    properties and output schemas — the plan's *shape* — but no row or
+    cost estimates, so snapshots survive cost-model recalibrations that
+    do not change the chosen plan.  Shared sub-plans appear once and are
+    referenced as ``*<id>`` from every other consumer.
+    """
+    ids: Dict[int, int] = {}
+    lines: List[str] = []
+
+    def visit(node: PhysicalPlan, depth: int) -> None:
+        pad = "  " * depth
+        seen = ids.get(id(node))
+        if seen is not None:
+            lines.append(f"{pad}*{seen}")
+            return
+        node_id = len(ids)
+        ids[id(node)] = node_id
+        detail = node.op.detail()
+        detail = f" {detail}" if detail else ""
+        schema = ",".join(node.schema.names)
+        lines.append(
+            f"{pad}#{node_id} {node.op.name}{detail} "
+            f"[{node.props.partitioning} | {node.props.sort_order}] "
+            f"({schema})"
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines) + "\n"
+
+
 def to_dot(plan: PhysicalPlan, name: str = "plan") -> str:
     """Graphviz (dot) rendering of the plan DAG."""
     ids: Dict[int, int] = {}

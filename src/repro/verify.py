@@ -1,0 +1,696 @@
+"""Static plan-invariant verification (``repro.verify``).
+
+The optimizer deliberately picks *locally sub-optimal* physical
+properties for shared subexpressions (the paper's whole point), which
+makes its plans easy to break subtly: a property-history entry enforced
+at the wrong group, a compensation sort that never materializes, a
+winner cached under a stale enforcement context — all of these produce
+plans that look plausible and may even return correct results on small
+data.  The runtime re-validates properties against *data* (see
+``repro.exec.runtime``), but that safety net only fires for the rows a
+test happens to generate.  This module is the static counterpart: it
+walks any optimized physical DAG and independently re-derives and
+checks every invariant the optimizer is supposed to maintain, *before*
+execution.
+
+Invariant catalog (see ``docs/verification.md`` for the full rationale):
+
+===========================  ==============================================
+``unresolved-column``        every column an operator references (predicate,
+                             projection, keys, sort/partition columns)
+                             resolves against its producer's schema
+``schema-mismatch``          each node's output schema is the one its
+                             operator derives from its children's schemas
+``props-mismatch``           delivered physical properties equal the
+                             properties independently re-derived bottom-up
+``required-unsatisfied``     delivered partitioning/sorting satisfies the
+                             requirement the node was optimized for,
+                             including SCOPE's range-requirement subset rule
+``input-precondition``       operator preconditions hold: stream aggregates
+                             get sorted input, FULL/FINAL aggregations get
+                             input partitioned on a subset of their keys,
+                             FULL top-n and scalar aggregates get serial
+                             input, sorted outputs get serial or
+                             range-partitioned sorted input, merging
+                             exchanges get sorted input
+``join-colocation``          join inputs are compatibly partitioned
+                             (serial+serial, or hash on aligned key subsets)
+``spool-integrity``          spools pass properties through unchanged and
+                             the DAG contains a single producer per
+                             (shared group, required-properties) pair, so
+                             every consumer reads the same materialization
+``dop-mismatch``             the degree of parallelism changes only at
+                             exchange boundaries (serial↔parallel
+                             transitions inside a machine-local pipeline
+                             are impossible to execute)
+``invalid-estimate``         estimated rows / cost / self-cost are finite
+                             and non-negative
+===========================  ==============================================
+
+Entry points::
+
+    report = verify_plan(result.plan)      # -> VerificationReport
+    check_plan(result.plan)                # raises PlanVerificationError
+
+The verifier is wired into :func:`repro.api.optimize_script` (the
+``verify`` flag, default controlled by :func:`set_default_verify` /
+``REPRO_VERIFY``), into the CSE pipeline (every phase plan can be
+self-checked), and into the ``repro verify`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .plan.logical import GroupByMode
+from .plan.physical import (
+    PhysBroadcastJoin,
+    PhysExtract,
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysicalPlan,
+    PhysMerge,
+    PhysMergeJoin,
+    PhysOutput,
+    PhysPassThrough,
+    PhysProject,
+    PhysRangeRepartition,
+    PhysRepartition,
+    PhysSequence,
+    PhysSort,
+    PhysSpool,
+    PhysStreamAgg,
+    PhysTopN,
+    PhysUnionAll,
+)
+from .plan.properties import (
+    PartitioningReq,
+    PartitionKind,
+    SortOrder,
+)
+
+
+class Invariant(enum.Enum):
+    """The classes of invariant the verifier checks."""
+
+    UNRESOLVED_COLUMN = "unresolved-column"
+    SCHEMA_MISMATCH = "schema-mismatch"
+    PROPS_MISMATCH = "props-mismatch"
+    REQUIRED_UNSATISFIED = "required-unsatisfied"
+    INPUT_PRECONDITION = "input-precondition"
+    JOIN_COLOCATION = "join-colocation"
+    SPOOL_INTEGRITY = "spool-integrity"
+    DOP_MISMATCH = "dop-mismatch"
+    INVALID_ESTIMATE = "invalid-estimate"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, anchored to a specific plan node."""
+
+    invariant: Invariant
+    node_id: int
+    operator: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.invariant.value}] node#{self.node_id} "
+            f"{self.operator}: {self.message}"
+        )
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one static verification pass over a plan DAG."""
+
+    violations: List[Violation] = field(default_factory=list)
+    nodes_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_invariant(self) -> Dict[Invariant, List[Violation]]:
+        grouped: Dict[Invariant, List[Violation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.invariant, []).append(violation)
+        return grouped
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct violated invariant codes, sorted."""
+        return tuple(sorted({v.invariant.value for v in self.violations}))
+
+    def render(self) -> str:
+        """Human-readable structured report (used by ``repro verify``)."""
+        if self.ok:
+            return (
+                f"plan OK: {self.nodes_checked} nodes, "
+                f"{len(Invariant)} invariant classes checked"
+            )
+        lines = [
+            f"plan INVALID: {len(self.violations)} violation(s) over "
+            f"{self.nodes_checked} nodes"
+        ]
+        for invariant, violations in sorted(
+            self.by_invariant().items(), key=lambda kv: kv[0].value
+        ):
+            lines.append(f"  {invariant.value} ({len(violations)}):")
+            for violation in violations:
+                lines.append(
+                    f"    node#{violation.node_id} {violation.operator}: "
+                    f"{violation.message}"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable report for tooling."""
+        return {
+            "ok": self.ok,
+            "nodes_checked": self.nodes_checked,
+            "violations": [
+                {
+                    "invariant": v.invariant.value,
+                    "node": v.node_id,
+                    "operator": v.operator,
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+    def raise_if_failed(self, context: str = "") -> None:
+        if not self.ok:
+            raise PlanVerificationError(self, context)
+
+
+class PlanVerificationError(RuntimeError):
+    """An optimized plan failed static invariant verification."""
+
+    def __init__(self, report: VerificationReport, context: str = ""):
+        self.report = report
+        prefix = f"{context}: " if context else ""
+        super().__init__(f"{prefix}{report.render()}")
+
+
+#: Operators allowed to change the degree of parallelism (exchanges and
+#: structural roots; everything else runs inside a machine-local
+#: pipeline and must preserve its input's parallelism).
+_DOP_EXEMPT = (
+    PhysExtract,
+    PhysRepartition,
+    PhysRangeRepartition,
+    PhysMerge,
+    PhysOutput,
+    PhysSequence,
+    PhysUnionAll,
+)
+
+#: Enforcer operators the engine stacks *within* one memo group.  The
+#: inner nodes of such a stack are intentionally partial (a repartition
+#: below a compensating sort does not yet satisfy the sort requirement),
+#: so the required-properties invariant applies to the top of the stack.
+_ENFORCER_OPS = (PhysSort, PhysRepartition, PhysRangeRepartition, PhysMerge)
+
+
+class _Verifier:
+    """One verification pass; collects violations over a plan DAG."""
+
+    def __init__(self, plan: PhysicalPlan):
+        self.plan = plan
+        self.report = VerificationReport()
+        # Deterministic ids: pre-order position in the DAG walk.
+        self.node_ids: Dict[int, int] = {}
+        self.nodes: List[PhysicalPlan] = []
+        for node in plan.iter_nodes():
+            self.node_ids[id(node)] = len(self.nodes)
+            self.nodes.append(node)
+        self.parents: Dict[int, List[PhysicalPlan]] = {}
+        for node in self.nodes:
+            for child in node.children:
+                self.parents.setdefault(id(child), []).append(node)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _flag(self, invariant: Invariant, node: PhysicalPlan,
+              message: str) -> None:
+        self.report.violations.append(
+            Violation(
+                invariant=invariant,
+                node_id=self.node_ids[id(node)],
+                operator=node.op.name,
+                message=message,
+            )
+        )
+
+    def _check_columns(self, node: PhysicalPlan, columns, child_index: int,
+                       what: str) -> None:
+        child = node.children[child_index]
+        missing = sorted(set(columns) - set(child.schema.names))
+        if missing:
+            self._flag(
+                Invariant.UNRESOLVED_COLUMN,
+                node,
+                f"{what} references {missing} not produced by its input "
+                f"(input schema: {list(child.schema.names)})",
+            )
+
+    # -- the pass ----------------------------------------------------------
+
+    def run(self) -> VerificationReport:
+        for node in self.nodes:
+            self.report.nodes_checked += 1
+            self._check_estimates(node)
+            self._check_column_resolution(node)
+            self._check_schema(node)
+            self._check_derived_props(node)
+            self._check_required(node)
+            self._check_preconditions(node)
+            self._check_join_colocation(node)
+            self._check_dop(node)
+        self._check_spools()
+        return self.report
+
+    # -- invalid-estimate --------------------------------------------------
+
+    def _check_estimates(self, node: PhysicalPlan) -> None:
+        for name in ("rows", "cost", "self_cost"):
+            value = getattr(node, name)
+            if not math.isfinite(value) or value < 0:
+                self._flag(
+                    Invariant.INVALID_ESTIMATE,
+                    node,
+                    f"estimated {name} is {value!r} "
+                    f"(must be finite and non-negative)",
+                )
+
+    # -- unresolved-column -------------------------------------------------
+
+    def _check_column_resolution(self, node: PhysicalPlan) -> None:
+        op = node.op
+        if isinstance(op, PhysFilter):
+            self._check_columns(
+                node, op.predicate.referenced_columns(), 0, "predicate"
+            )
+        elif isinstance(op, PhysProject):
+            refs = set()
+            for ne in op.exprs:
+                refs |= ne.referenced_columns()
+            self._check_columns(node, refs, 0, "projection")
+        elif isinstance(op, PhysSort):
+            self._check_columns(node, op.order.columns, 0, "sort order")
+        elif isinstance(op, PhysRepartition):
+            self._check_columns(
+                node, set(op.columns) | set(op.merge_sort.columns), 0,
+                "partitioning columns",
+            )
+        elif isinstance(op, PhysRangeRepartition):
+            self._check_columns(
+                node, set(op.order) | set(op.merge_sort.columns), 0,
+                "range boundary columns",
+            )
+        elif isinstance(op, PhysMerge):
+            self._check_columns(node, op.merge_sort.columns, 0, "merge order")
+        elif isinstance(op, PhysStreamAgg):
+            refs = set(op.key_order)
+            for agg in op.aggregates:
+                refs |= agg.referenced_columns()
+            self._check_columns(node, refs, 0, "aggregation")
+        elif isinstance(op, PhysHashAgg):
+            refs = set(op.keys)
+            for agg in op.aggregates:
+                refs |= agg.referenced_columns()
+            self._check_columns(node, refs, 0, "aggregation")
+        elif isinstance(op, PhysTopN):
+            self._check_columns(node, op.order_columns, 0, "top-n order")
+        elif isinstance(op, (PhysMergeJoin, PhysHashJoin, PhysBroadcastJoin)):
+            self._check_columns(node, op.left_keys, 0, "left join keys")
+            self._check_columns(node, op.right_keys, 1, "right join keys")
+        elif isinstance(op, PhysOutput):
+            self._check_columns(node, op.sort_columns, 0, "output sort")
+
+    # -- schema-mismatch ---------------------------------------------------
+
+    def _check_schema(self, node: PhysicalPlan) -> None:
+        op = node.op
+        if isinstance(op, PhysExtract):
+            if node.schema != op.schema:
+                self._flag(
+                    Invariant.SCHEMA_MISMATCH, node,
+                    f"scan schema {list(node.schema.names)} differs from the "
+                    f"extractor's schema {list(op.schema.names)}",
+                )
+            return
+        if not node.children:
+            return
+        child = node.children[0]
+        if isinstance(op, (PhysFilter, PhysSort, PhysSpool, PhysPassThrough,
+                           PhysTopN, PhysRepartition, PhysRangeRepartition,
+                           PhysMerge, PhysOutput)):
+            if node.schema != child.schema:
+                self._flag(
+                    Invariant.SCHEMA_MISMATCH, node,
+                    f"schema {list(node.schema.names)} differs from its "
+                    f"input's schema {list(child.schema.names)} "
+                    f"(operator preserves the schema)",
+                )
+        elif isinstance(op, PhysProject):
+            expected = tuple(ne.alias for ne in op.exprs)
+            if node.schema.names != expected:
+                self._flag(
+                    Invariant.SCHEMA_MISMATCH, node,
+                    f"schema {list(node.schema.names)} differs from the "
+                    f"projection aliases {list(expected)}",
+                )
+        elif isinstance(op, (PhysStreamAgg, PhysHashAgg)):
+            keys = op.key_order if isinstance(op, PhysStreamAgg) else op.keys
+            expected_names = set(keys) | {a.alias for a in op.aggregates}
+            if set(node.schema.names) != expected_names:
+                self._flag(
+                    Invariant.SCHEMA_MISMATCH, node,
+                    f"schema {list(node.schema.names)} differs from keys + "
+                    f"aggregate aliases {sorted(expected_names)}",
+                )
+        elif isinstance(op, (PhysMergeJoin, PhysHashJoin, PhysBroadcastJoin)):
+            left, right = node.children
+            expected_set = set(left.schema.names) | set(right.schema.names)
+            expected_len = len(left.schema) + len(right.schema)
+            if (set(node.schema.names) != expected_set
+                    or len(node.schema) != expected_len):
+                self._flag(
+                    Invariant.SCHEMA_MISMATCH, node,
+                    f"schema {list(node.schema.names)} is not the "
+                    f"concatenation of its inputs' schemas "
+                    f"({list(left.schema.names)} ⊕ {list(right.schema.names)})",
+                )
+        elif isinstance(op, PhysUnionAll):
+            arities = {len(c.schema) for c in node.children}
+            if len(arities) > 1:
+                self._flag(
+                    Invariant.SCHEMA_MISMATCH, node,
+                    f"UNION ALL inputs differ in arity: {sorted(arities)}",
+                )
+            elif node.schema != child.schema:
+                self._flag(
+                    Invariant.SCHEMA_MISMATCH, node,
+                    f"schema {list(node.schema.names)} differs from the "
+                    f"first input's schema {list(child.schema.names)}",
+                )
+        elif isinstance(op, PhysSequence):
+            if len(node.schema) != 0:
+                self._flag(
+                    Invariant.SCHEMA_MISMATCH, node,
+                    f"Sequence produces no rows but carries schema "
+                    f"{list(node.schema.names)}",
+                )
+
+    # -- props-mismatch ----------------------------------------------------
+
+    def _check_derived_props(self, node: PhysicalPlan) -> None:
+        try:
+            derived = node.op.derive_props([c.props for c in node.children])
+        except (IndexError, ValueError) as exc:
+            self._flag(
+                Invariant.PROPS_MISMATCH, node,
+                f"property derivation failed: {exc}",
+            )
+            return
+        if derived != node.props:
+            self._flag(
+                Invariant.PROPS_MISMATCH, node,
+                f"claims {node.props} but re-derivation from its inputs "
+                f"gives {derived}",
+            )
+
+    # -- required-unsatisfied ----------------------------------------------
+
+    def _is_enforcer_intermediate(self, node: PhysicalPlan) -> bool:
+        """Inner node of a same-group enforcer/compensation stack?
+
+        The engine builds enforcer chains (e.g. ``Sort`` over
+        ``Repartition``) inside one memo group; only the chain's top must
+        satisfy the group's requirement.  An inner node is recognized by
+        a parent enforcer implementing the same group.
+        """
+        if node.group_id is None:
+            return False
+        return any(
+            parent.group_id == node.group_id
+            and isinstance(parent.op, _ENFORCER_OPS)
+            for parent in self.parents.get(id(node), ())
+        )
+
+    def _check_required(self, node: PhysicalPlan) -> None:
+        if node.required is None:
+            return
+        if node.props.satisfies(node.required):
+            return
+        if self._is_enforcer_intermediate(node):
+            return
+        self._flag(
+            Invariant.REQUIRED_UNSATISFIED, node,
+            f"delivers {node.props} which does not satisfy the required "
+            f"properties {node.required} it was optimized for",
+        )
+
+    # -- input-precondition ------------------------------------------------
+
+    def _require_sorted(self, node: PhysicalPlan, child_index: int,
+                        order: SortOrder, what: str) -> None:
+        child = node.children[child_index]
+        if not child.props.sort_order.satisfies(order):
+            self._flag(
+                Invariant.INPUT_PRECONDITION, node,
+                f"{what} requires input sorted on {order} but the input "
+                f"delivers sort={child.props.sort_order}",
+            )
+
+    def _check_preconditions(self, node: PhysicalPlan) -> None:
+        op = node.op
+        if isinstance(op, PhysStreamAgg):
+            self._require_sorted(
+                node, 0, SortOrder(op.key_order), "stream aggregation"
+            )
+            if op.mode is not GroupByMode.LOCAL:
+                self._check_grouping_partitioning(node, op.key_order)
+        elif isinstance(op, PhysHashAgg):
+            if op.mode is not GroupByMode.LOCAL:
+                self._check_grouping_partitioning(node, op.keys)
+        elif isinstance(op, PhysMergeJoin):
+            self._require_sorted(
+                node, 0, SortOrder(op.left_keys), "merge join (left)"
+            )
+            self._require_sorted(
+                node, 1, SortOrder(op.right_keys), "merge join (right)"
+            )
+        elif isinstance(op, PhysBroadcastJoin):
+            left = node.children[0]
+            if left.props.partitioning.kind is PartitionKind.SERIAL:
+                self._flag(
+                    Invariant.INPUT_PRECONDITION, node,
+                    "broadcast join over a serial left side replicates the "
+                    "build side for no benefit (the optimizer never emits "
+                    "this shape)",
+                )
+        elif isinstance(op, PhysTopN):
+            if op.mode is not GroupByMode.LOCAL:
+                child = node.children[0]
+                if child.props.partitioning.kind is not PartitionKind.SERIAL:
+                    self._flag(
+                        Invariant.INPUT_PRECONDITION, node,
+                        f"final top-{op.n} needs all rows in one partition "
+                        f"but the input is {child.props.partitioning}",
+                    )
+        elif isinstance(op, PhysOutput) and op.sort_columns:
+            child = node.children[0]
+            order = SortOrder(op.sort_columns)
+            self._require_sorted(node, 0, order, "sorted output")
+            part = child.props.partitioning
+            range_req = PartitioningReq.range_sorted(op.sort_columns)
+            if not range_req.is_satisfied_by(part):
+                self._flag(
+                    Invariant.INPUT_PRECONDITION, node,
+                    f"globally sorted output needs serial or range-"
+                    f"partitioned input on a prefix of "
+                    f"({','.join(op.sort_columns)}) but the input is {part}",
+                )
+        elif isinstance(op, (PhysRepartition, PhysRangeRepartition)):
+            if op.merge_sort.is_sorted:
+                self._require_sorted(
+                    node, 0, op.merge_sort, "merging exchange"
+                )
+        elif isinstance(op, PhysMerge):
+            if op.merge_sort.is_sorted:
+                self._require_sorted(node, 0, op.merge_sort, "sorted gather")
+
+    def _check_grouping_partitioning(self, node: PhysicalPlan, keys) -> None:
+        """FULL/FINAL aggregation: input partitioned on a subset of keys.
+
+        This is SCOPE's ``[∅, keys]`` range requirement — the subset rule
+        that lets a shared subexpression partitioned on ``{B}`` feed both
+        an ``{A,B}`` and a ``{B,C}`` grouping (paper, Figure 1).
+        """
+        child = node.children[0]
+        part = child.props.partitioning
+        if not keys:
+            if part.kind is not PartitionKind.SERIAL:
+                self._flag(
+                    Invariant.INPUT_PRECONDITION, node,
+                    f"scalar aggregation needs a single partition but the "
+                    f"input is {part}",
+                )
+            return
+        if not part.partitioned_on(keys):
+            self._flag(
+                Invariant.INPUT_PRECONDITION, node,
+                f"grouping on ({','.join(keys)}) needs input partitioned on "
+                f"a subset of the keys (or serial) but the input is {part}",
+            )
+
+    # -- join-colocation ---------------------------------------------------
+
+    def _check_join_colocation(self, node: PhysicalPlan) -> None:
+        op = node.op
+        if not isinstance(op, (PhysMergeJoin, PhysHashJoin)):
+            return
+        left = node.children[0].props.partitioning
+        right = node.children[1].props.partitioning
+        if (left.kind is PartitionKind.SERIAL
+                and right.kind is PartitionKind.SERIAL):
+            return
+        if (left.kind is PartitionKind.HASH
+                and right.kind is PartitionKind.HASH):
+            mapping = dict(zip(op.left_keys, op.right_keys))
+            if not left.columns <= set(mapping):
+                self._flag(
+                    Invariant.JOIN_COLOCATION, node,
+                    f"left input is partitioned on {sorted(left.columns)} "
+                    f"which is not a subset of the join keys "
+                    f"{sorted(set(op.left_keys))}",
+                )
+                return
+            expected = frozenset(mapping[c] for c in left.columns)
+            if right.columns != expected:
+                self._flag(
+                    Invariant.JOIN_COLOCATION, node,
+                    f"inputs are not co-partitioned: left on "
+                    f"{sorted(left.columns)} maps to {sorted(expected)} but "
+                    f"the right input is partitioned on "
+                    f"{sorted(right.columns)}",
+                )
+            return
+        self._flag(
+            Invariant.JOIN_COLOCATION, node,
+            f"incompatible input layouts: left={left} right={right} "
+            f"(need serial+serial or aligned hash+hash)",
+        )
+
+    # -- dop-mismatch ------------------------------------------------------
+
+    def _check_dop(self, node: PhysicalPlan) -> None:
+        op = node.op
+        if isinstance(op, _DOP_EXEMPT) or not node.children:
+            return
+        parallel = node.props.partitioning.is_parallel
+        if isinstance(op, (PhysMergeJoin, PhysHashJoin)):
+            left, right = node.children
+            if (left.props.partitioning.is_parallel
+                    != right.props.partitioning.is_parallel):
+                self._flag(
+                    Invariant.DOP_MISMATCH, node,
+                    f"join inputs disagree on parallelism: "
+                    f"left={left.props.partitioning} "
+                    f"right={right.props.partitioning}",
+                )
+            reference = left.props.partitioning.is_parallel
+        elif isinstance(op, PhysBroadcastJoin):
+            # The replicated right side is an exchange; only the left
+            # (pass-through) side pins the node's parallelism.
+            reference = node.children[0].props.partitioning.is_parallel
+        else:
+            reference = node.children[0].props.partitioning.is_parallel
+        if parallel != reference:
+            self._flag(
+                Invariant.DOP_MISMATCH, node,
+                f"parallelism changes at a non-exchange operator: input is "
+                f"{'parallel' if reference else 'serial'} but the operator "
+                f"delivers {'parallel' if parallel else 'serial'} "
+                f"{node.props.partitioning}",
+            )
+
+    # -- spool-integrity ---------------------------------------------------
+
+    def _check_spools(self) -> None:
+        producers: Dict[Tuple, PhysicalPlan] = {}
+        for node in self.nodes:
+            if not isinstance(node.op, PhysSpool):
+                continue
+            child = node.children[0]
+            if node.props != child.props:
+                self._flag(
+                    Invariant.SPOOL_INTEGRITY, node,
+                    f"spool must pass its input's properties through "
+                    f"unchanged but claims {node.props} over "
+                    f"{child.props}",
+                )
+            if node.group_id is None:
+                continue
+            key = (node.group_id, node.required)
+            other = producers.get(key)
+            if other is not None:
+                self._flag(
+                    Invariant.SPOOL_INTEGRITY, node,
+                    f"duplicate spool for shared group #{node.group_id} "
+                    f"under {node.required}: node#{self.node_ids[id(other)]} "
+                    f"already materializes it (consumers would build the "
+                    f"result twice)",
+                )
+            else:
+                producers[key] = node
+
+
+def verify_plan(plan: PhysicalPlan) -> VerificationReport:
+    """Statically verify a physical plan DAG; returns the full report."""
+    return _Verifier(plan).run()
+
+
+def check_plan(plan: PhysicalPlan, context: str = "") -> PhysicalPlan:
+    """Verify ``plan``; raise :class:`PlanVerificationError` on violations.
+
+    Returns the plan unchanged so it can be used inline::
+
+        return check_plan(engine.optimize(...), "phase 1")
+    """
+    verify_plan(plan).raise_if_failed(context)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Default-verification switch (used by repro.api and the test suite)
+# ---------------------------------------------------------------------------
+
+_default_verify = os.environ.get("REPRO_VERIFY", "") not in ("", "0", "false")
+
+
+def set_default_verify(enabled: bool) -> None:
+    """Globally default ``optimize_script(..., verify=None)`` to ``enabled``.
+
+    The test suite turns this on (see ``tests/conftest.py``), so every
+    plan any test optimizes is statically verified; ``REPRO_VERIFY=1``
+    does the same for ad-hoc runs.
+    """
+    global _default_verify
+    _default_verify = bool(enabled)
+
+
+def default_verify() -> bool:
+    """Current default for the ``verify`` flag of the optimize entrypoints."""
+    return _default_verify

@@ -8,6 +8,35 @@ from repro.optimizer.cost import CostParams
 from repro.optimizer.engine import OptimizerConfig
 from repro.plan.columns import ColumnType
 from repro.scope.catalog import Catalog
+from repro.verify import set_default_verify
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden plan snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _verify_every_optimized_plan():
+    """Statically verify every plan any test optimizes.
+
+    Flipping the global default routes the whole suite through
+    ``repro.verify`` — a planner bug anywhere surfaces as a named
+    invariant violation instead of a downstream result mismatch.
+    """
+    set_default_verify(True)
+    yield
+    set_default_verify(False)
 
 
 @pytest.fixture

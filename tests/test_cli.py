@@ -89,6 +89,40 @@ class TestRun:
                      "--rows", "800", "--no-cse"]) == 0
 
 
+class TestVerify:
+    def test_reports_all_modes_ok(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["verify", script, "--catalog", catalog]) == 0
+        out = capsys.readouterr().out
+        assert "cse/chosen" in out
+        assert "conventional/chosen" in out
+        assert "plan OK" in out
+        assert "INVALID" not in out
+
+    def test_phases_flag_checks_phase_plans(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["verify", script, "--catalog", catalog,
+                     "--phases"]) == 0
+        out = capsys.readouterr().out
+        assert "cse/phase1" in out
+
+    def test_json_output(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["verify", script, "--catalog", catalog, "--json",
+                     "--cse-only"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["cse/chosen"]["ok"] is True
+        assert data["cse/chosen"]["violations"] == []
+
+    def test_no_cse_checks_only_conventional(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["verify", script, "--catalog", catalog,
+                     "--no-cse"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional/chosen" in out
+        assert "cse/chosen" not in out
+
+
 class TestErrors:
     def test_missing_catalog_file(self, workspace, capsys):
         script, _catalog = workspace

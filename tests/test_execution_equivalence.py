@@ -88,3 +88,50 @@ class TestSharingActuallyHappens:
         )
         assert metrics.rows_extracted == 4000
         assert metrics.spool_reads == 3
+
+
+#: Distinct input files per paper script: the CSE plan must invoke the
+#: Extract operator exactly this many times — every shared scan is read
+#: once and re-distributed through spools, never re-extracted.
+EXPECTED_INPUT_FILES = {"S1": 1, "S2": 1, "S3": 2, "S4": 1}
+
+
+class TestOperatorInvocationCounters:
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_cse_extracts_each_input_file_once(self, name, abcd_catalog):
+        _o, _e, metrics, _ = run_script(
+            PAPER_SCRIPTS[name], abcd_catalog, exploit_cse=True
+        )
+        assert (
+            metrics.operator_invocations["Extract"]
+            == EXPECTED_INPUT_FILES[name]
+        ), (
+            f"{name}: CSE plan re-extracted a shared input "
+            f"({metrics.operator_invocations})"
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_conventional_extracts_strictly_more(self, name, abcd_catalog):
+        _o, _e, base_metrics, _ = run_script(
+            PAPER_SCRIPTS[name], abcd_catalog, exploit_cse=False
+        )
+        _o, _e, cse_metrics, _ = run_script(
+            PAPER_SCRIPTS[name], abcd_catalog, exploit_cse=True
+        )
+        base = base_metrics.operator_invocations["Extract"]
+        cse = cse_metrics.operator_invocations["Extract"]
+        assert cse == EXPECTED_INPUT_FILES[name]
+        assert base > cse, (
+            f"{name}: every paper script shares its scans, so the "
+            f"conventional plan must extract more often ({base} vs {cse})"
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_spool_invocations_match_spool_reads(self, name, abcd_catalog):
+        _o, _e, metrics, _ = run_script(
+            PAPER_SCRIPTS[name], abcd_catalog, exploit_cse=True
+        )
+        assert (
+            metrics.operator_invocations.get("Spool", 0)
+            == metrics.spool_reads
+        )

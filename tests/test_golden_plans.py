@@ -1,0 +1,77 @@
+"""Golden-plan snapshots for the paper's Figure 3/4 scripts.
+
+Each scenario's optimized plan is rendered with
+:func:`repro.optimizer.explain.explain_normalized` (shape, properties
+and schemas — no row/cost estimates) and compared byte-for-byte against
+the snapshot in ``tests/golden/``.  A diff means the optimizer changed
+which plan it picks for a paper scenario — sometimes intentional, never
+silent.  Refresh the snapshots with::
+
+    pytest tests/test_golden_plans.py --update-golden
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.api import optimize_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.optimizer.explain import explain_normalized
+from repro.workloads.paper_scripts import S1, S3, make_catalog
+
+from tests.test_propagation import (
+    CROSS_JOIN_SCRIPT,
+    FIG3C_SCRIPT,
+    INDEPENDENT_SCRIPT,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Figure 3: (a) = S1's shared aggregation fan-out, (b) = S3's two
+#: independent pipelines, (c) = consumers joined with each other.
+#: Figure 4: (a) = S3's two LCAs, (b) = one LCA over dependent shared
+#: groups (cross joins).  Figure 5: independent shared groups.
+SCENARIOS = {
+    "fig3a_s1_cse": (S1, True),
+    "fig3a_s1_conventional": (S1, False),
+    "fig3b_s3_cse": (S3, True),
+    "fig3c_join_of_consumers_cse": (FIG3C_SCRIPT, True),
+    "fig4b_cross_joins_cse": (CROSS_JOIN_SCRIPT, True),
+    "fig5_independent_cse": (INDEPENDENT_SCRIPT, True),
+}
+
+
+def optimize_scenario(script, exploit_cse):
+    config = OptimizerConfig(cost_params=CostParams(machines=25))
+    result = optimize_script(script, make_catalog(), config,
+                             exploit_cse=exploit_cse)
+    return explain_normalized(result.plan)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_plan(name, update_golden):
+    script, exploit_cse = SCENARIOS[name]
+    rendered = optimize_scenario(script, exploit_cse)
+    golden_path = GOLDEN_DIR / f"{name}.txt"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(rendered)
+        pytest.skip(f"updated {golden_path}")
+    assert golden_path.exists(), (
+        f"missing snapshot {golden_path}; run with --update-golden"
+    )
+    expected = golden_path.read_text()
+    assert rendered == expected, (
+        f"plan shape for {name} changed; if intentional, refresh with "
+        f"`pytest tests/test_golden_plans.py --update-golden`\n"
+        f"--- expected ---\n{expected}\n--- got ---\n{rendered}"
+    )
+
+
+def test_normalized_output_is_deterministic():
+    first = optimize_scenario(S1, True)
+    second = optimize_scenario(S1, True)
+    assert first == second

@@ -33,6 +33,7 @@ from repro.plan.properties import (
 )
 from repro.scope.catalog import Catalog
 from repro.scope.compiler import compile_script
+from repro.verify import verify_plan
 from repro.workloads.datagen import generate_rows
 
 KEY_COLUMNS = ("A", "B", "C")
@@ -55,7 +56,7 @@ def scope_scripts(draw) -> str:
     """A random SCOPE script over test.log with arbitrary sharing.
 
     Covers filters, differently-keyed aggregations, DISTINCT, TOP-N,
-    COUNT(DISTINCT),
+    COUNT(DISTINCT), UNION ALL (including unions of shared branches),
     equi-joins (comma / INNER / LEFT OUTER, including self-sharing
     through the FROM clause) and plain/sorted outputs.
     """
@@ -71,9 +72,23 @@ def scope_scripts(draw) -> str:
         kind = draw(
             st.sampled_from(
                 ["filter", "groupby", "groupby", "join", "distinct",
-                 "top", "countd"]
+                 "top", "countd", "union"]
             )
         )
+        if kind == "union":
+            other = rels[draw(st.integers(0, len(rels) - 1))]
+            shared_keys = sorted(set(parent.keys) & set(other.keys))
+            if not shared_keys:
+                kind = "filter"
+            else:
+                has_value = parent.has_value and other.has_value
+                cols = ",".join(shared_keys + (["V"] if has_value else []))
+                lines.append(
+                    f"{name} = SELECT {cols} FROM {parent.name} "
+                    f"UNION ALL SELECT {cols} FROM {other.name};"
+                )
+                rels.append(_Rel(name, shared_keys, has_value))
+                continue
         if kind == "join":
             other = rels[draw(st.integers(0, len(rels) - 1))]
             shared_keys = sorted(set(parent.keys) & set(other.keys))
@@ -224,6 +239,23 @@ def test_random_scripts_execute_correctly(script, seed):
             assert outputs[path].sorted_rows() == want, (
                 f"cse={exploit_cse} differs at {path}\n{script}"
             )
+
+
+@settings(max_examples=30, deadline=None)
+@given(script=scope_scripts())
+def test_every_generated_plan_passes_static_verification(script):
+    """Every optimized plan — conventional, CSE, and both CSE phases —
+    must pass the full invariant catalog of ``repro.verify``."""
+    catalog = small_catalog()
+    cfg = OptimizerConfig(cost_params=CostParams(machines=3))
+    for exploit_cse in (False, True):
+        result = optimize_script(script, catalog, cfg,
+                                 exploit_cse=exploit_cse)
+        report = verify_plan(result.plan)
+        assert report.ok, (
+            f"cse={exploit_cse}\n{report.render()}\n{script}"
+        )
+        result.details.verify_phases()
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,369 @@
+"""Mutation tests for the static plan verifier (``repro.verify``).
+
+Each test takes a *valid* optimized plan, surgically corrupts it into a
+shape the optimizer must never emit, and asserts the verifier reports
+the specific invariant violation.  ``PhysicalPlan`` nodes are mutable
+dataclasses, so the corruptions edit plans in place exactly the way a
+planner bug would.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import math
+
+import pytest
+
+from repro.api import optimize_script
+from repro.plan.expressions import BinaryExpr, BinaryOp, ColumnRef, Literal
+from repro.plan.logical import GroupByMode
+from repro.plan.physical import (
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysMerge,
+    PhysMergeJoin,
+    PhysRepartition,
+    PhysSpool,
+    PhysStreamAgg,
+    PhysTopN,
+)
+from repro.plan.properties import (
+    Partitioning,
+    PhysicalProps,
+    ReqProps,
+    SortOrder,
+)
+from repro.verify import (
+    Invariant,
+    PlanVerificationError,
+    check_plan,
+    verify_plan,
+)
+from repro.workloads.paper_scripts import S1, S4
+
+FILTER_SCRIPT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,D FROM R0 WHERE A > 2;
+G = SELECT A,B,Sum(D) AS S FROM R GROUP BY A,B;
+OUTPUT G TO "result.out";
+"""
+
+TOPN_SCRIPT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+G = SELECT A,B,Sum(D) AS S FROM R0 GROUP BY A,B;
+T = SELECT TOP 5 A,B,S FROM G ORDER BY A;
+OUTPUT T TO "result.out";
+"""
+
+
+def optimized(script, catalog, config, exploit_cse=True):
+    plan = optimize_script(
+        script, catalog, config, exploit_cse=exploit_cse
+    ).plan
+    report = verify_plan(plan)
+    assert report.ok, f"precondition: plan must start valid\n{report.render()}"
+    return plan
+
+
+def find(plan, op_type, pred=lambda n: True):
+    for node in plan.iter_nodes():
+        if isinstance(node.op, op_type) and pred(node):
+            return node
+    raise AssertionError(f"plan contains no matching {op_type.__name__}")
+
+
+def assert_violated(plan, invariant):
+    report = verify_plan(plan)
+    assert not report.ok, f"expected a {invariant.value} violation"
+    assert invariant.value in report.codes(), (
+        f"expected {invariant.value}, got {report.codes()}:\n"
+        f"{report.render()}"
+    )
+    return report
+
+
+class TestInvalidEstimate:
+    def test_nan_rows(self, abcd_catalog, small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        node = find(plan, (PhysStreamAgg, PhysHashAgg))
+        node.rows = float("nan")
+        assert_violated(plan, Invariant.INVALID_ESTIMATE)
+
+    def test_negative_cost(self, abcd_catalog, small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        plan.cost = -1.0
+        report = assert_violated(plan, Invariant.INVALID_ESTIMATE)
+        [violation] = report.violations
+        assert "cost" in violation.message
+
+    def test_infinite_self_cost(self, abcd_catalog, small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        node = find(plan, PhysRepartition)
+        node.self_cost = math.inf
+        assert_violated(plan, Invariant.INVALID_ESTIMATE)
+
+
+class TestUnresolvedColumn:
+    def test_filter_predicate_over_missing_column(self, abcd_catalog,
+                                                  small_config):
+        plan = optimized(FILTER_SCRIPT, abcd_catalog, small_config)
+        node = find(plan, PhysFilter)
+        node.op = dataclasses.replace(
+            node.op,
+            predicate=BinaryExpr(BinaryOp.GT, ColumnRef("ZZZ"), Literal(2)),
+        )
+        report = assert_violated(plan, Invariant.UNRESOLVED_COLUMN)
+        assert any("ZZZ" in v.message for v in report.violations)
+
+    def test_join_key_not_in_right_input(self, abcd_catalog, small_config):
+        plan = optimized(S4, abcd_catalog, small_config)
+        node = find(plan, (PhysHashJoin, PhysMergeJoin))
+        node.op = dataclasses.replace(node.op, right_keys=("NOPE",))
+        assert_violated(plan, Invariant.UNRESOLVED_COLUMN)
+
+
+class TestSchemaMismatch:
+    def test_filter_drops_columns(self, abcd_catalog, small_config):
+        plan = optimized(FILTER_SCRIPT, abcd_catalog, small_config)
+        node = find(plan, PhysFilter)
+        node.schema = node.schema.project(node.schema.names[:2])
+        assert_violated(plan, Invariant.SCHEMA_MISMATCH)
+
+    def test_aggregate_loses_alias(self, abcd_catalog, small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        node = find(plan, (PhysStreamAgg, PhysHashAgg))
+        node.schema = node.children[0].schema
+        assert_violated(plan, Invariant.SCHEMA_MISMATCH)
+
+
+class TestPropsMismatch:
+    def test_claims_partitioning_it_does_not_have(self, abcd_catalog,
+                                                  small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        node = find(
+            plan, (PhysStreamAgg, PhysHashAgg),
+            lambda n: n.props.partitioning.kind.value != "range",
+        )
+        node.props = PhysicalProps(
+            Partitioning.ranged(("A",)), node.props.sort_order
+        )
+        assert_violated(plan, Invariant.PROPS_MISMATCH)
+
+    def test_claims_sortedness_it_does_not_have(self, abcd_catalog,
+                                                small_config):
+        plan = optimized(FILTER_SCRIPT, abcd_catalog, small_config)
+        node = find(plan, PhysFilter,
+                    lambda n: not n.props.sort_order.is_sorted)
+        node.props = PhysicalProps(
+            node.props.partitioning, SortOrder(("A", "B", "C", "D"))
+        )
+        assert_violated(plan, Invariant.PROPS_MISMATCH)
+
+
+class TestRequiredUnsatisfied:
+    def test_parallel_delivery_for_serial_requirement(self, abcd_catalog,
+                                                      small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        node = find(plan, (PhysStreamAgg, PhysHashAgg),
+                    lambda n: n.props.partitioning.is_parallel)
+        node.required = ReqProps.serial()
+        assert_violated(plan, Invariant.REQUIRED_UNSATISFIED)
+
+    def test_enforcer_chain_intermediates_are_exempt(self, abcd_catalog,
+                                                     small_config):
+        # The engine stacks enforcers within one group: a Repartition
+        # below a compensating Sort legitimately does not satisfy the
+        # sort requirement it carries.  The verifier must accept every
+        # plan the suite's scripts produce (checked in `optimized`), and
+        # specifically not flag exchange nodes under same-group parents.
+        plan = optimized(S1, abcd_catalog, small_config)
+        assert verify_plan(plan).ok
+
+
+class TestInputPrecondition:
+    def test_stream_agg_over_unsorted_input(self, abcd_catalog,
+                                            small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        node = find(
+            plan, PhysHashAgg,
+            lambda n: not n.children[0].props.sort_order.is_sorted,
+        )
+        # The classic planner bug: swap in a stream aggregate without
+        # enforcing the sort its input needs.
+        node.op = PhysStreamAgg(
+            key_order=node.op.keys,
+            aggregates=node.op.aggregates,
+            mode=node.op.mode,
+        )
+        report = assert_violated(plan, Invariant.INPUT_PRECONDITION)
+        assert any("sorted" in v.message for v in report.violations)
+
+    def test_full_topn_over_parallel_input(self, abcd_catalog,
+                                           small_config):
+        plan = optimized(TOPN_SCRIPT, abcd_catalog, small_config)
+        node = find(plan, PhysTopN,
+                    lambda n: n.op.mode is not GroupByMode.LOCAL)
+        # Splice out the gathering exchange below the final top-n so it
+        # reads the parallel stream directly.
+        child = node.children[0]
+        while not child.props.partitioning.is_parallel and child.children:
+            child = child.children[0]
+        node.children = (child,)
+        assert_violated(plan, Invariant.INPUT_PRECONDITION)
+
+    def test_grouping_on_wrong_partitioning(self, abcd_catalog,
+                                            small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        node = find(
+            plan, (PhysStreamAgg, PhysHashAgg),
+            lambda n: (n.op.mode is not GroupByMode.LOCAL
+                       and n.children[0].props.partitioning.is_parallel),
+        )
+        child = node.children[0]
+        # Partition on a column outside the grouping keys: rows of one
+        # group scatter across machines and the aggregate under-counts.
+        child.props = PhysicalProps(
+            Partitioning.hashed(("D",)), child.props.sort_order
+        )
+        assert_violated(plan, Invariant.INPUT_PRECONDITION)
+
+
+class TestJoinColocation:
+    def test_join_inputs_partitioned_on_different_keys(self, abcd_catalog,
+                                                       small_config):
+        plan = optimized(S4, abcd_catalog, small_config)
+        node = find(
+            plan, (PhysHashJoin, PhysMergeJoin),
+            lambda n: n.children[0].props.partitioning.is_parallel,
+        )
+        right = node.children[1]
+        right.props = PhysicalProps(
+            Partitioning.hashed(("S2",)), right.props.sort_order
+        )
+        assert_violated(plan, Invariant.JOIN_COLOCATION)
+
+    def test_one_serial_one_parallel(self, abcd_catalog, small_config):
+        plan = optimized(S4, abcd_catalog, small_config)
+        node = find(
+            plan, (PhysHashJoin, PhysMergeJoin),
+            lambda n: n.children[0].props.partitioning.is_parallel,
+        )
+        right = node.children[1]
+        right.props = PhysicalProps(
+            Partitioning.serial(), right.props.sort_order
+        )
+        assert_violated(plan, Invariant.JOIN_COLOCATION)
+
+
+class TestSpoolIntegrity:
+    def test_spool_changes_properties(self, abcd_catalog, small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        node = find(plan, PhysSpool)
+        node.props = PhysicalProps(
+            Partitioning.serial(), node.props.sort_order
+        )
+        assert_violated(plan, Invariant.SPOOL_INTEGRITY)
+
+    def test_duplicate_producer_for_one_shared_group(self, abcd_catalog,
+                                                     small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        spool = find(plan, PhysSpool, lambda n: n.group_id is not None)
+        clone = copy.copy(spool)
+        # Re-point one consumer at the clone: two distinct producers now
+        # claim the same (shared group, required properties) pair, so the
+        # subexpression would be built twice.
+        for node in plan.iter_nodes():
+            if spool in node.children and not isinstance(node.op, PhysSpool):
+                node.children = tuple(
+                    clone if child is spool else child
+                    for child in node.children
+                )
+                break
+        else:
+            raise AssertionError("no consumer of the spool found")
+        assert_violated(plan, Invariant.SPOOL_INTEGRITY)
+
+
+class TestDopMismatch:
+    def test_parallelism_changes_at_non_exchange(self, abcd_catalog,
+                                                 small_config):
+        plan = optimized(TOPN_SCRIPT, abcd_catalog, small_config)
+        node = find(plan, PhysTopN,
+                    lambda n: n.op.mode is not GroupByMode.LOCAL)
+        child = node.children[0]
+        while not child.props.partitioning.is_parallel and child.children:
+            child = child.children[0]
+        node.children = (child,)
+        # The final top-n now jumps parallel -> serial without the
+        # gathering merge that actually moves the rows.
+        assert_violated(plan, Invariant.DOP_MISMATCH)
+
+    def test_join_inputs_disagree_on_parallelism(self, abcd_catalog,
+                                                 small_config):
+        plan = optimized(S4, abcd_catalog, small_config)
+        node = find(
+            plan, (PhysHashJoin, PhysMergeJoin),
+            lambda n: n.children[0].props.partitioning.is_parallel,
+        )
+        right = node.children[1]
+        right.props = PhysicalProps(
+            Partitioning.serial(), right.props.sort_order
+        )
+        assert_violated(plan, Invariant.DOP_MISMATCH)
+
+
+class TestReportAndApi:
+    def test_clean_report_renders_ok(self, abcd_catalog, small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        report = verify_plan(plan)
+        assert report.ok
+        assert "plan OK" in report.render()
+        assert report.nodes_checked == sum(1 for _ in plan.iter_nodes())
+        assert report.to_dict()["ok"] is True
+
+    def test_violation_report_is_structured(self, abcd_catalog,
+                                            small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        plan.cost = -5.0
+        report = verify_plan(plan)
+        assert not report.ok
+        rendered = report.render()
+        assert "plan INVALID" in rendered
+        assert Invariant.INVALID_ESTIMATE.value in rendered
+        data = report.to_dict()
+        assert data["violations"][0]["invariant"] == "invalid-estimate"
+
+    def test_check_plan_raises_with_context(self, abcd_catalog,
+                                            small_config):
+        plan = optimized(S1, abcd_catalog, small_config)
+        assert check_plan(plan) is plan
+        plan.rows = -3.0
+        with pytest.raises(PlanVerificationError, match="phase-1"):
+            check_plan(plan, "phase-1 plan")
+
+    def test_optimize_script_verify_flag(self, abcd_catalog, small_config):
+        result = optimize_script(S1, abcd_catalog, small_config, verify=True)
+        assert result.plan is not None
+
+    def test_conventional_plans_also_verify(self, abcd_catalog,
+                                            small_config):
+        plan = optimized(S4, abcd_catalog, small_config, exploit_cse=False)
+        assert verify_plan(plan).ok
+
+    def test_distinct_invariant_classes(self):
+        # The acceptance bar: at least six distinct invariant classes.
+        assert len(Invariant) >= 6
+
+
+class TestCseResultVerifyPhases:
+    def test_verify_phases_checks_every_phase(self, abcd_catalog,
+                                              small_config):
+        result = optimize_script(S1, abcd_catalog, small_config)
+        result.details.verify_phases()
+        phase1 = result.details.phase1_plan
+        node = find(phase1, (PhysStreamAgg, PhysHashAgg))
+        node.rows = float("nan")
+        with pytest.raises(PlanVerificationError):
+            result.details.verify_phases()
