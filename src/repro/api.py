@@ -4,20 +4,38 @@ Everything the quickstart needs in two calls::
 
     result = optimize_script(text, catalog)                   # CSE-aware
     baseline = optimize_script(text, catalog, exploit_cse=False)
+
+and one more to actually run the chosen plan on the cluster simulator,
+either sequentially or on the task-parallel vertex scheduler::
+
+    run = execute_script(text, catalog, workers=8)
+    run.outputs["result1.out"].sorted_rows()
+    print(run.metrics.summary())
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional
 
 from .cse.pipeline import (
     CseOptimizationResult,
     optimize_conventional,
     optimize_with_cse,
 )
+from .exec import (
+    Cluster,
+    Dataset,
+    ExecutionMetrics,
+    FaultInjection,
+    PlanExecutor,
+    RetryPolicy,
+    TaskScheduler,
+)
+from .optimizer.cost import CostParams
 from .optimizer.engine import OptimizerConfig
+from .plan.expressions import Row
 from .plan.logical import LogicalPlan
 from .plan.pruning import prune_columns
 from .plan.physical import PhysicalPlan
@@ -139,3 +157,95 @@ def optimize_script(
     """Parse, compile and optimize a SCOPE script."""
     logical = compile_script(text, catalog)
     return optimize_plan(logical, catalog, config, exploit_cse, prune, verify)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of optimizing *and executing* a script on the simulator."""
+
+    #: The optimization outcome the executed plan came from.
+    optimization: OptimizationResult
+    #: Output files written by the plan.
+    outputs: Dict[str, Dataset]
+    #: Measured execution metrics (per-vertex stats when scheduled).
+    metrics: ExecutionMetrics
+    #: The cluster the plan ran on (inputs still loaded, outputs stored).
+    cluster: Cluster
+    #: Worker threads used (0 = sequential recursive executor).
+    workers: int = 0
+
+    @property
+    def plan(self) -> PhysicalPlan:
+        return self.optimization.plan
+
+
+def execute_script(
+    text: str,
+    catalog: Catalog,
+    config: Optional[OptimizerConfig] = None,
+    exploit_cse: bool = True,
+    prune: bool = True,
+    verify: Optional[bool] = None,
+    *,
+    workers: int = 0,
+    machines: Optional[int] = None,
+    rows: Optional[int] = None,
+    seed: int = 0,
+    files: Optional[Dict[str, List[Row]]] = None,
+    validate: bool = True,
+    failure_rate: float = 0.0,
+    failure_seed: int = 0,
+    max_retries: int = 3,
+    retry_backoff: float = 0.0,
+    watchdog: Optional[float] = None,
+) -> ExecutionResult:
+    """Optimize a script and execute the chosen plan on the simulator.
+
+    ``workers=0`` (the default) runs the sequential recursive
+    :class:`~repro.exec.PlanExecutor`; ``workers>=1`` compiles the plan
+    into a stage graph and runs it on the task-parallel
+    :class:`~repro.exec.TaskScheduler` with that many worker threads.
+    Both paths produce identical outputs for every plan.
+
+    ``machines`` defaults to the optimizer's cost-model cluster size so
+    estimated and measured parallelism agree.  ``files`` supplies input
+    data directly; otherwise synthetic data matching the catalog
+    statistics is generated from ``seed`` (capped at ``rows`` per file).
+    ``failure_rate`` turns on seeded per-task fault injection (scheduler
+    only), retried up to ``max_retries`` times per task.
+    """
+    from .workloads.datagen import generate_for_catalog
+
+    if config is None:
+        config = OptimizerConfig(
+            cost_params=CostParams(machines=machines or 4)
+        )
+    if machines is None:
+        machines = config.cost_params.machines
+    result = optimize_script(text, catalog, config, exploit_cse, prune,
+                             verify)
+    if files is None:
+        files = generate_for_catalog(catalog, seed=seed, rows_override=rows)
+    cluster = Cluster(machines=machines)
+    for path, file_rows in files.items():
+        cluster.load_file(path, file_rows)
+    if workers > 0:
+        executor = TaskScheduler(
+            cluster,
+            workers=workers,
+            validate=validate,
+            faults=FaultInjection(rate=failure_rate, seed=failure_seed),
+            retry=RetryPolicy(max_retries=max_retries,
+                              backoff=retry_backoff),
+            watchdog=watchdog,
+        )
+    else:
+        executor = PlanExecutor(cluster, validate=validate)
+    outputs = executor.execute(result.plan)
+    return ExecutionResult(
+        optimization=result,
+        outputs=outputs,
+        metrics=executor.metrics,
+        cluster=cluster,
+        workers=workers,
+    )

@@ -25,8 +25,8 @@ import json
 import sys
 from typing import Optional
 
-from .api import optimize_script
-from .exec import Cluster, PlanExecutor
+from .api import execute_script, optimize_script
+from .exec import ExecutionError
 from .naive import NaiveEvaluator
 from .optimizer.cost import CostParams
 from .optimizer.engine import OptimizerConfig
@@ -113,16 +113,22 @@ def cmd_compare(args) -> int:
 def cmd_run(args) -> int:
     catalog = _load_catalog(args.catalog)
     text = _load_script(args.script)
-    result = optimize_script(
-        text, catalog, _config(args), exploit_cse=not args.no_cse
-    )
     files = generate_for_catalog(catalog, seed=args.seed,
                                  rows_override=args.rows)
-    cluster = Cluster(machines=args.machines)
-    for path, rows in files.items():
-        cluster.load_file(path, rows)
-    executor = PlanExecutor(cluster, validate=True)
-    outputs = executor.execute(result.plan)
+    run = execute_script(
+        text,
+        catalog,
+        _config(args),
+        exploit_cse=not args.no_cse,
+        workers=args.workers,
+        machines=args.machines,
+        files=files,
+        failure_rate=args.inject_failures,
+        failure_seed=args.failure_seed
+        if args.failure_seed is not None else args.seed,
+        max_retries=args.max_retries,
+    )
+    outputs = run.outputs
 
     expected = NaiveEvaluator(files).run(compile_script(text, catalog))
     mismatches = [
@@ -131,9 +137,22 @@ def cmd_run(args) -> int:
         if outputs[path].sorted_rows() != want
     ]
 
-    print(f"estimated cost: {result.cost:,.0f}")
+    print(f"estimated cost: {run.optimization.cost:,.0f}")
+    if args.workers:
+        mode = (
+            f"scheduler, {args.workers} workers"
+            + (f", fault rate {args.inject_failures}"
+               if args.inject_failures else "")
+        )
+    else:
+        mode = "sequential executor"
+    print(f"executed on: {mode}")
     print("--- execution metrics ---")
-    print(executor.metrics.summary())
+    print(run.metrics.summary())
+    vertex_table = run.metrics.vertex_table()
+    if vertex_table:
+        print("--- vertices ---")
+        print(vertex_table)
     print("--- outputs ---")
     for path in sorted(outputs):
         data = outputs[path]
@@ -244,6 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0, help="data seed")
     p_run.add_argument("--show-rows", type=int, default=0,
                        help="print up to N rows per output")
+    p_run.add_argument("--workers", type=int, default=0,
+                       help="run on the task-parallel vertex scheduler "
+                       "with N worker threads (0 = sequential executor)")
+    p_run.add_argument("--inject-failures", type=float, default=0.0,
+                       metavar="RATE",
+                       help="seeded per-task failure probability "
+                       "(scheduler only, e.g. 0.1)")
+    p_run.add_argument("--max-retries", type=int, default=3,
+                       help="retry budget per task before the job fails "
+                       "(default 3)")
+    p_run.add_argument("--failure-seed", type=int, default=None,
+                       help="fault-injection seed (defaults to --seed)")
     p_run.set_defaults(func=cmd_run)
 
     p_verify = sub.add_parser(
@@ -274,7 +305,7 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ScopeError, FileNotFoundError) as exc:
+    except (ScopeError, ExecutionError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

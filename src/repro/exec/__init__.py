@@ -2,14 +2,31 @@
 
 from .cluster import Cluster
 from .datasets import Dataset, hash_partition_index
-from .metrics import ExecutionMetrics
+from .metrics import ExecutionMetrics, VertexStats
 from .runtime import ExecutionError, PlanExecutor
+from .scheduler import (
+    FaultInjection,
+    InjectedFault,
+    RetryPolicy,
+    TaskScheduler,
+    VertexFailedError,
+)
+from .stage_graph import StageGraph, Vertex, build_stage_graph
 
 __all__ = [
     "Cluster",
     "Dataset",
     "ExecutionError",
     "ExecutionMetrics",
+    "FaultInjection",
+    "InjectedFault",
     "PlanExecutor",
+    "RetryPolicy",
+    "StageGraph",
+    "TaskScheduler",
+    "Vertex",
+    "VertexFailedError",
+    "VertexStats",
+    "build_stage_graph",
     "hash_partition_index",
 ]

@@ -4,10 +4,15 @@ Stands in for the Cosmos/Dryad layer of the paper's stack.  Input
 "files" are in-memory row lists registered per path; executing a plan
 reads them, moves rows between simulated machines, and writes result
 files into :attr:`Cluster.outputs`.
+
+Output writes go through :meth:`Cluster.write_output` under a lock so
+that the task scheduler's worker threads can commit result files
+concurrently; the sequential executor uses the same path.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -22,6 +27,9 @@ class Cluster:
     machines: int = 4
     files: Dict[str, List[Row]] = field(default_factory=dict)
     outputs: Dict[str, Dataset] = field(default_factory=dict)
+    _output_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def load_file(self, path: str, rows: List[Row]) -> None:
         """Register (or replace) an input file's contents."""
@@ -33,6 +41,11 @@ class Cluster:
         if path not in self.files:
             raise KeyError(f"input file {path!r} not loaded into the cluster")
         return self.files[path]
+
+    def write_output(self, path: str, data: Dataset) -> None:
+        """Commit a result file (thread-safe)."""
+        with self._output_lock:
+            self.outputs[path] = data
 
     def output_rows(self, path: str) -> Optional[Dataset]:
         return self.outputs.get(path)

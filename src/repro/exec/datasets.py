@@ -57,6 +57,17 @@ class Dataset:
         rows = [tuple(row[c] for c in names) for row in self.all_rows()]
         return sorted(rows, key=lambda t: tuple((v is None, v) for v in t))
 
+    def canonical_bytes(self) -> bytes:
+        """Schema + canonically sorted rows as bytes.
+
+        The differential execution harness compares these: two datasets
+        are interchangeable results iff their canonical bytes are equal,
+        regardless of partition layout or row order.
+        """
+        header = ",".join(self.schema.names)
+        body = "\n".join(repr(row) for row in self.sorted_rows())
+        return f"{header}\n{body}".encode("utf-8")
+
     def validate_layout(self) -> Optional[str]:
         """Check the data matches the claimed properties.
 

@@ -6,12 +6,52 @@ operator, and the maximum per-partition row count (a direct skew
 indicator).  Tests use them to check that the optimizer's choices have
 the claimed effect (e.g. the CSE plan extracts the input once and ships
 fewer rows than the conventional plan).
+
+The task scheduler (``repro.exec.scheduler``) additionally records one
+:class:`VertexStats` per stage-graph vertex: launches, per-partition
+tasks, retries, rows in/out, wall time, and the estimated-vs-actual
+cardinality ratio.  Everything :meth:`ExecutionMetrics.summary` renders
+is independent of task completion order — counters are merged in vertex
+order at the end of the run and wall-clock values are excluded — so the
+same plan, data and failure seed always produce the same summary text.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+
+@dataclass
+class VertexStats:
+    """Runtime statistics of one scheduled vertex."""
+
+    vertex: str
+    #: Times the vertex was launched (spool producers must stay at 1).
+    launches: int = 0
+    #: Tasks the launch expanded into (partition count if partitionwise).
+    tasks: int = 0
+    #: Failed task attempts that were retried.
+    retries: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    #: Optimizer's estimated output cardinality of the fragment root.
+    estimated_rows: float = 0.0
+    #: Measured wall time (seconds) summed over the vertex's tasks.
+    wall_seconds: float = 0.0
+
+    @property
+    def cardinality_ratio(self) -> float:
+        """actual / estimated output rows, guarded to stay finite.
+
+        A zero estimate (plans built outside the optimizer, or operators
+        the coster predicts empty) would otherwise divide to ``inf``;
+        the guard reports the actual row count itself in that case and
+        ``1.0`` when both sides agree on empty.
+        """
+        if self.estimated_rows > 0:
+            return self.rows_out / self.estimated_rows
+        return float(self.rows_out) if self.rows_out else 1.0
 
 
 @dataclass
@@ -33,6 +73,11 @@ class ExecutionMetrics:
     #: makespan.  Used to validate the optimizer's cost model ordering
     #: against "measured" runtimes.
     simulated_makespan: float = 0.0
+    #: Per-vertex scheduler statistics, keyed by vertex name (empty for
+    #: the sequential executor).
+    vertices: Dict[str, VertexStats] = field(default_factory=dict)
+    #: Total failed task attempts that were retried (scheduler only).
+    task_retries: int = 0
 
     #: Per-row weights of the makespan model, mirroring the cost model's
     #: shape (exchanges pay volume, compute pays the slowest partition).
@@ -58,6 +103,31 @@ class ExecutionMetrics:
             if len(partition) > self.max_partition_rows:
                 self.max_partition_rows = len(partition)
 
+    def merge_from(self, other: "ExecutionMetrics") -> None:
+        """Fold another metrics object (a task's scratch) into this one.
+
+        The scheduler merges task scratches in vertex order once the run
+        completes, so the result does not depend on completion order.
+        """
+        self.rows_extracted += other.rows_extracted
+        self.rows_shuffled += other.rows_shuffled
+        self.rows_broadcast += other.rows_broadcast
+        self.rows_spooled += other.rows_spooled
+        self.spool_reads += other.spool_reads
+        self.rows_output += other.rows_output
+        self.rows_sorted += other.rows_sorted
+        self.simulated_makespan += other.simulated_makespan
+        self.task_retries += other.task_retries
+        for name, count in other.operator_invocations.items():
+            self.operator_invocations[name] = (
+                self.operator_invocations.get(name, 0) + count
+            )
+        if other.max_partition_rows > self.max_partition_rows:
+            self.max_partition_rows = other.max_partition_rows
+        self.vertices.update(other.vertices)
+
+    # -- rendering ---------------------------------------------------------
+
     def summary(self) -> str:
         lines = [
             f"makespan:   {self.simulated_makespan:>12,.0f}",
@@ -73,4 +143,41 @@ class ExecutionMetrics:
             f"{name}×{count}"
             for name, count in sorted(self.operator_invocations.items())
         )
-        return "\n".join(lines + [f"operators:  {ops}"])
+        lines.append(f"operators:  {ops}")
+        if self.vertices:
+            lines.append(
+                f"vertices:   {len(self.vertices):>12,} "
+                f"(retries: {self.task_retries})"
+            )
+            for name in sorted(self.vertices):
+                stats = self.vertices[name]
+                lines.append(
+                    f"  {name}: launches={stats.launches} "
+                    f"tasks={stats.tasks} retries={stats.retries} "
+                    f"rows={stats.rows_in:,}→{stats.rows_out:,} "
+                    f"est×{stats.cardinality_ratio:.2f}"
+                )
+        return "\n".join(lines)
+
+    def vertex_table(self) -> Optional[str]:
+        """Wide per-vertex table including measured wall times.
+
+        Unlike :meth:`summary` this includes wall-clock values, so it is
+        *not* run-to-run deterministic; the CLI prints it, tests don't
+        compare it.
+        """
+        if not self.vertices:
+            return None
+        header = (
+            f"{'vertex':<28}{'launch':>7}{'tasks':>6}{'retry':>6}"
+            f"{'rows in':>12}{'rows out':>12}{'est ratio':>10}{'ms':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.vertices):
+            s = self.vertices[name]
+            lines.append(
+                f"{s.vertex:<28}{s.launches:>7}{s.tasks:>6}{s.retries:>6}"
+                f"{s.rows_in:>12,}{s.rows_out:>12,}"
+                f"{s.cardinality_ratio:>10.2f}{s.wall_seconds * 1e3:>9.1f}"
+            )
+        return "\n".join(lines)

@@ -105,6 +105,17 @@ class PlanExecutor:
             return self._finish(node, cached.partitions)
 
         inputs = [self._run(child) for child in node.children]
+        return self._finish(node, self._apply_op(node, inputs))
+
+    def _apply_op(self, node: PhysicalPlan,
+                  inputs: List[Dataset]) -> List[Partition]:
+        """Evaluate one non-spool operator over already-computed inputs.
+
+        This is the single point through which both the recursive
+        executor and the task scheduler (``repro.exec.scheduler``) run
+        operators, so the two execution paths cannot diverge.
+        """
+        op = node.op
         for dataset in inputs:
             self.metrics.charge_compute(dataset.partitions)
 
@@ -153,7 +164,7 @@ class PlanExecutor:
         else:  # pragma: no cover - exhaustive over the physical algebra
             raise ExecutionError(f"no executor for {type(op).__name__}")
 
-        return self._finish(node, result)
+        return result
 
     def _finish(self, node: PhysicalPlan, partitions: List[Partition]) -> Dataset:
         dataset = Dataset(node.schema, partitions, node.props)
@@ -489,7 +500,7 @@ class PlanExecutor:
 
     def _output(self, op: PhysOutput, data: Dataset) -> List[Partition]:
         self.metrics.rows_output += data.total_rows()
-        self.cluster.outputs[op.path] = data
+        self.cluster.write_output(op.path, data)
         return [[] for _ in range(self.cluster.machines)]
 
     def _union(self, inputs: List[Dataset]) -> List[Partition]:

@@ -89,6 +89,48 @@ class TestRun:
                      "--rows", "800", "--no-cse"]) == 0
 
 
+class TestRunScheduler:
+    def test_workers_flag_uses_scheduler(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "900", "--workers", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduler, 4 workers" in out
+        assert "--- vertices ---" in out
+        assert "V00:" in out
+        assert "verified: results identical" in out
+
+    def test_sequential_run_prints_no_vertex_table(self, workspace, capsys):
+        script, catalog = workspace
+        assert main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "900"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential executor" in out
+        assert "--- vertices ---" not in out
+
+    def test_fault_injection_converges(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "900", "--workers", "4",
+                     "--inject-failures", "0.3", "--failure-seed", "5",
+                     "--max-retries", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault rate 0.3" in out
+        assert "verified: results identical" in out
+
+    def test_retry_exhaustion_is_a_clean_cli_error(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "900", "--workers", "2",
+                     "--inject-failures", "1.0", "--max-retries", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: vertex V" in err
+        assert "failed after 2 attempt(s)" in err
+
+
 class TestVerify:
     def test_reports_all_modes_ok(self, workspace, capsys):
         script, catalog = workspace

@@ -20,7 +20,13 @@ from hypothesis import strategies as st
 
 from repro.api import optimize_script
 from repro.cse.fingerprint import compute_fingerprints, structurally_equal
-from repro.exec import Cluster, PlanExecutor
+from repro.exec import (
+    Cluster,
+    FaultInjection,
+    PlanExecutor,
+    RetryPolicy,
+    TaskScheduler,
+)
 from repro.naive import NaiveEvaluator
 from repro.optimizer.cost import CostParams
 from repro.optimizer.engine import OptimizerConfig
@@ -239,6 +245,65 @@ def test_random_scripts_execute_correctly(script, seed):
             assert outputs[path].sorted_rows() == want, (
                 f"cse={exploit_cse} differs at {path}\n{script}"
             )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    script=scope_scripts(),
+    workers=st.sampled_from([1, 4]),
+    failure_rate=st.sampled_from([0.0, 0.2]),
+)
+def test_random_scripts_scheduler_equals_sequential(script, workers,
+                                                    failure_rate):
+    """optimize → verify → parallel-execute, differentially.
+
+    Random plans drive the stage-graph compiler and scheduler through
+    arbitrary vertex shapes; the scheduler (with and without fault
+    injection) must match the sequential executor byte-for-byte and
+    never deadlock — the watchdog turns a stuck run into a hard failure
+    instead of a hung test suite.
+    """
+    catalog = small_catalog()
+    stats = catalog.lookup("test.log")
+    files = {
+        "test.log": generate_rows(
+            stats.schema.names,
+            stats.rows,
+            {c: stats.ndv_of(c) for c in stats.schema.names},
+            seed=2,
+        )
+    }
+    cfg = OptimizerConfig(cost_params=CostParams(machines=3))
+    result = optimize_script(script, catalog, cfg, exploit_cse=True)
+    assert verify_plan(result.plan).ok
+
+    def load():
+        cluster = Cluster(machines=3)
+        cluster.load_file("test.log", files["test.log"])
+        return cluster
+
+    sequential = PlanExecutor(load(), validate=True).execute(result.plan)
+    scheduler = TaskScheduler(
+        load(),
+        workers=workers,
+        validate=True,
+        faults=FaultInjection(rate=failure_rate, seed=13),
+        retry=RetryPolicy(max_retries=10, backoff=0.0),
+        watchdog=60.0,
+    )
+    parallel = scheduler.execute(result.plan)
+    assert set(sequential) == set(parallel)
+    for path in sequential:
+        assert (
+            sequential[path].canonical_bytes()
+            == parallel[path].canonical_bytes()
+        ), f"workers={workers} rate={failure_rate} differs at {path}\n{script}"
+    for stats_ in scheduler.metrics.vertices.values():
+        assert stats_.launches == 1
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,177 @@
+"""Per-vertex runtime metrics of the task scheduler.
+
+Every scheduled vertex must report finite, meaningful statistics —
+launches, tasks, retries, rows in/out and the estimated-vs-actual
+cardinality ratio — and :meth:`ExecutionMetrics.summary` must render
+the same text no matter how many workers ran the job or in which order
+tasks completed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import execute_script, optimize_script
+from repro.exec import (
+    Cluster,
+    ExecutionMetrics,
+    FaultInjection,
+    RetryPolicy,
+    TaskScheduler,
+    VertexStats,
+    build_stage_graph,
+)
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+MACHINES = 4
+
+
+def run_scheduled(name, abcd_catalog, workers=4, rate=0.0, seed=0):
+    config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+    plan = optimize_script(
+        PAPER_SCRIPTS[name], abcd_catalog, config, exploit_cse=True
+    ).plan
+    files = generate_for_catalog(abcd_catalog, seed=7)
+    cluster = Cluster(machines=MACHINES)
+    for path, rows in files.items():
+        cluster.load_file(path, rows)
+    scheduler = TaskScheduler(
+        cluster,
+        workers=workers,
+        validate=True,
+        faults=FaultInjection(rate=rate, seed=seed),
+        retry=RetryPolicy(max_retries=10, backoff=0.0),
+    )
+    scheduler.execute(plan)
+    return plan, scheduler.metrics
+
+
+class TestPerVertexStats:
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_every_vertex_records_finite_stats(self, name, abcd_catalog):
+        plan, metrics = run_scheduled(name, abcd_catalog)
+        graph = build_stage_graph(plan)
+        assert set(metrics.vertices) == {v.name for v in graph.vertices}
+        for stats in metrics.vertices.values():
+            assert stats.launches == 1
+            assert stats.tasks >= 1
+            assert stats.retries == 0
+            assert stats.rows_in >= 0 and stats.rows_out >= 0
+            assert math.isfinite(stats.cardinality_ratio)
+            assert stats.cardinality_ratio >= 0.0
+            assert stats.wall_seconds >= 0.0
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_estimates_are_in_the_right_ballpark(self, name, abcd_catalog):
+        """The optimizer's cardinality estimates and the measured rows
+        must agree within a loose factor on the paper scripts (synthetic
+        data is generated *from* the catalog statistics, so gross
+        divergence means either the coster or the stats plumbing broke).
+        """
+        _plan, metrics = run_scheduled(name, abcd_catalog)
+        for stats in metrics.vertices.values():
+            if stats.estimated_rows > 0 and stats.rows_out > 0:
+                assert 0.01 <= stats.cardinality_ratio <= 100.0, (
+                    f"{name}/{stats.vertex}: est {stats.estimated_rows} "
+                    f"vs actual {stats.rows_out}"
+                )
+
+    def test_rows_in_sums_dependency_outputs(self, abcd_catalog):
+        plan, metrics = run_scheduled("S1", abcd_catalog)
+        graph = build_stage_graph(plan)
+        by_vid = {v.vid: v for v in graph.vertices}
+        for vertex in graph.vertices:
+            if not vertex.deps:
+                continue
+            stats = metrics.vertices[vertex.name]
+            dep_out = sum(
+                metrics.vertices[by_vid[d].name].rows_out
+                for d in vertex.deps
+            )
+            assert stats.rows_in == dep_out, vertex.name
+
+
+class TestDeterministicSummary:
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_summary_independent_of_worker_count(self, name, abcd_catalog):
+        rendered = {
+            run_scheduled(name, abcd_catalog, workers=w)[1].summary()
+            for w in (1, 3, 8)
+        }
+        assert len(rendered) == 1
+
+    def test_summary_independent_of_repetition(self, abcd_catalog):
+        first = run_scheduled("S4", abcd_catalog, workers=6)[1].summary()
+        second = run_scheduled("S4", abcd_catalog, workers=6)[1].summary()
+        assert first == second
+
+    def test_summary_deterministic_under_fault_injection(self,
+                                                         abcd_catalog):
+        runs = {
+            run_scheduled("S1", abcd_catalog, workers=w, rate=0.3,
+                          seed=5)[1].summary()
+            for w in (1, 4)
+        }
+        assert len(runs) == 1
+
+    def test_summary_lists_vertices_in_vertex_order(self, abcd_catalog):
+        _plan, metrics = run_scheduled("S4", abcd_catalog)
+        lines = [
+            line.strip() for line in metrics.summary().splitlines()
+            if line.strip().startswith("V")
+        ]
+        assert lines == sorted(lines)
+        assert len(lines) == len(metrics.vertices)
+
+    def test_vertex_table_covers_every_vertex(self, abcd_catalog):
+        _plan, metrics = run_scheduled("S2", abcd_catalog)
+        table = metrics.vertex_table()
+        for name in metrics.vertices:
+            assert name in table
+
+    def test_sequential_metrics_have_no_vertex_section(self, abcd_catalog):
+        result = execute_script(
+            PAPER_SCRIPTS["S1"], abcd_catalog, machines=MACHINES, workers=0
+        )
+        assert result.metrics.vertices == {}
+        assert result.metrics.vertex_table() is None
+        assert "vertices:" not in result.metrics.summary()
+
+
+class TestCardinalityRatioGuards:
+    def test_zero_estimate_nonzero_actual_stays_finite(self):
+        stats = VertexStats(vertex="V00:X", estimated_rows=0.0, rows_out=17)
+        assert stats.cardinality_ratio == 17.0
+
+    def test_zero_estimate_zero_actual_is_one(self):
+        stats = VertexStats(vertex="V00:X", estimated_rows=0.0, rows_out=0)
+        assert stats.cardinality_ratio == 1.0
+
+    def test_normal_ratio(self):
+        stats = VertexStats(vertex="V00:X", estimated_rows=200.0,
+                            rows_out=100)
+        assert stats.cardinality_ratio == pytest.approx(0.5)
+
+
+class TestMergeFrom:
+    def test_merge_folds_counters_and_vertices(self):
+        left = ExecutionMetrics(rows_extracted=10, spool_reads=1,
+                                task_retries=2)
+        left.note_operator("Extract")
+        left.vertices["V00:A"] = VertexStats(vertex="V00:A", launches=1)
+        right = ExecutionMetrics(rows_extracted=5, max_partition_rows=9)
+        right.note_operator("Extract")
+        right.note_operator("Filter")
+        right.vertices["V01:B"] = VertexStats(vertex="V01:B", launches=1)
+        left.merge_from(right)
+        assert left.rows_extracted == 15
+        assert left.spool_reads == 1
+        assert left.task_retries == 2
+        assert left.max_partition_rows == 9
+        assert left.operator_invocations == {"Extract": 2, "Filter": 1}
+        assert set(left.vertices) == {"V00:A", "V01:B"}
