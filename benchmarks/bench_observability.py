@@ -1,0 +1,105 @@
+"""Tracing overhead: traced vs untraced optimize + execute.
+
+The observability subsystem promises near-zero cost: the null tracer is
+a no-op singleton and span call sites live only at stage boundaries.
+This benchmark runs each paper script end to end (optimize + execute on
+the scheduler) with the tracer off and on, asserts the traced geomean
+overhead stays under 10%, and writes the raw numbers to
+``BENCH_observability.json`` next to this file for trend tracking::
+
+    pytest benchmarks/bench_observability.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+
+from repro.api import execute_script
+from repro.obs import Tracer
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.paper_scripts import PAPER_SCRIPTS, make_exec_catalog
+
+MACHINES = 4
+WORKERS = 2
+REPEATS = 3
+OVERHEAD_BUDGET = 0.10
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_observability.json"
+
+
+def _run_once(script, catalog, config, files, traced):
+    tracer = Tracer() if traced else None
+    start = time.perf_counter()
+    kwargs = {"tracer": tracer} if tracer is not None else {}
+    result = execute_script(
+        PAPER_SCRIPTS[script], catalog, config, machines=MACHINES,
+        workers=WORKERS, files=files, validate=False, **kwargs,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.outputs
+    if traced:
+        assert tracer.root is not None and tracer.root.name == "run"
+    return elapsed
+
+
+def _best_of(script, catalog, config, files, traced):
+    return min(
+        _run_once(script, catalog, config, files, traced)
+        for _ in range(REPEATS)
+    )
+
+
+def test_traced_overhead_under_budget(capsys):
+    catalog = make_exec_catalog()
+    config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+    files = generate_for_catalog(catalog, seed=11)
+
+    rows = []
+    for script in sorted(PAPER_SCRIPTS):
+        untraced = _best_of(script, catalog, config, files, traced=False)
+        traced = _best_of(script, catalog, config, files, traced=True)
+        rows.append({
+            "script": script,
+            "untraced_seconds": untraced,
+            "traced_seconds": traced,
+            "overhead": traced / untraced - 1.0,
+        })
+
+    geomean = math.exp(
+        sum(math.log(r["traced_seconds"] / r["untraced_seconds"])
+            for r in rows) / len(rows)
+    ) - 1.0
+    report = {
+        "benchmark": "observability_overhead",
+        "machines": MACHINES,
+        "workers": WORKERS,
+        "repeats": REPEATS,
+        "budget": OVERHEAD_BUDGET,
+        "geomean_overhead": geomean,
+        "scripts": rows,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print("\n=== Tracing overhead (best of "
+              f"{REPEATS}, workers={WORKERS}) ===")
+        header = (f"{'script':<8}{'untraced s':>12}{'traced s':>12}"
+                  f"{'overhead':>10}")
+        print(header)
+        print("-" * len(header))
+        for r in rows:
+            print(f"{r['script']:<8}{r['untraced_seconds']:>12.3f}"
+                  f"{r['traced_seconds']:>12.3f}"
+                  f"{r['overhead'] * 100:>9.1f}%")
+        print(f"geomean overhead: {geomean * 100:.1f}% "
+              f"(budget {OVERHEAD_BUDGET * 100:.0f}%) "
+              f"-> {OUT_PATH.name}")
+
+    assert geomean < OVERHEAD_BUDGET, (
+        f"tracing overhead {geomean:.1%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget; see {OUT_PATH}"
+    )

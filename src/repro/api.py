@@ -33,6 +33,7 @@ from .exec import (
     RetryPolicy,
     TaskScheduler,
 )
+from .obs.tracer import NULL_TRACER
 from .optimizer.cost import CostParams
 from .optimizer.engine import OptimizerConfig
 from .plan.expressions import Row
@@ -115,6 +116,7 @@ def optimize_plan(
     exploit_cse: bool = True,
     prune: bool = True,
     verify: Optional[bool] = None,
+    tracer=NULL_TRACER,
 ) -> OptimizationResult:
     """Optimize an already-compiled logical DAG.
 
@@ -127,17 +129,26 @@ def optimize_plan(
     invariant violation.  ``None`` (the default) defers to the global
     default — off normally, on under ``REPRO_VERIFY=1`` or
     :func:`repro.verify.set_default_verify`.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records spans for every
+    pipeline stage — pruning, CSE detection, both optimization phases,
+    verification — on one shared bus; see ``docs/observability.md``.
     """
     _ensure_recursion_headroom()
     if prune:
-        logical = prune_columns(logical)
+        with tracer.span("prune") as span:
+            logical = prune_columns(logical)
+            span.set(operators=logical.count_operators())
     if exploit_cse:
-        details = optimize_with_cse(logical, catalog, config)
+        details = optimize_with_cse(logical, catalog, config, tracer=tracer)
     else:
-        details = optimize_conventional(logical, catalog, config)
+        details = optimize_conventional(logical, catalog, config,
+                                        tracer=tracer)
     if default_verify() if verify is None else verify:
         mode = "cse" if exploit_cse else "conventional"
-        check_plan(details.plan, f"optimized plan ({mode})")
+        with tracer.span("verify") as span:
+            check_plan(details.plan, f"optimized plan ({mode})")
+            span.set(mode=mode)
     return OptimizationResult(
         plan=details.plan,
         cost=details.cost,
@@ -153,10 +164,12 @@ def optimize_script(
     exploit_cse: bool = True,
     prune: bool = True,
     verify: Optional[bool] = None,
+    tracer=NULL_TRACER,
 ) -> OptimizationResult:
     """Parse, compile and optimize a SCOPE script."""
-    logical = compile_script(text, catalog)
-    return optimize_plan(logical, catalog, config, exploit_cse, prune, verify)
+    logical = compile_script(text, catalog, tracer=tracer)
+    return optimize_plan(logical, catalog, config, exploit_cse, prune,
+                         verify, tracer=tracer)
 
 
 @dataclass
@@ -198,6 +211,7 @@ def execute_script(
     max_retries: int = 3,
     retry_backoff: float = 0.0,
     watchdog: Optional[float] = None,
+    tracer=NULL_TRACER,
 ) -> ExecutionResult:
     """Optimize a script and execute the chosen plan on the simulator.
 
@@ -213,6 +227,12 @@ def execute_script(
     statistics is generated from ``seed`` (capped at ``rows`` per file).
     ``failure_rate`` turns on seeded per-task fault injection (scheduler
     only), retried up to ``max_retries`` times per task.
+
+    ``tracer`` records the whole run under one root ``run`` span —
+    parse, compile, optimization phases, stage-graph cut, per-vertex and
+    per-task execution — and publishes the final counters onto the
+    tracer's event bus; feed it to :func:`repro.obs.render_span_tree`,
+    the export sinks, or :func:`repro.obs.profile_report`.
     """
     from .workloads.datagen import generate_for_catalog
 
@@ -222,26 +242,42 @@ def execute_script(
         )
     if machines is None:
         machines = config.cost_params.machines
-    result = optimize_script(text, catalog, config, exploit_cse, prune,
-                             verify)
-    if files is None:
-        files = generate_for_catalog(catalog, seed=seed, rows_override=rows)
-    cluster = Cluster(machines=machines)
-    for path, file_rows in files.items():
-        cluster.load_file(path, file_rows)
-    if workers > 0:
-        executor = TaskScheduler(
-            cluster,
-            workers=workers,
-            validate=validate,
-            faults=FaultInjection(rate=failure_rate, seed=failure_seed),
-            retry=RetryPolicy(max_retries=max_retries,
-                              backoff=retry_backoff),
-            watchdog=watchdog,
-        )
-    else:
-        executor = PlanExecutor(cluster, validate=validate)
-    outputs = executor.execute(result.plan)
+    with tracer.span("run") as run_span:
+        # ``workers`` is a bus event, not a span attribute: the span
+        # tree's *structure* stays identical across worker counts.
+        run_span.set(machines=machines)
+        tracer.emit("exec.config", workers=workers, machines=machines)
+        result = optimize_script(text, catalog, config, exploit_cse, prune,
+                                 verify, tracer=tracer)
+        if files is None:
+            with tracer.span("datagen") as span:
+                files = generate_for_catalog(catalog, seed=seed,
+                                             rows_override=rows)
+                span.set(files=len(files),
+                         rows=sum(len(r) for r in files.values()))
+        cluster = Cluster(machines=machines)
+        for path, file_rows in files.items():
+            cluster.load_file(path, file_rows)
+        if workers > 0:
+            executor = TaskScheduler(
+                cluster,
+                workers=workers,
+                validate=validate,
+                faults=FaultInjection(rate=failure_rate, seed=failure_seed),
+                retry=RetryPolicy(max_retries=max_retries,
+                                  backoff=retry_backoff),
+                watchdog=watchdog,
+                tracer=tracer,
+            )
+        else:
+            executor = PlanExecutor(cluster, validate=validate,
+                                    tracer=tracer)
+        with tracer.span("execute") as span:
+            outputs = executor.execute(result.plan)
+            span.set(outputs=len(outputs),
+                     rows_output=executor.metrics.rows_output)
+        if tracer.enabled:
+            executor.metrics.publish(tracer.bus)
     return ExecutionResult(
         optimization=result,
         outputs=outputs,

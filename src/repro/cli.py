@@ -5,6 +5,7 @@
     python -m repro explain  script.scope --catalog catalog.json
     python -m repro compare  script.scope --catalog catalog.json
     python -m repro run      script.scope --catalog catalog.json --rows 5000
+    python -m repro profile  script.scope --catalog catalog.json
     python -m repro verify   script.scope --catalog catalog.json
     python -m repro figure7
 
@@ -12,10 +13,14 @@
 Graphviz or JSON); ``compare`` shows conventional vs CSE side by side;
 ``run`` additionally executes the plan on the cluster simulator over
 synthetic data matching the catalog statistics and cross-checks the
-result against the naive reference evaluator; ``verify`` statically
-checks every optimized plan against the invariant catalog of
-``repro.verify`` and prints a structured violation report; ``figure7``
-regenerates the paper's headline table.
+result against the naive reference evaluator (``--profile`` appends the
+span tree and cardinality-feedback reports, ``--trace-out`` /
+``--chrome-trace`` export the trace); ``profile`` is the dedicated
+end-to-end profiler — span tree, per-vertex q-error table, top-k
+makespan hotspots; ``verify`` statically checks every optimized plan
+against the invariant catalog of ``repro.verify`` and prints a
+structured violation report; ``figure7`` regenerates the paper's
+headline table.
 """
 
 from __future__ import annotations
@@ -28,6 +33,15 @@ from typing import Optional
 from .api import execute_script, optimize_script
 from .exec import ExecutionError
 from .naive import NaiveEvaluator
+from .obs import (
+    NULL_TRACER,
+    Tracer,
+    cardinality_table,
+    hotspot_table,
+    render_span_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .optimizer.cost import CostParams
 from .optimizer.engine import OptimizerConfig
 from .optimizer.explain import (
@@ -110,11 +124,39 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _wants_tracing(args) -> bool:
+    return bool(
+        getattr(args, "profile", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "chrome_trace", None)
+    )
+
+
+def _emit_observability(args, tracer, metrics) -> None:
+    """Shared tail of ``run --profile`` and ``profile``."""
+    if getattr(args, "profile", True):
+        print("--- span tree ---")
+        print(render_span_tree(tracer))
+        print("--- cardinality feedback (worst q-error first) ---")
+        print(cardinality_table(metrics))
+        top = getattr(args, "top", 5)
+        print(f"--- top {top} hotspots by simulated makespan share ---")
+        print(hotspot_table(metrics, top))
+    if getattr(args, "trace_out", None):
+        write_jsonl(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out} (JSON lines)")
+    if getattr(args, "chrome_trace", None):
+        write_chrome_trace(tracer, args.chrome_trace)
+        print(f"trace written to {args.chrome_trace} "
+              "(chrome://tracing format)")
+
+
 def cmd_run(args) -> int:
     catalog = _load_catalog(args.catalog)
     text = _load_script(args.script)
     files = generate_for_catalog(catalog, seed=args.seed,
                                  rows_override=args.rows)
+    tracer = Tracer() if _wants_tracing(args) else NULL_TRACER
     run = execute_script(
         text,
         catalog,
@@ -127,6 +169,7 @@ def cmd_run(args) -> int:
         failure_seed=args.failure_seed
         if args.failure_seed is not None else args.seed,
         max_retries=args.max_retries,
+        tracer=tracer,
     )
     outputs = run.outputs
 
@@ -161,11 +204,48 @@ def cmd_run(args) -> int:
         if args.show_rows:
             for row in data.sorted_rows()[: args.show_rows]:
                 print(f"    {row}")
+    if _wants_tracing(args):
+        _emit_observability(args, tracer, run.metrics)
     if mismatches:
         print(f"RESULT MISMATCH vs naive evaluation: {mismatches}",
               file=sys.stderr)
         return 1
     print("verified: results identical to the naive reference evaluation")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    catalog = _load_catalog(args.catalog)
+    text = _load_script(args.script)
+    files = generate_for_catalog(catalog, seed=args.seed,
+                                 rows_override=args.rows)
+    tracer = Tracer()
+    run = execute_script(
+        text,
+        catalog,
+        _config(args),
+        exploit_cse=not args.no_cse,
+        workers=args.workers,
+        machines=args.machines,
+        files=files,
+        tracer=tracer,
+    )
+    print(f"estimated cost: {run.optimization.cost:,.0f}")
+    print(f"executed on: scheduler, {args.workers} workers"
+          if args.workers else "executed on: sequential executor")
+    print("--- span tree ---")
+    print(render_span_tree(tracer))
+    print("--- cardinality feedback (worst q-error first) ---")
+    print(cardinality_table(run.metrics))
+    print(f"--- top {args.top} hotspots by simulated makespan share ---")
+    print(hotspot_table(run.metrics, args.top))
+    if args.trace_out:
+        write_jsonl(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out} (JSON lines)")
+    if args.chrome_out:
+        write_chrome_trace(tracer, args.chrome_out)
+        print(f"trace written to {args.chrome_out} "
+              "(chrome://tracing format)")
     return 0
 
 
@@ -275,7 +355,37 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default 3)")
     p_run.add_argument("--failure-seed", type=int, default=None,
                        help="fault-injection seed (defaults to --seed)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="append the span tree and the "
+                       "cardinality-feedback / hotspot reports")
+    p_run.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="export the trace as JSON lines")
+    p_run.add_argument("--chrome-trace", default=None, metavar="FILE",
+                       help="export the trace in chrome://tracing format")
+    p_run.add_argument("--top", type=int, default=5,
+                       help="hotspots to list with --profile (default 5)")
     p_run.set_defaults(func=cmd_run)
+
+    p_profile = sub.add_parser(
+        "profile", help="end-to-end traced run: span tree, q-error table, "
+        "makespan hotspots"
+    )
+    common(p_profile)
+    p_profile.add_argument("--rows", type=int, default=5_000,
+                           help="rows generated per input file "
+                           "(default 5000)")
+    p_profile.add_argument("--seed", type=int, default=0, help="data seed")
+    p_profile.add_argument("--workers", type=int, default=4,
+                           help="scheduler worker threads (default 4; "
+                           "0 = sequential executor, no vertex stats)")
+    p_profile.add_argument("--top", type=int, default=5,
+                           help="hotspots to list (default 5)")
+    p_profile.add_argument("--trace-out", default=None, metavar="FILE",
+                           help="export the trace as JSON lines")
+    p_profile.add_argument("--chrome-out", default=None, metavar="FILE",
+                           help="export the trace in chrome://tracing "
+                           "format")
+    p_profile.set_defaults(func=cmd_profile)
 
     p_verify = sub.add_parser(
         "verify", help="statically check optimized plans against the "

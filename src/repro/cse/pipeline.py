@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.tracer import NULL_TRACER
 from ..optimizer.cardinality import annotate_memo
 from ..optimizer.engine import (
     PHASE_CONVENTIONAL,
@@ -87,35 +88,58 @@ def optimize_with_cse(
     catalog: Catalog,
     config: Optional[OptimizerConfig] = None,
     verify: bool = False,
+    tracer=NULL_TRACER,
 ) -> CseOptimizationResult:
     """Run the full pipeline of Figure 2 on a logical script DAG.
 
     With ``verify`` the plans of *both* phases (and the chosen plan) are
     statically checked via :mod:`repro.verify` before returning.
+
+    ``tracer`` records one span per pipeline step (``cse.detect``,
+    ``optimize.phase1``, ``cse.propagate``, ``optimize.phase2``,
+    ``optimize.fallback``) carrying group counts, costs and round
+    counters; when the engine's own trace is enabled its events are
+    published onto the tracer's shared bus.
     """
     memo = Memo.from_logical_plan(logical)
 
     # Step 1 — before the first optimization phase.
-    report = identify_common_subexpressions(memo)
+    with tracer.span("cse.detect") as span:
+        report = identify_common_subexpressions(memo)
+        span.set(
+            shared_groups=len(report.shared_groups),
+            explicit=len(report.explicit_shared),
+            merged=len(report.merged),
+        )
 
     engine = SearchEngine(memo, catalog, config)
+    engine.bind_observability(tracer)
     annotate_memo(memo, engine.estimator)
 
     # Phase 1 (Step 2 happens inside: history recording at shared groups).
-    phase1_plan = engine.optimize(PHASE_CONVENTIONAL)
-    if phase1_plan is None:
-        raise OptimizationFailure("phase 1 produced no plan")
-    phase1_cost = engine.plan_cost(phase1_plan)
+    with tracer.span("optimize.phase1") as span:
+        phase1_plan = engine.optimize(PHASE_CONVENTIONAL)
+        if phase1_plan is None:
+            raise OptimizationFailure("phase 1 produced no plan")
+        phase1_cost = engine.plan_cost(phase1_plan)
+        span.set(cost=phase1_cost,
+                 groups_optimized=engine.stats.groups_optimized)
 
     # Step 3 — right before the re-optimizations begin.
-    propagation = propagate_shared_groups(memo)
-    engine.refresh_cse_annotations(propagation.independent_sets)
+    with tracer.span("cse.propagate") as span:
+        propagation = propagate_shared_groups(memo)
+        engine.refresh_cse_annotations(propagation.independent_sets)
+        span.set(lcas=len(propagation.lca))
 
     # Step 4 — phase 2.
-    phase2_plan = engine.optimize(PHASE_CSE)
-    phase2_cost = (
-        engine.plan_cost(phase2_plan) if phase2_plan is not None else float("inf")
-    )
+    with tracer.span("optimize.phase2") as span:
+        phase2_plan = engine.optimize(PHASE_CSE)
+        phase2_cost = (
+            engine.plan_cost(phase2_plan)
+            if phase2_plan is not None else float("inf")
+        )
+        span.set(cost=phase2_cost, rounds=engine.stats.rounds,
+                 budget_exhausted=engine.stats.budget_exhausted)
 
     if phase2_plan is not None and phase2_cost < phase1_cost:
         plan, cost, chosen = phase2_plan, phase2_cost, 2
@@ -126,7 +150,9 @@ def optimize_with_cse(
     # pushing a filter through a now-shared projection), so the spooled
     # memo's best plan may be worse than plain conventional optimization.
     # Price the untouched memo too and keep the cheapest overall.
-    fallback = optimize_conventional(logical, catalog, config)
+    with tracer.span("optimize.fallback") as span:
+        fallback = optimize_conventional(logical, catalog, config)
+        span.set(cost=fallback.cost)
     if fallback.cost < cost:
         plan, cost, chosen = fallback.plan, fallback.cost, 1
 
@@ -245,6 +271,7 @@ def optimize_conventional(
     catalog: Catalog,
     config: Optional[OptimizerConfig] = None,
     verify: bool = False,
+    tracer=NULL_TRACER,
 ) -> CseOptimizationResult:
     """Baseline: the original SCOPE optimizer, no CSE machinery at all.
 
@@ -254,13 +281,18 @@ def optimize_conventional(
     """
     memo = Memo.from_logical_plan(logical)
     engine = SearchEngine(memo, catalog, config)
+    engine.bind_observability(tracer)
     annotate_memo(memo, engine.estimator)
-    plan = engine.optimize(PHASE_CONVENTIONAL)
-    if plan is None:
-        raise OptimizationFailure("conventional optimization produced no plan")
+    with tracer.span("optimize.phase1") as span:
+        plan = engine.optimize(PHASE_CONVENTIONAL)
+        if plan is None:
+            raise OptimizationFailure(
+                "conventional optimization produced no plan"
+            )
+        cost = engine.plan_cost(plan)
+        span.set(cost=cost, groups_optimized=engine.stats.groups_optimized)
     if verify:
         check_plan(plan, "conventional plan")
-    cost = engine.plan_cost(plan)
     return CseOptimizationResult(
         plan=plan,
         cost=cost,

@@ -39,19 +39,33 @@ class VertexStats:
     estimated_rows: float = 0.0
     #: Measured wall time (seconds) summed over the vertex's tasks.
     wall_seconds: float = 0.0
+    #: The vertex's contribution to the simulated makespan model
+    #: (deterministic, unlike ``wall_seconds``); feeds the hotspot
+    #: report of :mod:`repro.obs.report`.
+    simulated_makespan: float = 0.0
+
+    @property
+    def estimate_missing(self) -> bool:
+        """True when the optimizer recorded no estimate for this vertex.
+
+        A zero/absent estimate (plans built outside the optimizer, or
+        operators the coster predicts empty) is *not* an estimation
+        error of ``rows_out``× — there is simply nothing to compare
+        against.  Renderers show ``est=?`` / ``n/a`` instead of a ratio.
+        """
+        return self.estimated_rows <= 0
 
     @property
     def cardinality_ratio(self) -> float:
         """actual / estimated output rows, guarded to stay finite.
 
-        A zero estimate (plans built outside the optimizer, or operators
-        the coster predicts empty) would otherwise divide to ``inf``;
-        the guard reports the actual row count itself in that case and
-        ``1.0`` when both sides agree on empty.
+        When :attr:`estimate_missing` is set the ratio is reported as a
+        neutral ``1.0`` — check the flag before trusting it; renderers
+        and the q-error report do.
         """
         if self.estimated_rows > 0:
             return self.rows_out / self.estimated_rows
-        return float(self.rows_out) if self.rows_out else 1.0
+        return 1.0
 
 
 @dataclass
@@ -151,11 +165,15 @@ class ExecutionMetrics:
             )
             for name in sorted(self.vertices):
                 stats = self.vertices[name]
+                est = (
+                    "est=?" if stats.estimate_missing
+                    else f"est×{stats.cardinality_ratio:.2f}"
+                )
                 lines.append(
                     f"  {name}: launches={stats.launches} "
                     f"tasks={stats.tasks} retries={stats.retries} "
                     f"rows={stats.rows_in:,}→{stats.rows_out:,} "
-                    f"est×{stats.cardinality_ratio:.2f}"
+                    f"{est}"
                 )
         return "\n".join(lines)
 
@@ -175,9 +193,56 @@ class ExecutionMetrics:
         lines = [header, "-" * len(header)]
         for name in sorted(self.vertices):
             s = self.vertices[name]
+            ratio = (
+                "n/a" if s.estimate_missing
+                else f"{s.cardinality_ratio:.2f}"
+            )
             lines.append(
                 f"{s.vertex:<28}{s.launches:>7}{s.tasks:>6}{s.retries:>6}"
                 f"{s.rows_in:>12,}{s.rows_out:>12,}"
-                f"{s.cardinality_ratio:>10.2f}{s.wall_seconds * 1e3:>9.1f}"
+                f"{ratio:>10}{s.wall_seconds * 1e3:>9.1f}"
             )
         return "\n".join(lines)
+
+    # -- event-bus publishing ---------------------------------------------
+
+    _COUNTER_FIELDS = (
+        "rows_extracted", "rows_shuffled", "rows_broadcast", "rows_spooled",
+        "spool_reads", "rows_output", "rows_sorted", "max_partition_rows",
+        "simulated_makespan", "task_retries",
+    )
+
+    def publish(self, bus) -> None:
+        """Emit this run's counters onto an :class:`~repro.obs.bus.EventBus`.
+
+        One ``exec.counter`` event per scalar counter, one
+        ``exec.operator`` event per operator kind, and one
+        ``exec.vertex`` event per scheduled vertex — the execution-side
+        feed of the shared observability bus (wall-clock values are
+        deliberately excluded so the event stream stays deterministic).
+        """
+        from ..obs.bus import ObsEvent
+
+        for name in self._COUNTER_FIELDS:
+            bus.publish(ObsEvent.make(
+                "exec.counter", name=name, value=getattr(self, name)
+            ))
+        for name in sorted(self.operator_invocations):
+            bus.publish(ObsEvent.make(
+                "exec.operator", name=name,
+                invocations=self.operator_invocations[name],
+            ))
+        for name in sorted(self.vertices):
+            stats = self.vertices[name]
+            bus.publish(ObsEvent.make(
+                "exec.vertex",
+                vertex=stats.vertex,
+                launches=stats.launches,
+                tasks=stats.tasks,
+                retries=stats.retries,
+                rows_in=stats.rows_in,
+                rows_out=stats.rows_out,
+                estimated_rows=stats.estimated_rows,
+                estimate_missing=stats.estimate_missing,
+                simulated_makespan=stats.simulated_makespan,
+            ))

@@ -25,6 +25,7 @@ import bisect
 import heapq
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.tracer import NULL_TRACER
 from ..plan.expressions import Row
 from ..plan.logical import GroupByMode, JoinKind
 from ..plan.physical import (
@@ -68,11 +69,15 @@ def _sort_key(columns) -> Callable[[Row], Tuple]:
 class PlanExecutor:
     """Executes physical plans against one cluster."""
 
-    def __init__(self, cluster: Cluster, validate: bool = True):
+    def __init__(self, cluster: Cluster, validate: bool = True,
+                 tracer=NULL_TRACER):
         self.cluster = cluster
         self.validate = validate
         self.metrics = ExecutionMetrics()
         self._spool_cache: Dict[int, Dataset] = {}
+        #: Observability tracer; the per-row/per-operator paths make no
+        #: tracer calls, only cold events (spool materialization) do.
+        self.tracer = tracer
 
     # -- public API -------------------------------------------------------
 
@@ -96,7 +101,9 @@ class PlanExecutor:
         if isinstance(op, PhysSpool):
             cached = self._spool_cache.get(id(node))
             if cached is None:
-                cached = self._run(node.children[0])
+                with self.tracer.span("spool.materialize") as span:
+                    cached = self._run(node.children[0])
+                    span.set(rows=cached.total_rows())
                 self.metrics.rows_spooled += cached.total_rows()
                 self.metrics.charge_spool(cached.total_rows())
                 self._spool_cache[id(node)] = cached

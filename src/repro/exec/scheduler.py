@@ -37,6 +37,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.tracer import NULL_TRACER
 from ..plan.physical import PhysicalPlan, PhysSpool
 from .cluster import Cluster
 from .datasets import Dataset
@@ -153,6 +154,10 @@ class _VertexRun:
     tasks_done: int = 0
     results: List[Optional[Dataset]] = field(default_factory=list)
     scratches: List[Optional[ExecutionMetrics]] = field(default_factory=list)
+    #: Per-slot (start, end) perf_counter pair of the winning attempt.
+    timings: List[Optional[Tuple[float, float]]] = field(default_factory=list)
+    #: Per-slot final attempt number (0 = succeeded first try).
+    attempts: List[int] = field(default_factory=list)
     stats: VertexStats = None  # type: ignore[assignment]
 
 
@@ -169,7 +174,8 @@ class TaskScheduler:
                  validate: bool = True,
                  faults: Optional[FaultInjection] = None,
                  retry: Optional[RetryPolicy] = None,
-                 watchdog: Optional[float] = None):
+                 watchdog: Optional[float] = None,
+                 tracer=NULL_TRACER):
         if workers < 1:
             raise ValueError("the scheduler needs at least one worker")
         self.cluster = cluster
@@ -180,12 +186,26 @@ class TaskScheduler:
         self.watchdog = watchdog
         self.metrics = ExecutionMetrics()
         self.stage_graph: Optional[StageGraph] = None
+        #: Observability tracer.  Spans are recorded from the
+        #: coordinating thread only (``stage_graph.cut`` live, vertex
+        #: and task spans during deterministic finalization), so worker
+        #: threads never touch it and the span tree's structure is
+        #: independent of worker count and completion order.
+        self.tracer = tracer
 
     # -- public API -------------------------------------------------------
 
     def execute(self, plan: PhysicalPlan) -> Dict[str, Dataset]:
         """Run ``plan``; returns the output files it wrote."""
-        graph = build_stage_graph(plan, validate=self.validate)
+        with self.tracer.span("stage_graph.cut") as cut_span:
+            graph = build_stage_graph(plan, validate=self.validate)
+            cut_span.set(
+                vertices=len(graph.vertices),
+                spools=len(graph.spool_vertices()),
+                partitionwise=sum(
+                    1 for v in graph.vertices if v.partitionwise
+                ),
+            )
         self.stage_graph = graph
         self.metrics = ExecutionMetrics()
 
@@ -229,11 +249,13 @@ class TaskScheduler:
                             task, error, results, runs, inflight, pool
                         )
                         continue
-                    dataset, scratch, seconds = future.result()
+                    dataset, scratch, started, ended = future.result()
                     run = runs[task.vertex.vid]
                     run.results[task.slot] = dataset
                     run.scratches[task.slot] = scratch
-                    run.stats.wall_seconds += seconds
+                    run.timings[task.slot] = (started, ended)
+                    run.attempts[task.slot] = task.attempt
+                    run.stats.wall_seconds += ended - started
                     run.tasks_done += 1
                     if run.tasks_done < run.tasks_total:
                         continue
@@ -259,18 +281,50 @@ class TaskScheduler:
         pool.shutdown(wait=True)
 
         # Deterministic finalization: merge task scratches and record
-        # vertex stats in vertex order, independent of completion order.
+        # vertex stats (and spans) in vertex order, independent of
+        # completion order.
         for vid in sorted(finished):
             run = finished[vid]
             for scratch in run.scratches:
                 if scratch is not None:
                     self.metrics.merge_from(scratch)
+                    run.stats.simulated_makespan += scratch.simulated_makespan
             self.metrics.task_retries += run.stats.retries
             self.metrics.vertices[run.stats.vertex] = run.stats
+            if self.tracer.enabled:
+                self._record_vertex_span(run)
         return {
             path: self.cluster.outputs[path]
             for path in sorted(self.cluster.outputs)
         }
+
+    def _record_vertex_span(self, run: _VertexRun) -> None:
+        """One ``scheduler.vertex/<name>`` span per vertex, with one
+        ``task/<partition>`` child per task, nested under the caller's
+        active span.  Timings come from the workers' measured start/end
+        pairs; everything else is deterministic."""
+        stats = run.stats
+        timings = [t for t in run.timings if t is not None]
+        start = min((t[0] for t in timings), default=0.0)
+        end = max((t[1] for t in timings), default=0.0)
+        vertex_span = self.tracer.record_span(
+            f"scheduler.vertex/{run.vertex.name}", start, end,
+            launches=stats.launches,
+            tasks=stats.tasks,
+            retries=stats.retries,
+            rows_in=stats.rows_in,
+            rows_out=stats.rows_out,
+            estimated_rows=stats.estimated_rows,
+            simulated_makespan=stats.simulated_makespan,
+            sliced=run.sliced,
+        )
+        for slot, timing in enumerate(run.timings):
+            if timing is None:  # pragma: no cover - all slots complete
+                continue
+            self.tracer.record_span(
+                f"task/{slot}", timing[0], timing[1], parent=vertex_span,
+                attempts=run.attempts[slot] + 1,
+            )
 
     # -- scheduling internals ---------------------------------------------
 
@@ -291,6 +345,8 @@ class TaskScheduler:
             sliced=sliced,
             results=[None] * tasks_total,
             scratches=[None] * tasks_total,
+            timings=[None] * tasks_total,
+            attempts=[0] * tasks_total,
             stats=VertexStats(
                 vertex=vertex.name,
                 launches=1,
@@ -329,6 +385,10 @@ class TaskScheduler:
             # still pinned in ``results``; resubmit the same task.
             task.attempt += 1
             runs[task.vertex.vid].stats.retries += 1
+            self.tracer.emit(
+                "scheduler.retry", vertex=task.vertex.name,
+                part=task.part, attempt=task.attempt,
+            )
             self._submit(task, results, inflight, pool)
             return
         raise VertexFailedError(
@@ -336,7 +396,7 @@ class TaskScheduler:
         ) from error
 
     def _run_task(self, task: _Task, cuts: Dict[int, Dataset]
-                  ) -> Tuple[Dataset, ExecutionMetrics, float]:
+                  ) -> Tuple[Dataset, ExecutionMetrics, float, float]:
         delay = self.retry.delay(task.attempt)
         if delay > 0.0:
             time.sleep(delay)
@@ -360,7 +420,7 @@ class TaskScheduler:
                 scratch.charge_spool(dataset.total_rows())
             scratch.rows_spooled += dataset.total_rows()
             scratch.charge_spool(dataset.total_rows())
-            return dataset, scratch, time.perf_counter() - started
+            return dataset, scratch, started, time.perf_counter()
         if task.part is not None:
             cuts = {
                 node_id: Dataset(
@@ -373,7 +433,7 @@ class TaskScheduler:
             slice_mode=task.part is not None,
         )
         dataset = executor._run(task.vertex.root)
-        return dataset, scratch, time.perf_counter() - started
+        return dataset, scratch, started, time.perf_counter()
 
     def _commit(self, run: _VertexRun,
                 results: Dict[int, Dataset]) -> Dataset:

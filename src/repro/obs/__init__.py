@@ -1,0 +1,54 @@
+"""``repro.obs`` — structured tracing, profiling, cardinality feedback.
+
+See :mod:`repro.obs.tracer` for the span model, :mod:`repro.obs.sinks`
+for rendering/export, :mod:`repro.obs.report` for the q-error and
+hotspot reports, and ``docs/observability.md`` for the tour.
+"""
+
+from .bus import EventBus, ObsEvent
+from .report import (
+    CardinalityRow,
+    Hotspot,
+    cardinality_rows,
+    cardinality_table,
+    hotspot_table,
+    hotspots,
+    profile_report,
+    qerror,
+)
+from .sinks import (
+    LoadedTrace,
+    load_chrome_trace,
+    load_jsonl,
+    render_span_tree,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "CardinalityRow",
+    "EventBus",
+    "Hotspot",
+    "LoadedTrace",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsEvent",
+    "Span",
+    "Tracer",
+    "cardinality_rows",
+    "cardinality_table",
+    "hotspot_table",
+    "hotspots",
+    "load_chrome_trace",
+    "load_jsonl",
+    "profile_report",
+    "qerror",
+    "render_span_tree",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,72 @@
+"""A tiny synchronous event bus shared by every observability producer.
+
+The bus is the common spine of ``repro.obs``: the optimizer's
+:class:`~repro.optimizer.trace.OptimizerTrace` publishes its
+:class:`TraceEvent` records here, executors publish counter and
+per-vertex events at the end of a run, and the tracer publishes
+point-in-time annotations.  Sinks (JSON-lines, Chrome trace) serialize
+``bus.events`` alongside the span tree, so one export captures the whole
+compile→optimize→execute story.
+
+Events are plain immutable objects appended to one list; subscribers are
+called synchronously on publish.  The bus is deliberately dependency-free
+so every layer of the system can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple, Type, TypeVar
+
+E = TypeVar("E")
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """A generic structured event: a kind plus sorted key/value attributes."""
+
+    kind: str
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(kind: str, **attrs) -> "ObsEvent":
+        return ObsEvent(kind, tuple(sorted(attrs.items())))
+
+    def get(self, key: str, default=None):
+        for name, value in self.attrs:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, **dict(self.attrs)}
+
+
+class EventBus:
+    """Append-only event log with synchronous subscribers."""
+
+    __slots__ = ("events", "_subscribers")
+
+    def __init__(self):
+        self.events: List[object] = []
+        self._subscribers: List[Callable[[object], None]] = []
+
+    def publish(self, event: object) -> None:
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, fn: Callable[[object], None]) -> None:
+        self._subscribers.append(fn)
+
+    def of_type(self, cls: Type[E]) -> List[E]:
+        return [e for e in self.events if isinstance(e, cls)]
+
+    def of_kind(self, kind: str) -> List[ObsEvent]:
+        return [
+            e for e in self.events
+            if isinstance(e, ObsEvent) and e.kind == kind
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,155 @@
+"""Cardinality feedback and hotspot attribution.
+
+The validation loop the paper's evaluation depends on: join the
+optimizer's estimated output cardinalities (recorded per stage-graph
+vertex by the scheduler) to the measured row counts, compute the
+**q-error** per vertex, and rank the worst offenders.  A second report
+attributes the simulated makespan to vertices — the top-k hotspots are
+where the cost model says the job's wall time goes.
+
+Both reports operate on :class:`~repro.exec.metrics.ExecutionMetrics`
+duck-typed (anything with a ``vertices`` mapping of per-vertex stats and
+a ``simulated_makespan`` total), so this module stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+def qerror(estimated: float, actual: float) -> Optional[float]:
+    """The symmetric relative estimation error ``max(e/a, a/e)``.
+
+    Sentinel semantics (never NaN):
+
+    * both sides positive — the usual q-error, ``>= 1.0``;
+    * both sides zero — ``1.0`` (estimate and measurement agree);
+    * estimate missing (``<= 0``) but rows observed — ``None``: there is
+      nothing to compare against, which is different from a wrong
+      estimate;
+    * estimate positive but zero rows observed — ``inf``: the estimator
+      predicted rows that never materialized.
+    """
+    if estimated > 0 and actual > 0:
+        return max(estimated / actual, actual / estimated)
+    if estimated <= 0:
+        return 1.0 if actual == 0 else None
+    return math.inf
+
+
+@dataclass(frozen=True)
+class CardinalityRow:
+    """One vertex's estimate-vs-actual comparison."""
+
+    vertex: str
+    estimated: float
+    actual: int
+    qerror: Optional[float]
+    estimate_missing: bool
+
+
+def cardinality_rows(metrics) -> List[CardinalityRow]:
+    """Per-vertex q-error rows, worst offender first.
+
+    Ordering: infinite errors first, then finite errors descending, then
+    vertices with no estimate; ties broken by vertex name so the report
+    is deterministic.
+    """
+    rows = []
+    for name in sorted(metrics.vertices):
+        stats = metrics.vertices[name]
+        err = qerror(stats.estimated_rows, stats.rows_out)
+        rows.append(CardinalityRow(
+            vertex=name,
+            estimated=stats.estimated_rows,
+            actual=stats.rows_out,
+            qerror=err,
+            estimate_missing=stats.estimate_missing,
+        ))
+
+    def sort_key(row: CardinalityRow):
+        if row.qerror is None:
+            return (2, 0.0, row.vertex)
+        if math.isinf(row.qerror):
+            return (0, 0.0, row.vertex)
+        return (1, -row.qerror, row.vertex)
+
+    return sorted(rows, key=sort_key)
+
+
+def cardinality_table(metrics, top: Optional[int] = None) -> str:
+    """Rendered q-error table (``top`` caps the listing)."""
+    rows = cardinality_rows(metrics)
+    if not rows:
+        return ("(no per-vertex statistics — run on the task scheduler, "
+                "workers >= 1)")
+    header = (f"{'vertex':<28}{'estimated':>12}{'actual':>12}"
+              f"{'q-error':>10}")
+    lines = [header, "-" * len(header)]
+    shown = rows if top is None else rows[:top]
+    for row in shown:
+        if row.estimate_missing:
+            est, err = "n/a", "n/a"
+        else:
+            est = f"{row.estimated:,.0f}"
+            err = "inf" if math.isinf(row.qerror) else f"{row.qerror:.2f}"
+        lines.append(
+            f"{row.vertex:<28}{est:>12}{row.actual:>12,}{err:>10}"
+        )
+    if top is not None and len(rows) > top:
+        lines.append(f"... {len(rows) - top} more")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One vertex's share of the simulated makespan."""
+
+    vertex: str
+    makespan: float
+    share: float
+
+
+def hotspots(metrics, k: int = 5) -> List[Hotspot]:
+    """Top-``k`` vertices by simulated-makespan share, largest first."""
+    total = sum(
+        stats.simulated_makespan for stats in metrics.vertices.values()
+    )
+    spots = [
+        Hotspot(
+            vertex=name,
+            makespan=stats.simulated_makespan,
+            share=(stats.simulated_makespan / total) if total > 0 else 0.0,
+        )
+        for name, stats in metrics.vertices.items()
+    ]
+    spots.sort(key=lambda h: (-h.makespan, h.vertex))
+    return spots[:k]
+
+
+def hotspot_table(metrics, k: int = 5) -> str:
+    spots = hotspots(metrics, k)
+    if not spots:
+        return ("(no per-vertex statistics — run on the task scheduler, "
+                "workers >= 1)")
+    header = f"{'vertex':<28}{'makespan':>14}{'share':>8}"
+    lines = [header, "-" * len(header)]
+    for spot in spots:
+        lines.append(
+            f"{spot.vertex:<28}{spot.makespan:>14,.0f}"
+            f"{spot.share * 100:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def profile_report(metrics, top: int = 5) -> str:
+    """The q-error table plus the hotspot table, ready to print."""
+    return "\n".join([
+        "=== cardinality feedback (worst q-error first) ===",
+        cardinality_table(metrics),
+        "",
+        f"=== top {top} hotspots by simulated makespan share ===",
+        hotspot_table(metrics, top),
+    ])

@@ -1,0 +1,241 @@
+"""Trace sinks: in-memory tree rendering, JSON-lines, Chrome trace.
+
+Three ways out of a :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`render_span_tree` — human-readable indented tree with
+  durations and attributes (what ``repro profile`` prints);
+* :func:`to_jsonl` / :func:`load_jsonl` — one JSON object per line
+  (spans in preorder, then bus events), loss-free round-trip;
+* :func:`to_chrome_trace` / :func:`load_chrome_trace` — the Chrome
+  ``trace_event`` format; open the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev.  Span identity is preserved through ``args``
+  so the export round-trips back into a span tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+from .bus import ObsEvent
+from .tracer import Span, Tracer, VOLATILE_ATTRS
+
+TraceLike = Union[Tracer, Span, Iterable[Span]]
+
+
+def _roots(trace: TraceLike) -> List[Span]:
+    if isinstance(trace, Tracer):
+        return list(trace.roots)
+    if isinstance(trace, Span):
+        return [trace]
+    return list(trace)
+
+
+def _events(trace: TraceLike) -> List[object]:
+    if isinstance(trace, Tracer) and trace.bus is not None:
+        return list(trace.bus.events)
+    return []
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+# -- tree rendering --------------------------------------------------------
+
+def render_span_tree(trace: TraceLike, include_timing: bool = True) -> str:
+    """Indented tree, one line per span: name, duration, attributes."""
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        parts = ["  " * depth + span.name]
+        if include_timing:
+            parts.append(f"[{span.duration * 1e3:.1f} ms]")
+        for key in sorted(span.attrs):
+            if key in VOLATILE_ATTRS:
+                continue
+            parts.append(f"{key}={_fmt_value(span.attrs[key])}")
+        lines.append(" ".join(parts))
+        for child in span.children:
+            emit(child, depth + 1)
+
+    roots = _roots(trace)
+    if not roots:
+        return "(no spans recorded)"
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+# -- JSON-lines ------------------------------------------------------------
+
+def _event_record(event: object) -> dict:
+    if isinstance(event, ObsEvent):
+        return {"type": "event", "kind": event.kind,
+                "attrs": dict(event.attrs)}
+    if dataclasses.is_dataclass(event):
+        return {
+            "type": "event",
+            "kind": f"{type(event).__name__}.{getattr(event, 'kind', '')}",
+            "attrs": dataclasses.asdict(event),
+        }
+    return {"type": "event", "kind": "opaque", "attrs": {"repr": repr(event)}}
+
+
+def to_jsonl(trace: TraceLike) -> str:
+    """Serialize spans (preorder) and bus events, one JSON object/line."""
+    lines: List[str] = []
+    next_id = 0
+
+    def emit(span: Span, parent: Optional[int]) -> None:
+        nonlocal next_id
+        sid = next_id
+        next_id += 1
+        lines.append(json.dumps({
+            "type": "span",
+            "id": sid,
+            "parent": parent,
+            "name": span.name,
+            "start": span.start,
+            "end": span.end,
+            "attrs": span.attrs,
+        }, sort_keys=True, default=str))
+        for child in span.children:
+            emit(child, sid)
+
+    for root in _roots(trace):
+        emit(root, None)
+    for event in _events(trace):
+        lines.append(json.dumps(_event_record(event), sort_keys=True,
+                                default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+@dataclass
+class LoadedTrace:
+    """A trace reconstructed from an export (spans + events)."""
+
+    roots: List[Span] = field(default_factory=list)
+    events: List[ObsEvent] = field(default_factory=list)
+
+    def render(self, include_timing: bool = True) -> str:
+        return render_span_tree(self.roots, include_timing)
+
+
+def load_jsonl(text: str) -> LoadedTrace:
+    loaded = LoadedTrace()
+    by_id = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") == "span":
+            span = Span(record["name"], record.get("attrs") or {},
+                        start=record.get("start", 0.0),
+                        end=record.get("end", 0.0))
+            by_id[record["id"]] = span
+            parent = record.get("parent")
+            if parent is None:
+                loaded.roots.append(span)
+            else:
+                by_id[parent].children.append(span)
+        elif record.get("type") == "event":
+            loaded.events.append(
+                ObsEvent.make(record.get("kind", ""),
+                              **(record.get("attrs") or {}))
+            )
+    return loaded
+
+
+def write_jsonl(trace: TraceLike, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_jsonl(trace))
+
+
+# -- Chrome trace_event ----------------------------------------------------
+
+def to_chrome_trace(trace: TraceLike) -> str:
+    """Chrome ``trace_event`` JSON (complete events, microseconds).
+
+    Span ids and parent links ride along in ``args`` (keys ``_id`` /
+    ``_parent``) so :func:`load_chrome_trace` can rebuild the tree.
+    """
+    roots = _roots(trace)
+    starts = [s.start for root in roots for s in root.walk()]
+    epoch = min(starts) if starts else 0.0
+    trace_events: List[dict] = []
+    next_id = 0
+
+    def emit(span: Span, parent: Optional[int]) -> None:
+        nonlocal next_id
+        sid = next_id
+        next_id += 1
+        args = {k: v for k, v in span.attrs.items()}
+        args["_id"] = sid
+        args["_parent"] = parent
+        trace_events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (span.start - epoch) * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": args,
+        })
+        for child in span.children:
+            emit(child, sid)
+
+    for root in roots:
+        emit(root, None)
+    for event in _events(trace):
+        record = _event_record(event)
+        trace_events.append({
+            "name": record["kind"],
+            "cat": "repro.events",
+            "ph": "i",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "s": "g",
+            "args": record["attrs"],
+        })
+    return json.dumps({"traceEvents": trace_events}, sort_keys=True,
+                      default=str)
+
+
+def load_chrome_trace(text: str) -> LoadedTrace:
+    doc = json.loads(text)
+    loaded = LoadedTrace()
+    by_id = {}
+    records = [e for e in doc.get("traceEvents", ()) if e.get("ph") == "X"]
+    records.sort(key=lambda e: e["args"]["_id"])
+    for record in records:
+        args = dict(record.get("args") or {})
+        sid = args.pop("_id")
+        parent = args.pop("_parent", None)
+        start = record.get("ts", 0.0) / 1e6
+        span = Span(record["name"], args, start=start,
+                    end=start + record.get("dur", 0.0) / 1e6)
+        by_id[sid] = span
+        if parent is None:
+            loaded.roots.append(span)
+        else:
+            by_id[parent].children.append(span)
+    for record in doc.get("traceEvents", ()):
+        if record.get("ph") == "i":
+            loaded.events.append(
+                ObsEvent.make(record.get("name", ""),
+                              **(record.get("args") or {}))
+            )
+    return loaded
+
+
+def write_chrome_trace(trace: TraceLike, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_chrome_trace(trace))

@@ -1,0 +1,242 @@
+"""Hierarchical span tracing for the compile→optimize→execute pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — ``parse``,
+``compile``, ``cse.detect``, ``optimize.phase1``/``phase2``, ``verify``,
+``stage_graph.cut``, ``scheduler.vertex/<name>``, ``task/<partition>`` —
+each carrying typed attributes (group ids, costs, row counts, retry
+counts).  Rendering and export are handled by :mod:`repro.obs.sinks`;
+the cardinality-feedback report by :mod:`repro.obs.report`.
+
+Design constraints, in order:
+
+* **Zero cost when disabled.**  Every traced API takes a tracer argument
+  defaulting to :data:`NULL_TRACER`, whose methods are no-ops returning
+  shared singletons.  Call sites live only at stage boundaries (once per
+  phase, vertex or task) — never inside per-row or per-operator loops —
+  so the disabled hot path allocates nothing new; the observability
+  benchmark holds the traced end-to-end overhead under 10%.
+* **Deterministic structure.**  :meth:`Span.structure` captures the tree
+  shape and semantic attributes while excluding wall-clock values, and
+  sorts sibling subtrees canonically; the same script/seed produces the
+  same structure regardless of worker count or task completion order
+  (the scheduler records its spans during deterministic finalization).
+* **Single writer.**  Spans are recorded from the coordinating thread
+  only; worker threads hand their timings back to the scheduler, which
+  records them at finalization.  The tracer therefore needs no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .bus import EventBus, ObsEvent
+
+#: Attribute keys excluded from :meth:`Span.structure` (anything that is
+#: wall-clock derived and therefore run-to-run nondeterministic).
+VOLATILE_ATTRS = frozenset({"seconds", "wall_seconds", "wall_ms"})
+
+
+class Span:
+    """One timed, attributed node of the trace tree."""
+
+    __slots__ = ("name", "attrs", "children", "start", "end")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None,
+                 start: float = 0.0, end: float = 0.0):
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; returns the span for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (preorder, self included) with ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def walk(self):
+        """Preorder iteration over the subtree, self included."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def structure(self) -> Tuple:
+        """Canonical wall-clock-free shape: (name, attrs, children).
+
+        Sibling subtrees are sorted by their canonical form, so the
+        result is independent of recording order — two runs of the same
+        script/seed compare equal across worker counts even though task
+        completion interleaves differently.
+        """
+        attrs = tuple(sorted(
+            (k, v) for k, v in self.attrs.items() if k not in VOLATILE_ATTRS
+        ))
+        children = tuple(sorted(
+            (c.structure() for c in self.children), key=repr
+        ))
+        return (self.name, attrs, children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, attrs={self.attrs!r}, "
+                f"children={len(self.children)})")
+
+
+class _ActiveSpan:
+    """Context manager that opens a span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, object]):
+        self._tracer = tracer
+        self._span = Span(name, attrs)
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        span.start = tracer._clock()
+        tracer._attach(span, parent=None)
+        tracer._stack.append(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end = self._tracer._clock()
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects spans and publishes events to a shared bus.
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    :func:`time.perf_counter`).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.bus = EventBus()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- spans ------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """Open a span nested under the innermost active span::
+
+            with tracer.span("optimize.phase1") as sp:
+                ...
+                sp.set(cost=plan_cost)
+        """
+        return _ActiveSpan(self, name, attrs)
+
+    def record_span(self, name: str, start: float, end: float,
+                    parent: Optional[Span] = None, **attrs) -> Span:
+        """Attach an already-timed span (scheduler finalization path).
+
+        ``parent=None`` nests under the innermost active span, or at the
+        root when none is active.
+        """
+        span = Span(name, attrs, start=start, end=end)
+        self._attach(span, parent)
+        return span
+
+    def _attach(self, span: Span, parent: Optional[Span]) -> None:
+        if parent is None:
+            parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            self.roots.append(span)
+        else:
+            parent.children.append(span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def root(self) -> Optional[Span]:
+        return self.roots[0] if self.roots else None
+
+    # -- events -----------------------------------------------------------
+
+    def emit(self, kind: str, **attrs) -> None:
+        """Publish a point-in-time :class:`ObsEvent` to the bus."""
+        self.bus.publish(ObsEvent.make(kind, **attrs))
+
+    def now(self) -> float:
+        return self._clock()
+
+
+class _NullSpan:
+    """Shared inert span: accepts attributes, records nothing."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, object] = {}
+    children: Tuple = ()
+    start = end = 0.0
+    duration = 0.0
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every method is a constant-time no-op."""
+
+    __slots__ = ()
+    enabled = False
+    bus = None
+    roots: Tuple = ()
+    current = None
+    root = None
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def record_span(self, name: str, start: float, end: float,
+                    parent: Optional[Span] = None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def emit(self, kind: str, **attrs) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+
+#: Module-wide disabled tracer; the default for every traced API.
+NULL_TRACER = NullTracer()

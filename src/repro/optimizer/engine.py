@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..cse.history import HistoryEntry, PropertyHistory
+from ..obs.tracer import NULL_TRACER
 from ..plan.physical import (
     PhysicalOp,
     PhysicalPlan,
@@ -166,6 +167,26 @@ class SearchEngine:
         self.trace: Optional[OptimizerTrace] = (
             OptimizerTrace() if self.config.trace else None
         )
+        #: Span tracer for phase-2 round attribution (see
+        #: :meth:`bind_observability`); the null tracer is free.
+        self.tracer = NULL_TRACER
+
+    def bind_observability(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` to this engine.
+
+        Phase-2 rounds then record ``optimize.round`` spans, and — when
+        ``config.trace`` is also set — the structured
+        :class:`~repro.optimizer.trace.TraceEvent` stream is published
+        onto the tracer's shared bus instead of a private one, so one
+        export carries both.  Must be called before the first
+        optimization; rebinding after events were recorded would split
+        the stream.
+        """
+        if not tracer.enabled:
+            return
+        self.tracer = tracer
+        if self.trace is not None and not self.trace.bus.events:
+            self.trace.bus = tracer.bus
 
     # ------------------------------------------------------------------
     # Entry point
@@ -364,12 +385,17 @@ class SearchEngine:
             self.stats.round_log.append((gid, signature))
             ctx2 = dict(ctx)
             ctx2.update(assignment)
-            plan = self._log_phys_opt(gid, req, ctx2, phase)
-            if plan is None:
-                if self.trace is not None:
-                    self.trace.round_evaluated(gid, assignment, phase, None)
-                return None
-            cost = self.plan_cost(plan)
+            with self.tracer.span("optimize.round", lca=gid,
+                                  round=self.stats.rounds) as round_span:
+                plan = self._log_phys_opt(gid, req, ctx2, phase)
+                if plan is None:
+                    round_span.set(feasible=False)
+                    if self.trace is not None:
+                        self.trace.round_evaluated(gid, assignment, phase,
+                                                   None)
+                    return None
+                cost = self.plan_cost(plan)
+                round_span.set(feasible=True, cost=cost)
             if self.trace is not None:
                 self.trace.round_evaluated(gid, assignment, phase, cost)
             if cost < best_cost:

@@ -1,20 +1,26 @@
 """Optimizer tracing: a structured record of search decisions.
 
-Enabled with ``OptimizerConfig(trace=True)``; the engine then appends
+Enabled with ``OptimizerConfig(trace=True)``; the engine then publishes
 :class:`TraceEvent` records for every group optimization, transformation
 rule firing, and phase-2 round.  The trace answers the questions that
 come up when a plan looks wrong: *which requirements was this group
 optimized under?  which enforcement rounds ran, and what did each cost?
 did the rule I added ever fire?*
 
-The trace is append-only and cheap (tuples into a list); rendering is
-done on demand by :func:`render_trace`.
+Events flow through an :class:`~repro.obs.bus.EventBus` rather than a
+private list: pass ``bus=tracer.bus`` (or rebind :attr:`OptimizerTrace.bus`
+before the first event) and the optimizer's records interleave with the
+execution events on the same stream, ready for the JSON-lines and Chrome
+sinks of :mod:`repro.obs.sinks`.  Publishing is append-only and cheap;
+rendering is done on demand by :func:`render_trace`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..obs.bus import EventBus
 
 
 @dataclass(frozen=True)
@@ -22,7 +28,9 @@ class TraceEvent:
     """One trace record.
 
     ``kind`` is one of ``"group"``, ``"rule"``, ``"round"``; the other
-    fields are populated as applicable.
+    fields are populated as applicable.  ``rule_name`` is the structured
+    identity of the fired rule — use it instead of parsing ``detail``,
+    which is display text and may contain spaces.
     """
 
     kind: str
@@ -30,23 +38,36 @@ class TraceEvent:
     phase: int = 0
     detail: str = ""
     cost: Optional[float] = None
+    rule_name: str = ""
+    produced: int = 0
 
 
-@dataclass
 class OptimizerTrace:
-    """Append-only sink for engine events."""
+    """Publishes engine events onto a (possibly shared) event bus.
 
-    events: List[TraceEvent] = field(default_factory=list)
+    Without an explicit ``bus`` each trace gets a private one, which
+    keeps concurrent engines (the CSE pipeline also prices a fallback
+    memo) from interleaving their records.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None):
+        self.bus = bus if bus is not None else EventBus()
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """This trace's records, filtered out of the bus stream."""
+        return self.bus.of_type(TraceEvent)
 
     def group_optimized(self, gid: int, req, phase: int,
                         cost: Optional[float]) -> None:
-        self.events.append(
+        self.bus.publish(
             TraceEvent("group", gid, phase, detail=str(req), cost=cost)
         )
 
     def rule_fired(self, gid: int, rule_name: str, produced: int) -> None:
-        self.events.append(
-            TraceEvent("rule", gid, detail=f"{rule_name} (+{produced})")
+        self.bus.publish(
+            TraceEvent("rule", gid, detail=f"{rule_name} (+{produced})",
+                       rule_name=rule_name, produced=produced)
         )
 
     def round_evaluated(self, lca_gid: int, assignment, phase: int,
@@ -54,7 +75,7 @@ class OptimizerTrace:
         detail = ", ".join(
             f"#{gid}→{entry}" for gid, entry in sorted(assignment.items())
         )
-        self.events.append(
+        self.bus.publish(
             TraceEvent("round", lca_gid, phase, detail=detail, cost=cost)
         )
 
@@ -72,8 +93,7 @@ class OptimizerTrace:
     def rule_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for event in self.rules():
-            name = event.detail.split(" ")[0]
-            counts[name] = counts.get(name, 0) + 1
+            counts[event.rule_name] = counts.get(event.rule_name, 0) + 1
         return counts
 
     def __len__(self) -> int:
@@ -87,7 +107,8 @@ def render_trace(trace: OptimizerTrace, max_groups: int = 40) -> str:
     counts = trace.rule_counts()
     lines.append("=== transformation rules fired ===")
     if counts:
-        for name, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        for name, count in sorted(counts.items(), key=lambda kv: (-kv[1],
+                                                                  kv[0])):
             lines.append(f"  {name:<24}{count:>6}×")
     else:
         lines.append("  (none)")

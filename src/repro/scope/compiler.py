@@ -724,6 +724,21 @@ def _default_agg_alias(func: AggFunc, arg) -> str:
     return f"{func.value}_{suffix}"
 
 
-def compile_script(text: str, catalog: Catalog) -> LogicalPlan:
-    """Parse and compile ``text`` into a logical DAG in one call."""
-    return Compiler(catalog).compile_script(parse(text))
+def compile_script(text: str, catalog: Catalog,
+                   tracer=None) -> LogicalPlan:
+    """Parse and compile ``text`` into a logical DAG in one call.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records ``parse`` and
+    ``compile`` spans carrying statement and operator counts.
+    """
+    if tracer is None:
+        from ..obs.tracer import NULL_TRACER
+
+        tracer = NULL_TRACER
+    with tracer.span("parse") as span:
+        script = parse(text)
+        span.set(statements=len(script.statements))
+    with tracer.span("compile") as span:
+        logical = Compiler(catalog).compile_script(script)
+        span.set(operators=logical.count_operators())
+    return logical

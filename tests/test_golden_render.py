@@ -1,0 +1,87 @@
+"""Golden-text tests for the optimizer-trace and vertex-table renderers.
+
+Both renderers are fed synthetic, fully deterministic inputs so the
+expected text can live inline — unlike the plan snapshots these don't
+need ``--update-golden`` plumbing.
+"""
+
+import textwrap
+
+from repro.exec.metrics import ExecutionMetrics, VertexStats
+from repro.optimizer.trace import OptimizerTrace, render_trace
+
+
+def make_trace() -> OptimizerTrace:
+    trace = OptimizerTrace()
+    trace.rule_fired(3, "split-groupby", 2)
+    trace.rule_fired(4, "split-groupby", 1)
+    trace.rule_fired(4, "swap join inputs", 1)
+    trace.group_optimized(3, "part=A", phase=1, cost=120.0)
+    trace.group_optimized(4, "part=B", phase=2, cost=None)
+    trace.group_optimized(5, "part=C", phase=2, cost=80.0)
+    trace.round_evaluated(6, {3: "req(A)", 4: "req(B)"}, phase=2,
+                          cost=200.0)
+    trace.round_evaluated(6, {3: "req(C)"}, phase=2, cost=None)
+    return trace
+
+
+class TestRenderTraceGolden:
+    def test_populated(self):
+        expected = textwrap.dedent("""\
+            === transformation rules fired ===
+              split-groupby                2×
+              swap join inputs             1×
+            === phase-2 rounds (2) ===
+              LCA #6: {#3→req(A), #4→req(B)} -> 200
+              LCA #6: {#3→req(C)} -> infeasible
+            === group optimizations (3, showing ≤40) ===
+              phase 1 group #3 [part=A] -> 120
+              phase 2 group #4 [part=B] -> no plan
+              phase 2 group #5 [part=C] -> 80""")
+        assert render_trace(make_trace()) == expected
+
+    def test_empty(self):
+        expected = textwrap.dedent("""\
+            === transformation rules fired ===
+              (none)
+            === phase-2 rounds (0) ===
+            === group optimizations (0, showing ≤40) ===""")
+        assert render_trace(OptimizerTrace()) == expected
+
+    def test_max_groups_truncation(self):
+        expected_tail = textwrap.dedent("""\
+            === group optimizations (3, showing ≤2) ===
+              phase 1 group #3 [part=A] -> 120
+              phase 2 group #4 [part=B] -> no plan
+              ... 1 more""")
+        text = render_trace(make_trace(), max_groups=2)
+        assert text.endswith(expected_tail)
+
+    def test_rule_counts_survive_spaces_in_rule_names(self):
+        # ``rule_name`` is structured; display text with spaces must not
+        # split into bogus count keys.
+        counts = make_trace().rule_counts()
+        assert counts == {"split-groupby": 2, "swap join inputs": 1}
+
+
+class TestVertexTableGolden:
+    def test_populated_including_missing_estimate(self):
+        metrics = ExecutionMetrics()
+        for stats in [
+            VertexStats(vertex="V00:Extract", launches=1, tasks=2,
+                        retries=1, rows_in=0, rows_out=1000,
+                        estimated_rows=2000.0, wall_seconds=0.0042),
+            VertexStats(vertex="V01:Sequence", launches=1, tasks=1,
+                        rows_in=1000, rows_out=0, estimated_rows=0.0,
+                        wall_seconds=0.0001),
+        ]:
+            metrics.vertices[stats.vertex] = stats
+        expected = textwrap.dedent("""\
+            vertex                       launch tasks retry     rows in    rows out est ratio       ms
+            ------------------------------------------------------------------------------------------
+            V00:Extract                       1     2     1           0       1,000      0.50      4.2
+            V01:Sequence                      1     1     0       1,000           0       n/a      0.1""")
+        assert metrics.vertex_table() == expected
+
+    def test_empty_is_none(self):
+        assert ExecutionMetrics().vertex_table() is None

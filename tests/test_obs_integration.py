@@ -1,0 +1,230 @@
+"""End-to-end observability: tracing the whole pipeline.
+
+Covers the acceptance criteria of the ``repro.obs`` subsystem: the root
+``run`` span covers parse→output, optimizer and execution events share
+one bus, exports round-trip, and the span tree's *structure* is
+identical across worker counts.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import execute_script
+from repro.obs import (
+    Tracer,
+    load_chrome_trace,
+    load_jsonl,
+    render_span_tree,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.optimizer.trace import TraceEvent
+from repro.scope.statistics import catalog_to_json
+from repro.workloads.paper_scripts import PAPER_SCRIPTS, S1
+
+MACHINES = 4
+
+
+def traced_run(catalog, workers=2, script=S1, config=None):
+    tracer = Tracer()
+    result = execute_script(
+        script, catalog, config, machines=MACHINES, workers=workers,
+        rows=300, tracer=tracer,
+    )
+    return tracer, result
+
+
+class TestPipelineSpans:
+    def test_root_run_span_covers_parse_to_output(self, abcd_catalog):
+        tracer, _result = traced_run(abcd_catalog)
+        root = tracer.root
+        assert root.name == "run"
+        for stage in ["parse", "compile", "prune", "cse.detect",
+                      "optimize.phase1", "optimize.phase2",
+                      "stage_graph.cut", "execute"]:
+            span = root.find(stage)
+            assert span is not None, f"missing span {stage}"
+            assert root.start <= span.start <= span.end <= root.end
+        assert root.find("verify") is not None  # suite-wide default on
+        assert [s.name for s in tracer.roots] == ["run"]
+
+    def test_vertex_and_task_spans_under_execute(self, abcd_catalog):
+        tracer, result = traced_run(abcd_catalog)
+        execute = tracer.root.find("execute")
+        vertices = [s for s in execute.children
+                    if s.name.startswith("scheduler.vertex/")]
+        assert {s.name.split("/", 1)[1] for s in vertices} == set(
+            result.metrics.vertices
+        )
+        for vertex in vertices:
+            assert vertex.children, f"{vertex.name} has no task spans"
+            assert all(c.name.startswith("task/")
+                       for c in vertex.children)
+            assert vertex.attrs["tasks"] == len(vertex.children)
+            stats = result.metrics.vertices[vertex.name.split("/", 1)[1]]
+            assert vertex.attrs["rows_out"] == stats.rows_out
+
+    def test_sequential_executor_is_traced_too(self, abcd_catalog):
+        tracer, _result = traced_run(abcd_catalog, workers=0)
+        assert tracer.root.find("execute") is not None
+        assert tracer.root.find("spool.materialize") is not None
+
+    def test_span_attrs_capture_pipeline_facts(self, abcd_catalog):
+        tracer, result = traced_run(abcd_catalog)
+        root = tracer.root
+        assert root.attrs["machines"] == MACHINES
+        assert root.find("parse").attrs["statements"] > 0
+        assert root.find("optimize.phase2").attrs["cost"] == pytest.approx(
+            result.optimization.details.phase2_cost
+        )
+        cut = root.find("stage_graph.cut")
+        assert cut.attrs["vertices"] == len(result.metrics.vertices)
+
+    def test_workers_recorded_as_bus_event_not_span_attr(self,
+                                                         abcd_catalog):
+        tracer, _result = traced_run(abcd_catalog, workers=2)
+        assert "workers" not in tracer.root.attrs
+        configs = tracer.bus.of_kind("exec.config")
+        assert [e.get("workers") for e in configs] == [2]
+
+
+class TestSharedBus:
+    def test_metrics_published_on_the_tracer_bus(self, abcd_catalog):
+        tracer, result = traced_run(abcd_catalog)
+        counters = {e.get("name"): e.get("value")
+                    for e in tracer.bus.of_kind("exec.counter")}
+        assert counters["rows_output"] == result.metrics.rows_output
+        vertex_events = tracer.bus.of_kind("exec.vertex")
+        assert {e.get("vertex") for e in vertex_events} == set(
+            result.metrics.vertices
+        )
+
+    def test_optimizer_trace_events_flow_into_the_shared_bus(
+            self, abcd_catalog, small_config):
+        config = dataclasses.replace(small_config, trace=True)
+        tracer, result = traced_run(abcd_catalog, config=config)
+        engine_trace = result.optimization.details.engine.trace
+        assert engine_trace.bus is tracer.bus
+        shared = tracer.bus.of_type(TraceEvent)
+        assert shared and shared == engine_trace.events
+        assert engine_trace.rule_counts()
+
+    def test_without_config_trace_no_engine_events(self, abcd_catalog):
+        tracer, result = traced_run(abcd_catalog)
+        assert result.optimization.details.engine.trace is None
+        assert tracer.bus.of_type(TraceEvent) == []
+
+
+class TestStructuralDeterminism:
+    @pytest.mark.parametrize("name", ["S1", "S3"])
+    def test_same_structure_across_worker_counts(self, name, abcd_catalog):
+        one, result_one = traced_run(abcd_catalog, workers=1,
+                                     script=PAPER_SCRIPTS[name])
+        four, result_four = traced_run(abcd_catalog, workers=4,
+                                       script=PAPER_SCRIPTS[name])
+        assert result_one.outputs.keys() == result_four.outputs.keys()
+        assert one.root.structure() == four.root.structure()
+
+    def test_repeated_runs_identical(self, abcd_catalog):
+        a, _ = traced_run(abcd_catalog)
+        b, _ = traced_run(abcd_catalog)
+        assert a.root.structure() == b.root.structure()
+        assert render_span_tree(a, include_timing=False) == \
+            render_span_tree(b, include_timing=False)
+
+
+class TestEndToEndExports:
+    def test_jsonl_round_trip_of_a_real_run(self, abcd_catalog):
+        tracer, _result = traced_run(abcd_catalog)
+        loaded = load_jsonl(to_jsonl(tracer))
+        assert loaded.render() == render_span_tree(tracer)
+        assert len(loaded.events) == len(tracer.bus.events)
+
+    def test_chrome_round_trip_of_a_real_run(self, abcd_catalog):
+        tracer, _result = traced_run(abcd_catalog)
+        loaded = load_chrome_trace(to_chrome_trace(tracer))
+        assert loaded.render(include_timing=False) == render_span_tree(
+            tracer, include_timing=False
+        )
+        doc = json.loads(to_chrome_trace(tracer))
+        assert all(e["ts"] >= 0 for e in doc["traceEvents"])
+
+
+class TestFaultTracing:
+    def test_retries_emit_scheduler_retry_events(self, abcd_catalog):
+        tracer = Tracer()
+        result = execute_script(
+            S1, abcd_catalog, machines=MACHINES, workers=2, rows=300,
+            failure_rate=0.4, failure_seed=7, max_retries=10,
+            tracer=tracer,
+        )
+        if result.metrics.task_retries == 0:
+            pytest.skip("seed produced no failures")
+        retries = tracer.bus.of_kind("scheduler.retry")
+        assert len(retries) == result.metrics.task_retries
+        total_span_retries = sum(
+            s.attrs.get("retries", 0)
+            for s in tracer.root.walk()
+            if s.name.startswith("scheduler.vertex/")
+        )
+        assert total_span_retries == result.metrics.task_retries
+
+
+@pytest.fixture
+def workspace(tmp_path, abcd_catalog):
+    script = tmp_path / "s.scope"
+    script.write_text(S1)
+    catalog_path = tmp_path / "c.json"
+    catalog_path.write_text(catalog_to_json(abcd_catalog))
+    return script, catalog_path
+
+
+class TestCli:
+    def test_profile_subcommand(self, workspace, tmp_path, capsys):
+        from repro.cli import main
+
+        script, catalog_path = workspace
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert main([
+            "profile", str(script), "--catalog", str(catalog_path),
+            "--machines", str(MACHINES), "--rows", "300",
+            "--trace-out", str(jsonl), "--chrome-out", str(chrome),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "--- span tree ---" in out
+        assert "run [" in out
+        assert "q-error" in out
+        assert "hotspots by simulated makespan share" in out
+        loaded = load_jsonl(jsonl.read_text())
+        assert [r.name for r in loaded.roots] == ["run"]
+        assert load_chrome_trace(chrome.read_text()).roots
+
+    def test_run_profile_flag(self, workspace, tmp_path, capsys):
+        from repro.cli import main
+
+        script, catalog_path = workspace
+        jsonl = tmp_path / "trace.jsonl"
+        assert main([
+            "run", str(script), "--catalog", str(catalog_path),
+            "--machines", str(MACHINES), "--rows", "300",
+            "--workers", "2", "--profile", "--trace-out", str(jsonl),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "--- span tree ---" in out
+        assert "cardinality feedback" in out
+        assert "verified: results identical" in out
+        assert jsonl.exists()
+
+    def test_run_without_flags_records_nothing(self, workspace, capsys):
+        from repro.cli import main
+
+        script, catalog_path = workspace
+        assert main([
+            "run", str(script), "--catalog", str(catalog_path),
+            "--machines", str(MACHINES), "--rows", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" not in out

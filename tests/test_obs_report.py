@@ -1,0 +1,124 @@
+"""Cardinality-feedback (q-error) and hotspot reports."""
+
+import math
+import textwrap
+
+import pytest
+
+from repro.exec.metrics import ExecutionMetrics, VertexStats
+from repro.obs import (
+    cardinality_rows,
+    cardinality_table,
+    hotspot_table,
+    hotspots,
+    profile_report,
+    qerror,
+)
+
+
+class TestQError:
+    def test_symmetric(self):
+        assert qerror(100.0, 50) == pytest.approx(2.0)
+        assert qerror(50.0, 100) == pytest.approx(2.0)
+
+    def test_perfect_estimate_is_one(self):
+        assert qerror(100.0, 100) == pytest.approx(1.0)
+
+    def test_both_zero_agree(self):
+        assert qerror(0.0, 0) == 1.0
+
+    def test_missing_estimate_is_none_not_an_error(self):
+        assert qerror(0.0, 17) is None
+        assert qerror(-1.0, 17) is None
+
+    def test_predicted_rows_never_materialized_is_inf(self):
+        assert qerror(100.0, 0) == math.inf
+
+    def test_never_nan(self):
+        for est, act in [(0.0, 0), (0.0, 5), (5.0, 0), (5.0, 5)]:
+            err = qerror(est, act)
+            assert err is None or not math.isnan(err)
+
+
+@pytest.fixture
+def metrics():
+    m = ExecutionMetrics()
+    for stats in [
+        VertexStats(vertex="V00:Extract", estimated_rows=1000.0,
+                    rows_out=100, simulated_makespan=500.0),
+        VertexStats(vertex="V01:HashAgg", estimated_rows=50.0,
+                    rows_out=100, simulated_makespan=1500.0),
+        VertexStats(vertex="V02:Output", estimated_rows=10.0,
+                    rows_out=0, simulated_makespan=0.0),
+        VertexStats(vertex="V03:Sequence", estimated_rows=0.0,
+                    rows_out=7, simulated_makespan=2000.0),
+    ]:
+        m.vertices[stats.vertex] = stats
+    return m
+
+
+class TestCardinalityRows:
+    def test_ordering_inf_then_finite_desc_then_missing(self, metrics):
+        rows = cardinality_rows(metrics)
+        assert [r.vertex for r in rows] == [
+            "V02:Output",     # inf
+            "V00:Extract",    # q-error 10
+            "V01:HashAgg",    # q-error 2
+            "V03:Sequence",   # estimate missing
+        ]
+        assert math.isinf(rows[0].qerror)
+        assert rows[1].qerror == pytest.approx(10.0)
+        assert rows[3].qerror is None and rows[3].estimate_missing
+
+    def test_table_golden(self, metrics):
+        expected = textwrap.dedent("""\
+            vertex                         estimated      actual   q-error
+            --------------------------------------------------------------
+            V02:Output                            10           0       inf
+            V00:Extract                        1,000         100     10.00
+            V01:HashAgg                           50         100      2.00
+            V03:Sequence                         n/a           7       n/a""")
+        assert cardinality_table(metrics) == expected
+
+    def test_table_top_caps_and_counts_rest(self, metrics):
+        text = cardinality_table(metrics, top=2)
+        assert "V01:HashAgg" not in text
+        assert "... 2 more" in text
+
+    def test_table_empty(self):
+        text = cardinality_table(ExecutionMetrics())
+        assert "no per-vertex statistics" in text
+
+
+class TestHotspots:
+    def test_ranked_by_makespan_share(self, metrics):
+        spots = hotspots(metrics, k=2)
+        assert [s.vertex for s in spots] == ["V03:Sequence", "V01:HashAgg"]
+        assert spots[0].share == pytest.approx(0.5)
+        assert spots[1].share == pytest.approx(0.375)
+
+    def test_zero_total_gives_zero_shares(self):
+        m = ExecutionMetrics()
+        m.vertices["V00:X"] = VertexStats(vertex="V00:X")
+        assert hotspots(m)[0].share == 0.0
+
+    def test_table_golden(self, metrics):
+        expected = textwrap.dedent("""\
+            vertex                            makespan   share
+            --------------------------------------------------
+            V03:Sequence                         2,000   50.0%
+            V01:HashAgg                          1,500   37.5%""")
+        assert hotspot_table(metrics, 2) == expected
+
+    def test_table_empty(self):
+        assert "no per-vertex statistics" in hotspot_table(
+            ExecutionMetrics()
+        )
+
+
+class TestProfileReport:
+    def test_combines_both_sections(self, metrics):
+        text = profile_report(metrics, top=3)
+        assert "cardinality feedback" in text
+        assert "top 3 hotspots" in text
+        assert "V02:Output" in text and "V03:Sequence" in text

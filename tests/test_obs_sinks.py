@@ -1,0 +1,120 @@
+"""Rendering and export sinks: tree text, JSON-lines, Chrome trace."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    load_chrome_trace,
+    load_jsonl,
+    render_span_tree,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+
+@pytest.fixture
+def trace():
+    """A small deterministic trace: spans, attributes, bus events."""
+    clock = iter(i * 1e-3 for i in range(100))
+    tracer = Tracer(clock=lambda: next(clock))
+    with tracer.span("run", machines=4):
+        with tracer.span("parse") as span:
+            span.set(statements=3)
+        with tracer.span("execute"):
+            vertex = tracer.record_span(
+                "scheduler.vertex/V00:Extract", 0.003, 0.004,
+                rows_out=100, wall_seconds=0.5,
+            )
+            tracer.record_span("task/0", 0.003, 0.004, parent=vertex,
+                               attempts=1)
+    tracer.emit("exec.config", workers=2, machines=4)
+    tracer.emit("exec.counter", name="rows_output", value=100)
+    return tracer
+
+
+class TestRenderSpanTree:
+    def test_golden_text(self, trace):
+        expected = textwrap.dedent("""\
+            run [5.0 ms] machines=4
+              parse [1.0 ms] statements=3
+              execute [1.0 ms]
+                scheduler.vertex/V00:Extract [1.0 ms] rows_out=100
+                  task/0 [1.0 ms] attempts=1""")
+        assert render_span_tree(trace) == expected
+
+    def test_volatile_attrs_are_hidden(self, trace):
+        assert "wall_seconds" not in render_span_tree(trace)
+
+    def test_without_timing(self, trace):
+        text = render_span_tree(trace, include_timing=False)
+        assert "ms]" not in text
+        assert text.splitlines()[0] == "run machines=4"
+
+    def test_empty(self):
+        assert render_span_tree(Tracer()) == "(no spans recorded)"
+        assert render_span_tree([]) == "(no spans recorded)"
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_tree_and_events(self, trace):
+        loaded = load_jsonl(to_jsonl(trace))
+        assert loaded.render() == render_span_tree(trace)
+        assert [r.structure() for r in loaded.roots] == [
+            r.structure() for r in trace.roots
+        ]
+        assert [e.as_dict() for e in loaded.events] == [
+            e.as_dict() for e in trace.bus.events
+        ]
+
+    def test_one_json_object_per_line(self, trace):
+        lines = to_jsonl(trace).splitlines()
+        records = [json.loads(line) for line in lines]
+        # 5 spans in preorder, then 2 events.
+        assert [r["type"] for r in records] == ["span"] * 5 + ["event"] * 2
+        assert records[0]["name"] == "run"
+        assert records[0]["parent"] is None
+        assert all(r["parent"] is not None for r in records[1:5])
+
+    def test_empty_trace(self):
+        assert to_jsonl(Tracer()) == ""
+        loaded = load_jsonl("")
+        assert loaded.roots == [] and loaded.events == []
+        assert loaded.render() == "(no spans recorded)"
+
+    def test_blank_lines_are_skipped(self, trace):
+        text = "\n" + to_jsonl(trace).replace("\n", "\n\n")
+        assert load_jsonl(text).render() == render_span_tree(trace)
+
+
+class TestChromeRoundTrip:
+    def test_round_trip_preserves_tree_and_events(self, trace):
+        loaded = load_chrome_trace(to_chrome_trace(trace))
+        assert loaded.render(include_timing=False) == render_span_tree(
+            trace, include_timing=False
+        )
+        assert [e.as_dict() for e in loaded.events] == [
+            e.as_dict() for e in trace.bus.events
+        ]
+
+    def test_timestamps_are_relative_microseconds(self, trace):
+        doc = json.loads(to_chrome_trace(trace))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        root = next(e for e in spans if e["name"] == "run")
+        assert root["ts"] == 0.0
+        assert root["dur"] == pytest.approx(5_000.0)
+        assert all(e["cat"] == "repro" for e in spans)
+
+    def test_instant_events_carry_attrs(self, trace):
+        doc = json.loads(to_chrome_trace(trace))
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        config = next(e for e in instants if e["name"] == "exec.config")
+        assert config["args"] == {"machines": 4, "workers": 2}
+
+    def test_empty_trace(self):
+        doc = json.loads(to_chrome_trace(Tracer()))
+        assert doc == {"traceEvents": []}
+        loaded = load_chrome_trace('{"traceEvents": []}')
+        assert loaded.roots == [] and loaded.events == []

@@ -1,0 +1,173 @@
+"""Unit tests for the span tracer (`repro.obs.tracer`)."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, EventBus, ObsEvent, Span, Tracer
+from repro.obs.tracer import _NULL_SPAN, _NULL_SPAN_CONTEXT
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(clock=FakeClock())
+
+
+class TestSpanNesting:
+    def test_root_span(self, tracer):
+        with tracer.span("run") as span:
+            assert tracer.current is span
+        assert tracer.root is span
+        assert tracer.roots == [span]
+        assert tracer.current is None
+
+    def test_nested_spans_form_a_tree(self, tracer):
+        with tracer.span("run"):
+            with tracer.span("parse"):
+                pass
+            with tracer.span("optimize.phase1"):
+                with tracer.span("optimize.round"):
+                    pass
+        root = tracer.root
+        assert [c.name for c in root.children] == ["parse",
+                                                   "optimize.phase1"]
+        assert [c.name for c in root.children[1].children] == [
+            "optimize.round"
+        ]
+
+    def test_durations_come_from_the_injected_clock(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.root
+        inner = outer.children[0]
+        assert outer.start < inner.start < inner.end < outer.end
+        assert outer.duration == pytest.approx(3.0)
+        assert inner.duration == pytest.approx(1.0)
+
+    def test_attrs_at_open_and_via_set(self, tracer):
+        with tracer.span("compile", operators=7) as span:
+            span.set(cost=42.0)
+        assert tracer.root.attrs == {"operators": 7, "cost": 42.0}
+
+    def test_exception_records_error_attr_and_pops_stack(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("run"):
+                with tracer.span("execute"):
+                    raise ValueError("boom")
+        assert tracer.current is None
+        execute = tracer.root.find("execute")
+        assert execute.attrs["error"] == "ValueError"
+        assert tracer.root.attrs["error"] == "ValueError"
+
+    def test_record_span_nests_under_active_span(self, tracer):
+        with tracer.span("execute"):
+            vertex = tracer.record_span("scheduler.vertex/V00", 1.0, 2.0,
+                                        tasks=1)
+            tracer.record_span("task/0", 1.0, 2.0, parent=vertex)
+        v = tracer.root.find("scheduler.vertex/V00")
+        assert v is not None
+        assert v.attrs == {"tasks": 1}
+        assert [c.name for c in v.children] == ["task/0"]
+
+    def test_record_span_without_parent_is_a_root(self, tracer):
+        tracer.record_span("orphan", 0.0, 1.0)
+        assert [s.name for s in tracer.roots] == ["orphan"]
+
+
+class TestSpanQueries:
+    def test_find_is_preorder(self):
+        root = Span("a")
+        root.children = [Span("b"), Span("b", {"second": True})]
+        assert root.find("b") is root.children[0]
+        assert root.find("missing") is None
+
+    def test_walk_yields_preorder(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert [s.name for s in tracer.root.walk()] == ["a", "b", "c", "d"]
+
+
+class TestStructure:
+    def test_structure_excludes_volatile_attrs(self):
+        a = Span("v", {"rows_out": 5, "wall_seconds": 0.123})
+        b = Span("v", {"rows_out": 5, "wall_seconds": 9.876})
+        assert a.structure() == b.structure()
+
+    def test_structure_sorts_siblings(self):
+        left = Span("root")
+        left.children = [Span("b"), Span("a")]
+        right = Span("root")
+        right.children = [Span("a"), Span("b")]
+        assert left.structure() == right.structure()
+
+    def test_structure_distinguishes_semantic_attrs(self):
+        a = Span("v", {"rows_out": 5})
+        b = Span("v", {"rows_out": 6})
+        assert a.structure() != b.structure()
+
+
+class TestEvents:
+    def test_emit_publishes_to_the_bus(self, tracer):
+        tracer.emit("exec.config", workers=4, machines=25)
+        events = tracer.bus.of_kind("exec.config")
+        assert len(events) == 1
+        assert events[0].get("workers") == 4
+        assert events[0].as_dict() == {"kind": "exec.config",
+                                       "workers": 4, "machines": 25}
+
+    def test_bus_filters_by_type_and_kind(self):
+        bus = EventBus()
+        bus.publish(ObsEvent.make("a", x=1))
+        bus.publish(ObsEvent.make("b", x=2))
+        assert len(bus) == 2
+        assert [e.kind for e in bus.of_type(ObsEvent)] == ["a", "b"]
+        assert [e.get("x") for e in bus.of_kind("b")] == [2]
+
+    def test_subscribers_see_published_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        event = ObsEvent.make("k", v=1)
+        bus.publish(event)
+        assert seen == [event]
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.roots == ()
+        assert NULL_TRACER.current is None
+        assert NULL_TRACER.root is None
+
+    def test_span_returns_shared_singletons(self):
+        ctx = NULL_TRACER.span("anything", attr=1)
+        assert ctx is _NULL_SPAN_CONTEXT
+        with ctx as span:
+            assert span is _NULL_SPAN
+            assert span.set(foo="bar") is span
+        assert span.attrs == {}
+
+    def test_record_span_and_emit_are_noops(self):
+        assert NULL_TRACER.record_span("x", 0.0, 1.0) is _NULL_SPAN
+        assert NULL_TRACER.emit("kind", a=1) is None
+        assert NULL_TRACER.now() == 0.0
+
+    def test_exceptions_propagate_through_null_spans(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("x"):
+                raise RuntimeError()

@@ -144,18 +144,30 @@ class TestDeterministicSummary:
 
 
 class TestCardinalityRatioGuards:
-    def test_zero_estimate_nonzero_actual_stays_finite(self):
+    def test_missing_estimate_is_flagged_not_faked(self):
         stats = VertexStats(vertex="V00:X", estimated_rows=0.0, rows_out=17)
-        assert stats.cardinality_ratio == 17.0
+        assert stats.estimate_missing
+        assert stats.cardinality_ratio == 1.0
 
     def test_zero_estimate_zero_actual_is_one(self):
         stats = VertexStats(vertex="V00:X", estimated_rows=0.0, rows_out=0)
+        assert stats.estimate_missing
         assert stats.cardinality_ratio == 1.0
 
     def test_normal_ratio(self):
         stats = VertexStats(vertex="V00:X", estimated_rows=200.0,
                             rows_out=100)
+        assert not stats.estimate_missing
         assert stats.cardinality_ratio == pytest.approx(0.5)
+
+    def test_missing_estimate_renders_na_in_vertex_table(self):
+        metrics = ExecutionMetrics()
+        metrics.vertices["V00:X"] = VertexStats(
+            vertex="V00:X", estimated_rows=0.0, rows_out=17, launches=1,
+            tasks=1,
+        )
+        table = metrics.vertex_table()
+        assert "n/a" in table
 
 
 class TestMergeFrom:
