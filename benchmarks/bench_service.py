@@ -1,0 +1,170 @@
+"""Plan-cache and shared-batch-execution benchmarks for the query service.
+
+Two claims of the PR, measured:
+
+* **Warm vs cold submit** — a plan-cache hit must avoid re-running the
+  optimizer entirely: per paper script, the best-of-N warm ``submit``
+  latency must be at least 10x below the cold (optimizing) latency.
+* **Batched vs independent execution** — merging scripts that share a
+  subexpression into one job must do measurably less work than running
+  them independently: fewer rows extracted and a lower simulated
+  makespan for the S1+S2 batch.
+
+Raw numbers land in ``BENCH_service.json`` next to this file::
+
+    pytest benchmarks/bench_service.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.api import execute_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.service import QueryService
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.paper_scripts import PAPER_SCRIPTS, make_exec_catalog
+
+MACHINES = 4
+WORKERS = 2
+WARM_REPEATS = 20
+SPEEDUP_FLOOR = 10.0
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_service.json"
+
+
+def _config() -> OptimizerConfig:
+    return OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+
+
+def test_warm_submit_is_10x_faster_than_cold(capsys):
+    catalog = make_exec_catalog()
+    service = QueryService(catalog, _config())
+
+    rows = []
+    for script in sorted(PAPER_SCRIPTS):
+        text = PAPER_SCRIPTS[script]
+        start = time.perf_counter()
+        cold = service.submit(text)
+        cold_seconds = time.perf_counter() - start
+        assert not cold.cache_hit
+
+        warm_seconds = None
+        for _ in range(WARM_REPEATS):
+            start = time.perf_counter()
+            warm = service.submit(text)
+            elapsed = time.perf_counter() - start
+            assert warm.cache_hit
+            if warm_seconds is None or elapsed < warm_seconds:
+                warm_seconds = elapsed
+        rows.append({
+            "script": script,
+            "cold_submit_seconds": cold_seconds,
+            "warm_submit_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds,
+        })
+    # One optimization per script: every warm submit skipped the
+    # optimizer, which is *why* the latency collapses.
+    assert service.stats.optimizations == len(PAPER_SCRIPTS)
+
+    report = {
+        "benchmark": "service_plan_cache",
+        "machines": MACHINES,
+        "warm_repeats": WARM_REPEATS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "scripts": rows,
+    }
+    _merge_report(report)
+
+    with capsys.disabled():
+        print(f"\n=== Plan cache: cold vs warm submit "
+              f"(best of {WARM_REPEATS} warm) ===")
+        header = (f"{'script':<8}{'cold ms':>10}{'warm ms':>10}"
+                  f"{'speedup':>9}")
+        print(header)
+        print("-" * len(header))
+        for r in rows:
+            print(f"{r['script']:<8}{r['cold_submit_seconds'] * 1e3:>10.2f}"
+                  f"{r['warm_submit_seconds'] * 1e3:>10.3f}"
+                  f"{r['speedup']:>8.0f}x")
+        print(f"-> {OUT_PATH.name}")
+
+    for r in rows:
+        assert r["speedup"] >= SPEEDUP_FLOOR, (
+            f"{r['script']}: warm submit only {r['speedup']:.1f}x faster "
+            f"than cold (floor {SPEEDUP_FLOOR:.0f}x); the cache is not "
+            "skipping the optimizer"
+        )
+
+
+def test_batched_execution_cheaper_than_independent(capsys):
+    """S1+S2 share their first aggregation: one batched job must beat
+    two independent runs on extracted rows and simulated makespan."""
+    catalog = make_exec_catalog()
+    files = generate_for_catalog(catalog, seed=11)
+    texts = [PAPER_SCRIPTS["S1"], PAPER_SCRIPTS["S2"]]
+
+    service = QueryService(catalog, _config())
+    start = time.perf_counter()
+    batch = service.execute_many(texts, workers=WORKERS, files=files,
+                                 validate=False)
+    batch_seconds = time.perf_counter() - start
+
+    independent_extracted = 0
+    independent_makespan = 0.0
+    start = time.perf_counter()
+    for text in texts:
+        solo = execute_script(text, catalog, _config(), workers=WORKERS,
+                              files=files, validate=False)
+        independent_extracted += solo.metrics.rows_extracted
+        independent_makespan += solo.metrics.simulated_makespan
+    independent_seconds = time.perf_counter() - start
+
+    shared = [v.name for v in batch.shared_vertices()]
+    report = {
+        "benchmark": "service_shared_batch",
+        "machines": MACHINES,
+        "workers": WORKERS,
+        "scripts": ["S1", "S2"],
+        "batched": {
+            "wall_seconds": batch_seconds,
+            "rows_extracted": batch.metrics.rows_extracted,
+            "simulated_makespan": batch.metrics.simulated_makespan,
+            "shared_vertices": shared,
+        },
+        "independent": {
+            "wall_seconds": independent_seconds,
+            "rows_extracted": independent_extracted,
+            "simulated_makespan": independent_makespan,
+        },
+    }
+    _merge_report(report)
+
+    with capsys.disabled():
+        print("\n=== Shared batch (S1+S2) vs independent runs ===")
+        print(f"rows extracted: batched "
+              f"{batch.metrics.rows_extracted:,} vs independent "
+              f"{independent_extracted:,}")
+        print(f"simulated makespan: batched "
+              f"{batch.metrics.simulated_makespan:,.0f} vs independent "
+              f"{independent_makespan:,.0f}")
+        print(f"shared vertices executed once: {', '.join(shared)}")
+        print(f"-> {OUT_PATH.name}")
+
+    assert shared, "S1+S2 batch must contain cross-script shared vertices"
+    assert batch.metrics.rows_extracted < independent_extracted
+    assert batch.metrics.simulated_makespan < independent_makespan
+
+
+def _merge_report(section: dict) -> None:
+    """Accumulate both benchmark sections into one BENCH_service.json."""
+    doc = {}
+    if OUT_PATH.exists():
+        try:
+            doc = json.loads(OUT_PATH.read_text())
+        except ValueError:
+            doc = {}
+    doc[section["benchmark"]] = section
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -16,10 +16,16 @@ See ``examples/quickstart.py`` for an end-to-end walkthrough including
 execution on the simulated cluster.
 """
 
-from .api import OptimizationResult, optimize_plan, optimize_script
+from .api import (
+    OptimizationResult,
+    execute_batch,
+    optimize_plan,
+    optimize_script,
+)
 from .plan.columns import Column, ColumnType, Schema
 from .scope.catalog import Catalog
 from .scope.compiler import compile_script
+from .service import QueryService
 from .verify import (
     PlanVerificationError,
     VerificationReport,
@@ -28,7 +34,7 @@ from .verify import (
     verify_plan,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Catalog",
@@ -36,10 +42,12 @@ __all__ = [
     "ColumnType",
     "OptimizationResult",
     "PlanVerificationError",
+    "QueryService",
     "Schema",
     "VerificationReport",
     "check_plan",
     "compile_script",
+    "execute_batch",
     "optimize_plan",
     "optimize_script",
     "set_default_verify",

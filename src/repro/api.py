@@ -42,7 +42,7 @@ from .plan.pruning import prune_columns
 from .plan.physical import PhysicalPlan
 from .scope.catalog import Catalog
 from .scope.compiler import compile_script
-from .verify import check_plan, default_verify
+from .verify import check_plan, verify_enabled
 
 # Deep scripts (LS2 has >1000 operators) recurse through the engine;
 # Python's default limit is too tight for DAGs a few hundred levels deep.
@@ -144,7 +144,7 @@ def optimize_plan(
     else:
         details = optimize_conventional(logical, catalog, config,
                                         tracer=tracer)
-    if default_verify() if verify is None else verify:
+    if verify_enabled(verify):
         mode = "cse" if exploit_cse else "conventional"
         with tracer.span("verify") as span:
             check_plan(details.plan, f"optimized plan ({mode})")
@@ -284,4 +284,44 @@ def execute_script(
         metrics=executor.metrics,
         cluster=cluster,
         workers=workers,
+    )
+
+
+def execute_batch(
+    texts: List[str],
+    catalog: Catalog,
+    config: Optional[OptimizerConfig] = None,
+    *,
+    labels: Optional[List[str]] = None,
+    workers: int = 4,
+    machines: Optional[int] = None,
+    rows: Optional[int] = None,
+    seed: int = 0,
+    files: Optional[Dict[str, List[Row]]] = None,
+    validate: bool = True,
+    exploit_cse: bool = True,
+    prune: bool = True,
+    verify: Optional[bool] = None,
+    tracer=NULL_TRACER,
+):
+    """Optimize and execute a batch of scripts as one shared job.
+
+    Convenience wrapper over a throwaway
+    :class:`repro.service.QueryService` — merges the scripts into one
+    logical DAG (so cross-script common subexpressions are spooled
+    once), executes the merged plan, and cuts per-script outputs back
+    out.  Returns a :class:`repro.service.BatchRun`.  Long-lived callers
+    that want the plan cache should hold a ``QueryService`` directly.
+    """
+    from .service import QueryService
+
+    if config is None:
+        config = OptimizerConfig(
+            cost_params=CostParams(machines=machines or 4)
+        )
+    service = QueryService(catalog, config, tracer=tracer)
+    return service.execute_many(
+        texts, labels=labels, workers=workers, machines=machines,
+        rows=rows, seed=seed, files=files, validate=validate,
+        exploit_cse=exploit_cse, prune=prune, verify=verify,
     )

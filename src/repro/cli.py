@@ -31,6 +31,7 @@ import sys
 from typing import Optional
 
 from .api import execute_script, optimize_script
+from .cse.merge import BatchMergeError
 from .exec import ExecutionError
 from .naive import NaiveEvaluator
 from .obs import (
@@ -288,6 +289,76 @@ def cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args) -> int:
+    """Feed scripts through one long-lived :class:`QueryService`.
+
+    Submits every script ``--repeat`` times against one service, so
+    repeated submissions exercise the plan cache; prints one line per
+    submission (hit/miss/coalesced, cost, fingerprint) and the final
+    service + cache counters, optionally as JSON (``--stats-json``).
+    """
+    from .service import QueryService
+
+    catalog = _load_catalog(args.catalog)
+    service = QueryService(catalog, _config(args),
+                           cache_capacity=args.cache_capacity)
+    texts = [(path, _load_script(path)) for path in args.scripts]
+    for round_no in range(args.repeat):
+        for path, text in texts:
+            sub = service.submit(text, exploit_cse=not args.no_cse)
+            outcome = "hit " if sub.cache_hit else "miss"
+            print(f"[{round_no}] {outcome} {sub.key.short}  "
+                  f"cost={sub.result.cost:,.0f}  {path}")
+    snapshot = service.stats_snapshot()
+    print("--- service counters ---")
+    for name, value in snapshot.items():
+        print(f"  {name}: {value}")
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"counters written to {args.stats_json}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    """Optimize and execute a batch of scripts as one shared job."""
+    from .service import QueryService
+
+    catalog = _load_catalog(args.catalog)
+    service = QueryService(catalog, _config(args))
+    texts = [_load_script(path) for path in args.scripts]
+    labels = args.labels.split(",") if args.labels else None
+    run = service.execute_many(
+        texts, labels=labels, workers=args.workers,
+        machines=args.machines, rows=args.rows, seed=args.seed,
+        exploit_cse=not args.no_cse,
+    )
+    print(f"merged {len(texts)} script(s) "
+          f"({', '.join(run.submit.labels)}); "
+          f"estimated cost: {run.submit.result.cost:,.0f}")
+    shared = run.shared_vertices()
+    if shared:
+        print("--- cross-script shared vertices (executed once) ---")
+        for vertex in shared:
+            stats = run.metrics.vertices.get(vertex.name)
+            launches = stats.launches if stats else 0
+            print(f"  {vertex.name}: launches={launches} "
+                  f"serves={', '.join(vertex.serves)}")
+    elif args.workers:
+        print("no cross-script shared vertices")
+    print("--- execution metrics ---")
+    print(run.metrics.summary())
+    print("--- per-script outputs ---")
+    for label, outputs in zip(run.submit.labels, run.outputs):
+        for path in sorted(outputs):
+            data = outputs[path]
+            print(f"  {label}/{path}: {data.total_rows()} rows")
+            if args.show_rows:
+                for row in data.sorted_rows()[: args.show_rows]:
+                    print(f"    {row}")
+    return 0
+
+
 def cmd_figure7(args) -> int:
     from .workloads.figure7 import format_table, run_all
 
@@ -401,6 +472,45 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the conventional baseline plan")
     p_verify.set_defaults(func=cmd_verify)
 
+    p_serve = sub.add_parser(
+        "serve", help="submit scripts through a plan-caching query service"
+    )
+    p_serve.add_argument("scripts", nargs="+",
+                         help="paths to SCOPE scripts (the workload)")
+    p_serve.add_argument("--catalog", required=True,
+                         help="path to a catalog JSON file")
+    common(p_serve, needs_script=False)
+    p_serve.add_argument("--repeat", type=int, default=2,
+                         help="passes over the workload (default 2: the "
+                         "second pass hits the plan cache)")
+    p_serve.add_argument("--cache-capacity", type=int, default=64,
+                         help="plan-cache entries (default 64)")
+    p_serve.add_argument("--stats-json", default=None, metavar="FILE",
+                         help="write the final service/cache counters as "
+                         "JSON")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_batch = sub.add_parser(
+        "batch", help="merge scripts into one shared job and execute it"
+    )
+    p_batch.add_argument("scripts", nargs="+",
+                         help="paths to SCOPE scripts to batch")
+    p_batch.add_argument("--catalog", required=True,
+                         help="path to a catalog JSON file")
+    common(p_batch, needs_script=False)
+    p_batch.add_argument("--labels", default=None,
+                         help="comma-separated per-script labels "
+                         "(default q0,q1,...)")
+    p_batch.add_argument("--workers", type=int, default=4,
+                         help="scheduler worker threads (default 4; "
+                         "0 = sequential executor)")
+    p_batch.add_argument("--rows", type=int, default=5_000,
+                         help="rows generated per input file (default 5000)")
+    p_batch.add_argument("--seed", type=int, default=0, help="data seed")
+    p_batch.add_argument("--show-rows", type=int, default=0,
+                         help="print up to N rows per output")
+    p_batch.set_defaults(func=cmd_batch)
+
     p_fig = sub.add_parser("figure7", help="regenerate the Figure 7 table")
     p_fig.add_argument("--scripts", default=None,
                        help="comma-separated subset, e.g. S1,S2,LS1")
@@ -415,7 +525,8 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ScopeError, ExecutionError, FileNotFoundError) as exc:
+    except (ScopeError, ExecutionError, BatchMergeError,
+            FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -7,6 +7,14 @@ from .fingerprint import (
     structurally_equal,
 )
 from .history import HistoryEntry, PropertyHistory
+from .merge import (
+    BatchMergeError,
+    MergedBatch,
+    canonicalize,
+    merge_scripts,
+    referenced_paths,
+    script_fingerprint,
+)
 from .large_scripts import (
     RoundPlanReport,
     cartesian_rounds,

@@ -1,0 +1,269 @@
+"""Cross-script canonicalization, merging and whole-script fingerprints.
+
+The fingerprints of :mod:`repro.cse.fingerprint` implement the paper's
+Definition 1: deliberately *coarse*, type-level hashes used as a fast
+filter inside one memo.  A plan-cache service needs the opposite — an
+**exact**, payload-level identity for a whole script, stable across
+textual accidents (whitespace, statement names) so equivalent requests
+share one cache entry.  This module provides that identity plus the
+cross-script merge that turns a batch of scripts into one logical DAG:
+
+* :func:`canonicalize` — hash-conses a logical DAG: structurally
+  identical subtrees become *one shared node*.  Because relation names
+  never survive compilation, two scripts that differ only in
+  intermediate names (or in statement order that does not change the
+  DAG) canonicalize to identical plans.  Canonicalizing before column
+  pruning is what lets pruning union the requirements of cross-script
+  consumers instead of specializing each copy apart.
+* :func:`script_fingerprint` — a deep SHA-256 over operator payloads
+  (keys, predicates, files, schemas) and DAG structure; the cache key of
+  :class:`repro.service.QueryService`.
+* :func:`merge_scripts` — rewrites each script's OUTPUT paths under a
+  per-script label, ties every terminal under one Sequence root and
+  hash-conses across the whole batch, so the existing CSE machinery
+  (Algorithm 1 onward) finds *cross-script* common subexpressions with
+  no further changes — the "shared execution" setting of Marroquín et
+  al. and the batched MQO setting of Roy et al.
+* :func:`referenced_paths` — the input files a script reads; the
+  service's statistics-invalidation granularity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..plan.columns import Schema
+from ..plan.logical import (
+    LogicalExtract,
+    LogicalOutput,
+    LogicalPlan,
+    LogicalSequence,
+)
+
+#: Deep scripts (LS2 has >1000 operators) recurse through the
+#: canonicalizer; mirror the API layer's headroom.
+_MIN_RECURSION_LIMIT = 20_000
+
+
+def _ensure_recursion_headroom() -> None:
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+class _Interner:
+    """Hash-conses logical plan nodes by structural identity.
+
+    Two nodes are identical iff their operator payloads compare equal
+    (all payloads are frozen dataclasses) and their canonicalized
+    children are the *same objects* — so equality checks are shallow and
+    the walk is linear in DAG size.
+    """
+
+    def __init__(self):
+        self._by_key: Dict[tuple, LogicalPlan] = {}
+        self._seen: Dict[int, LogicalPlan] = {}
+
+    def intern(self, node: LogicalPlan) -> LogicalPlan:
+        hit = self._seen.get(id(node))
+        if hit is not None:
+            return hit
+        children = [self.intern(child) for child in node.children]
+        key = (node.op, tuple(id(child) for child in children))
+        canon = self._by_key.get(key)
+        if canon is None:
+            # Identity (not ==) on children: a value-equal but distinct
+            # child list means this node must be rebuilt to point at the
+            # shared canonical children.
+            same = len(children) == len(node.children) and all(
+                a is b for a, b in zip(children, node.children)
+            )
+            canon = node if same else LogicalPlan(node.op, children)
+            self._by_key[key] = canon
+        self._seen[id(node)] = canon
+        return canon
+
+
+def canonicalize(plan: LogicalPlan, _interner: Optional[_Interner] = None
+                 ) -> LogicalPlan:
+    """Deduplicate structurally identical subtrees into shared nodes.
+
+    The result computes exactly what ``plan`` computes; textual
+    duplicates simply become the *explicitly shared* nodes of
+    Algorithm 1 instead of waiting for the fingerprint pass — and,
+    crucially, they are shared *before* column pruning runs.
+    """
+    _ensure_recursion_headroom()
+    return (_interner or _Interner()).intern(plan)
+
+
+# ---------------------------------------------------------------------------
+# Whole-script fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _token(value) -> str:
+    """Deterministic, payload-complete serialization of a field value."""
+    if isinstance(value, Schema):
+        cols = ",".join(f"{c.name}:{c.ctype.value}" for c in value)
+        return f"[{cols}]"
+    if isinstance(value, tuple):
+        return "(" + ",".join(_token(v) for v in value) + ")"
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _payload_token(value)
+    return repr(value)
+
+
+def _payload_token(obj) -> str:
+    """Canonical description of a dataclass payload (operator or expr)."""
+    fields = ",".join(
+        f"{f.name}={_token(getattr(obj, f.name))}"
+        for f in dataclasses.fields(obj)
+    )
+    return f"{type(obj).__name__}({fields})"
+
+
+def script_fingerprint(plan: LogicalPlan) -> str:
+    """Exact whole-script fingerprint (64 hex chars).
+
+    A deep SHA-256 over every operator's full payload and the DAG
+    structure.  Unlike Definition 1's type-level fingerprints this is a
+    *cache identity*: collisions would serve a wrong plan, so payloads
+    (grouping keys, predicates, file ids, schemas) are hashed in full.
+    Sharing does not perturb the value — a tree-expanded duplicate and a
+    shared node hash identically — so fingerprints computed before and
+    after :func:`canonicalize` agree.
+    """
+    _ensure_recursion_headroom()
+    digests: Dict[int, str] = {}
+
+    def visit(node: LogicalPlan) -> str:
+        cached = digests.get(id(node))
+        if cached is not None:
+            return cached
+        parts = [_payload_token(node.op)]
+        parts.extend(visit(child) for child in node.children)
+        digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+        digests[id(node)] = digest
+        return digest
+
+    return visit(plan)
+
+
+def referenced_paths(plan: LogicalPlan) -> Tuple[str, ...]:
+    """Sorted input-file paths a logical DAG extracts from."""
+    return tuple(sorted({
+        node.op.path
+        for node in plan.iter_nodes()
+        if isinstance(node.op, LogicalExtract)
+    }))
+
+
+# ---------------------------------------------------------------------------
+# Cross-script merging
+# ---------------------------------------------------------------------------
+
+
+class BatchMergeError(ValueError):
+    """A batch cannot be merged into one logical DAG."""
+
+
+@dataclass(frozen=True)
+class MergedBatch:
+    """A batch of scripts merged into one logical DAG.
+
+    ``output_maps[i]`` maps the merged plan's (label-prefixed) output
+    paths back to script *i*'s original paths, in script order.
+    """
+
+    plan: LogicalPlan
+    labels: Tuple[str, ...]
+    output_maps: Tuple[Tuple[Tuple[str, str], ...], ...]
+
+    @property
+    def n_scripts(self) -> int:
+        return len(self.labels)
+
+    def split_outputs(self, outputs: Dict[str, object]
+                      ) -> List[Dict[str, object]]:
+        """Cut a merged execution's outputs back into per-script dicts."""
+        return [
+            {original: outputs[prefixed] for prefixed, original in omap}
+            for omap in self.output_maps
+        ]
+
+
+def _terminals(plan: LogicalPlan) -> List[LogicalPlan]:
+    """A compiled script's OUTPUT nodes (unwrapping the Sequence root)."""
+    nodes = (
+        list(plan.children)
+        if isinstance(plan.op, LogicalSequence) else [plan]
+    )
+    for node in nodes:
+        if not isinstance(node.op, LogicalOutput):
+            raise BatchMergeError(
+                f"script terminal is {node.op.name}, expected Output "
+                "(merge operates on compiled scripts)"
+            )
+    return nodes
+
+
+def merge_scripts(
+    plans: Sequence[LogicalPlan],
+    labels: Optional[Sequence[str]] = None,
+) -> MergedBatch:
+    """Merge compiled scripts into one logical DAG with namespaced outputs.
+
+    Every OUTPUT path of script *i* is rewritten to ``<label>/<path>``
+    (labels default to ``q0, q1, ...``) so outputs of different scripts
+    never collide; all terminals are tied under a single Sequence root
+    and the whole forest is hash-consed, turning cross-script duplicates
+    into shared nodes the CSE pipeline spools exactly once.
+    """
+    if not plans:
+        raise BatchMergeError("cannot merge an empty batch")
+    if labels is None:
+        labels = [f"q{i}" for i in range(len(plans))]
+    labels = [str(label) for label in labels]
+    if len(labels) != len(plans):
+        raise BatchMergeError(
+            f"{len(plans)} scripts but {len(labels)} labels"
+        )
+    if len(set(labels)) != len(labels):
+        raise BatchMergeError(f"batch labels must be unique, got {labels}")
+
+    outputs: List[LogicalPlan] = []
+    output_maps: List[Tuple[Tuple[str, str], ...]] = []
+    seen_paths: set = set()
+    for label, plan in zip(labels, plans):
+        omap: List[Tuple[str, str]] = []
+        for terminal in _terminals(plan):
+            op = terminal.op
+            prefixed = f"{label}/{op.path}"
+            if prefixed in seen_paths:
+                raise BatchMergeError(
+                    f"script {label!r} writes {op.path!r} more than once"
+                )
+            seen_paths.add(prefixed)
+            outputs.append(LogicalPlan(
+                LogicalOutput(prefixed, op.sort_columns),
+                list(terminal.children),
+            ))
+            omap.append((prefixed, op.path))
+        output_maps.append(tuple(omap))
+
+    merged = (
+        outputs[0] if len(outputs) == 1
+        else LogicalPlan(LogicalSequence(len(outputs)), outputs)
+    )
+    return MergedBatch(
+        plan=canonicalize(merged),
+        labels=tuple(labels),
+        output_maps=tuple(output_maps),
+    )

@@ -19,7 +19,7 @@ same plan, data and failure seed always produce the same summary text.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 @dataclass
@@ -43,6 +43,10 @@ class VertexStats:
     #: (deterministic, unlike ``wall_seconds``); feeds the hotspot
     #: report of :mod:`repro.obs.report`.
     simulated_makespan: float = 0.0
+    #: Output paths this vertex's result feeds (from the stage graph's
+    #: attribution pass).  In a merged batch, more than one distinct
+    #: ``<label>/`` prefix here marks cross-script shared work.
+    serves: Tuple[str, ...] = ()
 
     @property
     def estimate_missing(self) -> bool:
@@ -245,4 +249,5 @@ class ExecutionMetrics:
                 estimated_rows=stats.estimated_rows,
                 estimate_missing=stats.estimate_missing,
                 simulated_makespan=stats.simulated_makespan,
+                serves=stats.serves,
             ))

@@ -353,6 +353,7 @@ class TaskScheduler:
                 tasks=tasks_total,
                 estimated_rows=vertex.root.rows,
                 rows_in=sum(d.total_rows() for d in inputs),
+                serves=vertex.serves,
             ),
         )
         runs[vertex.vid] = run

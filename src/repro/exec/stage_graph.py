@@ -25,7 +25,7 @@ Cosmos job manager.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..plan.logical import GroupByMode
 from ..plan.physical import (
@@ -36,6 +36,7 @@ from ..plan.physical import (
     PhysicalPlan,
     PhysMerge,
     PhysMergeJoin,
+    PhysOutput,
     PhysProject,
     PhysRangeRepartition,
     PhysRepartition,
@@ -104,6 +105,11 @@ class Vertex:
     #: True if every fragment operator is partition-local, so the
     #: scheduler may run one task per partition.
     partitionwise: bool = False
+    #: Output paths this vertex's result (transitively) feeds, sorted.
+    #: A vertex serving outputs of more than one script of a merged
+    #: batch (paths are ``<label>/...``-prefixed there) is *shared*
+    #: cross-script work that executes once instead of per script.
+    serves: Tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
@@ -217,4 +223,42 @@ def build_stage_graph(plan: PhysicalPlan, validate: bool = True) -> StageGraph:
             local = _partition_local(node, validate)
             stack.extend(node.children)
         vertex.partitionwise = local
+
+    # Third pass: output attribution.  A plan node serves output path P
+    # iff it lies inside P's producing subtree; a vertex serves the
+    # union over its fragment's nodes.  (Attribution is plan-level: a
+    # conventionally duplicated subtree credits each expanded copy with
+    # every output the *node* feeds — only spooled sharing guarantees
+    # the serving work ran once.)
+    node_serves: Dict[int, set] = {}
+    output_nodes: List[PhysicalPlan] = []
+    stack, seen = [plan], set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node.op, PhysOutput):
+            output_nodes.append(node)
+        stack.extend(node.children)
+    for out in output_nodes:
+        stack, seen = [out], set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            node_serves.setdefault(id(node), set()).add(out.op.path)
+            stack.extend(node.children)
+    for vertex in vertices:
+        paths: set = set()
+        stack, seen = [vertex.root], set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen or id(node) in vertex.cut_nodes:
+                continue
+            seen.add(id(node))
+            paths |= node_serves.get(id(node), set())
+            stack.extend(node.children)
+        vertex.serves = tuple(sorted(paths))
     return StageGraph(vertices=vertices, root_vid=root_vid)

@@ -1,0 +1,30 @@
+"""Plan-cache query service with cross-script shared execution.
+
+See :mod:`repro.service.core` for the service itself and
+:mod:`repro.service.cache` for the LRU plan cache, and
+``docs/service.md`` for the cache-keying/invalidation/batching
+contract.
+"""
+
+from .cache import CacheEntry, CacheKey, CacheStats, PlanCache
+from .core import (
+    BatchRun,
+    BatchSubmitResult,
+    QueryService,
+    ServiceRun,
+    ServiceStats,
+    SubmitResult,
+)
+
+__all__ = [
+    "BatchRun",
+    "BatchSubmitResult",
+    "CacheEntry",
+    "CacheKey",
+    "CacheStats",
+    "PlanCache",
+    "QueryService",
+    "ServiceRun",
+    "ServiceStats",
+    "SubmitResult",
+]

@@ -1,0 +1,194 @@
+"""LRU plan cache with observability counters.
+
+The cache maps a :class:`CacheKey` — the exact whole-script fingerprint
+of :func:`repro.cse.merge.script_fingerprint` plus everything else the
+chosen plan depends on (per-file statistics versions, the optimizer
+configuration, the CSE/pruning switches) — to a cached
+:class:`repro.api.OptimizationResult`.  Keying on the *statistics
+versions* of exactly the files a script reads means a catalog update
+can never serve a stale plan (the key of a fresh lookup no longer
+matches) and invalidation only touches dependent entries.
+
+Every operation publishes a ``service.cache`` event on the owning
+service's :class:`repro.obs.EventBus` and bumps a counter in
+:class:`CacheStats`; tests hold the counters to exact identities
+(``lookups == hits + misses``, ``insertions - evictions -
+invalidations == len(cache)``).
+
+The cache itself is not locked — :class:`repro.service.QueryService`
+serializes access under its own lock.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs.bus import EventBus, ObsEvent
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything a cached plan's validity depends on."""
+
+    #: Exact payload-level fingerprint of the canonicalized script DAG.
+    fingerprint: str
+    #: ``(path, statistics version)`` for every input file the script
+    #: reads, sorted by path.  Bumping a file's version on catalog
+    #: update makes every dependent key unreachable.
+    stats_versions: Tuple[Tuple[str, int], ...]
+    #: Canonical token of the optimizer configuration.
+    config: str
+    exploit_cse: bool = True
+    prune: bool = True
+
+    @property
+    def short(self) -> str:
+        return self.fingerprint[:12]
+
+
+@dataclass
+class CacheEntry:
+    """One cached optimization outcome."""
+
+    key: CacheKey
+    #: The cached :class:`repro.api.OptimizationResult`.
+    result: object
+    #: Input files the plan depends on (invalidation index).
+    paths: Tuple[str, ...]
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Exact, additive counters of one cache's lifetime."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def check_consistent(self, size: int) -> None:
+        """Assert the counter identities; raises AssertionError if torn."""
+        assert self.lookups == self.hits + self.misses, self
+        assert size == self.insertions - self.evictions - \
+            self.invalidations, (self, size)
+
+
+class PlanCache:
+    """Bounded LRU cache of optimized plans.
+
+    ``capacity`` bounds the entry count; inserting beyond it evicts the
+    least-recently-used entry.  ``bus`` (optional) receives one
+    ``service.cache`` event per hit/miss/insert/evict/invalidate.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 bus: Optional[EventBus] = None):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self.bus = bus
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Look up ``key``, counting a hit or a miss."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            self._emit("miss", key)
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.stats.hits += 1
+        self._emit("hit", key)
+        return entry
+
+    def put(self, key: CacheKey, result: object,
+            paths: Tuple[str, ...]) -> CacheEntry:
+        """Insert (or replace) ``key``, evicting LRU entries if full."""
+        entry = CacheEntry(key=key, result=result, paths=paths)
+        replacing = key in self._entries
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if not replacing:
+            self.stats.insertions += 1
+        self._emit("insert", key)
+        while len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._emit("evict", evicted)
+        return entry
+
+    def invalidate_path(self, path: str) -> int:
+        """Drop every entry whose plan reads ``path``; returns the count.
+
+        Version-bumped keys would already be unreachable; eager removal
+        frees their memory and feeds the ``invalidations`` counter.
+        """
+        victims = [
+            key for key, entry in self._entries.items()
+            if path in entry.paths
+        ]
+        for key in victims:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self._emit("invalidate", key, path=path)
+        return len(victims)
+
+    def invalidate_where(self, predicate: Callable[[CacheEntry], bool]
+                         ) -> int:
+        """Drop every entry matching ``predicate``; returns the count."""
+        victims = [
+            key for key, entry in self._entries.items() if predicate(entry)
+        ]
+        for key in victims:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self._emit("invalidate", key)
+        return len(victims)
+
+    def entries(self) -> List[CacheEntry]:
+        """Snapshot of live entries, least recently used first."""
+        return list(self._entries.values())
+
+    def publish(self, bus: EventBus) -> None:
+        """Emit one ``service.cache.counter`` event per stats counter."""
+        for name, value in self.stats.as_dict().items():
+            bus.publish(ObsEvent.make(
+                "service.cache.counter", name=name, value=value
+            ))
+        bus.publish(ObsEvent.make(
+            "service.cache.counter", name="size", value=len(self._entries)
+        ))
+
+    def _emit(self, op: str, key: CacheKey, **extra) -> None:
+        if self.bus is not None:
+            self.bus.publish(ObsEvent.make(
+                "service.cache",
+                op=op,
+                fingerprint=key.short,
+                size=len(self._entries),
+                **extra,
+            ))

@@ -1,0 +1,499 @@
+"""A long-lived, plan-caching query service with shared batch execution.
+
+:class:`QueryService` is the serving layer the ROADMAP's north star
+asks for: scripts arrive continuously (single or batched), plans are
+served from an LRU cache keyed on the exact script fingerprint plus
+everything the plan depends on, and batched submissions are merged into
+one logical DAG so the paper's CSE machinery shares work *across*
+scripts — the "pay one, get hundreds for free" setting of shared cloud
+query execution.
+
+Guarantees (each held by a dedicated test layer):
+
+* **Determinism** — a cache hit returns the *same* plan a cold
+  optimization produces, byte-identical under the canonical explain
+  (differential tests over the whole corpus and the paper scripts).
+* **Freshness** — a statistics update bumps the per-file version that
+  is part of every dependent cache key and eagerly invalidates
+  dependent entries; a lookup after a catalog mutation can never return
+  a stale plan (property-tested).
+* **Single-flight** — concurrent submissions of the same script
+  coalesce onto one optimization; the fingerprint is optimized at most
+  once per (key, statistics version) no matter how many threads race
+  (stress-tested).
+* **Shared batches** — ``submit_many`` merges scripts under one
+  Sequence root via :func:`repro.cse.merge.merge_scripts`; a
+  subexpression shared across scripts is spooled and executed exactly
+  once (the stage graph's vertex attribution reports which scripts each
+  vertex serves).
+* **Verified hits** — when :func:`repro.verify.default_verify` is on
+  (the whole test suite), plans returned from the cache are re-checked
+  against the static invariant catalog just like freshly optimized
+  ones.
+
+Concurrency contract: ``submit``/``submit_many`` are thread-safe.
+``update_statistics`` is safe against concurrent *lookups* but should
+not race an in-flight optimization of a dependent script — the old
+plan stays correct for the data it was optimized against, but whether
+it lands in the cache under the old or new version is timing-dependent
+(the key always records the version the optimization *started* from,
+so staleness is still impossible).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..api import OptimizationResult, optimize_plan
+from ..cse.merge import (
+    MergedBatch,
+    canonicalize,
+    merge_scripts,
+    referenced_paths,
+    script_fingerprint,
+)
+from ..exec import (
+    Cluster,
+    Dataset,
+    ExecutionMetrics,
+    PlanExecutor,
+    TaskScheduler,
+)
+from ..exec.stage_graph import StageGraph, Vertex
+from ..obs.bus import EventBus, ObsEvent
+from ..obs.tracer import NULL_TRACER
+from ..optimizer.engine import OptimizerConfig
+from ..plan.logical import LogicalPlan
+from ..scope.catalog import Catalog
+from ..scope.compiler import compile_script
+from ..verify import maybe_check_plan
+from .cache import CacheEntry, CacheKey, PlanCache
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (cache counters live on the cache)."""
+
+    submits: int = 0
+    batch_submits: int = 0
+    #: Times the optimizer actually ran (== cache misses that built).
+    optimizations: int = 0
+    #: Submissions that waited on another thread's in-flight build.
+    coalesced: int = 0
+    catalog_updates: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submits": self.submits,
+            "batch_submits": self.batch_submits,
+            "optimizations": self.optimizations,
+            "coalesced": self.coalesced,
+            "catalog_updates": self.catalog_updates,
+        }
+
+
+@dataclass
+class SubmitResult:
+    """Outcome of one ``submit`` call."""
+
+    #: The (possibly cached) optimization outcome.
+    result: OptimizationResult
+    #: Whole-script fingerprint (cache identity).
+    fingerprint: str
+    #: The full cache key the plan was served under.
+    key: CacheKey
+    #: True when the plan came from the cache (including coalesced waits).
+    cache_hit: bool
+    #: True when this call waited on another thread's optimization.
+    coalesced: bool = False
+    #: Wall-clock seconds spent in ``submit`` (not deterministic).
+    latency: float = 0.0
+
+    @property
+    def plan(self):
+        return self.result.plan
+
+
+@dataclass
+class BatchSubmitResult(SubmitResult):
+    """Outcome of ``submit_many``: one merged plan plus output routing."""
+
+    batch: Optional[MergedBatch] = None
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return self.batch.labels
+
+
+@dataclass
+class ServiceRun:
+    """Optimize-and-execute outcome for a single script."""
+
+    submit: SubmitResult
+    outputs: Dict[str, Dataset]
+    metrics: ExecutionMetrics
+    stage_graph: Optional[StageGraph]
+    workers: int
+
+
+@dataclass
+class BatchRun:
+    """Shared execution outcome of a batch, cut back per script."""
+
+    submit: BatchSubmitResult
+    #: Per-script outputs under the scripts' *original* paths.
+    outputs: List[Dict[str, Dataset]]
+    #: The merged run's raw outputs (label-prefixed paths).
+    merged_outputs: Dict[str, Dataset]
+    metrics: ExecutionMetrics
+    stage_graph: Optional[StageGraph]
+    workers: int
+
+    def shared_vertices(self) -> List[Vertex]:
+        """Vertices whose output feeds more than one script of the batch.
+
+        Requires a scheduled run (``workers >= 1``); the sequential
+        executor builds no stage graph.
+        """
+        if self.stage_graph is None:
+            return []
+        shared = []
+        for vertex in self.stage_graph.vertices:
+            labels = {path.split("/", 1)[0] for path in vertex.serves}
+            if len(labels & set(self.submit.labels)) > 1:
+                shared.append(vertex)
+        return shared
+
+
+class _Flight:
+    """In-flight optimization other threads can wait on."""
+
+    __slots__ = ("event", "entry", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.entry: Optional[CacheEntry] = None
+        self.error: Optional[BaseException] = None
+
+
+class QueryService:
+    """Long-lived query service: plan cache + shared batch execution.
+
+    ::
+
+        service = QueryService(catalog, config, cache_capacity=128)
+        first = service.submit(text)          # cache miss: optimizes
+        again = service.submit(text)          # cache hit: no optimizer
+        run = service.execute_many([s1, s2], workers=4)  # shared batch
+        service.update_statistics("test.log", rows=2 * 10**9)  # invalidates
+
+    All submissions share one :class:`~repro.obs.EventBus` (``bus``)
+    carrying ``service.submit``, ``service.cache`` and
+    ``service.catalog`` events.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: Optional[OptimizerConfig] = None,
+        *,
+        cache_capacity: int = 64,
+        bus: Optional[EventBus] = None,
+        tracer=NULL_TRACER,
+    ):
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+        self.bus = bus if bus is not None else EventBus()
+        self.tracer = tracer
+        self.stats = ServiceStats()
+        self.cache = PlanCache(cache_capacity, bus=self.bus)
+        self.catalog_version = 0
+        self._config_token = repr(self.config)
+        self._file_versions: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._inflight: Dict[CacheKey, _Flight] = {}
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, text: str, *, exploit_cse: bool = True,
+               prune: bool = True,
+               verify: Optional[bool] = None) -> SubmitResult:
+        """Normalize, fingerprint and optimize-or-serve one script."""
+        started = time.perf_counter()
+        logical = self._compile(text)
+        result = self._submit_logical(logical, exploit_cse, prune, verify)
+        result.latency = time.perf_counter() - started
+        return result
+
+    def submit_many(
+        self,
+        texts: Sequence[str],
+        *,
+        labels: Optional[Sequence[str]] = None,
+        exploit_cse: bool = True,
+        prune: bool = True,
+        verify: Optional[bool] = None,
+    ) -> BatchSubmitResult:
+        """Merge a batch into one logical DAG and optimize-or-serve it.
+
+        The merged plan is cached like any single script — resubmitting
+        the same batch (same scripts, any relation names, same order of
+        labels) is a cache hit.
+        """
+        started = time.perf_counter()
+        merged = merge_scripts([self._compile(t) for t in texts], labels)
+        with self._lock:
+            self.stats.batch_submits += 1
+        base = self._submit_logical(merged.plan, exploit_cse, prune, verify)
+        result = BatchSubmitResult(
+            result=base.result,
+            fingerprint=base.fingerprint,
+            key=base.key,
+            cache_hit=base.cache_hit,
+            coalesced=base.coalesced,
+            batch=merged,
+        )
+        result.latency = time.perf_counter() - started
+        return result
+
+    # -- execution --------------------------------------------------------
+
+    def execute(
+        self,
+        text: str,
+        *,
+        workers: int = 0,
+        machines: Optional[int] = None,
+        rows: Optional[int] = None,
+        seed: int = 0,
+        files: Optional[Dict[str, list]] = None,
+        validate: bool = True,
+        exploit_cse: bool = True,
+        prune: bool = True,
+        verify: Optional[bool] = None,
+    ) -> ServiceRun:
+        """Optimize-or-serve one script and run it on the simulator."""
+        sub = self.submit(text, exploit_cse=exploit_cse, prune=prune,
+                          verify=verify)
+        outputs, metrics, graph = self._run_plan(
+            sub.result.plan, workers, machines, rows, seed, files, validate
+        )
+        return ServiceRun(submit=sub, outputs=outputs, metrics=metrics,
+                          stage_graph=graph, workers=workers)
+
+    def execute_many(
+        self,
+        texts: Sequence[str],
+        *,
+        labels: Optional[Sequence[str]] = None,
+        workers: int = 4,
+        machines: Optional[int] = None,
+        rows: Optional[int] = None,
+        seed: int = 0,
+        files: Optional[Dict[str, list]] = None,
+        validate: bool = True,
+        exploit_cse: bool = True,
+        prune: bool = True,
+        verify: Optional[bool] = None,
+    ) -> BatchRun:
+        """Optimize-or-serve a batch and execute it as one shared job.
+
+        Cross-script common subexpressions are spooled and executed
+        once; each script's outputs are cut back out under its original
+        paths.
+        """
+        sub = self.submit_many(texts, labels=labels,
+                               exploit_cse=exploit_cse, prune=prune,
+                               verify=verify)
+        merged_outputs, metrics, graph = self._run_plan(
+            sub.result.plan, workers, machines, rows, seed, files, validate
+        )
+        per_script = sub.batch.split_outputs(merged_outputs)
+        return BatchRun(
+            submit=sub,
+            outputs=per_script,
+            merged_outputs=merged_outputs,
+            metrics=metrics,
+            stage_graph=graph,
+            workers=workers,
+        )
+
+    # -- catalog maintenance ----------------------------------------------
+
+    def update_statistics(
+        self,
+        path: str,
+        *,
+        rows: Optional[int] = None,
+        ndv: Optional[Dict[str, int]] = None,
+        histograms: Optional[dict] = None,
+    ) -> int:
+        """Refresh a file's statistics; invalidates dependent plans.
+
+        Bumps the file's statistics version (part of every dependent
+        cache key) and the global catalog version, re-registers the
+        file (its ``file_id`` — and hence expression fingerprints — is
+        preserved by the catalog), and eagerly drops every cache entry
+        whose plan reads ``path``.  Returns the number of invalidated
+        entries.
+        """
+        stats = self.catalog.lookup(path)
+        self.catalog.register_file(
+            path,
+            [(c.name, c.ctype) for c in stats.schema],
+            rows=stats.rows if rows is None else rows,
+            ndv=stats.ndv if ndv is None else ndv,
+            histograms=stats.histograms if histograms is None else histograms,
+        )
+        with self._lock:
+            self._file_versions[path] = self._file_versions.get(path, 0) + 1
+            version = self._file_versions[path]
+            self.catalog_version += 1
+            self.stats.catalog_updates += 1
+            removed = self.cache.invalidate_path(path)
+        self.bus.publish(ObsEvent.make(
+            "service.catalog", op="update", path=path, version=version,
+            invalidated=removed,
+        ))
+        return removed
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Service + cache counters in one flat dict (tests hold the
+        identities ``submits == hits + optimizations + coalesced`` and
+        ``cache.lookups == cache.hits + cache.misses``)."""
+        with self._lock:
+            snapshot = {
+                **self.stats.as_dict(),
+                **{f"cache_{k}": v
+                   for k, v in self.cache.stats.as_dict().items()},
+                "cache_size": len(self.cache),
+                "catalog_version": self.catalog_version,
+            }
+        return snapshot
+
+    def publish_stats(self, bus: Optional[EventBus] = None) -> None:
+        """Emit one ``service.counter`` event per counter."""
+        bus = bus if bus is not None else self.bus
+        for name, value in self.stats_snapshot().items():
+            bus.publish(ObsEvent.make(
+                "service.counter", name=name, value=value
+            ))
+
+    # -- internals ---------------------------------------------------------
+
+    def _compile(self, text: str) -> LogicalPlan:
+        return canonicalize(compile_script(text, self.catalog,
+                                           tracer=self.tracer))
+
+    def _key_for(self, logical: LogicalPlan, exploit_cse: bool,
+                 prune: bool) -> Tuple[CacheKey, Tuple[str, ...]]:
+        paths = referenced_paths(logical)
+        with self._lock:
+            versions = tuple(
+                (path, self._file_versions.get(path, 0)) for path in paths
+            )
+        key = CacheKey(
+            fingerprint=script_fingerprint(logical),
+            stats_versions=versions,
+            config=self._config_token,
+            exploit_cse=exploit_cse,
+            prune=prune,
+        )
+        return key, paths
+
+    def _submit_logical(self, logical: LogicalPlan, exploit_cse: bool,
+                        prune: bool,
+                        verify: Optional[bool]) -> SubmitResult:
+        key, paths = self._key_for(logical, exploit_cse, prune)
+        build = False
+        with self._lock:
+            self.stats.submits += 1
+            flight = self._inflight.get(key)
+            if flight is None:
+                entry = self.cache.get(key)
+                if entry is not None:
+                    result: OptimizationResult = entry.result
+                    # Satellite fix: the cache path verifies exactly like
+                    # a fresh optimization does (global default or the
+                    # per-call override) — a corrupted or miskeyed entry
+                    # surfaces as a named invariant violation, not as a
+                    # silent wrong answer downstream.
+                    maybe_check_plan(
+                        result.plan,
+                        f"plan-cache hit ({key.short})",
+                        verify,
+                    )
+                    self._emit_submit("hit", key, result)
+                    return SubmitResult(result, key.fingerprint, key,
+                                        cache_hit=True)
+                flight = _Flight()
+                self._inflight[key] = flight
+                build = True
+
+        if not build:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self.stats.coalesced += 1
+            result = flight.entry.result
+            self._emit_submit("coalesced", key, result)
+            return SubmitResult(result, key.fingerprint, key,
+                                cache_hit=True, coalesced=True)
+
+        try:
+            with self._lock:
+                self.stats.optimizations += 1
+            result = optimize_plan(
+                logical, self.catalog, self.config,
+                exploit_cse=exploit_cse, prune=prune, verify=verify,
+                tracer=self.tracer,
+            )
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        with self._lock:
+            entry = self.cache.put(key, result, paths)
+            self._inflight.pop(key, None)
+        flight.entry = entry
+        flight.event.set()
+        self._emit_submit("optimize", key, result)
+        return SubmitResult(result, key.fingerprint, key, cache_hit=False)
+
+    def _emit_submit(self, op: str, key: CacheKey,
+                     result: OptimizationResult) -> None:
+        self.bus.publish(ObsEvent.make(
+            "service.submit", op=op, fingerprint=key.short,
+            cost=result.cost, exploited_cse=result.exploited_cse,
+        ))
+
+    def _run_plan(self, plan, workers: int, machines: Optional[int],
+                  rows: Optional[int], seed: int,
+                  files: Optional[Dict[str, list]], validate: bool):
+        from ..workloads.datagen import generate_for_catalog
+
+        if machines is None:
+            machines = self.config.cost_params.machines
+        if files is None:
+            files = generate_for_catalog(self.catalog, seed=seed,
+                                         rows_override=rows)
+        cluster = Cluster(machines=machines)
+        for path, file_rows in files.items():
+            cluster.load_file(path, file_rows)
+        if workers > 0:
+            executor = TaskScheduler(cluster, workers=workers,
+                                     validate=validate, tracer=self.tracer)
+        else:
+            executor = PlanExecutor(cluster, validate=validate,
+                                    tracer=self.tracer)
+        outputs = executor.execute(plan)
+        graph = executor.stage_graph if workers > 0 else None
+        return outputs, executor.metrics, graph

@@ -64,7 +64,7 @@ import enum
 import math
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .plan.logical import GroupByMode
 from .plan.physical import (
@@ -694,3 +694,27 @@ def set_default_verify(enabled: bool) -> None:
 def default_verify() -> bool:
     """Current default for the ``verify`` flag of the optimize entrypoints."""
     return _default_verify
+
+
+def verify_enabled(override: "Optional[bool]" = None) -> bool:
+    """Resolve a per-call ``verify`` override against the global default.
+
+    This is the one place the tri-state contract lives: ``None`` defers
+    to :func:`default_verify`, anything else wins.  Every code path that
+    hands a plan to a caller — fresh optimization *and* plan-cache hits
+    — resolves through here, so the test suite's autouse default covers
+    them all identically.
+    """
+    return _default_verify if override is None else bool(override)
+
+
+def maybe_check_plan(plan: PhysicalPlan, context: str = "",
+                     verify: "Optional[bool]" = None) -> PhysicalPlan:
+    """:func:`check_plan` gated by :func:`verify_enabled`.
+
+    Used by the service's cache-hit path so cached plans are re-checked
+    under exactly the same switch as freshly optimized ones.
+    """
+    if verify_enabled(verify):
+        check_plan(plan, context)
+    return plan

@@ -28,11 +28,15 @@ def update_golden(request) -> bool:
 
 @pytest.fixture(autouse=True, scope="session")
 def _verify_every_optimized_plan():
-    """Statically verify every plan any test optimizes.
+    """Statically verify every plan any test optimizes *or serves*.
 
     Flipping the global default routes the whole suite through
     ``repro.verify`` — a planner bug anywhere surfaces as a named
-    invariant violation instead of a downstream result mismatch.
+    invariant violation instead of a downstream result mismatch.  The
+    switch is resolved through :func:`repro.verify.verify_enabled`, so
+    it covers both freshly optimized plans and plans returned from the
+    service's plan cache (``QueryService`` re-checks cache hits via
+    :func:`repro.verify.maybe_check_plan`).
     """
     set_default_verify(True)
     yield

@@ -186,6 +186,93 @@ class TestErrors:
         assert main(["explain", str(bad), "--catalog", catalog]) == 2
 
 
+S2_TEXT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+R3 = SELECT A,C,Sum(S) AS S2 FROM R GROUP BY A,C;
+OUTPUT R3 TO "result3.out";
+"""
+
+
+@pytest.fixture
+def batch_workspace(tmp_path, workspace):
+    script1, catalog = workspace
+    script2 = tmp_path / "s2.scope"
+    script2.write_text(S2_TEXT)
+    return script1, str(script2), catalog
+
+
+class TestServe:
+    def test_second_pass_hits_the_cache(self, batch_workspace, capsys):
+        script1, script2, catalog = batch_workspace
+        code = main(["serve", script1, script2, "--catalog", catalog,
+                     "--machines", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("] miss") == 2
+        assert out.count("] hit") == 2
+        assert "cache_hits: 2" in out
+        assert "optimizations: 2" in out
+
+    def test_stats_json_artifact(self, batch_workspace, tmp_path, capsys):
+        script1, script2, catalog = batch_workspace
+        stats_path = tmp_path / "cache-metrics.json"
+        code = main(["serve", script1, script2, "--catalog", catalog,
+                     "--machines", "4", "--repeat", "3",
+                     "--stats-json", str(stats_path)])
+        assert code == 0
+        doc = json.loads(stats_path.read_text())
+        assert doc["submits"] == 6
+        assert doc["cache_hits"] == 4
+        assert doc["cache_misses"] == doc["optimizations"] == 2
+        assert doc["cache_lookups"] == doc["cache_hits"] + \
+            doc["cache_misses"]
+
+    def test_cache_capacity_forces_evictions(self, batch_workspace,
+                                             capsys):
+        script1, script2, catalog = batch_workspace
+        code = main(["serve", script1, script2, "--catalog", catalog,
+                     "--machines", "4", "--cache-capacity", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache_evictions: 3" in out
+        assert "cache_hits: 0" in out
+
+
+class TestBatch:
+    def test_batched_execution_shares_work(self, batch_workspace, capsys):
+        script1, script2, catalog = batch_workspace
+        code = main(["batch", script1, script2, "--catalog", catalog,
+                     "--machines", "4", "--workers", "2",
+                     "--rows", "800"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "merged 2 script(s) (q0, q1)" in out
+        assert "cross-script shared vertices (executed once)" in out
+        assert "launches=1" in out
+        assert "q0/result1.out" in out
+        assert "q1/result3.out" in out
+
+    def test_labels_and_sequential_executor(self, batch_workspace, capsys):
+        script1, script2, catalog = batch_workspace
+        code = main(["batch", script1, script2, "--catalog", catalog,
+                     "--machines", "4", "--workers", "0",
+                     "--rows", "500", "--labels", "left,right",
+                     "--show-rows", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "left/result1.out" in out
+        assert "right/result3.out" in out
+
+    def test_bad_label_count_is_a_clean_error(self, batch_workspace,
+                                              capsys):
+        script1, script2, catalog = batch_workspace
+        code = main(["batch", script1, script2, "--catalog", catalog,
+                     "--labels", "only-one"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFigure7Command:
     def test_subset(self, capsys):
         assert main(["figure7", "--scripts", "S1"]) == 0

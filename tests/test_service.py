@@ -1,0 +1,347 @@
+"""Unit tests for the plan-cache query service (``repro.service``).
+
+Covers the three layers on their own terms: the canonicalization /
+fingerprint / merge primitives of :mod:`repro.cse.merge`, the LRU
+:class:`~repro.service.PlanCache` with its counter identities, and the
+:class:`~repro.service.QueryService` semantics — hit/miss behaviour,
+statistics invalidation, event emission, and verification of plans
+served from the cache.  The differential, property-based and
+concurrency layers live in their own modules.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cse.merge import (
+    BatchMergeError,
+    canonicalize,
+    merge_scripts,
+    referenced_paths,
+    script_fingerprint,
+)
+from repro.obs.bus import EventBus
+from repro.plan.physical import PhysHashAgg, PhysStreamAgg
+from repro.scope.compiler import compile_script
+from repro.service import PlanCache, QueryService
+from repro.service.cache import CacheKey
+from repro.verify import PlanVerificationError
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+S1 = PAPER_SCRIPTS["S1"]
+S2 = PAPER_SCRIPTS["S2"]
+
+SHARED_CORE = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;
+OUTPUT R TO "r.out";
+"""
+
+#: Same script as SHARED_CORE with every relation renamed — the DAG is
+#: identical, so the service must treat them as one cache entry.
+SHARED_CORE_RENAMED = """
+X0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+X = SELECT A,B,C,Sum(D) AS S FROM X0 GROUP BY A,B,C;
+OUTPUT X TO "r.out";
+"""
+
+TWO_FILE_SCRIPT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+Q0 = EXTRACT A,B,C,D FROM "test2.log" USING LogExtractor;
+R = SELECT A,B,Sum(D) AS S FROM R0 GROUP BY A,B;
+Q = SELECT A,B,Sum(D) AS T FROM Q0 GROUP BY A,B;
+OUTPUT R TO "r.out";
+OUTPUT Q TO "q.out";
+"""
+
+
+@pytest.fixture
+def service(abcd_catalog, small_config) -> QueryService:
+    return QueryService(abcd_catalog, small_config)
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization and whole-script fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprints:
+    def test_fingerprint_is_stable(self, abcd_catalog):
+        one = script_fingerprint(compile_script(S1, abcd_catalog))
+        two = script_fingerprint(compile_script(S1, abcd_catalog))
+        assert one == two
+        assert len(one) == 64
+
+    def test_fingerprint_ignores_relation_names(self, abcd_catalog):
+        assert script_fingerprint(
+            compile_script(SHARED_CORE, abcd_catalog)
+        ) == script_fingerprint(
+            compile_script(SHARED_CORE_RENAMED, abcd_catalog)
+        )
+
+    def test_fingerprint_distinguishes_payloads(self, abcd_catalog):
+        changed = SHARED_CORE.replace(
+            "A,B,C,Sum(D) AS S", "A,B,C,Max(D) AS S"
+        )
+        assert script_fingerprint(
+            compile_script(SHARED_CORE, abcd_catalog)
+        ) != script_fingerprint(
+            compile_script(changed, abcd_catalog)
+        )
+
+    def test_fingerprint_distinguishes_scripts(self, abcd_catalog):
+        prints = {
+            script_fingerprint(compile_script(text, abcd_catalog))
+            for text in PAPER_SCRIPTS.values()
+        }
+        assert len(prints) == len(PAPER_SCRIPTS)
+
+    def test_canonicalize_shares_textual_duplicates(self, abcd_catalog):
+        # S2's three consumers each re-state the same aggregation over
+        # the same extract; canonicalization must collapse the copies.
+        plan = compile_script(S2, abcd_catalog)
+        canon = canonicalize(plan)
+        ids = [id(n) for n in canon.iter_nodes()]
+        assert len(ids) == len(set(ids))
+        tree_nodes = len(list(plan.iter_nodes()))
+        dag_nodes = len(set(id(n) for n in canon.iter_nodes()))
+        assert dag_nodes <= tree_nodes
+
+    def test_canonicalize_preserves_fingerprint(self, abcd_catalog):
+        plan = compile_script(S2, abcd_catalog)
+        assert script_fingerprint(plan) == script_fingerprint(
+            canonicalize(plan)
+        )
+
+    def test_referenced_paths(self, abcd_catalog):
+        plan = compile_script(TWO_FILE_SCRIPT, abcd_catalog)
+        assert referenced_paths(plan) == ("test.log", "test2.log")
+
+
+class TestMergeScripts:
+    def test_outputs_are_namespaced_and_mapped(self, abcd_catalog):
+        merged = merge_scripts([
+            compile_script(S1, abcd_catalog),
+            compile_script(S2, abcd_catalog),
+        ])
+        assert merged.labels == ("q0", "q1")
+        out_paths = {
+            node.op.path
+            for node in merged.plan.iter_nodes()
+            if node.op.name == "Output"
+        }
+        assert all(p.startswith(("q0/", "q1/")) for p in out_paths)
+        flat = [pair for omap in merged.output_maps for pair in omap]
+        assert {prefixed for prefixed, _ in flat} == out_paths
+
+    def test_merge_shares_cross_script_subexpressions(self, abcd_catalog):
+        # S1 and S2 state the same aggregation over test.log; after the
+        # merge the two scripts' plans must share those nodes.
+        merged = merge_scripts([
+            compile_script(S1, abcd_catalog),
+            compile_script(S2, abcd_catalog),
+        ])
+        extracts = {
+            id(node): node
+            for node in merged.plan.iter_nodes()
+            if node.op.name == "Extract" and node.op.path == "test.log"
+        }
+        assert len(extracts) == 1
+
+    def test_split_outputs_roundtrip(self, abcd_catalog):
+        merged = merge_scripts(
+            [compile_script(S1, abcd_catalog)], labels=["only"]
+        )
+        fake = {prefixed: object()
+                for omap in merged.output_maps for prefixed, _ in omap}
+        [split] = merged.split_outputs(fake)
+        assert set(split) == {orig
+                              for omap in merged.output_maps
+                              for _, orig in omap}
+
+    def test_merge_rejects_bad_batches(self, abcd_catalog):
+        plan = compile_script(S1, abcd_catalog)
+        with pytest.raises(BatchMergeError):
+            merge_scripts([])
+        with pytest.raises(BatchMergeError):
+            merge_scripts([plan, plan], labels=["a"])
+        with pytest.raises(BatchMergeError):
+            merge_scripts([plan, plan], labels=["a", "a"])
+
+
+# ---------------------------------------------------------------------------
+# PlanCache
+# ---------------------------------------------------------------------------
+
+
+def _key(tag: str, version: int = 0) -> CacheKey:
+    return CacheKey(fingerprint=tag * 8, config="cfg",
+                    stats_versions=(("test.log", version),))
+
+
+class TestPlanCache:
+    def test_hit_miss_counters(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get(_key("aaaaaaaa")) is None
+        cache.put(_key("aaaaaaaa"), "plan", ("test.log",))
+        assert cache.get(_key("aaaaaaaa")).result == "plan"
+        assert cache.stats.lookups == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        cache.stats.check_consistent(len(cache))
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(_key("aaaaaaaa"), 1, ())
+        cache.put(_key("bbbbbbbb"), 2, ())
+        cache.get(_key("aaaaaaaa"))  # refresh a; b is now LRU
+        cache.put(_key("cccccccc"), 3, ())
+        assert _key("aaaaaaaa") in cache
+        assert _key("bbbbbbbb") not in cache
+        assert cache.stats.evictions == 1
+        cache.stats.check_consistent(len(cache))
+
+    def test_version_in_key_separates_entries(self):
+        cache = PlanCache(capacity=4)
+        cache.put(_key("aaaaaaaa", version=0), "old", ("test.log",))
+        assert cache.get(_key("aaaaaaaa", version=1)) is None
+
+    def test_invalidate_only_dependent_entries(self):
+        cache = PlanCache(capacity=4)
+        cache.put(_key("aaaaaaaa"), 1, ("test.log",))
+        cache.put(_key("bbbbbbbb"), 2, ("test2.log",))
+        assert cache.invalidate_path("test.log") == 1
+        assert _key("aaaaaaaa") not in cache
+        assert _key("bbbbbbbb") in cache
+        cache.stats.check_consistent(len(cache))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_events_published(self):
+        bus = EventBus()
+        cache = PlanCache(capacity=1, bus=bus)
+        cache.get(_key("aaaaaaaa"))
+        cache.put(_key("aaaaaaaa"), 1, ())
+        cache.put(_key("bbbbbbbb"), 2, ())
+        ops = [e.get("op") for e in bus.of_kind("service.cache")]
+        assert ops == ["miss", "insert", "insert", "evict"]
+
+
+# ---------------------------------------------------------------------------
+# QueryService semantics
+# ---------------------------------------------------------------------------
+
+
+class TestQueryService:
+    def test_second_submit_hits(self, service):
+        cold = service.submit(S1)
+        warm = service.submit(S1)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert cold.fingerprint == warm.fingerprint
+        assert warm.result is cold.result
+        assert service.stats.optimizations == 1
+
+    def test_renamed_script_is_same_entry(self, service):
+        service.submit(SHARED_CORE)
+        assert service.submit(SHARED_CORE_RENAMED).cache_hit
+
+    def test_cse_switch_is_part_of_the_key(self, service):
+        service.submit(S1, exploit_cse=True)
+        cold = service.submit(S1, exploit_cse=False)
+        assert not cold.cache_hit
+        assert service.stats.optimizations == 2
+
+    def test_statistics_update_invalidates_dependents(self, service):
+        service.submit(S1)                 # reads test.log
+        service.submit(PAPER_SCRIPTS["S3"])  # reads test.log + test2.log
+        assert service.update_statistics("test2.log", rows=9999) == 1
+        assert service.submit(S1).cache_hit
+        assert not service.submit(PAPER_SCRIPTS["S3"]).cache_hit
+
+    def test_statistics_update_changes_the_plan_inputs(self, service):
+        service.submit(S1)
+        service.update_statistics("test.log", rows=10)
+        cold = service.submit(S1)
+        assert not cold.cache_hit
+        assert service.catalog.lookup("test.log").rows == 10
+        # file_id survives the update, so fingerprints stay stable and
+        # the re-optimized entry lands under the bumped version.
+        assert cold.key.stats_versions == (("test.log", 1),)
+        assert service.submit(S1).cache_hit
+
+    def test_batch_submission_is_cached_too(self, service):
+        cold = service.submit_many([S1, S2])
+        warm = service.submit_many([S1, S2])
+        assert not cold.cache_hit and warm.cache_hit
+        assert service.stats.batch_submits == 2
+        # A different script order is a different merged DAG.
+        assert not service.submit_many([S2, S1]).cache_hit
+
+    def test_counter_identities(self, service):
+        for text in (S1, S1, S2, S1, S2):
+            service.submit(text)
+        snap = service.stats_snapshot()
+        assert snap["submits"] == 5
+        assert snap["cache_lookups"] == 5
+        assert snap["cache_hits"] + snap["cache_misses"] == 5
+        assert snap["optimizations"] == snap["cache_misses"] == 2
+        service.cache.stats.check_consistent(len(service.cache))
+
+    def test_submit_events(self, service):
+        service.submit(S1)
+        service.submit(S1)
+        ops = [e.get("op") for e in service.bus.of_kind("service.submit")]
+        assert ops == ["optimize", "hit"]
+
+    def test_eviction_causes_reoptimization(self, abcd_catalog,
+                                            small_config):
+        service = QueryService(abcd_catalog, small_config,
+                               cache_capacity=1)
+        service.submit(S1)
+        service.submit(S2)   # evicts S1
+        assert not service.submit(S1).cache_hit
+        assert service.stats.optimizations == 3
+
+    def test_cache_hits_are_verified(self, service):
+        """The autouse verify default also covers the cache-hit path.
+
+        Corrupting the *cached* plan in place must surface as a
+        verification error on the next hit — exactly what a stale or
+        miskeyed entry would look like.
+        """
+        cold = service.submit(S1)
+        for node in cold.result.plan.iter_nodes():
+            if isinstance(node.op, (PhysStreamAgg, PhysHashAgg)):
+                node.rows = math.nan
+                break
+        with pytest.raises(PlanVerificationError):
+            service.submit(S1)
+        # An explicit opt-out skips the check, like optimize_plan's.
+        assert service.submit(S1, verify=False).cache_hit
+
+    def test_failed_optimization_is_not_cached(self, service,
+                                               monkeypatch):
+        import repro.service.core as core
+
+        calls = {"n": 0}
+        real = core.optimize_plan
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected optimizer failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(core, "optimize_plan", flaky)
+        with pytest.raises(RuntimeError):
+            service.submit(S1)
+        assert len(service.cache) == 0
+        assert not service._inflight
+        ok = service.submit(S1)
+        assert not ok.cache_hit
+        assert service.submit(S1).cache_hit

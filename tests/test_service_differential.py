@@ -1,0 +1,194 @@
+"""Differential tests for the query service: cached == cold, batched == independent.
+
+Two families, run over every regression-corpus script and the paper
+scripts S1–S4 plus the large generated scripts LS1/LS2:
+
+* **Cache differential** — the plan served from a warm cache must be
+  *byte-identical* (under the canonical explain rendering) to the plan
+  a cold service optimizes, and resubmission must not re-run the
+  optimizer.
+* **Batch differential** — executing a batch of scripts merged into one
+  shared job must produce, per script, byte-identical outputs to
+  executing each script independently on the same input data.
+
+Plus the acceptance check of the PR: a batch of two scripts sharing a
+subexpression (S1+S2 share their whole first aggregation) records
+exactly one launch of the shared spool vertex in scheduler metrics.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.api import execute_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.optimizer.explain import explain_normalized
+from repro.scope.statistics import catalog_from_json
+from repro.service import QueryService
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.large_scripts import make_large_script
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS_SCRIPTS = sorted(CORPUS_DIR.glob("*.scope"))
+MACHINES = 4
+
+
+def _config() -> OptimizerConfig:
+    return OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+
+
+def assert_cold_equals_warm(text: str, catalog) -> None:
+    """One cold service vs a second service submitting twice."""
+    cold = QueryService(catalog, _config()).submit(text)
+    warm_service = QueryService(catalog, _config())
+    warm_service.submit(text)
+    warm = warm_service.submit(text)
+    assert warm.cache_hit and not cold.cache_hit
+    assert warm.fingerprint == cold.fingerprint
+    assert explain_normalized(warm.result.plan) == explain_normalized(
+        cold.result.plan
+    ), "cache-hit plan differs from a cold optimization"
+    assert warm_service.stats.optimizations == 1, (
+        "resubmission must not re-run the optimizer"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache differential
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_catalog():
+    return catalog_from_json((CORPUS_DIR / "catalog.json").read_text())
+
+
+@pytest.mark.parametrize(
+    "script_path", CORPUS_SCRIPTS, ids=[p.stem for p in CORPUS_SCRIPTS]
+)
+def test_corpus_cache_hit_plan_identical(script_path, corpus_catalog):
+    assert_cold_equals_warm(script_path.read_text(), corpus_catalog)
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+def test_paper_cache_hit_plan_identical(name, abcd_catalog):
+    assert_cold_equals_warm(PAPER_SCRIPTS[name], abcd_catalog)
+
+
+@pytest.mark.parametrize("name", ["LS1", "LS2"])
+def test_large_script_cache_hit_plan_identical(name):
+    text, catalog, _spec = make_large_script(name)
+    assert_cold_equals_warm(text, catalog)
+
+
+def test_batched_cache_hit_plan_identical(abcd_catalog):
+    texts = [PAPER_SCRIPTS["S1"], PAPER_SCRIPTS["S2"]]
+    cold = QueryService(abcd_catalog, _config()).submit_many(texts)
+    warm_service = QueryService(abcd_catalog, _config())
+    warm_service.submit_many(texts)
+    warm = warm_service.submit_many(texts)
+    assert warm.cache_hit and not cold.cache_hit
+    assert explain_normalized(warm.result.plan) == explain_normalized(
+        cold.result.plan
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batch differential
+# ---------------------------------------------------------------------------
+
+
+def assert_batch_matches_independent(texts, catalog, files, workers=4):
+    service = QueryService(catalog, _config())
+    batch = service.execute_many(texts, workers=workers, files=files)
+    for text, outputs in zip(texts, batch.outputs):
+        solo = execute_script(text, catalog, _config(), files=files)
+        assert set(outputs) == set(solo.outputs)
+        for path in outputs:
+            assert (
+                outputs[path].canonical_bytes()
+                == solo.outputs[path].canonical_bytes()
+            ), f"batched output {path} differs from the independent run"
+
+
+def test_corpus_batch_matches_independent_runs(corpus_catalog):
+    texts = [p.read_text() for p in CORPUS_SCRIPTS]
+    files = generate_for_catalog(corpus_catalog, seed=3)
+    assert_batch_matches_independent(texts, corpus_catalog, files)
+
+
+def test_paper_batch_matches_independent_runs(abcd_catalog):
+    texts = [PAPER_SCRIPTS[name] for name in sorted(PAPER_SCRIPTS)]
+    files = generate_for_catalog(abcd_catalog, seed=7)
+    assert_batch_matches_independent(texts, abcd_catalog, files)
+
+
+@pytest.mark.parametrize("name", ["LS1", "LS2"])
+def test_large_script_single_batch_matches_independent(name):
+    """A one-script batch still goes through merge/split — same outputs."""
+    text, catalog, _spec = make_large_script(name)
+    files = generate_for_catalog(catalog, seed=5, rows_override=120)
+    assert_batch_matches_independent([text], catalog, files)
+
+
+def test_sequential_batch_matches_scheduler_batch(abcd_catalog):
+    texts = [PAPER_SCRIPTS["S1"], PAPER_SCRIPTS["S2"]]
+    files = generate_for_catalog(abcd_catalog, seed=7)
+    seq = QueryService(abcd_catalog, _config()).execute_many(
+        texts, workers=0, files=files
+    )
+    sched = QueryService(abcd_catalog, _config()).execute_many(
+        texts, workers=4, files=files
+    )
+    for a, b in zip(seq.outputs, sched.outputs):
+        assert set(a) == set(b)
+        for path in a:
+            assert a[path].canonical_bytes() == b[path].canonical_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Shared work executes once (PR acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestSharedExecution:
+    def test_s1_s2_share_one_spool_launch(self, abcd_catalog):
+        """S1 and S2 state the same first aggregation over test.log;
+        batching them must spool it once, serving both scripts."""
+        service = QueryService(abcd_catalog, _config())
+        files = generate_for_catalog(abcd_catalog, seed=7)
+        run = service.execute_many(
+            [PAPER_SCRIPTS["S1"], PAPER_SCRIPTS["S2"]],
+            workers=4, files=files,
+        )
+        shared = run.shared_vertices()
+        assert shared, "batch of S1+S2 must contain cross-script vertices"
+        spools = [v for v in shared if v.is_spool]
+        assert spools, "the shared subexpression must be spooled"
+        for vertex in spools:
+            labels = {p.split("/", 1)[0] for p in vertex.serves}
+            assert labels == {"q0", "q1"}
+            stats = run.metrics.vertices[vertex.name]
+            assert stats.launches == 1, (
+                f"shared vertex {vertex.name} launched {stats.launches} "
+                "times; cross-script work must execute once"
+            )
+
+    def test_batched_extract_cost_below_independent_sum(self, abcd_catalog):
+        """Sharing must show up in measured work: the batch reads the
+        shared input once where independent runs read it twice."""
+        texts = [PAPER_SCRIPTS["S1"], PAPER_SCRIPTS["S2"]]
+        files = generate_for_catalog(abcd_catalog, seed=7)
+        batch = QueryService(abcd_catalog, _config()).execute_many(
+            texts, workers=4, files=files
+        )
+        independent = sum(
+            execute_script(t, abcd_catalog, _config(),
+                           files=files).metrics.rows_extracted
+            for t in texts
+        )
+        assert batch.metrics.rows_extracted < independent

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the query service.
+
+Two randomized properties the service must hold for *every* workload:
+
+* **Shared-extract-once** — for a random pair of scripts built around a
+  forced shared subexpression (same extract + aggregation core, random
+  downstream consumers), batching them executes the shared Extract
+  exactly once and every spool vertex launches exactly once, while the
+  per-script outputs stay byte-identical to independent runs.
+* **Never-stale** — under a random interleaving of submissions and
+  statistics updates, a submission never returns a plan optimized
+  against superseded statistics: every served plan's cache key carries
+  the *current* per-file statistics versions, and its Extract
+  cardinality estimates equal the catalog rows at serve time.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import execute_script
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.plan.columns import ColumnType
+from repro.plan.physical import PhysExtract
+from repro.scope.catalog import Catalog
+from repro.service import QueryService
+from repro.workloads.datagen import generate_rows
+
+MACHINES = 3
+
+#: The forced shared subexpression both scripts of a pair start from.
+SHARED_CORE = (
+    'R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;\n'
+    "R = SELECT A,B,C,Sum(D) AS S FROM R0 GROUP BY A,B,C;\n"
+)
+
+#: Downstream consumers over the shared core's output columns A,B,C,S.
+_CONSUMERS = (
+    "SELECT A,Sum(S) AS T FROM R GROUP BY A",
+    "SELECT B,Sum(S) AS T FROM R GROUP BY B",
+    "SELECT A,B,Sum(S) AS T FROM R GROUP BY A,B",
+    "SELECT B,C,Max(S) AS T FROM R GROUP BY B,C",
+    "SELECT A,B,C,S FROM R WHERE A > 1",
+    "SELECT A,B,C,S FROM R WHERE S > 10",
+    "SELECT C,Count(*) AS N FROM R GROUP BY C",
+)
+
+
+def small_catalog(rows: int = 240) -> Catalog:
+    catalog = Catalog()
+    catalog.register_file(
+        "test.log",
+        [(c, ColumnType.INT) for c in ("A", "B", "C", "D")],
+        rows=rows,
+        ndv={"A": 4, "B": 3, "C": 5, "D": 40},
+    )
+    return catalog
+
+
+def _config() -> OptimizerConfig:
+    return OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+
+
+def _files(catalog: Catalog, seed: int) -> dict:
+    stats = catalog.lookup("test.log")
+    return {
+        "test.log": generate_rows(
+            stats.schema.names,
+            stats.rows,
+            {c: stats.ndv_of(c) for c in stats.schema.names},
+            seed=seed,
+        )
+    }
+
+
+@st.composite
+def script_pairs(draw):
+    """Two scripts sharing SHARED_CORE with random distinct consumers."""
+    scripts = []
+    for i in range(2):
+        n = draw(st.integers(1, 2))
+        picks = draw(
+            st.lists(st.sampled_from(_CONSUMERS), min_size=n, max_size=n,
+                     unique=True)
+        )
+        body = SHARED_CORE
+        for j, consumer in enumerate(picks):
+            body += f"X{j} = {consumer};\n"
+            body += f'OUTPUT X{j} TO "s{i}_out{j}.res";\n'
+        scripts.append(body)
+    return scripts
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(pair=script_pairs(), seed=st.integers(0, 3))
+def test_batched_shared_extract_runs_once(pair, seed):
+    """Batching a pair with a forced shared core extracts once, spools
+    once, and still matches the independent runs byte for byte."""
+    catalog = small_catalog()
+    files = _files(catalog, seed)
+    service = QueryService(catalog, _config())
+    run = service.execute_many(pair, workers=2, files=files)
+
+    assert run.metrics.operator_invocations["Extract"] == 1, (
+        f"shared Extract executed more than once\n{pair[0]}\n---\n{pair[1]}"
+    )
+    for vertex in run.stage_graph.spool_vertices():
+        assert run.metrics.vertices[vertex.name].launches == 1
+
+    for text, outputs in zip(pair, run.outputs):
+        solo = execute_script(text, catalog, _config(), files=files)
+        assert set(outputs) == set(solo.outputs)
+        for path in outputs:
+            assert (
+                outputs[path].canonical_bytes()
+                == solo.outputs[path].canonical_bytes()
+            ), f"batched {path} diverged\n{text}"
+
+
+#: Scripts of the never-stale workload: two touch test.log, one doesn't.
+_WORKLOAD = {
+    "agg": SHARED_CORE + 'OUTPUT R TO "r.out";',
+    "filter": (
+        'E = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;\n'
+        "F = SELECT A,B,C,D FROM E WHERE A > 2;\n"
+        'OUTPUT F TO "f.out";'
+    ),
+    "other": (
+        'E = EXTRACT A,B FROM "other.log" USING LogExtractor;\n'
+        "G = SELECT A,Count(*) AS N FROM E GROUP BY A;\n"
+        'OUTPUT G TO "g.out";'
+    ),
+}
+
+_OPS = tuple(_WORKLOAD) + ("update:test.log", "update:other.log")
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    ops=st.lists(st.sampled_from(_OPS), min_size=2, max_size=12),
+    rows0=st.integers(100, 999),
+)
+def test_cache_never_serves_stale_plans(ops, rows0):
+    """Any interleaving of submits and stats updates stays fresh."""
+    catalog = small_catalog(rows=rows0)
+    catalog.register_file(
+        "other.log", [(c, ColumnType.INT) for c in ("A", "B")],
+        rows=rows0, ndv={"A": 4, "B": 3},
+    )
+    service = QueryService(catalog, _config())
+    versions = {"test.log": 0, "other.log": 0}
+    rows_now = {"test.log": rows0, "other.log": rows0}
+
+    for step, op in enumerate(ops):
+        if op.startswith("update:"):
+            path = op.split(":", 1)[1]
+            rows_now[path] = rows0 + step + 1
+            versions[path] += 1
+            service.update_statistics(path, rows=rows_now[path])
+            continue
+        sub = service.submit(_WORKLOAD[op])
+        # The served plan must be keyed on the *current* versions of
+        # exactly the files it reads ...
+        for path, version in sub.key.stats_versions:
+            assert version == versions[path], (
+                f"step {step}: {op} served under stale version of {path}"
+            )
+        # ... and must embed the current statistics, not superseded
+        # ones: Extract estimates mirror catalog rows at optimize time.
+        for node in sub.result.plan.iter_nodes():
+            if isinstance(node.op, PhysExtract):
+                assert node.rows == rows_now[node.op.path], (
+                    f"step {step}: {op} plan estimates "
+                    f"{node.rows} rows for {node.op.path}, catalog has "
+                    f"{rows_now[node.op.path]} — stale plan served"
+                )
+    service.cache.stats.check_consistent(len(service.cache))

@@ -1,0 +1,141 @@
+"""Concurrency stress tests: one ``QueryService``, many submitting threads.
+
+``REPRO_SERVICE_THREADS`` (default 4; the CI service-stress job sets 8)
+controls the thread count.  Every thread replays a seeded shuffle of a
+mixed hot/cold workload against one shared service; afterwards the
+single-flight guarantee (one optimization per distinct cache key, no
+matter how the threads race), plan determinism across threads, and the
+exact counter identities are all checked.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.optimizer.explain import explain_normalized
+from repro.service import QueryService
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+THREADS = int(os.environ.get("REPRO_SERVICE_THREADS", "4"))
+ROUNDS_PER_THREAD = 6
+
+#: Mixed workload: the four paper scripts plus renamed variants (same
+#: DAG, different relation names — must land on the same cache entry).
+WORKLOAD = list(PAPER_SCRIPTS.values()) + [
+    PAPER_SCRIPTS["S1"].replace("R0", "Z0").replace("R1", "Z1"),
+    PAPER_SCRIPTS["S2"].replace("R0", "Y0"),
+]
+
+
+def _make_service(abcd_catalog) -> QueryService:
+    config = OptimizerConfig(cost_params=CostParams(machines=4))
+    return QueryService(abcd_catalog, config, cache_capacity=64)
+
+
+def _hammer(service, thread_seed: int, results, errors) -> None:
+    rng = random.Random(thread_seed)
+    try:
+        for _ in range(ROUNDS_PER_THREAD):
+            for text in rng.sample(WORKLOAD, len(WORKLOAD)):
+                sub = service.submit(text)
+                results.append((sub.fingerprint, sub))
+    except BaseException as exc:  # noqa: BLE001 - surfaced in the test
+        errors.append(exc)
+
+
+def _run_threads(service):
+    results, errors = [], []
+    threads = [
+        threading.Thread(target=_hammer, args=(service, seed, results,
+                                               errors))
+        for seed in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, errors
+
+
+class TestServiceStress:
+    @pytest.fixture()
+    def hammered(self, abcd_catalog):
+        service = _make_service(abcd_catalog)
+        results, errors = _run_threads(service)
+        assert not errors, f"worker thread raised: {errors[0]!r}"
+        return service, results
+
+    def test_no_duplicate_optimizations(self, hammered):
+        """Single-flight: one optimizer run per distinct cache key."""
+        service, results = hammered
+        distinct_keys = {sub.key for _, sub in results}
+        assert service.stats.optimizations == len(distinct_keys)
+        # The renamed variants fold onto their originals: 6 workload
+        # scripts, 4 distinct DAGs.
+        assert len(distinct_keys) == 4
+
+    def test_results_are_deterministic_across_threads(self, hammered):
+        _service, results = hammered
+        plans_by_fp = {}
+        for fingerprint, sub in results:
+            rendered = explain_normalized(sub.result.plan)
+            prior = plans_by_fp.setdefault(fingerprint, rendered)
+            assert rendered == prior, (
+                f"two threads observed different plans for {fingerprint}"
+            )
+
+    def test_counters_add_up(self, hammered):
+        service, results = hammered
+        snap = service.stats_snapshot()
+        expected_submits = THREADS * ROUNDS_PER_THREAD * len(WORKLOAD)
+        assert snap["submits"] == expected_submits == len(results)
+        # Every submission is exactly one of: served from cache,
+        # optimized, or coalesced onto another thread's optimization.
+        assert (
+            snap["cache_hits"] + snap["optimizations"] + snap["coalesced"]
+            == expected_submits
+        )
+        assert snap["cache_lookups"] == snap["cache_hits"] + \
+            snap["cache_misses"]
+        assert snap["optimizations"] == snap["cache_misses"]
+        service.cache.stats.check_consistent(len(service.cache))
+        hits = sum(1 for _, sub in results if sub.cache_hit)
+        assert hits == snap["cache_hits"] + snap["coalesced"]
+
+    def test_stress_survives_concurrent_invalidation(self, abcd_catalog):
+        """Statistics updates racing the submit storm stay safe: no
+        errors, counters consistent, and the final state is fresh."""
+        service = _make_service(abcd_catalog)
+        stop = threading.Event()
+
+        def mutate():
+            version = 0
+            while not stop.is_set():
+                version += 1
+                service.update_statistics("test.log", rows=4_000 + version)
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        try:
+            results, errors = _run_threads(service)
+        finally:
+            stop.set()
+            mutator.join()
+        assert not errors, f"worker thread raised: {errors[0]!r}"
+        snap = service.stats_snapshot()
+        assert (
+            snap["cache_hits"] + snap["optimizations"] + snap["coalesced"]
+            == snap["submits"]
+        )
+        service.cache.stats.check_consistent(len(service.cache))
+        # After the dust settles, a fresh submit must see the final
+        # statistics version.
+        sub = service.submit(PAPER_SCRIPTS["S1"])
+        versions = dict(sub.key.stats_versions)
+        assert versions["test.log"] == service._file_versions["test.log"]
