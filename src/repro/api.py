@@ -33,6 +33,7 @@ from .exec import (
     RetryPolicy,
     TaskScheduler,
 )
+from .exec.backend import get_backend
 from .obs.tracer import NULL_TRACER
 from .optimizer.cost import CostParams
 from .optimizer.engine import OptimizerConfig
@@ -186,6 +187,8 @@ class ExecutionResult:
     cluster: Cluster
     #: Worker threads used (0 = sequential recursive executor).
     workers: int = 0
+    #: Execution backend that ran the operators ("row" or "columnar").
+    backend: str = "row"
 
     @property
     def plan(self) -> PhysicalPlan:
@@ -211,6 +214,7 @@ def execute_script(
     max_retries: int = 3,
     retry_backoff: float = 0.0,
     watchdog: Optional[float] = None,
+    backend: str = "row",
     tracer=NULL_TRACER,
 ) -> ExecutionResult:
     """Optimize a script and execute the chosen plan on the simulator.
@@ -220,6 +224,10 @@ def execute_script(
     into a stage graph and runs it on the task-parallel
     :class:`~repro.exec.TaskScheduler` with that many worker threads.
     Both paths produce identical outputs for every plan.
+
+    ``backend`` selects the operator engine: ``"row"`` (dict-per-row
+    interpretation) or ``"columnar"`` (vectorized column batches).  The
+    backends are byte-identical on outputs — see ``docs/execution.md``.
 
     ``machines`` defaults to the optimizer's cost-model cluster size so
     estimated and measured parallelism agree.  ``files`` supplies input
@@ -258,6 +266,7 @@ def execute_script(
         cluster = Cluster(machines=machines)
         for path, file_rows in files.items():
             cluster.load_file(path, file_rows)
+        engine = get_backend(backend)
         if workers > 0:
             executor = TaskScheduler(
                 cluster,
@@ -268,10 +277,11 @@ def execute_script(
                                   backoff=retry_backoff),
                 watchdog=watchdog,
                 tracer=tracer,
+                backend=engine.name,
             )
         else:
-            executor = PlanExecutor(cluster, validate=validate,
-                                    tracer=tracer)
+            executor = engine.executor_cls(cluster, validate=validate,
+                                           tracer=tracer)
         with tracer.span("execute") as span:
             outputs = executor.execute(result.plan)
             span.set(outputs=len(outputs),
@@ -284,6 +294,7 @@ def execute_script(
         metrics=executor.metrics,
         cluster=cluster,
         workers=workers,
+        backend=engine.name,
     )
 
 
@@ -302,6 +313,7 @@ def execute_batch(
     exploit_cse: bool = True,
     prune: bool = True,
     verify: Optional[bool] = None,
+    backend: str = "row",
     tracer=NULL_TRACER,
 ):
     """Optimize and execute a batch of scripts as one shared job.
@@ -324,4 +336,5 @@ def execute_batch(
         texts, labels=labels, workers=workers, machines=machines,
         rows=rows, seed=seed, files=files, validate=validate,
         exploit_cse=exploit_cse, prune=prune, verify=verify,
+        backend=backend,
     )

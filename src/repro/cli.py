@@ -32,7 +32,7 @@ from typing import Optional
 
 from .api import execute_script, optimize_script
 from .cse.merge import BatchMergeError
-from .exec import ExecutionError
+from .exec import BACKEND_NAMES, ExecutionError
 from .naive import NaiveEvaluator
 from .obs import (
     NULL_TRACER,
@@ -152,6 +152,19 @@ def _emit_observability(args, tracer, metrics) -> None:
               "(chrome://tracing format)")
 
 
+def _explain_exec(backend: str, metrics) -> None:
+    """``--explain-exec``: which engine ran, and how many batches."""
+    print("--- execution backend ---")
+    print(f"backend: {backend}")
+    for name in sorted(metrics.batches_processed):
+        print(f"batches processed [{name}]: "
+              f"{metrics.batches_processed[name]}")
+    if metrics.vertices:
+        print("per-vertex batches:")
+        for vname in sorted(metrics.vertices):
+            print(f"  {vname}: {metrics.vertices[vname].batches}")
+
+
 def cmd_run(args) -> int:
     catalog = _load_catalog(args.catalog)
     text = _load_script(args.script)
@@ -170,6 +183,7 @@ def cmd_run(args) -> int:
         failure_seed=args.failure_seed
         if args.failure_seed is not None else args.seed,
         max_retries=args.max_retries,
+        backend=args.backend,
         tracer=tracer,
     )
     outputs = run.outputs
@@ -197,6 +211,8 @@ def cmd_run(args) -> int:
     if vertex_table:
         print("--- vertices ---")
         print(vertex_table)
+    if args.explain_exec:
+        _explain_exec(run.backend, run.metrics)
     print("--- outputs ---")
     for path in sorted(outputs):
         data = outputs[path]
@@ -331,7 +347,7 @@ def cmd_batch(args) -> int:
     run = service.execute_many(
         texts, labels=labels, workers=args.workers,
         machines=args.machines, rows=args.rows, seed=args.seed,
-        exploit_cse=not args.no_cse,
+        exploit_cse=not args.no_cse, backend=args.backend,
     )
     print(f"merged {len(texts)} script(s) "
           f"({', '.join(run.submit.labels)}); "
@@ -348,6 +364,8 @@ def cmd_batch(args) -> int:
         print("no cross-script shared vertices")
     print("--- execution metrics ---")
     print(run.metrics.summary())
+    if args.explain_exec:
+        _explain_exec(run.backend, run.metrics)
     print("--- per-script outputs ---")
     for label, outputs in zip(run.submit.labels, run.outputs):
         for path in sorted(outputs):
@@ -435,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export the trace in chrome://tracing format")
     p_run.add_argument("--top", type=int, default=5,
                        help="hotspots to list with --profile (default 5)")
+    p_run.add_argument("--backend", choices=BACKEND_NAMES, default="row",
+                       help="execution engine: row (dict-per-row) or "
+                       "columnar (vectorized column batches); outputs are "
+                       "byte-identical (default row)")
+    p_run.add_argument("--explain-exec", action="store_true",
+                       help="print the chosen backend and per-vertex "
+                       "batch counts")
     p_run.set_defaults(func=cmd_run)
 
     p_profile = sub.add_parser(
@@ -509,6 +534,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--seed", type=int, default=0, help="data seed")
     p_batch.add_argument("--show-rows", type=int, default=0,
                          help="print up to N rows per output")
+    p_batch.add_argument("--backend", choices=BACKEND_NAMES, default="row",
+                         help="execution engine: row or columnar "
+                         "(default row)")
+    p_batch.add_argument("--explain-exec", action="store_true",
+                         help="print the chosen backend and per-vertex "
+                         "batch counts")
     p_batch.set_defaults(func=cmd_batch)
 
     p_fig = sub.add_parser("figure7", help="regenerate the Figure 7 table")

@@ -1,9 +1,11 @@
 """Distributed execution simulator (the Cosmos/Dryad substrate)."""
 
+from .backend import BACKEND_NAMES, Backend, get_backend
 from .cluster import Cluster
-from .datasets import Dataset, hash_partition_index
+from .columnar import ColumnarDataset, ColumnarExecutor, ColumnBatch
+from .datasets import Dataset, canonical_sort_key, hash_partition_index
 from .metrics import ExecutionMetrics, VertexStats
-from .runtime import ExecutionError, PlanExecutor
+from .runtime import ExecutionError, FragmentCutMixin, PlanExecutor
 from .scheduler import (
     FaultInjection,
     InjectedFault,
@@ -14,11 +16,17 @@ from .scheduler import (
 from .stage_graph import StageGraph, Vertex, build_stage_graph
 
 __all__ = [
+    "BACKEND_NAMES",
+    "Backend",
     "Cluster",
+    "ColumnBatch",
+    "ColumnarDataset",
+    "ColumnarExecutor",
     "Dataset",
     "ExecutionError",
     "ExecutionMetrics",
     "FaultInjection",
+    "FragmentCutMixin",
     "InjectedFault",
     "PlanExecutor",
     "RetryPolicy",
@@ -28,5 +36,7 @@ __all__ = [
     "VertexFailedError",
     "VertexStats",
     "build_stage_graph",
+    "canonical_sort_key",
+    "get_backend",
     "hash_partition_index",
 ]

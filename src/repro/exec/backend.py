@@ -1,0 +1,99 @@
+"""Execution backend registry: row vs columnar.
+
+A :class:`Backend` bundles everything the driver layers (api, service,
+CLI, scheduler) need to run a plan on one engine without knowing its
+data layout:
+
+* ``executor_cls`` — the sequential executor (``PlanExecutor`` shape);
+* ``fragment_cls`` — the scheduler's per-task fragment executor (the
+  same engine behind :class:`~repro.exec.runtime.FragmentCutMixin`);
+* ``to_backend`` / ``to_row`` — conversion shims applied at vertex
+  boundaries, so the scheduler's committed results (and the result
+  files) are always row :class:`~repro.exec.datasets.Dataset` objects
+  whichever backend ran the vertex bodies.
+
+Because fragments convert at the boundary, every scheduler feature —
+retries over injected faults, exactly-once spools, ``serves``
+attribution, span tracing, per-vertex metrics — works unchanged over
+either backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from .columnar.batch import ColumnarDataset, from_row_dataset
+from .columnar.executor import ColumnarExecutor
+from .datasets import Dataset
+from .runtime import FragmentCutMixin, PlanExecutor
+
+
+class _RowFragmentExecutor(FragmentCutMixin, PlanExecutor):
+    """Row-backend fragment executor (one scheduler task)."""
+
+
+class _ColumnarFragmentExecutor(FragmentCutMixin, ColumnarExecutor):
+    """Columnar-backend fragment executor (one scheduler task)."""
+
+
+def _identity(dataset):
+    return dataset
+
+
+def _to_columnar(dataset):
+    if isinstance(dataset, ColumnarDataset):
+        return dataset
+    return from_row_dataset(dataset)
+
+
+def _to_row(dataset):
+    if isinstance(dataset, Dataset):
+        return dataset
+    return dataset.to_row_dataset()
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One selectable execution engine."""
+
+    name: str
+    executor_cls: type
+    fragment_cls: type
+    #: row ``Dataset`` -> the backend's dataset type (vertex input shim)
+    to_backend: Callable
+    #: the backend's dataset type -> row ``Dataset`` (vertex output shim)
+    to_row: Callable
+
+
+ROW_BACKEND = Backend(
+    name="row",
+    executor_cls=PlanExecutor,
+    fragment_cls=_RowFragmentExecutor,
+    to_backend=_identity,
+    to_row=_identity,
+)
+
+COLUMNAR_BACKEND = Backend(
+    name="columnar",
+    executor_cls=ColumnarExecutor,
+    fragment_cls=_ColumnarFragmentExecutor,
+    to_backend=_to_columnar,
+    to_row=_to_row,
+)
+
+BACKENDS = {
+    backend.name: backend for backend in (ROW_BACKEND, COLUMNAR_BACKEND)
+}
+
+BACKEND_NAMES: Tuple[str, ...] = tuple(sorted(BACKENDS))
+
+
+def get_backend(name: str) -> Backend:
+    backend = BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown execution backend {name!r} "
+            f"(available: {', '.join(BACKEND_NAMES)})"
+        )
+    return backend

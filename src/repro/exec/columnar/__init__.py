@@ -1,0 +1,32 @@
+"""Vectorized columnar execution backend.
+
+A partition is a :class:`ColumnBatch` (one value list per column)
+instead of a list of row dicts, and every physical operator runs as a
+vectorized kernel: filters compile predicates into selection-vector
+loops, projections evaluate whole columns (passing plain column
+references through by reference), aggregations fold group index lists,
+joins gather index pairs.  :class:`ColumnarExecutor` is a drop-in for
+the row backend's ``PlanExecutor`` — selected via
+``execute_script(..., backend="columnar")``, ``repro run --backend
+columnar`` or the backend registry in :mod:`repro.exec.backend` — and
+produces byte-identical outputs (the differential suite proves equal
+``canonical_bytes`` across the whole corpus).
+"""
+
+from .batch import ColumnBatch, ColumnarDataset, from_row_dataset
+from .executor import ColumnarExecutor
+from .kernels import (
+    aggregate_groups,
+    compile_select_kernel,
+    compile_value_kernel,
+)
+
+__all__ = [
+    "ColumnBatch",
+    "ColumnarDataset",
+    "ColumnarExecutor",
+    "aggregate_groups",
+    "compile_select_kernel",
+    "compile_value_kernel",
+    "from_row_dataset",
+]

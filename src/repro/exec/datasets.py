@@ -30,6 +30,30 @@ def guarded_key(values) -> Tuple:
     return tuple((v is None, v) for v in values)
 
 
+def canonical_sort_key(values) -> Tuple:
+    """Total-order key over heterogeneous values for canonical sorting.
+
+    Each value maps to ``(is_null, type_rank, value)``: NULLs sort after
+    every concrete value, numbers (rank 0) before strings (rank 1)
+    before anything else (rank 2, compared by ``repr``).  Within a rank
+    values compare natively, so the order of homogeneous columns — the
+    only kind the executors produce — is unchanged from the plain
+    ``(v is None, v)`` key; mixed int/str positions, which used to raise
+    ``TypeError``, now get a deterministic order instead.
+    """
+    key = []
+    for v in values:
+        if v is None:
+            key.append((True, 0, 0))
+        elif isinstance(v, str):
+            key.append((False, 1, v))
+        elif isinstance(v, (int, float)):
+            key.append((False, 0, v))
+        else:
+            key.append((False, 2, repr(v)))
+    return tuple(key)
+
+
 @dataclass
 class Dataset:
     """A partitioned rowset with claimed physical properties."""
@@ -55,7 +79,7 @@ class Dataset:
         """All rows as canonically ordered tuples (for comparisons)."""
         names = self.schema.names
         rows = [tuple(row[c] for c in names) for row in self.all_rows()]
-        return sorted(rows, key=lambda t: tuple((v is None, v) for v in t))
+        return sorted(rows, key=canonical_sort_key)
 
     def canonical_bytes(self) -> bytes:
         """Schema + canonically sorted rows as bytes.

@@ -35,6 +35,9 @@ class VertexStats:
     retries: int = 0
     rows_in: int = 0
     rows_out: int = 0
+    #: Partition batches the vertex's tasks processed (summed over the
+    #: per-task scratches; ``repro run --explain-exec`` prints these).
+    batches: int = 0
     #: Optimizer's estimated output cardinality of the fragment root.
     estimated_rows: float = 0.0
     #: Measured wall time (seconds) summed over the vertex's tasks.
@@ -83,7 +86,14 @@ class ExecutionMetrics:
     spool_reads: int = 0
     rows_output: int = 0
     rows_sorted: int = 0
+    #: Rows dropped by Filter operators (rows in minus rows surviving).
+    rows_filtered: int = 0
     operator_invocations: Dict[str, int] = field(default_factory=dict)
+    #: Partition batches materialized at operator boundaries, keyed by
+    #: the backend that processed them ("row" row-lists, "columnar"
+    #: column batches).  Both backends count at the same point
+    #: (``_finish``), so the totals are directly comparable.
+    batches_processed: Dict[str, int] = field(default_factory=dict)
     max_partition_rows: int = 0
     #: Simulated wall-clock model: per operator execution, the slowest
     #: partition's work (rows × a per-operator weight) plus the full
@@ -116,6 +126,15 @@ class ExecutionMetrics:
     def note_operator(self, name: str) -> None:
         self.operator_invocations[name] = self.operator_invocations.get(name, 0) + 1
 
+    def note_batches(self, backend: str, count: int) -> None:
+        """Count ``count`` partition batches processed by ``backend``."""
+        self.batches_processed[backend] = (
+            self.batches_processed.get(backend, 0) + count
+        )
+
+    def total_batches(self) -> int:
+        return sum(self.batches_processed.values())
+
     def note_partition_sizes(self, partitions) -> None:
         for partition in partitions:
             if len(partition) > self.max_partition_rows:
@@ -134,12 +153,15 @@ class ExecutionMetrics:
         self.spool_reads += other.spool_reads
         self.rows_output += other.rows_output
         self.rows_sorted += other.rows_sorted
+        self.rows_filtered += other.rows_filtered
         self.simulated_makespan += other.simulated_makespan
         self.task_retries += other.task_retries
         for name, count in other.operator_invocations.items():
             self.operator_invocations[name] = (
                 self.operator_invocations.get(name, 0) + count
             )
+        for backend, count in other.batches_processed.items():
+            self.note_batches(backend, count)
         if other.max_partition_rows > self.max_partition_rows:
             self.max_partition_rows = other.max_partition_rows
         self.vertices.update(other.vertices)
@@ -154,6 +176,7 @@ class ExecutionMetrics:
             f"broadcast:  {self.rows_broadcast:>12,}",
             f"spooled:    {self.rows_spooled:>12,} (reads: {self.spool_reads})",
             f"sorted:     {self.rows_sorted:>12,}",
+            f"filtered:   {self.rows_filtered:>12,}",
             f"output:     {self.rows_output:>12,}",
             f"max part:   {self.max_partition_rows:>12,}",
         ]
@@ -162,6 +185,12 @@ class ExecutionMetrics:
             for name, count in sorted(self.operator_invocations.items())
         )
         lines.append(f"operators:  {ops}")
+        if self.batches_processed:
+            batches = ", ".join(
+                f"{backend}={count:,}"
+                for backend, count in sorted(self.batches_processed.items())
+            )
+            lines.append(f"batches:    {batches}")
         if self.vertices:
             lines.append(
                 f"vertices:   {len(self.vertices):>12,} "
@@ -212,8 +241,8 @@ class ExecutionMetrics:
 
     _COUNTER_FIELDS = (
         "rows_extracted", "rows_shuffled", "rows_broadcast", "rows_spooled",
-        "spool_reads", "rows_output", "rows_sorted", "max_partition_rows",
-        "simulated_makespan", "task_retries",
+        "spool_reads", "rows_output", "rows_sorted", "rows_filtered",
+        "max_partition_rows", "simulated_makespan", "task_retries",
     )
 
     def publish(self, bus) -> None:
@@ -231,6 +260,11 @@ class ExecutionMetrics:
             bus.publish(ObsEvent.make(
                 "exec.counter", name=name, value=getattr(self, name)
             ))
+        for backend in sorted(self.batches_processed):
+            bus.publish(ObsEvent.make(
+                "exec.counter", name=f"batches_processed.{backend}",
+                value=self.batches_processed[backend],
+            ))
         for name in sorted(self.operator_invocations):
             bus.publish(ObsEvent.make(
                 "exec.operator", name=name,
@@ -246,6 +280,7 @@ class ExecutionMetrics:
                 retries=stats.retries,
                 rows_in=stats.rows_in,
                 rows_out=stats.rows_out,
+                batches=stats.batches,
                 estimated_rows=stats.estimated_rows,
                 estimate_missing=stats.estimate_missing,
                 simulated_makespan=stats.simulated_makespan,

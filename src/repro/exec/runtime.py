@@ -69,6 +69,15 @@ def _sort_key(columns) -> Callable[[Row], Tuple]:
 class PlanExecutor:
     """Executes physical plans against one cluster."""
 
+    #: Backend identity — keys the ``batches_processed`` metric and the
+    #: ``repro run --explain-exec`` report.  The columnar executor
+    #: (``repro.exec.columnar``) overrides both class attributes and the
+    #: operator kernels; everything else (dispatch, spool caching,
+    #: metrics, tracing) is shared so the backends cannot drift apart.
+    backend_name = "row"
+    #: Dataset class materialized at operator boundaries.
+    dataset_cls = Dataset
+
     def __init__(self, cluster: Cluster, validate: bool = True,
                  tracer=NULL_TRACER):
         self.cluster = cluster
@@ -129,18 +138,9 @@ class PlanExecutor:
         if isinstance(op, PhysExtract):
             result = self._extract(op)
         elif isinstance(op, PhysFilter):
-            result = [
-                [row for row in part if op.predicate.evaluate(row)]
-                for part in inputs[0].partitions
-            ]
+            result = self._filter(op, inputs[0])
         elif isinstance(op, PhysProject):
-            result = [
-                [
-                    {ne.alias: ne.expr.evaluate(row) for ne in op.exprs}
-                    for row in part
-                ]
-                for part in inputs[0].partitions
-            ]
+            result = self._project(op, inputs[0])
         elif isinstance(op, PhysSort):
             result = self._sort(op, inputs[0])
         elif isinstance(op, PhysRepartition):
@@ -167,15 +167,16 @@ class PlanExecutor:
             if isinstance(op, PhysUnionAll):
                 result = self._union(inputs)
             else:
-                result = [[] for _ in range(self.cluster.machines)]
+                result = self._empty_partitions()
         else:  # pragma: no cover - exhaustive over the physical algebra
             raise ExecutionError(f"no executor for {type(op).__name__}")
 
         return result
 
     def _finish(self, node: PhysicalPlan, partitions: List[Partition]) -> Dataset:
-        dataset = Dataset(node.schema, partitions, node.props)
+        dataset = self.dataset_cls(node.schema, partitions, node.props)
         self.metrics.note_partition_sizes(partitions)
+        self.metrics.note_batches(self.backend_name, len(partitions))
         if self.validate:
             violation = dataset.validate_layout()
             if violation is not None:
@@ -197,6 +198,28 @@ class PlanExecutor:
             projected = {c: row[c] for c in names}
             partitions[index % n].append(projected)
         return partitions
+
+    def _empty_partitions(self) -> List[Partition]:
+        """One empty partition per machine (Output/Sequence results)."""
+        return [[] for _ in range(self.cluster.machines)]
+
+    def _filter(self, op: PhysFilter, data: Dataset) -> List[Partition]:
+        result: List[Partition] = []
+        predicate = op.predicate
+        for part in data.partitions:
+            kept = [row for row in part if predicate.evaluate(row)]
+            self.metrics.rows_filtered += len(part) - len(kept)
+            result.append(kept)
+        return result
+
+    def _project(self, op: PhysProject, data: Dataset) -> List[Partition]:
+        return [
+            [
+                {ne.alias: ne.expr.evaluate(row) for ne in op.exprs}
+                for row in part
+            ]
+            for part in data.partitions
+        ]
 
     def _sort(self, op: PhysSort, data: Dataset) -> List[Partition]:
         key = _sort_key(op.order.columns)
@@ -508,7 +531,7 @@ class PlanExecutor:
     def _output(self, op: PhysOutput, data: Dataset) -> List[Partition]:
         self.metrics.rows_output += data.total_rows()
         self.cluster.write_output(op.path, data)
-        return [[] for _ in range(self.cluster.machines)]
+        return self._empty_partitions()
 
     def _union(self, inputs: List[Dataset]) -> List[Partition]:
         n = max(d.n_partitions for d in inputs)
@@ -552,6 +575,49 @@ class PlanExecutor:
                         f"{who}: group {key} split across partitions "
                         f"{prev} and {idx}"
                     )
+
+
+class FragmentCutMixin:
+    """Stops executor recursion at a vertex's cut points.
+
+    Mixed in front of a concrete executor class (``PlanExecutor`` or the
+    columnar subclass) to build the per-task fragment executors of
+    ``repro.exec.scheduler``: already-computed producer results are
+    injected via ``cuts`` (keyed by plan-node ``id``) instead of being
+    recomputed.  ``slice_mode`` marks per-partition tasks: inputs arrive
+    pre-sliced to a single partition, and bookkeeping that is per
+    *reference* rather than per row (operator invocations, spool reads)
+    is suppressed — the scheduler accounts it once at the vertex level
+    so counters match the sequential executor exactly.  Defined here
+    rather than in the scheduler so backend modules can subclass it
+    without importing the scheduler (which imports them).
+    """
+
+    def __init__(self, cluster: Cluster, validate: bool,
+                 metrics: ExecutionMetrics,
+                 cuts: Dict[int, Dataset], slice_mode: bool = False):
+        super().__init__(cluster, validate)
+        self.metrics = metrics
+        self._cuts = cuts
+        self._slice_mode = slice_mode
+
+    def _run(self, node: PhysicalPlan) -> Dataset:
+        cut = self._cuts.get(id(node))
+        if cut is not None:
+            if isinstance(node.op, PhysSpool):
+                # A consumer re-reading the materialized spool.
+                if not self._slice_mode:
+                    self.metrics.note_operator(node.op.name)
+                    self.metrics.spool_reads += 1
+                    self.metrics.charge_spool(cut.total_rows())
+                return self._finish(node, cut.partitions)
+            return cut
+        if self._slice_mode:
+            # Mirror the parent dispatch but without per-reference
+            # operator counting (accounted once at the vertex level).
+            inputs = [self._run(child) for child in node.children]
+            return self._finish(node, self._apply_op(node, inputs))
+        return super()._run(node)
 
 
 class _Unset:

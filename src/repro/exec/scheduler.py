@@ -23,10 +23,15 @@ physical DAG into vertices at exchange and spool boundaries, and
   folded into :class:`~repro.exec.metrics.ExecutionMetrics`.
 
 Operator semantics are shared with the sequential executor: every task
-evaluates its fragment through :class:`_FragmentExecutor`, a
-``PlanExecutor`` subclass that stops recursion at the vertex's cut
-points, so the two execution paths produce identical results and
-identical counter metrics by construction.
+evaluates its fragment through the selected backend's fragment executor
+(a :class:`~repro.exec.runtime.FragmentCutMixin` subclass that stops
+recursion at the vertex's cut points), so the two execution paths
+produce identical results and identical counter metrics by
+construction.  The ``backend`` parameter picks the engine ("row" or
+"columnar"); conversion shims at the vertex boundary keep committed
+results as row :class:`~repro.exec.datasets.Dataset` objects, so
+dependency tracking, retries, spools and attribution never see the
+backend's internal layout.
 """
 
 from __future__ import annotations
@@ -38,12 +43,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.tracer import NULL_TRACER
-from ..plan.physical import PhysicalPlan, PhysSpool
+from ..plan.physical import PhysicalPlan
+from .backend import _RowFragmentExecutor, get_backend
 from .cluster import Cluster
 from .datasets import Dataset
 from .metrics import ExecutionMetrics, VertexStats
-from .runtime import ExecutionError, PlanExecutor
+from .runtime import ExecutionError
 from .stage_graph import StageGraph, Vertex, build_stage_graph
+
+#: Historical name of the row fragment executor (kept for callers that
+#: imported it from here before the backend registry existed).
+_FragmentExecutor = _RowFragmentExecutor
 
 
 class InjectedFault(RuntimeError):
@@ -97,43 +107,6 @@ class RetryPolicy:
         return self.backoff * (2.0 ** (attempt - 1))
 
 
-class _FragmentExecutor(PlanExecutor):
-    """Evaluates one vertex fragment; recursion stops at cut points.
-
-    ``slice_mode`` marks per-partition tasks: inputs arrive pre-sliced
-    to a single partition, and bookkeeping that is per *reference*
-    rather than per row (operator invocations, spool reads) is
-    suppressed — the scheduler accounts it once at the vertex level so
-    counters match the sequential executor exactly.
-    """
-
-    def __init__(self, cluster: Cluster, validate: bool,
-                 metrics: ExecutionMetrics,
-                 cuts: Dict[int, Dataset], slice_mode: bool = False):
-        super().__init__(cluster, validate)
-        self.metrics = metrics
-        self._cuts = cuts
-        self._slice_mode = slice_mode
-
-    def _run(self, node: PhysicalPlan) -> Dataset:
-        cut = self._cuts.get(id(node))
-        if cut is not None:
-            if isinstance(node.op, PhysSpool):
-                # A consumer re-reading the materialized spool.
-                if not self._slice_mode:
-                    self.metrics.note_operator(node.op.name)
-                    self.metrics.spool_reads += 1
-                    self.metrics.charge_spool(cut.total_rows())
-                return self._finish(node, cut.partitions)
-            return cut
-        if self._slice_mode:
-            # Mirror the parent dispatch but without per-reference
-            # operator counting (accounted once at the vertex level).
-            inputs = [self._run(child) for child in node.children]
-            return self._finish(node, self._apply_op(node, inputs))
-        return super()._run(node)
-
-
 @dataclass
 class _Task:
     vertex: Vertex
@@ -175,12 +148,14 @@ class TaskScheduler:
                  faults: Optional[FaultInjection] = None,
                  retry: Optional[RetryPolicy] = None,
                  watchdog: Optional[float] = None,
-                 tracer=NULL_TRACER):
+                 tracer=NULL_TRACER,
+                 backend: str = "row"):
         if workers < 1:
             raise ValueError("the scheduler needs at least one worker")
         self.cluster = cluster
         self.workers = workers
         self.validate = validate
+        self.backend = get_backend(backend)
         self.faults = faults or FaultInjection()
         self.retry = retry or RetryPolicy()
         self.watchdog = watchdog
@@ -289,6 +264,7 @@ class TaskScheduler:
                 if scratch is not None:
                     self.metrics.merge_from(scratch)
                     run.stats.simulated_makespan += scratch.simulated_makespan
+                    run.stats.batches += scratch.total_batches()
             self.metrics.task_retries += run.stats.retries
             self.metrics.vertices[run.stats.vertex] = run.stats
             if self.tracer.enabled:
@@ -413,12 +389,15 @@ class TaskScheduler:
             # The materialization task: pass the producer's result
             # through, charging the one-time build.  Reads are charged
             # by each consumer, mirroring the sequential executor.  A
-            # spool stacked directly on another spool reads it once.
+            # spool stacked directly on another spool reads it once
+            # (each read materializes a batch list, like the sequential
+            # executor's per-read ``_finish``).
             (dataset,) = cuts.values()
             for _ in task.vertex.spool_cut_vids:
                 scratch.note_operator("Spool")
                 scratch.spool_reads += 1
                 scratch.charge_spool(dataset.total_rows())
+                scratch.note_batches(self.backend.name, dataset.n_partitions)
             scratch.rows_spooled += dataset.total_rows()
             scratch.charge_spool(dataset.total_rows())
             return dataset, scratch, started, time.perf_counter()
@@ -429,11 +408,19 @@ class TaskScheduler:
                 )
                 for node_id, d in cuts.items()
             }
-        executor = _FragmentExecutor(
+        # Vertex-boundary shims: committed results are row datasets;
+        # convert inputs into the backend's layout (after slicing, so
+        # per-partition tasks convert one partition) and the fragment
+        # result back before commit.
+        cuts = {
+            node_id: self.backend.to_backend(d)
+            for node_id, d in cuts.items()
+        }
+        executor = self.backend.fragment_cls(
             self.cluster, self.validate, scratch, cuts,
             slice_mode=task.part is not None,
         )
-        dataset = executor._run(task.vertex.root)
+        dataset = self.backend.to_row(executor._run(task.vertex.root))
         return dataset, scratch, started, time.perf_counter()
 
     def _commit(self, run: _VertexRun,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .exec.datasets import canonical_sort_key
 from .plan.expressions import Row, Value
 from .plan.logical import (
     GroupByMode,
@@ -50,9 +51,7 @@ class NaiveEvaluator:
         for path, (schema, rows) in self._outputs_with_schema.items():
             names = schema.names
             tuples = [tuple(row[c] for c in names) for row in rows]
-            canonical[path] = sorted(
-                tuples, key=lambda t: tuple((v is None, v) for v in t)
-            )
+            canonical[path] = sorted(tuples, key=canonical_sort_key)
         return canonical
 
     def _eval(self, node: LogicalPlan) -> List[Row]:

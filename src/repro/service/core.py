@@ -137,6 +137,8 @@ class ServiceRun:
     metrics: ExecutionMetrics
     stage_graph: Optional[StageGraph]
     workers: int
+    #: Execution backend that ran the operators ("row" or "columnar").
+    backend: str = "row"
 
 
 @dataclass
@@ -151,6 +153,8 @@ class BatchRun:
     metrics: ExecutionMetrics
     stage_graph: Optional[StageGraph]
     workers: int
+    #: Execution backend that ran the operators ("row" or "columnar").
+    backend: str = "row"
 
     def shared_vertices(self) -> List[Vertex]:
         """Vertices whose output feeds more than one script of the batch.
@@ -274,15 +278,22 @@ class QueryService:
         exploit_cse: bool = True,
         prune: bool = True,
         verify: Optional[bool] = None,
+        backend: str = "row",
     ) -> ServiceRun:
-        """Optimize-or-serve one script and run it on the simulator."""
+        """Optimize-or-serve one script and run it on the simulator.
+
+        ``backend`` selects the execution engine ("row" or "columnar");
+        plans, cache keys and outputs are backend-independent.
+        """
         sub = self.submit(text, exploit_cse=exploit_cse, prune=prune,
                           verify=verify)
         outputs, metrics, graph = self._run_plan(
-            sub.result.plan, workers, machines, rows, seed, files, validate
+            sub.result.plan, workers, machines, rows, seed, files, validate,
+            backend,
         )
         return ServiceRun(submit=sub, outputs=outputs, metrics=metrics,
-                          stage_graph=graph, workers=workers)
+                          stage_graph=graph, workers=workers,
+                          backend=backend)
 
     def execute_many(
         self,
@@ -298,18 +309,21 @@ class QueryService:
         exploit_cse: bool = True,
         prune: bool = True,
         verify: Optional[bool] = None,
+        backend: str = "row",
     ) -> BatchRun:
         """Optimize-or-serve a batch and execute it as one shared job.
 
         Cross-script common subexpressions are spooled and executed
         once; each script's outputs are cut back out under its original
-        paths.
+        paths.  ``backend`` selects the execution engine ("row" or
+        "columnar").
         """
         sub = self.submit_many(texts, labels=labels,
                                exploit_cse=exploit_cse, prune=prune,
                                verify=verify)
         merged_outputs, metrics, graph = self._run_plan(
-            sub.result.plan, workers, machines, rows, seed, files, validate
+            sub.result.plan, workers, machines, rows, seed, files, validate,
+            backend,
         )
         per_script = sub.batch.split_outputs(merged_outputs)
         return BatchRun(
@@ -319,6 +333,7 @@ class QueryService:
             metrics=metrics,
             stage_graph=graph,
             workers=workers,
+            backend=backend,
         )
 
     # -- catalog maintenance ----------------------------------------------
@@ -477,7 +492,9 @@ class QueryService:
 
     def _run_plan(self, plan, workers: int, machines: Optional[int],
                   rows: Optional[int], seed: int,
-                  files: Optional[Dict[str, list]], validate: bool):
+                  files: Optional[Dict[str, list]], validate: bool,
+                  backend: str = "row"):
+        from ..exec.backend import get_backend
         from ..workloads.datagen import generate_for_catalog
 
         if machines is None:
@@ -488,12 +505,14 @@ class QueryService:
         cluster = Cluster(machines=machines)
         for path, file_rows in files.items():
             cluster.load_file(path, file_rows)
+        engine = get_backend(backend)
         if workers > 0:
             executor = TaskScheduler(cluster, workers=workers,
-                                     validate=validate, tracer=self.tracer)
+                                     validate=validate, tracer=self.tracer,
+                                     backend=engine.name)
         else:
-            executor = PlanExecutor(cluster, validate=validate,
-                                    tracer=self.tracer)
+            executor = engine.executor_cls(cluster, validate=validate,
+                                           tracer=self.tracer)
         outputs = executor.execute(plan)
         graph = executor.stage_graph if workers > 0 else None
         return outputs, executor.metrics, graph

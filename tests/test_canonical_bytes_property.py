@@ -1,0 +1,196 @@
+"""Property tests for canonical output encoding and layout conversion.
+
+``Dataset.canonical_bytes`` is the equality oracle of every differential
+harness in this repo (sequential vs scheduler, row vs columnar), so it
+must be a pure function of the *bag of rows*: invariant under partition
+layout, row order, empty partitions — and identical across the
+row↔columnar conversions.  Hypothesis drives all of that with typed,
+nullable, unicode-bearing columns.
+
+Columns are typed per-column (each one all-int, all-float or all-str)
+because that is the only shape the executors produce; value equality
+across types (``1 == 1.0``) with distinct ``repr`` would otherwise make
+byte-level canonicalization order-dependent.  The deterministic
+regression tests at the bottom cover the heterogeneous case that
+``sorted_rows`` previously crashed on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import ColumnBatch, ColumnarDataset, Dataset
+from repro.exec.columnar import from_row_dataset
+from repro.exec.datasets import canonical_sort_key
+from repro.plan.columns import Column, Schema
+
+# -- strategies -------------------------------------------------------------
+
+_COLUMN_NAMES = ("A", "B", "C", "D", "E")
+
+_INT = st.integers(min_value=-10**6, max_value=10**6)
+# Exclude NaN (not self-equal) and normalize -0.0: it equals 0.0 but
+# reprs differently, which would legitimately break byte determinism.
+_FLOAT = st.floats(allow_nan=False, allow_infinity=False, width=32).map(
+    lambda x: 0.0 if x == 0 else x
+)
+_STR = st.text(max_size=8)  # full unicode, empty strings included
+
+_COLUMN_KINDS = (_INT, _FLOAT, _STR)
+
+
+@st.composite
+def typed_tables(draw, min_rows=0, max_rows=30):
+    """A (names, rows) pair with per-column typed, nullable values."""
+    n_cols = draw(st.integers(min_value=1, max_value=len(_COLUMN_NAMES)))
+    names = _COLUMN_NAMES[:n_cols]
+    value_strategies = [
+        st.one_of(st.none(), draw(st.sampled_from(_COLUMN_KINDS)))
+        for _ in names
+    ]
+    n_rows = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    rows = [
+        {name: draw(strategy)
+         for name, strategy in zip(names, value_strategies)}
+        for _ in range(n_rows)
+    ]
+    return names, rows
+
+
+def _partitioned(names, rows, n_parts, order, offset=0):
+    """Deterministically scatter ``rows`` (permuted) over partitions."""
+    permuted = [rows[i] for i in order]
+    partitions = [[] for _ in range(n_parts)]
+    for i, row in enumerate(permuted):
+        partitions[(i + offset) % n_parts].append(row)
+    return Dataset(Schema([Column(n) for n in names]), partitions)
+
+
+# -- canonical_bytes layout invariance --------------------------------------
+
+
+@given(table=typed_tables(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_canonical_bytes_is_layout_invariant(table, data):
+    names, rows = table
+    order = data.draw(st.permutations(range(len(rows))))
+    a = _partitioned(names, rows, n_parts=1, order=range(len(rows)))
+    b = _partitioned(
+        names, rows,
+        n_parts=data.draw(st.integers(min_value=1, max_value=6)),
+        order=order,
+        offset=data.draw(st.integers(min_value=0, max_value=5)),
+    )
+    assert a.canonical_bytes() == b.canonical_bytes()
+    assert a.sorted_rows() == b.sorted_rows()
+
+
+@given(table=typed_tables())
+@settings(max_examples=60, deadline=None)
+def test_empty_partitions_do_not_change_bytes(table):
+    names, rows = table
+    dense = _partitioned(names, rows, n_parts=2, order=range(len(rows)))
+    sparse = Dataset(
+        dense.schema,
+        [[]] + [list(p) for p in dense.partitions] + [[], []],
+    )
+    assert dense.canonical_bytes() == sparse.canonical_bytes()
+
+
+# -- row <-> columnar round trips -------------------------------------------
+
+
+@given(table=typed_tables(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_columnar_round_trip_preserves_rows_exactly(table, data):
+    names, rows = table
+    dataset = _partitioned(
+        names, rows,
+        n_parts=data.draw(st.integers(min_value=1, max_value=5)),
+        order=range(len(rows)),
+    )
+    columnar = from_row_dataset(dataset)
+    assert isinstance(columnar, ColumnarDataset)
+    assert columnar.n_partitions == dataset.n_partitions
+    assert columnar.total_rows() == dataset.total_rows()
+    back = columnar.to_row_dataset()
+    # Exact row equality partition by partition — not just canonical.
+    assert back.partitions == dataset.partitions
+    assert back.schema.names == dataset.schema.names
+    assert back.canonical_bytes() == dataset.canonical_bytes()
+
+
+@given(table=typed_tables())
+@settings(max_examples=80, deadline=None)
+def test_column_batch_round_trip(table):
+    names, rows = table
+    batch = ColumnBatch.from_rows(names, rows)
+    assert len(batch) == len(rows)
+    assert batch.to_rows() == rows
+    for name in names:
+        assert batch.columns[name] == [row[name] for row in rows]
+
+
+@given(table=typed_tables(min_rows=1), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_column_batch_take_matches_row_gather(table, data):
+    names, rows = table
+    batch = ColumnBatch.from_rows(names, rows)
+    indices = data.draw(st.lists(
+        st.integers(min_value=0, max_value=len(rows) - 1), max_size=20
+    ))
+    taken = batch.take(indices)
+    assert taken.to_rows() == [rows[i] for i in indices]
+
+
+# -- total order over heterogeneous values ----------------------------------
+
+
+_ANY_VALUE = st.one_of(
+    st.none(), _INT, _FLOAT, st.text(max_size=5),
+    st.tuples(st.integers(), st.integers()),
+)
+
+
+@given(st.lists(st.tuples(_ANY_VALUE, _ANY_VALUE), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_canonical_sort_key_totally_orders_mixed_tuples(tuples):
+    """Sorting arbitrary mixed-type tuples must never raise TypeError."""
+    ordered = sorted(tuples, key=canonical_sort_key)
+    keys = [canonical_sort_key(t) for t in ordered]
+    assert keys == sorted(keys)
+
+
+# -- heterogeneous sorted_rows regression -----------------------------------
+
+
+class TestHeterogeneousSortedRows:
+    """``sorted_rows`` used to raise ``TypeError: '<' not supported``
+    when one column position mixed ints and strings across rows."""
+
+    def _mixed_dataset(self):
+        return Dataset(
+            Schema([Column("K"), Column("V")]),
+            [
+                [{"K": "beta", "V": 1}, {"K": 7, "V": None}],
+                [{"K": None, "V": 2.5}, {"K": 7.5, "V": "x"}],
+            ],
+        )
+
+    def test_no_type_error(self):
+        rows = self._mixed_dataset().sorted_rows()
+        assert len(rows) == 4
+
+    def test_deterministic_order(self):
+        # Numbers first (natively ordered), then strings, then NULLs.
+        rows = self._mixed_dataset().sorted_rows()
+        assert [r[0] for r in rows] == [7, 7.5, "beta", None]
+
+    def test_canonical_bytes_stable_across_layouts(self):
+        base = self._mixed_dataset()
+        shuffled = Dataset(
+            base.schema,
+            [[], list(reversed(base.all_rows())), []],
+        )
+        assert base.canonical_bytes() == shuffled.canonical_bytes()

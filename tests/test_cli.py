@@ -131,6 +131,57 @@ class TestRunScheduler:
         assert "failed after 2 attempt(s)" in err
 
 
+class TestColumnarBackend:
+    def test_columnar_run_verifies_vs_oracle(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "1200", "--backend", "columnar"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified: results identical" in out
+
+    def test_columnar_scheduler_with_faults(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "900", "--workers", "4",
+                     "--backend", "columnar",
+                     "--inject-failures", "0.3", "--failure-seed", "5",
+                     "--max-retries", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified: results identical" in out
+
+    def test_explain_exec_sequential(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "600", "--backend", "columnar",
+                     "--explain-exec"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- execution backend ---" in out
+        assert "backend: columnar" in out
+        assert "batches processed [columnar]:" in out
+        # Sequential runs have no vertex stats.
+        assert "per-vertex batches:" not in out
+
+    def test_explain_exec_scheduler_lists_vertices(self, workspace, capsys):
+        script, catalog = workspace
+        code = main(["run", script, "--catalog", catalog, "--machines", "3",
+                     "--rows", "600", "--workers", "2", "--explain-exec"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend: row" in out
+        assert "batches processed [row]:" in out
+        assert "per-vertex batches:" in out
+        assert "  V00" in out
+
+    def test_unknown_backend_is_rejected(self, workspace, capsys):
+        script, catalog = workspace
+        with pytest.raises(SystemExit):
+            main(["run", script, "--catalog", catalog,
+                  "--backend", "arrow"])
+
+
 class TestVerify:
     def test_reports_all_modes_ok(self, workspace, capsys):
         script, catalog = workspace
@@ -263,6 +314,19 @@ class TestBatch:
         out = capsys.readouterr().out
         assert "left/result1.out" in out
         assert "right/result3.out" in out
+
+    def test_batch_columnar_with_explain_exec(self, batch_workspace,
+                                              capsys):
+        script1, script2, catalog = batch_workspace
+        code = main(["batch", script1, script2, "--catalog", catalog,
+                     "--machines", "4", "--workers", "2", "--rows", "800",
+                     "--backend", "columnar", "--explain-exec"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cross-script shared vertices (executed once)" in out
+        assert "backend: columnar" in out
+        assert "batches processed [columnar]:" in out
+        assert "per-vertex batches:" in out
 
     def test_bad_label_count_is_a_clean_error(self, batch_workspace,
                                               capsys):

@@ -1,0 +1,299 @@
+"""Differential harness: columnar backend vs row backend.
+
+Every regression-corpus script and every paper script (S1–S4, LS1, LS2)
+is executed on both backends — sequentially and on the task-parallel
+scheduler at worker counts 1 and 4 — and the runs must be
+*byte-identical* on canonically sorted outputs.  The deterministic work
+counters (including the new ``rows_filtered``), per-operator invocation
+counts and total batch counts must agree exactly, the scheduler's
+exactly-once spool semantics must hold under the columnar backend, and
+fault-injected columnar runs must converge to the same bytes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.api import execute_batch, execute_script, optimize_script
+from repro.exec import (
+    Cluster,
+    FaultInjection,
+    RetryPolicy,
+    TaskScheduler,
+    build_stage_graph,
+    get_backend,
+)
+from repro.obs import Tracer
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.scope.statistics import catalog_from_json
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.large_scripts import make_large_script
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS_SCRIPTS = sorted(CORPUS_DIR.glob("*.scope"))
+MACHINES = 4
+#: 0 = sequential executor; >=1 = task scheduler with that many workers.
+WORKER_COUNTS = (0, 1, 4)
+
+#: Deterministic counters that must agree exactly between backends.
+COUNTERS = (
+    "rows_extracted",
+    "rows_shuffled",
+    "rows_broadcast",
+    "rows_spooled",
+    "spool_reads",
+    "rows_output",
+    "rows_sorted",
+    "rows_filtered",
+    "max_partition_rows",
+)
+
+
+def _make_cluster(files, machines=MACHINES):
+    cluster = Cluster(machines=machines)
+    for path, rows in files.items():
+        cluster.load_file(path, rows)
+    return cluster
+
+
+def run_backend(plan, files, workers, backend, machines=MACHINES):
+    """Execute ``plan`` on one backend; returns (outputs, metrics)."""
+    cluster = _make_cluster(files, machines)
+    if workers == 0:
+        executor = get_backend(backend).executor_cls(cluster, validate=True)
+    else:
+        executor = TaskScheduler(cluster, workers=workers, validate=True,
+                                 backend=backend)
+    outputs = executor.execute(plan)
+    return outputs, executor.metrics
+
+
+def assert_backends_equivalent(plan, files, workers, label,
+                               machines=MACHINES):
+    row_out, row_metrics = run_backend(plan, files, workers, "row", machines)
+    col_out, col_metrics = run_backend(plan, files, workers, "columnar",
+                                       machines)
+    assert set(row_out) == set(col_out), label
+    for path in row_out:
+        assert (
+            row_out[path].canonical_bytes() == col_out[path].canonical_bytes()
+        ), f"{label}: output {path} differs between backends"
+    for counter in COUNTERS:
+        assert getattr(row_metrics, counter) == getattr(
+            col_metrics, counter
+        ), f"{label}: counter {counter} diverged"
+    assert (
+        row_metrics.operator_invocations == col_metrics.operator_invocations
+    ), f"{label}: operator invocation counts diverged"
+    assert row_metrics.total_batches() == col_metrics.total_batches(), (
+        f"{label}: total batch counts diverged"
+    )
+    assert set(col_metrics.batches_processed) == {"columnar"}, (
+        f"{label}: columnar run counted batches under "
+        f"{set(col_metrics.batches_processed)}"
+    )
+    if workers:
+        assert col_metrics.vertices, f"{label}: no vertex stats recorded"
+        for name, stats in col_metrics.vertices.items():
+            assert stats.launches == 1, (
+                f"{label}: vertex {name} launched {stats.launches} times"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Regression corpus
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_env():
+    catalog = catalog_from_json((CORPUS_DIR / "catalog.json").read_text())
+    config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+    files = generate_for_catalog(catalog, seed=3)
+    return catalog, config, files
+
+
+_corpus_plans = {}
+
+
+def corpus_plan(corpus_env, script_path, exploit_cse):
+    key = (script_path.name, exploit_cse)
+    if key not in _corpus_plans:
+        catalog, config, _files = corpus_env
+        result = optimize_script(
+            script_path.read_text(), catalog, config,
+            exploit_cse=exploit_cse,
+        )
+        _corpus_plans[key] = result.plan
+    return _corpus_plans[key]
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("exploit_cse", [False, True],
+                         ids=["conventional", "cse"])
+@pytest.mark.parametrize(
+    "script_path", CORPUS_SCRIPTS, ids=[p.stem for p in CORPUS_SCRIPTS]
+)
+def test_corpus_columnar_matches_row(script_path, exploit_cse, workers,
+                                     corpus_env):
+    plan = corpus_plan(corpus_env, script_path, exploit_cse)
+    _catalog, _config, files = corpus_env
+    assert_backends_equivalent(
+        plan, files, workers,
+        label=f"{script_path.stem} cse={exploit_cse} workers={workers}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Paper scripts S1–S4
+# ---------------------------------------------------------------------------
+
+
+_paper_plans = {}
+
+
+def paper_plan(abcd_catalog, name, exploit_cse):
+    key = (name, exploit_cse)
+    if key not in _paper_plans:
+        config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+        result = optimize_script(
+            PAPER_SCRIPTS[name], abcd_catalog, config,
+            exploit_cse=exploit_cse,
+        )
+        _paper_plans[key] = result.plan
+    return _paper_plans[key]
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("exploit_cse", [False, True],
+                         ids=["conventional", "cse"])
+@pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+def test_paper_columnar_matches_row(name, exploit_cse, workers,
+                                    abcd_catalog):
+    plan = paper_plan(abcd_catalog, name, exploit_cse)
+    files = generate_for_catalog(abcd_catalog, seed=7)
+    assert_backends_equivalent(
+        plan, files, workers,
+        label=f"{name} cse={exploit_cse} workers={workers}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Large scripts LS1 / LS2
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("name", ["LS1", "LS2"])
+def test_large_script_columnar_matches_row(name, workers):
+    """The big DAGs (34 and 151 vertices) stay backend-identical.
+
+    Data volume is capped; the point is graph shape (hundreds of
+    operators, deep spool nesting), not rows.
+    """
+    text, catalog, _spec = make_large_script(name)
+    config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+    result = optimize_script(text, catalog, config, exploit_cse=True)
+    files = generate_for_catalog(catalog, seed=5, rows_override=120)
+    assert_backends_equivalent(
+        result.plan, files, workers, label=f"{name} workers={workers}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scheduler features over the columnar backend
+# ---------------------------------------------------------------------------
+
+
+class TestColumnarSchedulerFeatures:
+    def test_fault_injected_columnar_converges(self, abcd_catalog):
+        """Retried columnar tasks produce the same bytes as a clean row
+        run — spools replay correctly through the conversion shims."""
+        plan = paper_plan(abcd_catalog, "S1", exploit_cse=True)
+        files = generate_for_catalog(abcd_catalog, seed=7)
+        clean_out, _ = run_backend(plan, files, workers=4, backend="row")
+        scheduler = TaskScheduler(
+            _make_cluster(files), workers=4, validate=True,
+            faults=FaultInjection(rate=0.3, seed=11),
+            retry=RetryPolicy(max_retries=12),
+            backend="columnar",
+        )
+        faulted_out = scheduler.execute(plan)
+        assert scheduler.metrics.task_retries > 0, (
+            "fault injection produced no retries; raise the rate"
+        )
+        for path in clean_out:
+            assert (
+                clean_out[path].canonical_bytes()
+                == faulted_out[path].canonical_bytes()
+            ), f"faulted columnar output {path} diverged"
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_spool_vertices_launch_exactly_once(self, name, abcd_catalog):
+        plan = paper_plan(abcd_catalog, name, exploit_cse=True)
+        graph = build_stage_graph(plan)
+        spool_names = {v.name for v in graph.spool_vertices()}
+        assert spool_names, f"{name}: CSE plan must contain spool vertices"
+        files = generate_for_catalog(abcd_catalog, seed=7)
+        scheduler = TaskScheduler(_make_cluster(files), workers=4,
+                                  validate=True, backend="columnar")
+        scheduler.execute(plan)
+        for spool in spool_names:
+            stats = scheduler.metrics.vertices[spool]
+            assert stats.launches == 1, (
+                f"{name}: spool vertex {spool} materialized "
+                f"{stats.launches} times under the columnar backend"
+            )
+
+    def test_serves_attribution_in_columnar_batch(self, abcd_catalog):
+        """Cross-script sharing (``serves``) works over the columnar
+        backend: the shared vertex runs once and serves both scripts."""
+        run = execute_batch(
+            [PAPER_SCRIPTS["S1"], PAPER_SCRIPTS["S2"]], abcd_catalog,
+            workers=4, machines=MACHINES, rows=600, seed=7,
+            backend="columnar",
+        )
+        assert run.backend == "columnar"
+        shared = run.shared_vertices()
+        assert shared, "S1+S2 batch must share at least one vertex"
+        for vertex in shared:
+            stats = run.metrics.vertices[vertex.name]
+            assert stats.launches == 1
+            labels = {path.split("/", 1)[0] for path in vertex.serves}
+            assert len(labels) > 1
+        # Both scripts' outputs came out of the one shared run.
+        assert len(run.outputs) == 2
+        for outputs in run.outputs:
+            assert outputs
+
+    @pytest.mark.parametrize("workers", [0, 4])
+    def test_span_tree_structure_is_backend_independent(self, abcd_catalog,
+                                                        workers):
+        """The trace shape (and its deterministic attributes) must not
+        leak the backend choice — only counters/events may differ."""
+        files = generate_for_catalog(abcd_catalog, seed=7, rows_override=600)
+        structures = {}
+        for backend in ("row", "columnar"):
+            tracer = Tracer()
+            execute_script(
+                PAPER_SCRIPTS["S2"], abcd_catalog,
+                workers=workers, machines=MACHINES, files=files,
+                backend=backend, tracer=tracer,
+            )
+            structures[backend] = tracer.root.structure()
+        assert structures["row"] == structures["columnar"]
+
+    def test_vertex_stats_batches_populated(self, abcd_catalog):
+        plan = paper_plan(abcd_catalog, "S1", exploit_cse=True)
+        files = generate_for_catalog(abcd_catalog, seed=7)
+        scheduler = TaskScheduler(_make_cluster(files), workers=4,
+                                  validate=True, backend="columnar")
+        scheduler.execute(plan)
+        stats = scheduler.metrics.vertices
+        assert sum(v.batches for v in stats.values()) == \
+            scheduler.metrics.total_batches()
+        assert any(v.batches > 0 for v in stats.values())

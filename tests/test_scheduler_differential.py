@@ -57,6 +57,7 @@ COUNTERS = (
     "spool_reads",
     "rows_output",
     "rows_sorted",
+    "rows_filtered",
     "max_partition_rows",
 )
 
