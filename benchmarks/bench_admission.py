@@ -1,0 +1,178 @@
+"""Streaming-admission throughput benchmark.
+
+The claim of the PR, measured: with concurrent clients submitting a
+shared-heavy workload, the windowed admission front-end (in-window
+dedup + cross-script CSE batches) must sustain at least
+``SPEEDUP_FLOOR``x the scripts/sec of the same clients calling
+``QueryService.execute`` one-at-a-time.
+
+Raw numbers land in ``BENCH_admission.json`` next to this file::
+
+    pytest benchmarks/bench_admission.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.plan.columns import ColumnType
+from repro.scope.catalog import Catalog
+from repro.service import AdmissionConfig, AdmissionController, QueryService
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+CLIENTS = 8
+PASSES = 2
+WORKERS = 2
+ROWS = 6_000
+WINDOW_SECONDS = 0.005
+SPEEDUP_FLOOR = 2.0
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_admission.json"
+
+#: Shared-heavy stream: every client submits the same scripts, so each
+#: window dedups ~CLIENTS copies down to 3 distinct DAGs which then
+#: share subexpressions with each other.
+WORKLOAD = {
+    "S1": PAPER_SCRIPTS["S1"],
+    "S2": PAPER_SCRIPTS["S2"],
+    "S4": PAPER_SCRIPTS["S4"],
+    "S1x": PAPER_SCRIPTS["S1"].replace("R0", "Z0").replace("R1", "Z1")
+                              .replace("R2", "Z2"),
+}
+
+
+def _make_service() -> QueryService:
+    catalog = Catalog()
+    columns = [(name, ColumnType.INT) for name in ("A", "B", "C", "D")]
+    ndv = {"A": 7, "B": 5, "C": 6, "D": 50}
+    catalog.register_file("test.log", columns, rows=ROWS, ndv=ndv)
+    catalog.register_file("test2.log", columns, rows=ROWS, ndv=ndv)
+    return QueryService(
+        catalog, OptimizerConfig(cost_params=CostParams(machines=4))
+    )
+
+
+def _run_clients(worker) -> float:
+    """Run CLIENTS threads through ``worker(client_id)``; wall seconds."""
+    errors = []
+
+    def body(cid: int) -> None:
+        try:
+            worker(cid)
+        except BaseException as exc:  # noqa: BLE001 - fail the bench
+            errors.append(exc)
+
+    threads = [threading.Thread(target=body, args=(cid,))
+               for cid in range(CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, f"client raised: {errors[0]!r}"
+    return elapsed
+
+
+def test_streaming_admission_at_least_2x_one_at_a_time(capsys):
+    texts = [WORKLOAD[name] for name in sorted(WORKLOAD)]
+    total = CLIENTS * PASSES * len(texts)
+
+    # Baseline: the same clients call execute() one script at a time
+    # against one shared service (its plan cache is warm after the
+    # first pass — the admission side gets no optimizer advantage).
+    direct_service = _make_service()
+    files = generate_for_catalog(direct_service.catalog, seed=11)
+
+    def direct_client(cid: int) -> None:
+        for _ in range(PASSES):
+            for text in texts:
+                direct_service.execute(text, workers=WORKERS, files=files,
+                                       validate=False)
+
+    direct_seconds = _run_clients(direct_client)
+
+    # Streaming admission: same clients, same scripts, one controller.
+    admitted_service = _make_service()
+    controller = AdmissionController(
+        admitted_service, files=files, workers=WORKERS, validate=False,
+        config=AdmissionConfig(window=WINDOW_SECONDS, max_pending=4096),
+    )
+
+    def admitted_client(cid: int) -> None:
+        for _ in range(PASSES):
+            for text in texts:
+                controller.submit(text, tenant=f"t{cid}", timeout=300)
+
+    with controller:
+        admitted_seconds = _run_clients(admitted_client)
+
+    snap = controller.stats_snapshot()
+    direct_rate = total / direct_seconds
+    admitted_rate = total / admitted_seconds
+    speedup = admitted_rate / direct_rate
+
+    report = {
+        "benchmark": "streaming_admission_throughput",
+        "clients": CLIENTS,
+        "passes": PASSES,
+        "workers": WORKERS,
+        "rows": ROWS,
+        "window_seconds": WINDOW_SECONDS,
+        "scripts": sorted(WORKLOAD),
+        "total_submissions": total,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "direct": {
+            "wall_seconds": direct_seconds,
+            "scripts_per_second": direct_rate,
+        },
+        "admitted": {
+            "wall_seconds": admitted_seconds,
+            "scripts_per_second": admitted_rate,
+            "windows": snap["windows"],
+            "deduped": snap["deduped"],
+            "executed_scripts": snap["executed_scripts"],
+            "shared_vertices": snap["shared_vertices"],
+        },
+        "speedup": speedup,
+    }
+    _merge_report(report)
+
+    with capsys.disabled():
+        print(f"\n=== Streaming admission vs one-at-a-time "
+              f"({CLIENTS} clients x {PASSES} passes x "
+              f"{len(texts)} scripts) ===")
+        print(f"direct:   {direct_seconds:6.2f}s  "
+              f"{direct_rate:6.1f} scripts/s")
+        print(f"admitted: {admitted_seconds:6.2f}s  "
+              f"{admitted_rate:6.1f} scripts/s  "
+              f"({snap['windows']} windows, {snap['deduped']} deduped, "
+              f"{snap['executed_scripts']} executed, "
+              f"{snap['shared_vertices']} shared vertices)")
+        print(f"speedup:  {speedup:.2f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+        print(f"-> {OUT_PATH.name}")
+
+    assert snap["deduped"] > 0, (
+        "a shared-heavy stream must dedup identical in-window scripts"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"streaming admission only {speedup:.2f}x one-at-a-time "
+        f"(floor {SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+def _merge_report(section: dict) -> None:
+    """Accumulate sections into one BENCH_admission.json."""
+    doc = {}
+    if OUT_PATH.exists():
+        try:
+            doc = json.loads(OUT_PATH.read_text())
+        except ValueError:
+            doc = {}
+    doc[section["benchmark"]] = section
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

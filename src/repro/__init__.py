@@ -25,7 +25,14 @@ from .api import (
 from .plan.columns import Column, ColumnType, Schema
 from .scope.catalog import Catalog
 from .scope.compiler import compile_script
-from .service import QueryService
+from .service import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejected,
+    ManualClock,
+    QueryService,
+    SystemClock,
+)
 from .verify import (
     PlanVerificationError,
     VerificationReport,
@@ -37,12 +44,17 @@ from .verify import (
 __version__ = "1.2.0"
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRejected",
     "Catalog",
     "Column",
     "ColumnType",
+    "ManualClock",
     "OptimizationResult",
     "PlanVerificationError",
     "QueryService",
+    "SystemClock",
     "Schema",
     "VerificationReport",
     "check_plan",

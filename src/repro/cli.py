@@ -305,6 +305,84 @@ def cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def _serve_stream(args, catalog, texts) -> int:
+    """``repro serve --stream``: concurrent clients feed one admission
+    controller; windows merge into shared batches on the scheduler.
+
+    Spawns ``--tenants`` client threads, each submitting the whole
+    workload ``--repeat`` times through a started
+    :class:`~repro.service.AdmissionController` with blocking
+    ``submit``; prints the per-tenant tally and the admission counters
+    (optionally as JSON via ``--stats-json``).
+    """
+    import threading
+
+    from .service import AdmissionConfig, AdmissionController, QueryService
+
+    service = QueryService(catalog, _config(args),
+                           cache_capacity=args.cache_capacity)
+    controller = AdmissionController(
+        service,
+        config=AdmissionConfig(
+            window=args.window_ms / 1000.0,
+            max_pending=args.max_pending,
+            max_batch=args.max_batch,
+        ),
+        workers=args.workers,
+        machines=args.machines,
+        rows=args.rows,
+        seed=args.seed,
+        backend=args.backend,
+        failure_rate=args.inject_failures,
+        failure_seed=(args.seed if args.failure_seed is None
+                      else args.failure_seed),
+        max_retries=args.max_retries,
+    )
+    done, errors = [], []
+    lock = threading.Lock()
+
+    def client(tenant: str) -> None:
+        for _ in range(args.repeat):
+            for path, text in texts:
+                try:
+                    result = controller.submit(
+                        text, tenant=tenant,
+                        exploit_cse=not args.no_cse, timeout=300,
+                    )
+                except Exception as exc:  # noqa: BLE001 - tallied below
+                    with lock:
+                        errors.append((tenant, path, exc))
+                else:
+                    with lock:
+                        done.append((tenant, path, result))
+
+    threads = [
+        threading.Thread(target=client, args=(f"t{i}",))
+        for i in range(args.tenants)
+    ]
+    with controller:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    deduped = sum(1 for _, _, r in done if r.deduped)
+    print(f"{args.tenants} tenant(s) x {args.repeat} pass(es) x "
+          f"{len(texts)} script(s): {len(done)} served "
+          f"({deduped} deduped in-window), {len(errors)} failed")
+    for tenant, path, exc in errors:
+        print(f"  FAILED {tenant} {path}: {exc}")
+    snapshot = controller.stats_snapshot()
+    print("--- admission counters ---")
+    for name, value in sorted(snapshot.items()):
+        print(f"  {name}: {value}")
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"counters written to {args.stats_json}")
+    return 1 if errors else 0
+
+
 def cmd_serve(args) -> int:
     """Feed scripts through one long-lived :class:`QueryService`.
 
@@ -312,13 +390,17 @@ def cmd_serve(args) -> int:
     repeated submissions exercise the plan cache; prints one line per
     submission (hit/miss/coalesced, cost, fingerprint) and the final
     service + cache counters, optionally as JSON (``--stats-json``).
+    With ``--stream``, runs the windowed admission front-end instead:
+    concurrent tenants submit into shared execution windows.
     """
     from .service import QueryService
 
     catalog = _load_catalog(args.catalog)
+    texts = [(path, _load_script(path)) for path in args.scripts]
+    if args.stream:
+        return _serve_stream(args, catalog, texts)
     service = QueryService(catalog, _config(args),
                            cache_capacity=args.cache_capacity)
-    texts = [(path, _load_script(path)) for path in args.scripts]
     for round_no in range(args.repeat):
         for path, text in texts:
             sub = service.submit(text, exploit_cse=not args.no_cse)
@@ -513,6 +595,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--stats-json", default=None, metavar="FILE",
                          help="write the final service/cache counters as "
                          "JSON")
+    p_serve.add_argument("--stream", action="store_true",
+                         help="streaming admission mode: concurrent tenants "
+                         "submit into time windows that execute as one "
+                         "shared batch")
+    p_serve.add_argument("--window-ms", type=float, default=50.0,
+                         help="admission window length in milliseconds "
+                         "(--stream; default 50)")
+    p_serve.add_argument("--max-pending", type=int, default=256,
+                         help="bounded-queue backpressure limit "
+                         "(--stream; default 256)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="scripts drained per window flush "
+                         "(--stream; default 64)")
+    p_serve.add_argument("--tenants", type=int, default=4,
+                         help="concurrent client threads "
+                         "(--stream; default 4)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="scheduler worker threads per window "
+                         "(--stream; default 4)")
+    p_serve.add_argument("--rows", type=int, default=2_000,
+                         help="rows generated per input file "
+                         "(--stream; default 2000)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="data seed (--stream)")
+    p_serve.add_argument("--backend", choices=BACKEND_NAMES, default="row",
+                         help="execution engine for window runs "
+                         "(--stream; default row)")
+    p_serve.add_argument("--inject-failures", type=float, default=0.0,
+                         metavar="RATE",
+                         help="seeded per-task failure probability for "
+                         "window runs (--stream, e.g. 0.05)")
+    p_serve.add_argument("--failure-seed", type=int, default=None,
+                         help="fault-injection seed (--stream; defaults "
+                         "to --seed)")
+    p_serve.add_argument("--max-retries", type=int, default=3,
+                         help="retry budget per task (--stream; default 3)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_batch = sub.add_parser(

@@ -214,9 +214,39 @@ def _terminals(plan: LogicalPlan) -> List[LogicalPlan]:
     return nodes
 
 
+def uniquify_labels(labels: Sequence[str]) -> List[str]:
+    """Make a label list unique by suffixing repeats with ``#2, #3, ...``.
+
+    Streaming admission can legitimately enqueue the same script (and
+    hence the same caller-derived label) twice in one window; label
+    prefixes are the namespace that keeps each submission's outputs
+    separate, so collisions are resolved instead of rejected.  The
+    first occurrence keeps its name; suffixes are chosen to never
+    collide with labels that appear later in the list.
+    """
+    taken = set()
+    result: List[str] = []
+    counts: Dict[str, int] = {}
+    remaining: Dict[str, int] = {}
+    for label in labels:
+        remaining[label] = remaining.get(label, 0) + 1
+    for label in labels:
+        remaining[label] -= 1
+        candidate = label
+        while candidate in taken or (candidate != label
+                                     and remaining.get(candidate, 0)):
+            counts[label] = counts.get(label, 1) + 1
+            candidate = f"{label}#{counts[label]}"
+        taken.add(candidate)
+        result.append(candidate)
+    return result
+
+
 def merge_scripts(
     plans: Sequence[LogicalPlan],
     labels: Optional[Sequence[str]] = None,
+    *,
+    uniquify: bool = False,
 ) -> MergedBatch:
     """Merge compiled scripts into one logical DAG with namespaced outputs.
 
@@ -225,6 +255,13 @@ def merge_scripts(
     never collide; all terminals are tied under a single Sequence root
     and the whole forest is hash-consed, turning cross-script duplicates
     into shared nodes the CSE pipeline spools exactly once.
+
+    Labels must not contain ``/`` — the separator that cuts a prefixed
+    path back into (label, original path) for output routing and vertex
+    ``serves`` attribution.  Duplicate labels are an error unless
+    ``uniquify=True``, which resolves them via :func:`uniquify_labels`
+    (the streaming-admission setting, where the same script may be
+    enqueued twice in one window).
     """
     if not plans:
         raise BatchMergeError("cannot merge an empty batch")
@@ -235,8 +272,19 @@ def merge_scripts(
         raise BatchMergeError(
             f"{len(plans)} scripts but {len(labels)} labels"
         )
+    bad = [label for label in labels if "/" in label]
+    if bad:
+        raise BatchMergeError(
+            f"batch labels must not contain '/', got {bad} (the label "
+            "is the output-path namespace separator)"
+        )
     if len(set(labels)) != len(labels):
-        raise BatchMergeError(f"batch labels must be unique, got {labels}")
+        if not uniquify:
+            raise BatchMergeError(
+                f"batch labels must be unique, got {labels} "
+                "(pass uniquify=True to auto-suffix duplicates)"
+            )
+        labels = uniquify_labels(labels)
 
     outputs: List[LogicalPlan] = []
     output_maps: List[Tuple[Tuple[str, str], ...]] = []

@@ -1,12 +1,23 @@
 """Plan-cache query service with cross-script shared execution.
 
-See :mod:`repro.service.core` for the service itself and
-:mod:`repro.service.cache` for the LRU plan cache, and
-``docs/service.md`` for the cache-keying/invalidation/batching
-contract.
+See :mod:`repro.service.core` for the service itself,
+:mod:`repro.service.cache` for the LRU plan cache,
+:mod:`repro.service.admission` for the streaming admission controller
+(with :mod:`repro.service.clock` supplying the injectable clocks), and
+``docs/service.md`` for the cache-keying/invalidation/batching and
+streaming-admission contracts.
 """
 
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionStats,
+    AdmissionTicket,
+    ScriptResult,
+)
 from .cache import CacheEntry, CacheKey, CacheStats, PlanCache
+from .clock import Clock, ManualClock, SystemClock
 from .core import (
     BatchRun,
     BatchSubmitResult,
@@ -17,14 +28,23 @@ from .core import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionStats",
+    "AdmissionTicket",
     "BatchRun",
     "BatchSubmitResult",
     "CacheEntry",
     "CacheKey",
     "CacheStats",
+    "Clock",
+    "ManualClock",
     "PlanCache",
     "QueryService",
+    "ScriptResult",
     "ServiceRun",
     "ServiceStats",
     "SubmitResult",
+    "SystemClock",
 ]

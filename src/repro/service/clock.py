@@ -1,0 +1,64 @@
+"""Injectable clocks for time-driven service components.
+
+The streaming admission controller (:mod:`repro.service.admission`)
+flushes windows when a deadline computed from "now" passes.  Binding
+"now" to an interface instead of :func:`time.monotonic` is what makes
+the admission path *testable*: the deterministic suite drives a
+:class:`ManualClock` forward by explicit amounts and pumps the
+controller itself, so window semantics are asserted with zero sleeps
+and zero timing flakiness, while production uses :class:`SystemClock`
+and a background drain thread.
+
+Only one operation is required — ``now()`` returning seconds as a
+float.  Monotonicity is the implementation's duty; both bundled clocks
+never go backwards.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Minimal time source: ``now()`` in (monotonic) seconds.
+
+    Structural protocol — anything with a ``now() -> float`` works;
+    subclassing is optional.
+    """
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real time via :func:`time.monotonic` (the production clock)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to — the deterministic test
+    harness for every time-driven admission assertion.
+
+    ::
+
+        clock = ManualClock()
+        controller = AdmissionController(service, clock=clock, ...)
+        ticket = controller.submit_nowait(text)
+        clock.advance(0.2)      # cross the window deadline
+        controller.pump()       # flush happens *here*, on this thread
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new ``now()``."""
+        if seconds < 0:
+            raise ValueError("a ManualClock cannot move backwards")
+        self._now += seconds
+        return self._now

@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api import OptimizationResult, optimize_plan
 from ..cse.merge import (
+    BatchMergeError,
     MergedBatch,
     canonicalize,
     merge_scripts,
@@ -240,15 +241,29 @@ class QueryService:
         exploit_cse: bool = True,
         prune: bool = True,
         verify: Optional[bool] = None,
+        uniquify_labels: bool = False,
+        precompiled: Optional[Sequence[LogicalPlan]] = None,
     ) -> BatchSubmitResult:
         """Merge a batch into one logical DAG and optimize-or-serve it.
 
         The merged plan is cached like any single script — resubmitting
         the same batch (same scripts, any relation names, same order of
-        labels) is a cache hit.
+        labels) is a cache hit.  ``precompiled`` supplies the already
+        compiled-and-canonicalized logical plans (the admission
+        controller compiles at enqueue time to fingerprint and weigh
+        scripts; recompiling at flush time would double the parse cost
+        of every admitted script); ``uniquify_labels`` forwards to
+        :func:`repro.cse.merge.merge_scripts` so duplicate caller
+        labels auto-suffix instead of rejecting the batch.
         """
         started = time.perf_counter()
-        merged = merge_scripts([self._compile(t) for t in texts], labels)
+        plans = (list(precompiled) if precompiled is not None
+                 else [self._compile(t) for t in texts])
+        if len(plans) != len(texts):
+            raise BatchMergeError(
+                f"{len(texts)} scripts but {len(plans)} precompiled plans"
+            )
+        merged = merge_scripts(plans, labels, uniquify=uniquify_labels)
         with self._lock:
             self.stats.batch_submits += 1
         base = self._submit_logical(merged.plan, exploit_cse, prune, verify)
@@ -279,17 +294,23 @@ class QueryService:
         prune: bool = True,
         verify: Optional[bool] = None,
         backend: str = "row",
+        failure_rate: float = 0.0,
+        failure_seed: int = 0,
+        max_retries: int = 3,
     ) -> ServiceRun:
         """Optimize-or-serve one script and run it on the simulator.
 
         ``backend`` selects the execution engine ("row" or "columnar");
         plans, cache keys and outputs are backend-independent.
+        ``failure_rate`` enables seeded per-task fault injection on the
+        scheduler path (``workers >= 1``), retried up to
+        ``max_retries`` times per task.
         """
         sub = self.submit(text, exploit_cse=exploit_cse, prune=prune,
                           verify=verify)
         outputs, metrics, graph = self._run_plan(
             sub.result.plan, workers, machines, rows, seed, files, validate,
-            backend,
+            backend, failure_rate, failure_seed, max_retries,
         )
         return ServiceRun(submit=sub, outputs=outputs, metrics=metrics,
                           stage_graph=graph, workers=workers,
@@ -310,20 +331,29 @@ class QueryService:
         prune: bool = True,
         verify: Optional[bool] = None,
         backend: str = "row",
+        uniquify_labels: bool = False,
+        precompiled: Optional[Sequence[LogicalPlan]] = None,
+        failure_rate: float = 0.0,
+        failure_seed: int = 0,
+        max_retries: int = 3,
     ) -> BatchRun:
         """Optimize-or-serve a batch and execute it as one shared job.
 
         Cross-script common subexpressions are spooled and executed
         once; each script's outputs are cut back out under its original
         paths.  ``backend`` selects the execution engine ("row" or
-        "columnar").
+        "columnar").  ``uniquify_labels``/``precompiled`` forward to
+        :meth:`submit_many`; ``failure_rate`` enables seeded per-task
+        fault injection on the scheduler path.
         """
         sub = self.submit_many(texts, labels=labels,
                                exploit_cse=exploit_cse, prune=prune,
-                               verify=verify)
+                               verify=verify,
+                               uniquify_labels=uniquify_labels,
+                               precompiled=precompiled)
         merged_outputs, metrics, graph = self._run_plan(
             sub.result.plan, workers, machines, rows, seed, files, validate,
-            backend,
+            backend, failure_rate, failure_seed, max_retries,
         )
         per_script = sub.batch.split_outputs(merged_outputs)
         return BatchRun(
@@ -493,8 +523,10 @@ class QueryService:
     def _run_plan(self, plan, workers: int, machines: Optional[int],
                   rows: Optional[int], seed: int,
                   files: Optional[Dict[str, list]], validate: bool,
-                  backend: str = "row"):
+                  backend: str = "row", failure_rate: float = 0.0,
+                  failure_seed: int = 0, max_retries: int = 3):
         from ..exec.backend import get_backend
+        from ..exec.scheduler import FaultInjection, RetryPolicy
         from ..workloads.datagen import generate_for_catalog
 
         if machines is None:
@@ -509,7 +541,12 @@ class QueryService:
         if workers > 0:
             executor = TaskScheduler(cluster, workers=workers,
                                      validate=validate, tracer=self.tracer,
-                                     backend=engine.name)
+                                     backend=engine.name,
+                                     faults=FaultInjection(
+                                         rate=failure_rate,
+                                         seed=failure_seed),
+                                     retry=RetryPolicy(
+                                         max_retries=max_retries))
         else:
             executor = engine.executor_cls(cluster, validate=validate,
                                            tracer=self.tracer)

@@ -1,0 +1,539 @@
+"""Deterministic admission-controller tests (manual clock, no sleeps).
+
+Every time-driven assertion in this module runs on a
+:class:`~repro.service.ManualClock`: the test advances time explicitly
+and pumps the controller on its own thread, so window semantics,
+fairness, backpressure and single-flight dedup are checked with zero
+timing dependence.  The ``-- no sleeps --`` property is itself part of
+the contract (ISSUE 6): none of these tests may call ``time.sleep`` or
+assert on wall-clock durations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejected,
+    ManualClock,
+    QueryService,
+)
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+S1 = PAPER_SCRIPTS["S1"]
+S2 = PAPER_SCRIPTS["S2"]
+S3 = PAPER_SCRIPTS["S3"]
+S4 = PAPER_SCRIPTS["S4"]
+
+#: S1 with every relation renamed — identical canonical DAG, so the
+#: admission dedup must fold it onto S1's queue slot.
+S1_RENAMED = S1.replace("R0", "Z0").replace("R1", "Z1").replace("R2", "Z2")
+
+#: A script distinct from every paper script (different grouping).
+B_SCRIPT = """
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R = SELECT A,Sum(D) AS S FROM R0 GROUP BY A;
+OUTPUT R TO "b.out";
+"""
+
+WINDOW = 1.0
+
+
+@pytest.fixture
+def service(abcd_catalog, small_config) -> QueryService:
+    return QueryService(abcd_catalog, small_config)
+
+
+@pytest.fixture
+def shared_files(abcd_catalog):
+    return generate_for_catalog(abcd_catalog, seed=3)
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    return ManualClock()
+
+
+def make_controller(service, clock, files, *, workers=0, **cfg):
+    config = AdmissionConfig(window=cfg.pop("window", WINDOW), **cfg)
+    return AdmissionController(service, clock=clock, files=files,
+                               workers=workers, config=config)
+
+
+# ---------------------------------------------------------------------------
+# Window semantics
+# ---------------------------------------------------------------------------
+
+
+class TestWindowSemantics:
+    def test_no_flush_before_the_deadline(self, service, clock,
+                                          shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        ticket = ctl.submit_nowait(S1)
+        assert ctl.pump() == 0
+        clock.advance(WINDOW / 2)
+        assert ctl.pump() == 0
+        assert not ticket.done()
+        assert ctl.queue_depth() == 1
+
+    def test_flush_on_window_expiry(self, service, clock, shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        t1 = ctl.submit_nowait(S1, tenant="alice")
+        t2 = ctl.submit_nowait(S2, tenant="bob")
+        clock.advance(WINDOW)
+        assert ctl.pump() == 2
+        for ticket in (t1, t2):
+            result = ticket.result(timeout=0)
+            assert result.trigger == "window"
+            assert result.group_size == 2
+        assert ctl.queue_depth() == 0
+        assert t1.result(timeout=0).window_id == t2.result(
+            timeout=0).window_id
+
+    def test_flush_on_script_threshold_is_synchronous(self, service, clock,
+                                                      shared_files):
+        """The threshold flush happens *inside* submit_nowait — no
+        clock advance, no pump."""
+        ctl = make_controller(service, clock, shared_files,
+                              script_threshold=2)
+        t1 = ctl.submit_nowait(S1)
+        assert not t1.done()
+        t2 = ctl.submit_nowait(S2)
+        assert t1.done() and t2.done()
+        assert t1.result(timeout=0).trigger == "threshold"
+
+    def test_flush_on_row_threshold(self, service, clock, shared_files):
+        # Each abcd script reads >= 4000 catalog rows; a threshold of
+        # 5000 lets one script in and trips on the second.
+        ctl = make_controller(service, clock, shared_files,
+                              row_threshold=5_000)
+        t1 = ctl.submit_nowait(S1)
+        assert not t1.done()
+        t2 = ctl.submit_nowait(S2)
+        assert t1.done() and t2.done()
+        assert t2.result(timeout=0).trigger == "threshold"
+
+    def test_empty_window_is_a_noop(self, service, clock, shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        assert ctl.pump() == 0
+        clock.advance(10 * WINDOW)
+        assert ctl.pump() == 0
+        assert not service.bus.of_kind("service.admission.window_flush")
+        assert ctl.stats.flushes == 0
+
+    def test_window_opens_at_first_arrival(self, service, clock,
+                                           shared_files):
+        """The deadline is first-arrival + window, not pump-time."""
+        ctl = make_controller(service, clock, shared_files)
+        clock.advance(5.0)           # idle time does not count
+        ticket = ctl.submit_nowait(S1)
+        clock.advance(WINDOW * 0.9)
+        assert ctl.pump() == 0
+        clock.advance(WINDOW * 0.1)
+        assert ctl.pump() == 1
+        assert ticket.done()
+
+    def test_next_window_opens_fresh_after_flush(self, service, clock,
+                                                 shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        ctl.submit_nowait(S1)
+        clock.advance(WINDOW)
+        assert ctl.pump() == 1
+        later = ctl.submit_nowait(S2)
+        assert ctl.pump() == 0     # new window, fresh deadline
+        clock.advance(WINDOW)
+        assert ctl.pump() == 1
+        assert later.result(timeout=0).window_id == 1
+
+    def test_force_flush_ignores_the_deadline(self, service, clock,
+                                              shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        ticket = ctl.submit_nowait(S1)
+        assert ctl.flush() == 1
+        assert ticket.result(timeout=0).trigger == "force"
+
+    def test_max_batch_overflow_rolls_into_next_window(self, service,
+                                                       clock,
+                                                       shared_files):
+        ctl = make_controller(service, clock, shared_files, max_batch=2)
+        tickets = [ctl.submit_nowait(text, tenant=f"t{i}")
+                   for i, text in enumerate((S1, S2, S3))]
+        clock.advance(WINDOW)
+        # The deadline fires, the first flush takes max_batch=2 and the
+        # leftover opens a fresh window...
+        assert ctl.pump() == 2
+        assert [t.done() for t in tickets] == [True, True, False]
+        # ...which flushes one window later.
+        clock.advance(WINDOW)
+        assert ctl.pump() == 1
+        assert tickets[2].result(timeout=0).window_id == 1
+
+
+# ---------------------------------------------------------------------------
+# Fairness
+# ---------------------------------------------------------------------------
+
+
+SCRIPT_POOL = [S1, S2, S3, S4]
+
+
+class TestFairness:
+    def test_flooding_tenant_cannot_starve_another(self, service, clock,
+                                                   shared_files):
+        """Tenant A floods 4 distinct scripts; B's single script must
+        ride the *first* window despite A's backlog (max_batch=2)."""
+        ctl = make_controller(service, clock, shared_files, max_batch=2)
+        a_tickets = [ctl.submit_nowait(text, tenant="A")
+                     for text in SCRIPT_POOL]
+        b_ticket = ctl.submit_nowait(B_SCRIPT, tenant="B")
+        clock.advance(WINDOW)
+        assert ctl.pump() == 2
+        assert b_ticket.done(), "tenant B starved beyond one window"
+        assert a_tickets[0].done()      # round-robin: one from each
+        assert not any(t.done() for t in a_tickets[1:])
+
+    def test_round_robin_rotation_persists_across_windows(self, service,
+                                                          clock,
+                                                          shared_files):
+        """With max_batch=1 the drain pointer must rotate A, B, A, B —
+        not restart at A every window."""
+        ctl = make_controller(service, clock, shared_files, max_batch=1)
+        a1 = ctl.submit_nowait(S1, tenant="A")
+        a2 = ctl.submit_nowait(S2, tenant="A")
+        b1 = ctl.submit_nowait(S3, tenant="B")
+        b2 = ctl.submit_nowait(S4, tenant="B")
+        order = []
+        for _ in range(4):
+            clock.advance(WINDOW)
+            assert ctl.pump() == 1
+            for name, ticket in (("a1", a1), ("a2", a2), ("b1", b1),
+                                 ("b2", b2)):
+                if ticket.done() and name not in order:
+                    order.append(name)
+        assert order == ["a1", "b1", "a2", "b2"]
+
+    def test_weighted_draining(self, service, clock, shared_files):
+        """A tenant with weight 3 takes three slots per rotation
+        visit."""
+        ctl = make_controller(service, clock, shared_files, max_batch=4,
+                              tenant_weights={"heavy": 3})
+        heavy = [ctl.submit_nowait(text, tenant="heavy")
+                 for text in (S1, S2, S3)]
+        light = [ctl.submit_nowait(text, tenant="light")
+                 for text in (S4, B_SCRIPT)]
+        clock.advance(WINDOW)
+        assert ctl.pump() == 4
+        assert all(t.done() for t in heavy)
+        assert light[0].done() and not light[1].done()
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_typed_error(self, service, clock,
+                                                 shared_files):
+        ctl = make_controller(service, clock, shared_files, max_pending=2)
+        ctl.submit_nowait(S1)
+        ctl.submit_nowait(S2)
+        with pytest.raises(AdmissionRejected) as info:
+            ctl.submit_nowait(S3, tenant="late")
+        assert info.value.tenant == "late"
+        assert info.value.queue_depth == 2
+        assert info.value.max_pending == 2
+        assert info.value.reason == "queue full"
+        assert ctl.stats.rejected == 1
+        rejects = service.bus.of_kind("service.admission.reject")
+        assert len(rejects) == 1
+        assert rejects[0].get("tenant") == "late"
+
+    def test_drained_queue_accepts_again(self, service, clock,
+                                         shared_files):
+        ctl = make_controller(service, clock, shared_files, max_pending=1)
+        ctl.submit_nowait(S1)
+        with pytest.raises(AdmissionRejected):
+            ctl.submit_nowait(S2)
+        clock.advance(WINDOW)
+        ctl.pump()
+        ticket = ctl.submit_nowait(S2)      # accepted now
+        clock.advance(WINDOW)
+        ctl.pump()
+        assert ticket.done()
+        assert ctl.stats.accepted == 2
+        assert ctl.stats.rejected == 1
+
+    def test_dedup_does_not_consume_a_queue_slot(self, service, clock,
+                                                 shared_files):
+        """An identical in-window script joins the existing slot even
+        when the queue is at capacity."""
+        ctl = make_controller(service, clock, shared_files, max_pending=1)
+        first = ctl.submit_nowait(S1)
+        joined = ctl.submit_nowait(S1_RENAMED, tenant="other")
+        assert ctl.queue_depth() == 1
+        clock.advance(WINDOW)
+        ctl.pump()
+        assert first.done() and joined.done()
+
+
+# ---------------------------------------------------------------------------
+# Single-flight dedup
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_identical_scripts_optimize_and_execute_once(self, service,
+                                                         clock,
+                                                         shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        t1 = ctl.submit_nowait(S1, tenant="alice")
+        t2 = ctl.submit_nowait(S1, tenant="bob")
+        assert ctl.queue_depth() == 1
+        clock.advance(WINDOW)
+        assert ctl.pump() == 1
+        r1, r2 = t1.result(timeout=0), t2.result(timeout=0)
+        assert not r1.deduped and r2.deduped
+        assert r1.outputs is r2.outputs     # literally the same result
+        assert r2.tenant == "bob"           # attribution is per caller
+        assert service.stats.optimizations == 1
+        assert ctl.stats.deduped == 1
+        assert ctl.stats.executed_scripts == 1
+
+    def test_renamed_script_folds_onto_the_original(self, service, clock,
+                                                    shared_files):
+        """Dedup identity is the canonical DAG, not the text."""
+        ctl = make_controller(service, clock, shared_files)
+        ctl.submit_nowait(S1)
+        ctl.submit_nowait(S1_RENAMED)
+        assert ctl.queue_depth() == 1
+
+    def test_different_flags_do_not_dedup(self, service, clock,
+                                          shared_files):
+        """exploit_cse is part of the compatibility key: the same
+        script under different optimizer flags must not share a plan
+        *or* a merged group."""
+        ctl = make_controller(service, clock, shared_files)
+        a = ctl.submit_nowait(S1, exploit_cse=True)
+        b = ctl.submit_nowait(S1, exploit_cse=False)
+        assert ctl.queue_depth() == 2
+        clock.advance(WINDOW)
+        assert ctl.pump() == 2
+        assert a.result(timeout=0).group_size == 1
+        assert b.result(timeout=0).group_size == 1
+        assert ctl.stats.groups == 2
+
+
+# ---------------------------------------------------------------------------
+# Results, labels and shared execution
+# ---------------------------------------------------------------------------
+
+
+class TestResults:
+    def test_outputs_match_direct_execution(self, service, clock,
+                                            shared_files):
+        ctl = make_controller(service, clock, shared_files, workers=2)
+        tickets = {name: ctl.submit_nowait(PAPER_SCRIPTS[name],
+                                           tenant=name)
+                   for name in ("S1", "S2", "S3")}
+        clock.advance(WINDOW)
+        ctl.pump()
+        for name, ticket in tickets.items():
+            result = ticket.result(timeout=0)
+            direct = service.execute(PAPER_SCRIPTS[name], workers=0,
+                                     files=shared_files)
+            assert set(result.outputs) == set(direct.outputs)
+            for path in result.outputs:
+                assert (result.outputs[path].canonical_bytes()
+                        == direct.outputs[path].canonical_bytes()), (
+                    f"{name}:{path} differs from direct execution"
+                )
+
+    def test_shared_vertices_launch_once_per_window(self, service, clock,
+                                                    shared_files):
+        """S1+S2 share their first aggregation; admission must execute
+        the shared spool exactly once, serving both callers."""
+        ctl = make_controller(service, clock, shared_files, workers=2)
+        t1 = ctl.submit_nowait(S1, tenant="alice")
+        t2 = ctl.submit_nowait(S2, tenant="bob")
+        clock.advance(WINDOW)
+        ctl.pump()
+        run = t1.result(timeout=0).run
+        assert run is t2.result(timeout=0).run
+        shared = run.shared_vertices()
+        assert shared, "S1+S2 window must contain cross-script vertices"
+        for vertex in shared:
+            assert run.metrics.vertices[vertex.name].launches == 1
+        spools = [v for v in shared if v.is_spool]
+        assert spools, "the shared subexpression must be spooled"
+        labels = {p.split("/", 1)[0]
+                  for v in spools for p in v.serves}
+        # The spool serves both scripts' (canonical) label namespaces;
+        # tenant attribution travels on the ScriptResult.
+        assert len(labels) == 2
+        assert labels <= set(run.submit.labels)
+        assert {t1.result(timeout=0).tenant,
+                t2.result(timeout=0).tenant} == {"alice", "bob"}
+        assert ctl.stats.shared_vertices == len(shared)
+
+    def test_labels_are_canonical_and_tenant_independent(self, service,
+                                                         clock,
+                                                         shared_files):
+        """Merged-batch labels are fingerprint-ordered ``q0..qn`` —
+        tenant names (even ones holding the '/' path separator) never
+        leak into the execution namespace, two scripts from one tenant
+        in one window get distinct labels, and a later window with the
+        same scripts from *different* tenants hits the plan cache."""
+        ctl = make_controller(service, clock, shared_files)
+        t1 = ctl.submit_nowait(S1, tenant="team/alpha")
+        t2 = ctl.submit_nowait(S2, tenant="team/alpha")
+        clock.advance(WINDOW)
+        assert ctl.pump() == 2
+        r1, r2 = t1.result(timeout=0), t2.result(timeout=0)
+        assert {r1.label, r2.label} == {"q0", "q1"}
+        assert r1.tenant == r2.tenant == "team/alpha"
+        assert r1.run.submit.cache_hit is False
+        # Both callers still get their own script's outputs.
+        assert set(r1.outputs) == {"result1.out", "result2.out"}
+        assert set(r2.outputs) == {
+            "result1.out", "result2.out", "result3.out"}
+        # Same window content from other tenants, opposite arrival
+        # order: the canonical labels make it a plan-cache hit.
+        t3 = ctl.submit_nowait(S2, tenant="other")
+        t4 = ctl.submit_nowait(S1, tenant="elsewhere")
+        clock.advance(WINDOW)
+        assert ctl.pump() == 2
+        r3 = t3.result(timeout=0)
+        assert r3.run.submit.cache_hit is True
+        assert {r3.label, t4.result(timeout=0).label} == {"q0", "q1"}
+
+    def test_result_attribution_fields(self, service, clock, shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        ticket = ctl.submit_nowait(S1, tenant="me")
+        clock.advance(WINDOW)
+        ctl.pump()
+        result = ticket.result(timeout=0)
+        assert result.tenant == "me"
+        assert result.window_id == 0
+        assert result.fingerprint == ticket.fingerprint
+        assert len(result.fingerprint) == 64
+        assert result.run.submit.cache_hit is False
+        # Resubmitting the same window content hits the plan cache.
+        again = ctl.submit_nowait(S1, tenant="me")
+        clock.advance(WINDOW)
+        ctl.pump()
+        assert again.result(timeout=0).run.submit.cache_hit is True
+
+
+# ---------------------------------------------------------------------------
+# Failure routing and ticket protocol
+# ---------------------------------------------------------------------------
+
+
+class TestFailureRouting:
+    def test_execution_error_reaches_every_caller(self, service, clock,
+                                                  shared_files,
+                                                  monkeypatch):
+        ctl = make_controller(service, clock, shared_files)
+        boom = RuntimeError("injected execution failure")
+
+        def explode(*args, **kwargs):
+            raise boom
+
+        monkeypatch.setattr(service, "execute_many", explode)
+        t1 = ctl.submit_nowait(S1, tenant="alice")
+        t2 = ctl.submit_nowait(S1, tenant="bob")       # deduped
+        clock.advance(WINDOW)
+        ctl.pump()
+        for ticket in (t1, t2):
+            with pytest.raises(RuntimeError, match="injected"):
+                ticket.result(timeout=0)
+        assert ctl.stats.failed_groups == 1
+        # The controller keeps serving after a failed group.
+        monkeypatch.undo()
+        t3 = ctl.submit_nowait(S2)
+        clock.advance(WINDOW)
+        assert ctl.pump() == 1
+        assert t3.result(timeout=0).outputs
+
+    def test_unresolved_ticket_times_out(self, service, clock,
+                                         shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        ticket = ctl.submit_nowait(S1)
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0)
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class TestObsIntegration:
+    def test_event_stream_tells_the_whole_story(self, abcd_catalog,
+                                                small_config,
+                                                clock):
+        bus = EventBus()
+        service = QueryService(abcd_catalog, small_config, bus=bus)
+        files = generate_for_catalog(abcd_catalog, seed=3)
+        ctl = make_controller(service, clock, files)
+        ctl.submit_nowait(S1, tenant="alice")
+        ctl.submit_nowait(S1, tenant="bob")
+        clock.advance(WINDOW)
+        ctl.pump()
+
+        enqueues = bus.of_kind("service.admission.enqueue")
+        assert len(enqueues) == 1
+        assert enqueues[0].get("tenant") == "alice"
+        assert enqueues[0].get("queue_depth") == 1
+
+        dedups = bus.of_kind("service.admission.dedup")
+        assert len(dedups) == 1
+        assert dedups[0].get("joined_tenant") == "alice"
+
+        [group] = bus.of_kind("service.admission.group")
+        assert group.get("group_size") == 1
+        assert group.get("tenants") == ("alice",)
+
+        [flush] = bus.of_kind("service.admission.window_flush")
+        assert flush.get("window") == 0
+        assert flush.get("trigger") == "window"
+        assert flush.get("scripts") == 1
+        assert flush.get("groups") == 1
+        assert flush.get("queue_depth") == 0
+
+        depths = [e.get("depth")
+                  for e in bus.of_kind("service.admission.queue_depth")]
+        assert depths == [1, 1, 0]   # enqueue, dedup, flush
+
+    def test_stats_snapshot_shape(self, service, clock, shared_files):
+        ctl = make_controller(service, clock, shared_files)
+        ctl.submit_nowait(S1)
+        clock.advance(WINDOW)
+        ctl.pump()
+        snap = ctl.stats_snapshot()
+        assert snap["submits"] == snap["accepted"] == 1
+        assert snap["flushes"] == snap["windows"] == 1
+        assert snap["queue_depth"] == 0
+        assert snap["rejected"] == snap["deduped"] == 0
+        assert snap["max_queue_depth"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"window": -1.0},
+        {"max_pending": 0},
+        {"max_batch": 0},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)

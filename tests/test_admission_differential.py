@@ -1,0 +1,120 @@
+"""Acceptance differential: streaming admission == direct execution.
+
+Every regression-corpus script, the paper scripts S1–S4, and the large
+generated scripts LS1/LS2 submitted through the streaming admission
+front-end (one window holding the whole corpus) must produce outputs
+byte-identical (``canonical_bytes``) to a direct
+``QueryService.execute`` of the same script — at workers 1 and 4 and
+on both execution backends — while every vertex of the shared window
+run launches exactly once.
+
+All runs use a :class:`~repro.service.ManualClock`; the only thread is
+the test's own, so the grouping is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.scope.statistics import catalog_from_json
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    ManualClock,
+    QueryService,
+)
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.large_scripts import make_large_script
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS_SCRIPTS = sorted(CORPUS_DIR.glob("*.scope"))
+WINDOW = 1.0
+MATRIX = [(1, "row"), (4, "row"), (1, "columnar"), (4, "columnar")]
+MATRIX_IDS = [f"w{w}-{b}" for w, b in MATRIX]
+
+
+def _config() -> OptimizerConfig:
+    return OptimizerConfig(cost_params=CostParams(machines=4))
+
+
+def _admit_and_compare(texts, catalog, files, *, workers, backend):
+    """Submit ``texts`` into one admission window; compare each result
+    against a direct one-at-a-time execution on a fresh service."""
+    direct = QueryService(catalog, _config())
+    baselines = [
+        direct.execute(t, workers=0, files=files) for t in texts
+    ]
+
+    service = QueryService(catalog, _config())
+    clock = ManualClock()
+    controller = AdmissionController(
+        service, clock=clock, files=files, workers=workers,
+        backend=backend,
+        config=AdmissionConfig(window=WINDOW, max_batch=len(texts)),
+    )
+    tickets = [
+        controller.submit_nowait(t, tenant=f"t{i}")
+        for i, t in enumerate(texts)
+    ]
+    clock.advance(WINDOW)
+    controller.pump()
+
+    runs = []
+    for ticket, baseline in zip(tickets, baselines):
+        result = ticket.result(timeout=0)
+        assert set(result.outputs) == set(baseline.outputs)
+        for path in baseline.outputs:
+            assert (
+                result.outputs[path].canonical_bytes()
+                == baseline.outputs[path].canonical_bytes()
+            ), f"admitted output {path} differs from direct execution"
+        if not any(result.run is run for run in runs):
+            runs.append(result.run)
+
+    # Shared stages launch exactly once per window.
+    for run in runs:
+        if run.stage_graph is None:
+            continue
+        for vertex in run.stage_graph.vertices:
+            stats = run.metrics.vertices[vertex.name]
+            assert stats.launches == 1, (
+                f"vertex {vertex.name} launched {stats.launches} times"
+            )
+
+
+@pytest.fixture(scope="module")
+def corpus_catalog():
+    return catalog_from_json((CORPUS_DIR / "catalog.json").read_text())
+
+
+@pytest.mark.parametrize("workers,backend", MATRIX, ids=MATRIX_IDS)
+def test_corpus_through_admission_matches_direct(
+        workers, backend, corpus_catalog):
+    texts = [p.read_text() for p in CORPUS_SCRIPTS]
+    files = generate_for_catalog(corpus_catalog, seed=3)
+    _admit_and_compare(texts, corpus_catalog, files,
+                       workers=workers, backend=backend)
+
+
+@pytest.mark.parametrize("workers,backend", MATRIX, ids=MATRIX_IDS)
+def test_paper_scripts_through_admission_matches_direct(
+        workers, backend, abcd_catalog):
+    texts = [PAPER_SCRIPTS[name] for name in sorted(PAPER_SCRIPTS)]
+    files = generate_for_catalog(abcd_catalog, seed=7)
+    _admit_and_compare(texts, abcd_catalog, files,
+                       workers=workers, backend=backend)
+
+
+@pytest.mark.parametrize("name", ["LS1", "LS2"])
+@pytest.mark.parametrize("workers,backend", MATRIX, ids=MATRIX_IDS)
+def test_large_scripts_through_admission_matches_direct(
+        workers, backend, name):
+    text, catalog, _spec = make_large_script(name)
+    files = generate_for_catalog(catalog, seed=5, rows_override=120)
+    _admit_and_compare([text], catalog, files,
+                       workers=workers, backend=backend)

@@ -1,0 +1,207 @@
+"""Multi-threaded admission stress: real clients, real clock, no lost
+or cross-wired results.
+
+``REPRO_ADMISSION_THREADS`` (default 4; the CI admission-stress job
+sets 8) controls the client-thread count.  Every thread replays a
+seeded shuffle of a shared-heavy workload through one started
+controller (background drainer, SystemClock) with blocking ``submit``;
+afterwards every single result is checked byte-identical against the
+one-at-a-time baseline *for the script that thread submitted* — which
+rules out lost, duplicated and cross-wired routing at once — and the
+counter identities must hold.  A second test races ``update_statistics``
+against the submit storm (the mid-window cache-invalidation race).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    QueryService,
+)
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.paper_scripts import PAPER_SCRIPTS
+
+THREADS = int(os.environ.get("REPRO_ADMISSION_THREADS", "4"))
+SCRIPTS_PER_THREAD = 6
+SUBMIT_TIMEOUT = 120.0
+
+#: Shared-heavy workload: scripts that overlap pairwise plus a renamed
+#: duplicate, so windows exercise dedup *and* cross-script spools.
+WORKLOAD = {
+    "S1": PAPER_SCRIPTS["S1"],
+    "S2": PAPER_SCRIPTS["S2"],
+    "S4": PAPER_SCRIPTS["S4"],
+    "S1x": PAPER_SCRIPTS["S1"].replace("R0", "Z0").replace("R1", "Z1")
+                              .replace("R2", "Z2"),
+}
+NAMES = sorted(WORKLOAD)
+
+
+def _make_service():
+    from repro.plan.columns import ColumnType
+    from repro.scope.catalog import Catalog
+
+    catalog = Catalog()
+    columns = [(name, ColumnType.INT) for name in ("A", "B", "C", "D")]
+    ndv = {"A": 7, "B": 5, "C": 6, "D": 50}
+    catalog.register_file("test.log", columns, rows=2_000, ndv=ndv)
+    catalog.register_file("test2.log", columns, rows=2_000, ndv=ndv)
+    return QueryService(
+        catalog, OptimizerConfig(cost_params=CostParams(machines=4))
+    )
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    service = _make_service()
+    files = generate_for_catalog(service.catalog, seed=17)
+    outputs = {}
+    for name, text in WORKLOAD.items():
+        run = service.execute(text, workers=0, files=files)
+        outputs[name] = {
+            path: data.canonical_bytes()
+            for path, data in run.outputs.items()
+        }
+    return files, outputs
+
+
+def _client(controller, thread_id, results, errors):
+    rng = random.Random(1000 + thread_id)
+    try:
+        for index in range(SCRIPTS_PER_THREAD):
+            name = rng.choice(NAMES)
+            result = controller.submit(
+                WORKLOAD[name], tenant=f"t{thread_id}",
+                timeout=SUBMIT_TIMEOUT,
+            )
+            results.append((thread_id, index, name, result))
+    except BaseException as exc:  # noqa: BLE001 - surfaced in the test
+        errors.append(exc)
+
+
+def _run_storm(controller):
+    results, errors = [], []
+    threads = [
+        threading.Thread(target=_client,
+                         args=(controller, tid, results, errors))
+        for tid in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, errors
+
+
+class TestAdmissionStress:
+    @pytest.fixture(scope="class")
+    def stormed(self, baselines):
+        files, outputs = baselines
+        service = _make_service()
+        controller = AdmissionController(
+            service, files=files, workers=2, validate=False,
+            config=AdmissionConfig(window=0.02, max_pending=1024),
+        )
+        with controller:
+            results, errors = _run_storm(controller)
+        assert not errors, f"client thread raised: {errors[0]!r}"
+        return controller, results, outputs
+
+    def test_no_lost_duplicated_or_cross_wired_results(self, stormed):
+        controller, results, outputs = stormed
+        # No lost results: every (thread, index) submission resolved
+        # exactly once.
+        slots = {(tid, idx) for tid, idx, _, _ in results}
+        assert len(slots) == len(results) == THREADS * SCRIPTS_PER_THREAD
+        # No cross-wiring: each result is byte-identical to the
+        # baseline of the script *that* caller submitted.
+        for tid, idx, name, result in results:
+            want = outputs[name]
+            assert set(result.outputs) == set(want), (
+                f"thread {tid} submission {idx} ({name}) got paths "
+                f"{sorted(result.outputs)}"
+            )
+            for path in want:
+                assert (result.outputs[path].canonical_bytes()
+                        == want[path]), (
+                    f"thread {tid} submission {idx} ({name}) got wrong "
+                    f"bytes for {path}"
+                )
+            assert result.tenant == f"t{tid}"
+
+    def test_counters_add_up(self, stormed):
+        controller, results, _outputs = stormed
+        snap = controller.stats_snapshot()
+        total = THREADS * SCRIPTS_PER_THREAD
+        assert snap["submits"] == total
+        assert snap["accepted"] + snap["deduped"] == total
+        assert snap["rejected"] == 0
+        assert snap["executed_scripts"] == snap["accepted"]
+        assert snap["queue_depth"] == 0
+        assert snap["failed_groups"] == 0
+        assert snap["flushes"] == snap["windows"] >= 1
+        # The workload has only 3 distinct canonical DAGs (S1x folds
+        # into S1), so dedup caps the work each window can execute.
+        assert snap["executed_scripts"] <= snap["flushes"] * 3
+
+    def test_every_window_launches_shared_work_once(self, stormed):
+        _controller, results, _outputs = stormed
+        runs = []
+        for _tid, _idx, _name, result in results:
+            if not any(result.run is run for run in runs):
+                runs.append(result.run)
+        for run in runs:
+            for vertex in run.stage_graph.vertices:
+                assert run.metrics.vertices[vertex.name].launches == 1
+
+    def test_statistics_update_mid_window_never_yields_stale_plans(
+            self, baselines):
+        """``update_statistics`` racing the storm: no errors, results
+        still byte-identical (outputs depend on the data, which is
+        fixed), and every run's cache key carries a statistics version
+        that the service actually had — a fresh submit afterwards sees
+        the final version."""
+        files, outputs = baselines
+        service = _make_service()
+        controller = AdmissionController(
+            service, files=files, workers=2, validate=False,
+            config=AdmissionConfig(window=0.02, max_pending=1024),
+        )
+        stop = threading.Event()
+
+        def mutate():
+            version = 0
+            while not stop.is_set():
+                version += 1
+                service.update_statistics("test.log",
+                                          rows=2_000 + version)
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        try:
+            with controller:
+                results, errors = _run_storm(controller)
+        finally:
+            stop.set()
+            mutator.join()
+        assert not errors, f"client thread raised: {errors[0]!r}"
+        final_version = service._file_versions["test.log"]
+        for _tid, _idx, name, result in results:
+            for path, want in outputs[name].items():
+                assert result.outputs[path].canonical_bytes() == want
+            versions = dict(result.run.submit.key.stats_versions)
+            assert versions["test.log"] <= final_version
+        # After the dust settles the admission path serves plans
+        # keyed on the final statistics version.
+        sub = service.submit(WORKLOAD["S1"])
+        assert dict(sub.key.stats_versions)["test.log"] == final_version
+        service.cache.stats.check_consistent(len(service.cache))

@@ -290,6 +290,42 @@ class TestServe:
         assert "cache_hits: 0" in out
 
 
+class TestServeStream:
+    def test_streaming_admission_serves_all_tenants(
+            self, batch_workspace, tmp_path, capsys):
+        script1, script2, catalog = batch_workspace
+        stats_path = tmp_path / "admission-metrics.json"
+        code = main(["serve", script1, script2, "--catalog", catalog,
+                     "--machines", "4", "--stream", "--tenants", "3",
+                     "--repeat", "2", "--window-ms", "20",
+                     "--rows", "500", "--workers", "2",
+                     "--stats-json", str(stats_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 tenant(s) x 2 pass(es) x 2 script(s): 12 served" in out
+        assert "0 failed" in out
+        assert "--- admission counters ---" in out
+        doc = json.loads(stats_path.read_text())
+        assert doc["submits"] == 12
+        assert doc["accepted"] + doc["deduped"] == 12
+        assert doc["rejected"] == 0
+        assert doc["failed_groups"] == 0
+        assert doc["executed_scripts"] == doc["accepted"]
+        assert doc["queue_depth"] == 0
+
+    def test_streaming_with_fault_injection_converges(
+            self, batch_workspace, capsys):
+        script1, script2, catalog = batch_workspace
+        code = main(["serve", script1, script2, "--catalog", catalog,
+                     "--machines", "4", "--stream", "--tenants", "2",
+                     "--repeat", "1", "--window-ms", "20",
+                     "--rows", "500", "--workers", "2",
+                     "--inject-failures", "0.05", "--failure-seed", "11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
+
 class TestBatch:
     def test_batched_execution_shares_work(self, batch_workspace, capsys):
         script1, script2, catalog = batch_workspace

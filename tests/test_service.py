@@ -21,6 +21,7 @@ from repro.cse.merge import (
     merge_scripts,
     referenced_paths,
     script_fingerprint,
+    uniquify_labels,
 )
 from repro.obs.bus import EventBus
 from repro.plan.physical import PhysHashAgg, PhysStreamAgg
@@ -169,6 +170,69 @@ class TestMergeScripts:
             merge_scripts([plan, plan], labels=["a"])
         with pytest.raises(BatchMergeError):
             merge_scripts([plan, plan], labels=["a", "a"])
+
+    def test_merge_rejects_slash_in_labels(self, abcd_catalog):
+        # "/" is the namespace separator of prefixed output paths; a
+        # label containing it would make split_outputs ambiguous.
+        plan = compile_script(S1, abcd_catalog)
+        with pytest.raises(BatchMergeError):
+            merge_scripts([plan], labels=["team/alpha"])
+
+    def test_uniquify_labels(self):
+        assert uniquify_labels(["a", "b"]) == ["a", "b"]
+        assert uniquify_labels(["a", "a", "a"]) == ["a", "a#2", "a#3"]
+        # Suffixes must dodge labels that appear later in the list.
+        assert uniquify_labels(["a", "a", "a#2"]) == ["a", "a#3", "a#2"]
+        out = uniquify_labels(["a", "a", "b", "a#2", "b", "a"])
+        assert len(out) == len(set(out))
+        assert out[0] == "a" and out[2] == "b"
+
+    def test_merge_uniquify_resolves_duplicate_labels(self, abcd_catalog):
+        plan1 = compile_script(S1, abcd_catalog)
+        plan2 = compile_script(S1, abcd_catalog)
+        merged = merge_scripts([plan1, plan2], labels=["a", "a"],
+                               uniquify=True)
+        assert merged.labels == ("a", "a#2")
+        out_paths = {
+            node.op.path
+            for node in merged.plan.iter_nodes()
+            if node.op.name == "Output"
+        }
+        assert all(p.startswith(("a/", "a#2/")) for p in out_paths)
+        # split_outputs keeps the two submissions separate even though
+        # both asked for the same original path.
+        fake = {prefixed: object()
+                for omap in merged.output_maps for prefixed, _ in omap}
+        split = merged.split_outputs(fake)
+        assert len(split) == 2
+        assert set(split[0]) == set(split[1])
+        for path in split[0]:
+            assert split[0][path] is not split[1][path]
+
+    def test_duplicate_script_batch_executes(self, abcd_catalog):
+        # Regression: a batch holding the same script twice (as a
+        # streaming window does after two tenants submit it) must not
+        # trip the duplicate-label check and must give each submission
+        # its own copy of the outputs.
+        from repro.optimizer.cost import CostParams
+        from repro.optimizer.engine import OptimizerConfig
+        from repro.workloads.datagen import generate_for_catalog
+
+        service = QueryService(
+            abcd_catalog,
+            OptimizerConfig(cost_params=CostParams(machines=4)),
+        )
+        files = generate_for_catalog(abcd_catalog, seed=7)
+        run = service.execute_many(
+            [S1, S1], labels=["t", "t"], uniquify_labels=True,
+            workers=2, files=files,
+        )
+        assert run.submit.labels == ("t", "t#2")
+        assert len(run.outputs) == 2
+        assert set(run.outputs[0]) == set(run.outputs[1])
+        for path in run.outputs[0]:
+            assert (run.outputs[0][path].canonical_bytes()
+                    == run.outputs[1][path].canonical_bytes())
 
 
 # ---------------------------------------------------------------------------
