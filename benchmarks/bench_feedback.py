@@ -1,0 +1,154 @@
+"""Cardinality-feedback benchmark: the headline claim, measured.
+
+Two claims from the PR, with raw numbers written to
+``BENCH_feedback.json`` next to this file:
+
+* **Headline** — on the skewed filter workload whose seed statistics
+  misprice the shared-filter spool decision, one feedback cycle must
+  cut rows processed by at least ``REDUCTION_FLOOR`` (30%), and the
+  corrected plan must serve from the plan cache.
+* **Adversarial gate-block** — the same skew observed only once under a
+  ``min_observations=3`` policy must NOT rewrite the plan: Gate A
+  records a ``skip_low_observations`` card and rows processed stay
+  identical run over run.
+
+Run with::
+
+    pytest benchmarks/bench_feedback.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.service import QueryService
+from repro.stats.feedback import FeedbackConfig
+from repro.workloads.skew import SKEW_SCENARIOS
+
+MACHINES = 4
+WORKERS = 2
+ROUNDS = 2
+REDUCTION_FLOOR = 0.30
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_feedback.json"
+
+
+def _config() -> OptimizerConfig:
+    return OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+
+
+def _drive(name: str):
+    """Run a skew scenario for ROUNDS rounds; (runs, service)."""
+    scenario = SKEW_SCENARIOS[name]
+    service = QueryService(
+        scenario.build_catalog(), _config(),
+        feedback=FeedbackConfig(**scenario.feedback),
+    )
+    files = scenario.generate_files()
+    runs = [
+        service.execute(scenario.script, workers=WORKERS, files=files)
+        for _ in range(ROUNDS)
+    ]
+    return runs, service
+
+
+def test_feedback_cuts_rows_processed_at_least_30pct(capsys):
+    runs, service = _drive("filter_selectivity_skew")
+    before = runs[0].metrics.rows_processed()
+    after = runs[-1].metrics.rows_processed()
+    reduction = 1.0 - after / before
+    actions = [card.action for card in service.feedback.decisions]
+    counters = service.feedback.stats_snapshot()
+
+    report = {
+        "benchmark": "feedback_rows_processed",
+        "scenario": "filter_selectivity_skew",
+        "machines": MACHINES,
+        "workers": WORKERS,
+        "rounds": ROUNDS,
+        "rows_processed_before": before,
+        "rows_processed_after": after,
+        "reduction": reduction,
+        "reduction_floor": REDUCTION_FLOOR,
+        "decisions": actions,
+        "corrections_published": counters["published"],
+        "plans_adopted": counters["adopted"],
+        "served_from_cache": runs[-1].submit.cache_hit,
+    }
+    _merge_report(report)
+
+    with capsys.disabled():
+        print(f"\n=== Feedback headline (filter_selectivity_skew, "
+              f"{MACHINES} machines) ===")
+        print(f"rows processed: {before} -> {after} "
+              f"({reduction:.1%} reduction, floor "
+              f"{REDUCTION_FLOOR:.0%})")
+        print(f"decisions: {actions}")
+        print(f"-> {OUT_PATH.name}")
+
+    assert "adopt" in actions, "the gate must adopt the corrected plan"
+    assert runs[-1].submit.cache_hit, (
+        "the corrected plan must serve from the cache"
+    )
+    assert reduction >= REDUCTION_FLOOR, (
+        f"feedback only cut rows processed by {reduction:.1%} "
+        f"(floor {REDUCTION_FLOOR:.0%})"
+    )
+
+
+def test_gate_blocks_adoption_on_thin_evidence(capsys):
+    runs, service = _drive("gate_refusal_low_observations")
+    before = runs[0].metrics.rows_processed()
+    after = runs[-1].metrics.rows_processed()
+    actions = [card.action for card in service.feedback.decisions]
+    counters = service.feedback.stats_snapshot()
+
+    report = {
+        "benchmark": "feedback_gate_block",
+        "scenario": "gate_refusal_low_observations",
+        "machines": MACHINES,
+        "workers": WORKERS,
+        "rounds": ROUNDS,
+        "min_observations": (
+            SKEW_SCENARIOS["gate_refusal_low_observations"]
+            .feedback["min_observations"]
+        ),
+        "rows_processed_before": before,
+        "rows_processed_after": after,
+        "decisions": actions,
+        "corrections_published": counters["published"],
+        "plans_adopted": counters["adopted"],
+    }
+    _merge_report(report)
+
+    with capsys.disabled():
+        print(f"\n=== Feedback gate block "
+              f"(gate_refusal_low_observations) ===")
+        print(f"rows processed: {before} -> {after} (must be equal)")
+        print(f"decisions: {actions}")
+        print(f"-> {OUT_PATH.name}")
+
+    assert "skip_low_observations" in actions, (
+        "Gate A must record its refusal"
+    )
+    assert "adopt" not in actions, (
+        "the gate adopted a plan on thin evidence"
+    )
+    assert counters["published"] == 0
+    assert after == before, (
+        f"plan changed despite the gate block: {before} -> {after}"
+    )
+
+
+def _merge_report(section: dict) -> None:
+    """Accumulate sections into one BENCH_feedback.json."""
+    doc = {}
+    if OUT_PATH.exists():
+        try:
+            doc = json.loads(OUT_PATH.read_text())
+        except ValueError:
+            doc = {}
+    doc[section["benchmark"]] = section
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

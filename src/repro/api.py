@@ -118,6 +118,7 @@ def optimize_plan(
     prune: bool = True,
     verify: Optional[bool] = None,
     tracer=NULL_TRACER,
+    corrections=None,
 ) -> OptimizationResult:
     """Optimize an already-compiled logical DAG.
 
@@ -134,6 +135,12 @@ def optimize_plan(
     ``tracer`` (a :class:`repro.obs.Tracer`) records spans for every
     pipeline stage — pruning, CSE detection, both optimization phases,
     verification — on one shared bus; see ``docs/observability.md``.
+
+    ``corrections`` is an optional published
+    :class:`repro.stats.CorrectionSet` of learned cardinalities (see
+    ``docs/feedback.md``); fragments with an active correction are
+    priced at their measured row counts instead of the closed-form
+    estimates.
     """
     _ensure_recursion_headroom()
     if prune:
@@ -141,10 +148,12 @@ def optimize_plan(
             logical = prune_columns(logical)
             span.set(operators=logical.count_operators())
     if exploit_cse:
-        details = optimize_with_cse(logical, catalog, config, tracer=tracer)
+        details = optimize_with_cse(logical, catalog, config, tracer=tracer,
+                                    corrections=corrections)
     else:
         details = optimize_conventional(logical, catalog, config,
-                                        tracer=tracer)
+                                        tracer=tracer,
+                                        corrections=corrections)
     if verify_enabled(verify):
         mode = "cse" if exploit_cse else "conventional"
         with tracer.span("verify") as span:
@@ -166,11 +175,12 @@ def optimize_script(
     prune: bool = True,
     verify: Optional[bool] = None,
     tracer=NULL_TRACER,
+    corrections=None,
 ) -> OptimizationResult:
     """Parse, compile and optimize a SCOPE script."""
     logical = compile_script(text, catalog, tracer=tracer)
     return optimize_plan(logical, catalog, config, exploit_cse, prune,
-                         verify, tracer=tracer)
+                         verify, tracer=tracer, corrections=corrections)
 
 
 @dataclass

@@ -165,11 +165,78 @@ def _explain_exec(backend: str, metrics) -> None:
             print(f"  {vname}: {metrics.vertices[vname].batches}")
 
 
+def _run_feedback(args, catalog, text, files) -> int:
+    """``repro run --feedback``: drive the learned-statistics loop.
+
+    Executes the script ``--feedback-runs`` times through one
+    :class:`~repro.service.QueryService` with the cardinality-feedback
+    controller enabled (``docs/feedback.md``): measured fragment
+    cardinalities from each run feed corrections, and later rounds
+    serve the risk-gated re-optimized plan from the cache.  Prints one
+    line per round plus the decision cards; ``--feedback-log`` writes
+    them as JSON lines.
+    """
+    from .service import QueryService
+    from .stats.feedback import FeedbackConfig
+
+    service = QueryService(
+        catalog, _config(args),
+        feedback=FeedbackConfig(
+            qerror_threshold=args.feedback_qerror,
+            min_observations=args.feedback_min_obs,
+        ),
+    )
+    expected = NaiveEvaluator(files).run(compile_script(text, catalog))
+    status = 0
+    processed: list = []
+    for round_no in range(args.feedback_runs):
+        run = service.execute(
+            text, workers=args.workers, machines=args.machines,
+            files=files, exploit_cse=not args.no_cse,
+            backend=args.backend,
+        )
+        processed.append(run.metrics.rows_processed())
+        outcome = "hit " if run.submit.cache_hit else "miss"
+        print(f"[{round_no}] {outcome} {run.submit.key.short}  "
+              f"cost={run.submit.result.cost:,.0f}  "
+              f"rows_processed={processed[-1]:,}")
+        mismatches = [
+            path for path, want in expected.items()
+            if run.outputs[path].sorted_rows() != want
+        ]
+        if mismatches:
+            print(f"RESULT MISMATCH vs naive evaluation: {mismatches}",
+                  file=sys.stderr)
+            status = 1
+    controller = service.feedback
+    print("--- feedback decisions ---")
+    if not controller.decisions:
+        print("  (none)")
+    for card in controller.decisions:
+        print(f"  {card.action}: {card.detection}")
+    print("--- feedback counters ---")
+    for name, value in sorted(controller.stats_snapshot().items()):
+        print(f"  {name}: {value}")
+    if len(processed) > 1 and processed[0] > 0:
+        change = processed[-1] / processed[0] - 1.0
+        print(f"rows processed: {processed[0]:,} -> {processed[-1]:,} "
+              f"({change:+.1%})")
+    if args.feedback_log:
+        count = controller.dump_decisions(args.feedback_log)
+        print(f"{count} decision card(s) written to {args.feedback_log}")
+    if status == 0:
+        print("verified: results identical to the naive reference "
+              "evaluation in every round")
+    return status
+
+
 def cmd_run(args) -> int:
     catalog = _load_catalog(args.catalog)
     text = _load_script(args.script)
     files = generate_for_catalog(catalog, seed=args.seed,
                                  rows_override=args.rows)
+    if args.feedback:
+        return _run_feedback(args, catalog, text, files)
     tracer = Tracer() if _wants_tracing(args) else NULL_TRACER
     run = execute_script(
         text,
@@ -320,7 +387,8 @@ def _serve_stream(args, catalog, texts) -> int:
     from .service import AdmissionConfig, AdmissionController, QueryService
 
     service = QueryService(catalog, _config(args),
-                           cache_capacity=args.cache_capacity)
+                           cache_capacity=args.cache_capacity,
+                           feedback=args.feedback)
     controller = AdmissionController(
         service,
         config=AdmissionConfig(
@@ -376,6 +444,15 @@ def _serve_stream(args, catalog, texts) -> int:
     print("--- admission counters ---")
     for name, value in sorted(snapshot.items()):
         print(f"  {name}: {value}")
+    if service.feedback is not None:
+        print("--- feedback counters ---")
+        for name, value in sorted(
+                service.feedback.stats_snapshot().items()):
+            print(f"  {name}: {value}")
+        if args.feedback_log:
+            count = service.feedback.dump_decisions(args.feedback_log)
+            print(f"{count} decision card(s) written to "
+                  f"{args.feedback_log}")
     if args.stats_json:
         with open(args.stats_json, "w") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
@@ -400,7 +477,8 @@ def cmd_serve(args) -> int:
     if args.stream:
         return _serve_stream(args, catalog, texts)
     service = QueryService(catalog, _config(args),
-                           cache_capacity=args.cache_capacity)
+                           cache_capacity=args.cache_capacity,
+                           feedback=args.feedback)
     for round_no in range(args.repeat):
         for path, text in texts:
             sub = service.submit(text, exploit_cse=not args.no_cse)
@@ -411,6 +489,9 @@ def cmd_serve(args) -> int:
     print("--- service counters ---")
     for name, value in snapshot.items():
         print(f"  {name}: {value}")
+    if service.feedback is not None and args.feedback_log:
+        count = service.feedback.dump_decisions(args.feedback_log)
+        print(f"{count} decision card(s) written to {args.feedback_log}")
     if args.stats_json:
         with open(args.stats_json, "w") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
@@ -539,6 +620,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution engine: row (dict-per-row) or "
                        "columnar (vectorized column batches); outputs are "
                        "byte-identical (default row)")
+    p_run.add_argument("--feedback", action="store_true",
+                       help="run the script repeatedly through a query "
+                       "service with the cardinality-feedback loop "
+                       "enabled (docs/feedback.md); later rounds serve "
+                       "the risk-gated re-optimized plan")
+    p_run.add_argument("--feedback-runs", type=int, default=2,
+                       help="rounds to execute with --feedback "
+                       "(default 2: observe, then serve the corrected "
+                       "plan)")
+    p_run.add_argument("--feedback-qerror", type=float, default=2.0,
+                       help="q-error threshold that triggers a "
+                       "correction (--feedback; default 2.0)")
+    p_run.add_argument("--feedback-min-obs", type=int, default=1,
+                       help="observations required before a correction "
+                       "may publish (--feedback; default 1)")
+    p_run.add_argument("--feedback-log", default=None, metavar="FILE",
+                       help="write the feedback decision cards as JSON "
+                       "lines (--feedback)")
     p_run.add_argument("--explain-exec", action="store_true",
                        help="print the chosen backend and per-vertex "
                        "batch counts")
@@ -631,6 +730,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "to --seed)")
     p_serve.add_argument("--max-retries", type=int, default=3,
                          help="retry budget per task (--stream; default 3)")
+    p_serve.add_argument("--feedback", action="store_true",
+                         help="enable the cardinality-feedback loop on "
+                         "the service (docs/feedback.md); corrections "
+                         "from executed windows re-optimize cached "
+                         "plans (observations require execution, i.e. "
+                         "--stream)")
+    p_serve.add_argument("--feedback-log", default=None, metavar="FILE",
+                         help="write the feedback decision cards as "
+                         "JSON lines")
     p_serve.set_defaults(func=cmd_serve)
 
     p_batch = sub.add_parser(

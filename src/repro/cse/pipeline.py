@@ -64,6 +64,16 @@ class CseOptimizationResult:
     #: pipeline also prices the plan of an untouched memo and never
     #: returns anything worse than it.
     fallback_cost: float = float("inf")
+    #: The memo whose group ids the *chosen* plan refers to.  Usually
+    #: ``memo``, but when the conventional fallback wins the chosen plan
+    #: was built against a different (un-spooled) memo — anything
+    #: mapping the plan's ``group_id``s back to groups (cardinality
+    #: feedback capture, re-costing) must use this one.
+    plan_memo: Optional[Memo] = None
+
+    def __post_init__(self):
+        if self.plan_memo is None:
+            self.plan_memo = self.memo
 
     def verify_phases(self) -> None:
         """Statically verify every plan the pipeline produced.
@@ -89,6 +99,7 @@ def optimize_with_cse(
     config: Optional[OptimizerConfig] = None,
     verify: bool = False,
     tracer=NULL_TRACER,
+    corrections=None,
 ) -> CseOptimizationResult:
     """Run the full pipeline of Figure 2 on a logical script DAG.
 
@@ -100,6 +111,12 @@ def optimize_with_cse(
     ``optimize.fallback``) carrying group counts, costs and round
     counters; when the engine's own trace is enabled its events are
     published onto the tracer's shared bus.
+
+    ``corrections`` is an optional published
+    :class:`repro.stats.store.CorrectionSet` of learned cardinalities;
+    it reaches every estimator this pipeline creates (both phases and
+    the conventional fallback), so all candidate plans are priced under
+    the same statistics.
     """
     memo = Memo.from_logical_plan(logical)
 
@@ -112,7 +129,7 @@ def optimize_with_cse(
             merged=len(report.merged),
         )
 
-    engine = SearchEngine(memo, catalog, config)
+    engine = SearchEngine(memo, catalog, config, corrections=corrections)
     engine.bind_observability(tracer)
     annotate_memo(memo, engine.estimator)
 
@@ -151,10 +168,13 @@ def optimize_with_cse(
     # memo's best plan may be worse than plain conventional optimization.
     # Price the untouched memo too and keep the cheapest overall.
     with tracer.span("optimize.fallback") as span:
-        fallback = optimize_conventional(logical, catalog, config)
+        fallback = optimize_conventional(logical, catalog, config,
+                                         corrections=corrections)
         span.set(cost=fallback.cost)
+    plan_memo = memo
     if fallback.cost < cost:
         plan, cost, chosen = fallback.plan, fallback.cost, 1
+        plan_memo = fallback.memo
 
     result = CseOptimizationResult(
         plan=plan,
@@ -169,6 +189,7 @@ def optimize_with_cse(
         engine=engine,
         memo=memo,
         fallback_cost=fallback.cost,
+        plan_memo=plan_memo,
     )
     if verify:
         result.verify_phases()
@@ -180,6 +201,7 @@ def optimize_local_best(
     catalog: Catalog,
     config: Optional[OptimizerConfig] = None,
     verify: bool = False,
+    corrections=None,
 ) -> CseOptimizationResult:
     """The related-work baseline: share, but choose properties locally.
 
@@ -200,7 +222,7 @@ def optimize_local_best(
     memo = Memo.from_logical_plan(logical)
     report = identify_common_subexpressions(memo)
 
-    engine = SearchEngine(memo, catalog, config)
+    engine = SearchEngine(memo, catalog, config, corrections=corrections)
     annotate_memo(memo, engine.estimator)
 
     phase1_plan = engine.optimize(PHASE_CONVENTIONAL)
@@ -272,6 +294,7 @@ def optimize_conventional(
     config: Optional[OptimizerConfig] = None,
     verify: bool = False,
     tracer=NULL_TRACER,
+    corrections=None,
 ) -> CseOptimizationResult:
     """Baseline: the original SCOPE optimizer, no CSE machinery at all.
 
@@ -280,7 +303,7 @@ def optimize_conventional(
     the duplicated pipelines of Figure 8(a).
     """
     memo = Memo.from_logical_plan(logical)
-    engine = SearchEngine(memo, catalog, config)
+    engine = SearchEngine(memo, catalog, config, corrections=corrections)
     engine.bind_observability(tracer)
     annotate_memo(memo, engine.estimator)
     with tracer.span("optimize.phase1") as span:

@@ -50,6 +50,12 @@ class VertexStats:
     #: attribution pass).  In a merged batch, more than one distinct
     #: ``<label>/`` prefix here marks cross-script shared work.
     serves: Tuple[str, ...] = ()
+    #: Measured output rows of every plan fragment (memo group id) this
+    #: vertex's tasks executed, summed over per-partition task slices.
+    #: The cardinality-feedback loop (``repro.stats``) reads these to
+    #: compare interior fragments — not just vertex boundaries — against
+    #: the optimizer's estimates.
+    fragment_rows: Dict[int, int] = field(default_factory=dict)
 
     @property
     def estimate_missing(self) -> bool:
@@ -104,6 +110,14 @@ class ExecutionMetrics:
     #: Per-vertex scheduler statistics, keyed by vertex name (empty for
     #: the sequential executor).
     vertices: Dict[str, VertexStats] = field(default_factory=dict)
+    #: Measured output rows per plan fragment, keyed by memo group id.
+    #: Each fragment is counted **once** regardless of how many times a
+    #: conventional plan re-executes it (the executors deduplicate by
+    #: group id; the scheduler attributes each fragment to the first
+    #: vertex that ran it, in deterministic vertex order).  This is the
+    #: measured counterpart of ``Stats.rows`` and the raw input of the
+    #: cardinality-feedback loop (``repro.stats.capture``).
+    fragment_rows: Dict[int, int] = field(default_factory=dict)
     #: Total failed task attempts that were retried (scheduler only).
     task_retries: int = 0
 
@@ -135,6 +149,28 @@ class ExecutionMetrics:
     def total_batches(self) -> int:
         return sum(self.batches_processed.values())
 
+    def rows_processed(self) -> int:
+        """Total rows flowing through the run's materialization points.
+
+        Extraction, exchanges (shuffle/broadcast), spool builds and
+        final outputs each count the rows they move — the measured
+        analogue of the cost model's volume terms, and the headline
+        number the feedback benchmark compares across plans.
+        """
+        return (self.rows_extracted + self.rows_shuffled +
+                self.rows_broadcast + self.rows_spooled + self.rows_output)
+
+    def note_fragment_rows(self, group_id: int, rows: int) -> None:
+        """Accumulate measured output rows for one plan fragment.
+
+        Within one executor (or one scheduled task slice) callers must
+        report each fragment at most once; sliced tasks of the same
+        vertex sum because each slice carries one partition's share.
+        """
+        self.fragment_rows[group_id] = (
+            self.fragment_rows.get(group_id, 0) + rows
+        )
+
     def note_partition_sizes(self, partitions) -> None:
         for partition in partitions:
             if len(partition) > self.max_partition_rows:
@@ -165,6 +201,10 @@ class ExecutionMetrics:
         if other.max_partition_rows > self.max_partition_rows:
             self.max_partition_rows = other.max_partition_rows
         self.vertices.update(other.vertices)
+        # fragment_rows is deliberately NOT merged here: task slices of
+        # one vertex must sum while duplicate executions of the same
+        # fragment across vertices must not, so the scheduler attributes
+        # fragments explicitly during finalization.
 
     # -- rendering ---------------------------------------------------------
 

@@ -84,6 +84,11 @@ class PlanExecutor:
         self.validate = validate
         self.metrics = ExecutionMetrics()
         self._spool_cache: Dict[int, Dataset] = {}
+        #: Memo group ids whose measured output rows were already
+        #: recorded.  A conventional plan re-executes multi-referenced
+        #: fragments per reference with identical output, so the first
+        #: execution wins and the feedback loop never double-counts.
+        self._fragment_gids: set = set()
         #: Observability tracer; the per-row/per-operator paths make no
         #: tracer calls, only cold events (spool materialization) do.
         self.tracer = tracer
@@ -177,6 +182,14 @@ class PlanExecutor:
         dataset = self.dataset_cls(node.schema, partitions, node.props)
         self.metrics.note_partition_sizes(partitions)
         self.metrics.note_batches(self.backend_name, len(partitions))
+        gid = node.group_id
+        if (gid is not None and gid not in self._fragment_gids
+                and not isinstance(node.op, (PhysOutput, PhysSequence))):
+            # Output/Sequence emit no rows downstream; recording their
+            # zero against the fingerprint-transparent child fragment
+            # would fabricate an infinite q-error.
+            self._fragment_gids.add(gid)
+            self.metrics.note_fragment_rows(gid, dataset.total_rows())
         if self.validate:
             violation = dataset.validate_layout()
             if violation is not None:

@@ -265,6 +265,18 @@ class TaskScheduler:
                     self.metrics.merge_from(scratch)
                     run.stats.simulated_makespan += scratch.simulated_makespan
                     run.stats.batches += scratch.total_batches()
+                    # Per-partition task slices each carry one
+                    # partition's share of a fragment's output: sum them
+                    # per vertex.
+                    for gid, rows in scratch.fragment_rows.items():
+                        run.stats.fragment_rows[gid] = (
+                            run.stats.fragment_rows.get(gid, 0) + rows
+                        )
+            # A fragment duplicated across vertices (conventional plans
+            # re-execute shared work) is attributed once, to the first
+            # vertex in deterministic vertex order.
+            for gid, rows in run.stats.fragment_rows.items():
+                self.metrics.fragment_rows.setdefault(gid, rows)
             self.metrics.task_retries += run.stats.retries
             self.metrics.vertices[run.stats.vertex] = run.stats
             if self.tracer.enabled:

@@ -25,17 +25,20 @@ def qerror(estimated: float, actual: float) -> Optional[float]:
     Sentinel semantics (never NaN):
 
     * both sides positive — the usual q-error, ``>= 1.0``;
-    * both sides zero — ``1.0`` (estimate and measurement agree);
-    * estimate missing (``<= 0``) but rows observed — ``None``: there is
-      nothing to compare against, which is different from a wrong
-      estimate;
+    * estimate missing (``<= 0``) — ``None``, *regardless of the
+      measurement*: there is nothing to compare against, which is
+      different from a wrong estimate.  In particular a missing
+      estimate over zero observed rows is **not** a q-error-1 match;
+      treating the sentinel as agreement would let never-estimated
+      fragments masquerade as perfectly estimated ones in feedback
+      aggregation (``repro.stats``), which skips ``None`` entirely;
     * estimate positive but zero rows observed — ``inf``: the estimator
       predicted rows that never materialized.
     """
     if estimated > 0 and actual > 0:
         return max(estimated / actual, actual / estimated)
     if estimated <= 0:
-        return 1.0 if actual == 0 else None
+        return None
     return math.inf
 
 

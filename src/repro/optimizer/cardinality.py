@@ -43,6 +43,7 @@ from ..plan.logical import (
     LogicalUnionAll,
 )
 from ..scope.catalog import Catalog
+from ..stats.fragments import expr_fingerprint
 
 DEFAULT_SELECTIVITY = 1.0 / 3.0
 EQUALITY_DEFAULT_NDV = 100
@@ -59,6 +60,12 @@ class Stats:
     #: filters and pass-through projections (an approximation: the
     #: distribution is assumed unchanged by uncorrelated predicates).
     histograms: Dict[str, object] = field(default_factory=dict)
+    #: Canonical fingerprint of the fragment these stats describe (see
+    #: ``repro.stats.fragments``); keys learned-cardinality corrections.
+    fingerprint: Optional[str] = None
+    #: True when ``rows`` comes from a published feedback correction
+    #: rather than the closed-form estimator.
+    corrected: bool = False
 
     def ndv_of(self, column: str) -> float:
         known = self.ndv.get(column)
@@ -74,10 +81,23 @@ class Stats:
 
         NDVs shrink with the standard "balls in bins" damping: reducing
         rows by ``factor`` cannot reduce an NDV below the new row count.
+        The fingerprint is intentionally dropped: a scaled copy no
+        longer describes the fingerprinted fragment.
         """
         rows = max(1.0, self.rows * factor)
         ndv = {c: min(v, rows) for c, v in self.ndv.items()}
         return Stats(rows, ndv, self.width, dict(self.histograms))
+
+    def clone(self) -> "Stats":
+        return Stats(self.rows, dict(self.ndv), self.width,
+                     dict(self.histograms), self.fingerprint, self.corrected)
+
+    def with_rows(self, rows: float) -> "Stats":
+        """Same fragment with a corrected row count; NDVs re-capped."""
+        rows = max(1.0, float(rows))
+        ndv = {c: min(v, rows) for c, v in self.ndv.items()}
+        return Stats(rows, ndv, self.width, dict(self.histograms),
+                     self.fingerprint, corrected=True)
 
 
 class CardinalityEstimator:
@@ -91,17 +111,53 @@ class CardinalityEstimator:
         Cluster size; needed to bound the output of LOCAL (per-partition)
         pre-aggregations, whose row count is at most
         ``group_count × partitions``.
+    corrections:
+        Optional published :class:`repro.stats.store.CorrectionSet`
+        (anything with ``rows_for(fingerprint)``); when a derived
+        fragment's fingerprint has an active correction, its measured
+        row count overrides the closed-form estimate.
     """
 
-    def __init__(self, catalog: Catalog, machines: int = 100):
+    def __init__(self, catalog: Catalog, machines: int = 100,
+                 corrections=None):
         self._catalog = catalog
         self.machines = machines
+        self.corrections = corrections
 
     # -- dispatch ---------------------------------------------------------
 
     def derive(self, op: LogicalOp, child_stats: Sequence[Stats],
                schema: Schema) -> Stats:
-        """Estimate the output stats of ``op`` over ``child_stats``."""
+        """Estimate the output stats of ``op`` over ``child_stats``.
+
+        Besides the row/NDV estimate, this stamps the fragment
+        fingerprint onto the result and applies any active learned
+        correction for it.  ``Spool``/``Output`` are cardinality- and
+        fingerprint-transparent: they share their input's ``Stats``
+        object, so the spool vertex and the computing vertex agree.
+        """
+        if isinstance(op, (LogicalSpool, LogicalOutput)):
+            return child_stats[0]
+        if isinstance(op, LogicalSequence):
+            return Stats(rows=0.0, ndv={}, width=0.0)
+        stats = self._derive_base(op, child_stats, schema)
+        # Per-operator estimators may return a child's Stats object
+        # verbatim (e.g. TopN whose limit exceeds the input); clone
+        # before stamping so the child group's stats stay untouched.
+        if any(stats is child for child in child_stats):
+            stats = stats.clone()
+        stats.fingerprint = expr_fingerprint(
+            op, [child.fingerprint for child in child_stats]
+        )
+        stats.corrected = False
+        if self.corrections is not None:
+            corrected = self.corrections.rows_for(stats.fingerprint)
+            if corrected is not None and corrected != stats.rows:
+                stats = stats.with_rows(corrected)
+        return stats
+
+    def _derive_base(self, op: LogicalOp, child_stats: Sequence[Stats],
+                     schema: Schema) -> Stats:
         if isinstance(op, LogicalExtract):
             return self._extract(op)
         if isinstance(op, LogicalFilter):
@@ -116,10 +172,6 @@ class CardinalityEstimator:
             return self._union(child_stats)
         if isinstance(op, LogicalTopN):
             return self._top_n(op, child_stats[0])
-        if isinstance(op, (LogicalSpool, LogicalOutput)):
-            return child_stats[0]
-        if isinstance(op, LogicalSequence):
-            return Stats(rows=0.0, ndv={}, width=0.0)
         raise TypeError(f"no estimator for {type(op).__name__}")
 
     # -- per-operator estimators --------------------------------------------

@@ -141,12 +141,14 @@ class SearchEngine:
     """Optimizes one memo.  Create one engine per optimization run."""
 
     def __init__(self, memo: Memo, catalog: Catalog,
-                 config: Optional[OptimizerConfig] = None):
+                 config: Optional[OptimizerConfig] = None,
+                 corrections=None):
         self.memo = memo
         self.config = config or OptimizerConfig()
         self.cost_model = CostModel(self.config.cost_params)
         self.estimator = CardinalityEstimator(
-            catalog, machines=self.config.cost_params.machines
+            catalog, machines=self.config.cost_params.machines,
+            corrections=corrections,
         )
         self.rule_env = RuleEnv(memo, self.estimator)
         if self.config.rule_names is None:

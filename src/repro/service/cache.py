@@ -58,6 +58,10 @@ class CacheEntry:
     #: Input files the plan depends on (invalidation index).
     paths: Tuple[str, ...]
     hits: int = 0
+    #: The canonicalized logical DAG the plan was optimized from; kept
+    #: so the feedback loop can re-optimize an invalidated entry under
+    #: corrected statistics without re-parsing anything.
+    logical: Optional[object] = None
 
 
 @dataclass
@@ -126,9 +130,11 @@ class PlanCache:
         return entry
 
     def put(self, key: CacheKey, result: object,
-            paths: Tuple[str, ...]) -> CacheEntry:
+            paths: Tuple[str, ...],
+            logical: Optional[object] = None) -> CacheEntry:
         """Insert (or replace) ``key``, evicting LRU entries if full."""
-        entry = CacheEntry(key=key, result=result, paths=paths)
+        entry = CacheEntry(key=key, result=result, paths=paths,
+                           logical=logical)
         replacing = key in self._entries
         self._entries[key] = entry
         self._entries.move_to_end(key)

@@ -70,6 +70,12 @@ from ..optimizer.engine import OptimizerConfig
 from ..plan.logical import LogicalPlan
 from ..scope.catalog import Catalog
 from ..scope.compiler import compile_script
+from ..stats.feedback import (
+    FeedbackConfig,
+    FeedbackController,
+    FeedbackDecision,
+)
+from ..stats.recost import recost_plan
 from ..verify import maybe_check_plan
 from .cache import CacheEntry, CacheKey, PlanCache
 
@@ -208,6 +214,7 @@ class QueryService:
         cache_capacity: int = 64,
         bus: Optional[EventBus] = None,
         tracer=NULL_TRACER,
+        feedback=None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
@@ -220,6 +227,14 @@ class QueryService:
         self._file_versions: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._inflight: Dict[CacheKey, _Flight] = {}
+        #: Learned-statistics controller (``docs/feedback.md``), enabled
+        #: by passing a :class:`repro.stats.feedback.FeedbackConfig` (or
+        #: ``True`` for defaults).
+        self.feedback: Optional[FeedbackController] = None
+        if feedback:
+            cfg = (feedback if isinstance(feedback, FeedbackConfig)
+                   else FeedbackConfig())
+            self.feedback = FeedbackController(self, cfg)
 
     # -- submission -------------------------------------------------------
 
@@ -312,9 +327,11 @@ class QueryService:
             sub.result.plan, workers, machines, rows, seed, files, validate,
             backend, failure_rate, failure_seed, max_retries,
         )
-        return ServiceRun(submit=sub, outputs=outputs, metrics=metrics,
-                          stage_graph=graph, workers=workers,
-                          backend=backend)
+        run = ServiceRun(submit=sub, outputs=outputs, metrics=metrics,
+                         stage_graph=graph, workers=workers,
+                         backend=backend)
+        self._feedback_after(run)
+        return run
 
     def execute_many(
         self,
@@ -356,7 +373,7 @@ class QueryService:
             backend, failure_rate, failure_seed, max_retries,
         )
         per_script = sub.batch.split_outputs(merged_outputs)
-        return BatchRun(
+        run = BatchRun(
             submit=sub,
             outputs=per_script,
             merged_outputs=merged_outputs,
@@ -365,6 +382,8 @@ class QueryService:
             workers=workers,
             backend=backend,
         )
+        self._feedback_after(run)
+        return run
 
     # -- catalog maintenance ----------------------------------------------
 
@@ -405,6 +424,110 @@ class QueryService:
         ))
         return removed
 
+    # -- learned-statistics feedback ---------------------------------------
+
+    def apply_corrections(self, store, fragments) -> List["FeedbackDecision"]:
+        """Publish corrections and re-optimize the plans they invalidate.
+
+        Called by the :class:`~repro.stats.feedback.FeedbackController`
+        after Gate A has admitted ``fragments``.  Atomically (under the
+        service lock): publishes the corrections, bumps the statistics
+        version of every affected input file — the *same* freshness
+        mechanism ``update_statistics`` uses, so cached keys referencing
+        the old estimates become unreachable — and eagerly invalidates
+        dependent cache entries.  Each invalidated entry that retained
+        its logical DAG is then re-optimized under the corrected
+        statistics and passed through Gate B (see
+        :meth:`_reoptimize_entry`); refusals re-insert the incumbent
+        plan under the fresh key, so refusing costs no future optimizer
+        runs.  Returns the Gate-B decision cards.
+        """
+        with self._lock:
+            active = store.publish(fragments)
+            paths = store.affected_paths(fragments)
+            victims = [
+                entry for entry in self.cache.entries()
+                if set(entry.paths) & set(paths)
+            ]
+            for path in paths:
+                self._file_versions[path] = \
+                    self._file_versions.get(path, 0) + 1
+                self.catalog_version += 1
+            invalidated = 0
+            for path in paths:
+                invalidated += self.cache.invalidate_path(path)
+        self.bus.publish(ObsEvent.make(
+            "stats.feedback.publish",
+            version=active.version,
+            corrections=len(active),
+            invalidated=invalidated,
+            paths=",".join(paths),
+        ))
+        cards: List[FeedbackDecision] = []
+        for entry in victims:
+            if entry.logical is None:
+                continue
+            cards.append(self._reoptimize_entry(entry, active))
+        return cards
+
+    def _reoptimize_entry(self, entry: CacheEntry,
+                          corrections) -> "FeedbackDecision":
+        """Gate B: re-optimize one invalidated entry under corrections.
+
+        The candidate plan is optimized (and costed) under the corrected
+        statistics; the incumbent plan is *re-priced* under the same
+        corrections (:func:`repro.stats.recost.recost_plan`) so the
+        comparison is apples to apples.  The candidate is adopted only
+        if it beats the incumbent by the configured margin; either way
+        the winner is cached under the fresh key.
+        """
+        key = entry.key
+        logical = entry.logical
+        old_result = entry.result
+        new_key, paths, _ = self._key_for(logical, key.exploit_cse,
+                                          key.prune)
+        new_result = optimize_plan(
+            logical, self.catalog, self.config,
+            exploit_cse=key.exploit_cse, prune=key.prune,
+            tracer=self.tracer, corrections=corrections,
+        )
+        _, old_cost = recost_plan(
+            old_result.plan, old_result.details.plan_memo,
+            self.catalog, self.config, corrections=corrections,
+        )
+        margin = (self.feedback.config.adoption_margin
+                  if self.feedback is not None else 0.0)
+        adopt = new_result.cost < old_cost * (1.0 - margin)
+        chosen = new_result if adopt else old_result
+        with self._lock:
+            self.cache.put(new_key, chosen, paths, logical=logical)
+        if self.feedback is not None:
+            self.feedback.note_reoptimization(adopt)
+        if adopt:
+            detection = (
+                f"candidate corrected cost {new_result.cost:,.0f} < "
+                f"incumbent corrected cost {old_cost:,.0f}"
+            )
+        else:
+            detection = (
+                f"candidate corrected cost {new_result.cost:,.0f} does "
+                f"not beat incumbent corrected cost {old_cost:,.0f}"
+                + (f" by margin {margin:.0%}" if margin else "")
+            )
+        return FeedbackDecision(
+            action="adopt" if adopt else "keep",
+            pathology="cached plan optimized under misestimated statistics",
+            detection=detection,
+            subject=key.short,
+            old_cost=old_cost,
+            new_cost=new_result.cost,
+        )
+
+    def _feedback_after(self, run) -> None:
+        if self.feedback is not None and self.feedback.config.auto:
+            self.feedback.observe_run(run)
+            self.feedback.step()
+
     # -- introspection -----------------------------------------------------
 
     def stats_snapshot(self) -> Dict[str, int]:
@@ -419,6 +542,8 @@ class QueryService:
                 "cache_size": len(self.cache),
                 "catalog_version": self.catalog_version,
             }
+        if self.feedback is not None:
+            snapshot.update(self.feedback.stats_snapshot())
         return snapshot
 
     def publish_stats(self, bus: Optional[EventBus] = None) -> None:
@@ -436,12 +561,22 @@ class QueryService:
                                            tracer=self.tracer))
 
     def _key_for(self, logical: LogicalPlan, exploit_cse: bool,
-                 prune: bool) -> Tuple[CacheKey, Tuple[str, ...]]:
+                 prune: bool):
+        """Cache key + dependency paths + the corrections snapshot.
+
+        The corrections are read under the same lock as the statistics
+        versions (and :meth:`apply_corrections` mutates both under that
+        lock), so a key can never pair old versions with new corrections
+        or vice versa — the key always names exactly the statistics the
+        optimization will run under.
+        """
         paths = referenced_paths(logical)
         with self._lock:
             versions = tuple(
                 (path, self._file_versions.get(path, 0)) for path in paths
             )
+            corrections = (self.feedback.store.active()
+                           if self.feedback is not None else None)
         key = CacheKey(
             fingerprint=script_fingerprint(logical),
             stats_versions=versions,
@@ -449,12 +584,12 @@ class QueryService:
             exploit_cse=exploit_cse,
             prune=prune,
         )
-        return key, paths
+        return key, paths, corrections
 
     def _submit_logical(self, logical: LogicalPlan, exploit_cse: bool,
                         prune: bool,
                         verify: Optional[bool]) -> SubmitResult:
-        key, paths = self._key_for(logical, exploit_cse, prune)
+        key, paths, corrections = self._key_for(logical, exploit_cse, prune)
         build = False
         with self._lock:
             self.stats.submits += 1
@@ -497,7 +632,7 @@ class QueryService:
             result = optimize_plan(
                 logical, self.catalog, self.config,
                 exploit_cse=exploit_cse, prune=prune, verify=verify,
-                tracer=self.tracer,
+                tracer=self.tracer, corrections=corrections,
             )
         except BaseException as exc:
             flight.error = exc
@@ -506,7 +641,7 @@ class QueryService:
             flight.event.set()
             raise
         with self._lock:
-            entry = self.cache.put(key, result, paths)
+            entry = self.cache.put(key, result, paths, logical=logical)
             self._inflight.pop(key, None)
         flight.entry = entry
         flight.event.set()

@@ -1,0 +1,35 @@
+"""Learned statistics: cardinality feedback from execution to optimizer.
+
+The package closes the loop the observability layer opened: per-vertex
+measured cardinalities (``repro.obs``'s q-error report) are captured as
+:class:`~repro.stats.store.FragmentObservation` records keyed on
+**canonical fragment fingerprints** — deep payload hashes of the logical
+subexpression a plan fragment computes, stable across optimizations,
+scripts and merged batches — accumulated in a versioned
+:class:`~repro.stats.store.FeedbackStore`, and published as a
+:class:`~repro.stats.store.CorrectionSet` the
+:class:`~repro.optimizer.cardinality.CardinalityEstimator` consults
+while deriving statistics.
+
+Only the dependency-light leaves are imported here; the controller that
+wires the loop into a :class:`repro.service.QueryService` lives in
+:mod:`repro.stats.feedback` (import it explicitly — it pulls in the
+optimizer and cost model).
+"""
+
+from .fragments import expr_fingerprint, fragment_fingerprints
+from .store import (
+    CorrectionSet,
+    FeedbackStore,
+    FragmentFeedback,
+    FragmentObservation,
+)
+
+__all__ = [
+    "CorrectionSet",
+    "FeedbackStore",
+    "FragmentFeedback",
+    "FragmentObservation",
+    "expr_fingerprint",
+    "fragment_fingerprints",
+]

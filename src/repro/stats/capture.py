@@ -1,0 +1,123 @@
+"""Capture measured fragment cardinalities from an executed run.
+
+The executors record the measured output rows of every plan fragment
+they run, keyed by memo group id, in
+:attr:`repro.exec.metrics.ExecutionMetrics.fragment_rows` — interior
+fragments (a filter feeding a local pre-aggregation, a shared
+aggregate inside a consumer pipeline) included, not just the
+stage-graph vertex boundaries.  This module maps those group ids back
+to the canonical fragment fingerprints the estimator stamped on the
+memo and emits one :class:`~repro.stats.store.FragmentObservation` per
+distinct fragment, pairing the measurement with the optimizer's
+estimate for the same group (``memo.group(gid).stats.rows``).
+
+Deduplication matters twice over.  The executors already count each
+group id once per run (a conventional plan re-executes shared work;
+only the first execution records).  On top of that, several groups can
+share one *fingerprint* — Spool and Output are cardinality-transparent
+and share their child's statistics object — so the observation for the
+smallest group id wins, deterministically.
+
+Fragments whose estimate is missing (``stats.rows <= 0``, mirroring
+``VertexStats.estimate_missing``) are *skipped entirely* — a sentinel
+estimate of zero is not a q-error-1 match, and must not seed a
+correction (see ``repro.obs.report``).
+
+Both executors record fragment rows, so sequential runs (``workers=0``)
+feed the loop exactly like scheduled ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..plan.logical import LogicalExtract
+from ..plan.physical import PhysExtract, PhysicalPlan
+from .store import FragmentObservation
+
+
+def plan_paths(root: PhysicalPlan) -> Tuple[str, ...]:
+    """Input files read anywhere under ``root`` (DAG-aware), sorted."""
+    paths = set()
+    seen = set()
+
+    def walk(node: PhysicalPlan) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node.op, PhysExtract):
+            paths.add(node.op.path)
+        for child in node.children:
+            walk(child)
+
+    walk(root)
+    return tuple(sorted(paths))
+
+
+def group_paths(memo, gid: int,
+                _cache: Optional[Dict[int, Tuple[str, ...]]] = None
+                ) -> Tuple[str, ...]:
+    """Input files read anywhere under memo group ``gid``, sorted."""
+    cache: Dict[int, Tuple[str, ...]] = _cache if _cache is not None else {}
+
+    def walk(group_id: int) -> Tuple[str, ...]:
+        cached = cache.get(group_id)
+        if cached is not None:
+            return cached
+        cache[group_id] = ()  # cycle guard; memos are acyclic anyway
+        expr = memo.group(group_id).initial_expr
+        paths = set()
+        if isinstance(expr.op, LogicalExtract):
+            paths.add(expr.op.path)
+        for child in expr.children:
+            paths.update(walk(child))
+        result = tuple(sorted(paths))
+        cache[group_id] = result
+        return result
+
+    return walk(gid)
+
+
+def capture_observations(memo, stage_graph, metrics
+                         ) -> List[FragmentObservation]:
+    """One observation per distinct executed fragment.
+
+    ``memo`` must be the memo the executed plan's ``group_id``s refer to
+    (:attr:`repro.cse.pipeline.CseOptimizationResult.plan_memo` — *not*
+    necessarily ``memo``, which stays the spooled one when the
+    conventional fallback wins).  ``stage_graph`` is only used to label
+    observations with the vertex that ran them (``None`` for sequential
+    runs).
+    """
+    if metrics is None or memo is None:
+        return []
+    owner: Dict[int, str] = {}
+    for name in sorted(metrics.vertices):
+        for gid in metrics.vertices[name].fragment_rows:
+            owner.setdefault(gid, name)
+    path_cache: Dict[int, Tuple[str, ...]] = {}
+    best: Dict[str, Tuple[int, FragmentObservation]] = {}
+    for gid in sorted(metrics.fragment_rows):
+        actual = metrics.fragment_rows[gid]
+        try:
+            group = memo.group(gid)
+        except (KeyError, IndexError):
+            continue
+        stats = group.stats
+        if stats is None or stats.fingerprint is None:
+            continue
+        if stats.rows <= 0:
+            # Estimate missing: nothing to compare against (see
+            # VertexStats.estimate_missing / repro.obs.report).
+            continue
+        observation = FragmentObservation(
+            fingerprint=stats.fingerprint,
+            estimated=float(stats.rows),
+            actual=int(actual),
+            paths=group_paths(memo, gid, path_cache),
+            vertex=owner.get(gid, "seq"),
+        )
+        incumbent = best.get(stats.fingerprint)
+        if incumbent is None or gid < incumbent[0]:
+            best[stats.fingerprint] = (gid, observation)
+    return [best[fp][1] for fp in sorted(best)]

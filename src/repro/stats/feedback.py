@@ -1,0 +1,247 @@
+"""The risk-gated cardinality-feedback controller.
+
+Closes the loop over a :class:`repro.service.QueryService`::
+
+    capture -> correct -> gate -> re-optimize
+
+1. **Capture** — after each scheduled run, per-vertex measured
+   cardinalities are mapped back to canonical fragment fingerprints
+   (:mod:`repro.stats.capture`) and recorded in a
+   :class:`~repro.stats.store.FeedbackStore`.
+2. **Correct** — fragments whose current estimate is off by at least
+   ``qerror_threshold`` become correction candidates; the corrected
+   value is the running mean of the measurements.
+3. **Gate** — two explicit decision gates, recorded as
+   :class:`FeedbackDecision` cards and published as
+   ``stats.feedback.decision`` events:
+
+   * **Gate A (correction admission)** — a candidate backed by fewer
+     than ``min_observations`` runs is *not* published (a single skewed
+     sample must not rewrite the statistics).
+   * **Gate B (plan adoption)** — after publication invalidates
+     dependent cache entries, each former entry is re-optimized under
+     the corrected statistics; the rewrite is adopted only if its cost
+     beats the *incumbent plan re-priced under the same corrections*
+     (:mod:`repro.stats.recost`) by at least ``adoption_margin``.
+     Otherwise the incumbent is re-inserted under the fresh cache key
+     and keeps serving.
+
+4. **Re-optimize** — adoption flows through the service's existing
+   statistics-version invalidation path (per-path version bumps), so
+   ``QueryService`` callers and the admission controller pick up
+   corrected plans transparently, exactly as they do after
+   ``update_statistics``.
+
+Every decision (published, skipped, adopted, kept) is a decision card
+on the controller; :meth:`FeedbackController.dump_decisions` writes
+them as JSON lines for offline audit (the CI feedback-stress job
+uploads this log as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..obs.bus import EventBus, ObsEvent
+from .capture import capture_observations
+from .store import FeedbackStore, FragmentFeedback
+
+
+@dataclass(frozen=True)
+class FeedbackConfig:
+    """Tunables of the feedback loop.
+
+    The defaults are deliberately conservative: corrections need a
+    factor-2 estimation error to trigger at all, and a plan rewrite must
+    strictly win under corrected statistics to be adopted.
+    """
+
+    #: Gate trigger: minimum q-error (max(e/a, a/e)) of a fragment's
+    #: current estimate against its measured mean.
+    qerror_threshold: float = 2.0
+    #: Gate A: minimum number of recorded observations backing a
+    #: correction before it may be published.
+    min_observations: int = 1
+    #: Gate B: the re-optimized plan's corrected cost must be below
+    #: ``incumbent_corrected_cost * (1 - adoption_margin)``.
+    adoption_margin: float = 0.0
+    #: Observe-and-step automatically after every ``QueryService``
+    #: execution (``execute``/``execute_many``).
+    auto: bool = True
+
+
+@dataclass(frozen=True)
+class FeedbackDecision:
+    """One gate decision, in querytorque decision-card style.
+
+    ``pathology`` names what was wrong, ``detection`` how it was
+    measured, ``action`` what the gate did about it, and the numeric
+    fields carry the calibration evidence the decision rests on.
+    """
+
+    #: "publish" / "skip_low_observations" / "adopt" / "keep".
+    action: str
+    #: What was wrong (misestimated fragment, candidate rewrite, ...).
+    pathology: str
+    #: The measurement that triggered the decision.
+    detection: str
+    #: Fragment fingerprint or cache-key fingerprint the card is about.
+    subject: str = ""
+    qerror: Optional[float] = None
+    observations: int = 0
+    corrected_rows: Optional[float] = None
+    estimated_rows: Optional[float] = None
+    old_cost: Optional[float] = None
+    new_cost: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _finite(value: Optional[float]) -> Optional[float]:
+    if value is None:
+        return None
+    return value if value == value and abs(value) != float("inf") else None
+
+
+class FeedbackController:
+    """Wires a :class:`FeedbackStore` into a ``QueryService``.
+
+    Create via ``QueryService(..., feedback=FeedbackConfig(...))`` —
+    the service owns the controller and (with ``auto``) drives it after
+    every execution; it can also be driven manually::
+
+        controller.observe_run(run)   # capture one run's measurements
+        controller.step()             # gate + publish + re-optimize
+    """
+
+    def __init__(self, service, config: Optional[FeedbackConfig] = None,
+                 bus: Optional[EventBus] = None):
+        self.service = service
+        self.config = config or FeedbackConfig()
+        self.store = FeedbackStore()
+        self.bus = bus if bus is not None else service.bus
+        self._lock = threading.Lock()
+        self.decisions: List[FeedbackDecision] = []
+        #: Runs observed / corrections published / plans adopted / kept.
+        self.counters: Dict[str, int] = {
+            "runs_observed": 0,
+            "observations": 0,
+            "published": 0,
+            "skipped_low_observations": 0,
+            "reoptimized": 0,
+            "adopted": 0,
+            "kept": 0,
+        }
+
+    # -- capture -----------------------------------------------------------
+
+    def observe_run(self, run) -> int:
+        """Record one executed run's fragment measurements.
+
+        Accepts a :class:`repro.service.ServiceRun` or
+        :class:`repro.service.BatchRun` (anything with ``submit``,
+        ``stage_graph`` and ``metrics``).  Sequential runs carry no
+        stage graph and contribute nothing.
+        """
+        memo = run.submit.result.details.plan_memo
+        observations = capture_observations(memo, run.stage_graph,
+                                            run.metrics)
+        recorded = self.store.record(observations)
+        with self._lock:
+            self.counters["runs_observed"] += 1
+            self.counters["observations"] += recorded
+        self.bus.publish(ObsEvent.make(
+            "stats.feedback.capture",
+            observations=recorded,
+            fragments=len(observations),
+        ))
+        return recorded
+
+    # -- gate + publish + re-optimize --------------------------------------
+
+    def step(self) -> List[FeedbackDecision]:
+        """Run one gate cycle; returns the decision cards it produced."""
+        candidates = self.store.candidates(self.config.qerror_threshold)
+        passed: List[FragmentFeedback] = []
+        cards: List[FeedbackDecision] = []
+        for entry in candidates:
+            if entry.observations >= self.config.min_observations:
+                passed.append(entry)
+                continue
+            card = FeedbackDecision(
+                action="skip_low_observations",
+                pathology="misestimated fragment",
+                detection=(
+                    f"q-error {entry.current_qerror:.2f} >= "
+                    f"{self.config.qerror_threshold:.2f} but only "
+                    f"{entry.observations} observation(s) < "
+                    f"{self.config.min_observations}"
+                ),
+                subject=entry.fingerprint,
+                qerror=_finite(entry.current_qerror),
+                observations=entry.observations,
+                estimated_rows=entry.last_estimated,
+                corrected_rows=entry.mean_actual,
+            )
+            cards.append(card)
+            with self._lock:
+                self.counters["skipped_low_observations"] += 1
+        if passed:
+            for entry in passed:
+                cards.append(FeedbackDecision(
+                    action="publish",
+                    pathology="misestimated fragment",
+                    detection=(
+                        f"q-error {entry.current_qerror:.2f} >= "
+                        f"{self.config.qerror_threshold:.2f} over "
+                        f"{entry.observations} observation(s)"
+                    ),
+                    subject=entry.fingerprint,
+                    qerror=_finite(entry.current_qerror),
+                    observations=entry.observations,
+                    estimated_rows=entry.last_estimated,
+                    corrected_rows=entry.mean_actual,
+                ))
+            with self._lock:
+                self.counters["published"] += len(passed)
+            cards.extend(self.service.apply_corrections(self.store, passed))
+        self._record(cards)
+        return cards
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def note_reoptimization(self, adopted: bool) -> None:
+        with self._lock:
+            self.counters["reoptimized"] += 1
+            self.counters["adopted" if adopted else "kept"] += 1
+
+    def _record(self, cards: List[FeedbackDecision]) -> None:
+        with self._lock:
+            self.decisions.extend(cards)
+        for card in cards:
+            self.bus.publish(ObsEvent.make(
+                "stats.feedback.decision", **{
+                    k: v for k, v in card.as_dict().items() if v is not None
+                }
+            ))
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            snapshot = dict(self.counters)
+        snapshot.update(self.store.stats.as_dict())
+        snapshot["corrections_active"] = len(self.store.active())
+        snapshot["corrections_version"] = self.store.active().version
+        return snapshot
+
+    def dump_decisions(self, path: str) -> int:
+        """Write the decision log as JSON lines; returns the card count."""
+        with self._lock:
+            cards = list(self.decisions)
+        with open(path, "w", encoding="utf-8") as fh:
+            for card in cards:
+                fh.write(json.dumps(card.as_dict(), sort_keys=True) + "\n")
+        return len(cards)

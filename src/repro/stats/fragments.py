@@ -1,0 +1,88 @@
+"""Canonical fragment fingerprints for learned statistics.
+
+A *fragment fingerprint* names the logical result a plan fragment
+computes: a deep SHA-256 over the root operator's full payload and the
+fingerprints of its inputs.  Like
+:func:`repro.cse.merge.script_fingerprint` (whose payload-token scheme
+this mirrors) it is an exact identity — collisions would misattribute a
+measured cardinality to the wrong fragment — but it is computed
+per-*fragment* rather than per-script, bottom-up alongside cardinality
+derivation, so a correction learned under one script applies to the same
+subexpression wherever it reappears (another script, a merged batch, a
+re-optimization after a statistics update).
+
+Cardinality-transparent wrappers (``Spool``, ``Output``) inherit their
+input's fingerprint: the spool vertex materializing a shared result and
+the vertex computing it observe the *same* logical cardinality, so both
+must feed the same correction.
+
+This module is a dependency leaf (plan layer only) so the estimator can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Dict, Iterable, Optional
+
+from ..plan.columns import Schema
+
+#: Fingerprint of a fragment whose identity is unknown (an input carried
+#: no fingerprint); propagating ``None`` disables correction lookup for
+#: everything above it rather than guessing.
+NO_FINGERPRINT = None
+
+
+def _token(value) -> str:
+    """Deterministic, payload-complete serialization of a field value."""
+    if isinstance(value, Schema):
+        cols = ",".join(f"{c.name}:{c.ctype.value}" for c in value)
+        return f"[{cols}]"
+    if isinstance(value, tuple):
+        return "(" + ",".join(_token(v) for v in value) + ")"
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _payload_token(value)
+    return repr(value)
+
+
+def _payload_token(obj) -> str:
+    """Canonical description of a dataclass payload (operator or expr)."""
+    fields = ",".join(
+        f"{f.name}={_token(getattr(obj, f.name))}"
+        for f in dataclasses.fields(obj)
+    )
+    return f"{type(obj).__name__}({fields})"
+
+
+def expr_fingerprint(op, child_fingerprints: Iterable[Optional[str]]
+                     ) -> Optional[str]:
+    """Fingerprint of ``op`` applied to already-fingerprinted inputs.
+
+    Returns ``None`` when any input's fingerprint is unknown — a
+    correction can only be keyed on a fully identified fragment.
+    """
+    parts = [_payload_token(op)]
+    for child in child_fingerprints:
+        if child is None:
+            return NO_FINGERPRINT
+        parts.append(child)
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+def fragment_fingerprints(memo) -> Dict[int, Optional[str]]:
+    """Fingerprint of every group's fragment, from its annotated stats.
+
+    Requires the memo to have been annotated by the estimator
+    (:func:`repro.optimizer.cardinality.annotate_memo` stores the
+    fingerprint on each group's :class:`Stats`).  Groups without stats
+    map to ``None``.
+    """
+    out: Dict[int, Optional[str]] = {}
+    for gid in memo.reachable_from_root():
+        stats = memo.group(gid).stats
+        out[gid] = stats.fingerprint if stats is not None else None
+    return out

@@ -1,0 +1,99 @@
+"""Re-price an already-chosen physical plan under different statistics.
+
+The adoption gate of the feedback loop (``repro.stats.feedback``) must
+compare like with like: a candidate re-optimized plan is priced under
+*corrected* statistics, so the incumbent plan has to be re-priced under
+the same corrections before the two costs mean anything side by side.
+Comparing the incumbent's stale stored cost against a corrected
+candidate cost would systematically favour whichever side the
+correction happened to shrink.
+
+:func:`recost_plan` rebuilds the plan bottom-up: fresh per-group
+statistics are derived from the memo's initial expressions with an
+estimator carrying the corrections, every node is re-priced through the
+same :class:`~repro.optimizer.cost.CostModel` formulas the engine used,
+and the result is priced DAG-aware (spools built once, re-reads per
+extra consumer).  With no corrections this reproduces the engine's
+original cost exactly — a property the test suite pins down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..optimizer.cardinality import CardinalityEstimator, Stats
+from ..optimizer.cost import CostModel
+from ..optimizer.engine import OptimizerConfig
+from ..plan.physical import PhysicalPlan
+from ..scope.catalog import Catalog
+
+
+def recost_plan(
+    plan: PhysicalPlan,
+    memo,
+    catalog: Catalog,
+    config: Optional[OptimizerConfig] = None,
+    corrections=None,
+) -> Tuple[PhysicalPlan, float]:
+    """Rebuild ``plan`` with statistics derived under ``corrections``.
+
+    ``memo`` must be the memo the plan's ``group_id``s refer to
+    (``CseOptimizationResult.plan_memo``).  Returns ``(rebuilt plan,
+    DAG cost)``; the input plan is left untouched.
+    """
+    config = config or OptimizerConfig()
+    estimator = CardinalityEstimator(
+        catalog, machines=config.cost_params.machines,
+        corrections=corrections,
+    )
+    cost_model = CostModel(config.cost_params)
+
+    fresh: Dict[int, Stats] = {}
+
+    def group_stats(gid: int) -> Stats:
+        cached = fresh.get(gid)
+        if cached is not None:
+            return cached
+        group = memo.group(gid)
+        expr = group.initial_expr
+        child_stats = [group_stats(child) for child in expr.children]
+        stats = estimator.derive(expr.op, child_stats, group.schema)
+        fresh[gid] = stats
+        return stats
+
+    def node_stats(node: PhysicalPlan) -> Stats:
+        gid = node.group_id
+        if gid is not None:
+            try:
+                return group_stats(gid)
+            except (KeyError, IndexError):
+                pass
+        # Unmapped node (should not happen for engine-built plans):
+        # fall back to the stats baked in at optimization time.
+        return Stats(node.rows, {}, float(node.schema.row_width_bytes()))
+
+    rebuilt: Dict[int, PhysicalPlan] = {}
+
+    def rebuild(node: PhysicalPlan) -> PhysicalPlan:
+        cached = rebuilt.get(id(node))
+        if cached is not None:
+            return cached
+        children = [rebuild(child) for child in node.children]
+        out_stats = node_stats(node)
+        child_stats = [node_stats(child) for child in node.children]
+        self_cost = cost_model.operator_cost(
+            node.op, out_stats, children, child_stats
+        )
+        replaced = dataclasses.replace(
+            node,
+            children=children,
+            rows=out_stats.rows,
+            self_cost=self_cost,
+            cost=self_cost + sum(child.cost for child in children),
+        )
+        rebuilt[id(node)] = replaced
+        return replaced
+
+    repriced = rebuild(plan)
+    return repriced, cost_model.dag_cost(repriced)

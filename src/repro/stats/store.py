@@ -1,0 +1,253 @@
+"""Versioned store of measured per-fragment cardinalities.
+
+The store accumulates :class:`FragmentObservation` records (one per
+fragment per run, deduplicated by the capture layer) into per-fragment
+:class:`FragmentFeedback` aggregates, and *publishes* vetted corrections
+as immutable :class:`CorrectionSet` snapshots the estimator consults.
+
+Accumulation and publication are deliberately separate steps: recording
+an observation never changes what the optimizer sees.  Corrections only
+become visible when :meth:`FeedbackStore.publish` is called — by the
+feedback controller, which gates publication on the q-error threshold
+and the minimum observation count, and routes the activation through
+the plan cache's statistics-version invalidation so cached plans can
+never silently disagree with the active corrections.
+
+Thread safety: all store mutators take an internal lock; published
+``CorrectionSet`` snapshots are immutable and safe to share with
+concurrent optimizations.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..obs.report import qerror
+
+
+@dataclass(frozen=True)
+class FragmentObservation:
+    """One run's measured cardinality of one plan fragment."""
+
+    #: Canonical fragment fingerprint (see ``repro.stats.fragments``).
+    fingerprint: str
+    #: The estimate the optimizer used for this fragment in the run.
+    estimated: float
+    #: Measured output rows of the fragment.
+    actual: int
+    #: Input files the fragment (transitively) reads — the invalidation
+    #: scope of a correction derived from this observation.
+    paths: Tuple[str, ...] = ()
+    #: Vertex the observation came from (diagnostics only).
+    vertex: str = ""
+
+    @property
+    def qerror(self) -> Optional[float]:
+        return qerror(self.estimated, self.actual)
+
+
+@dataclass
+class FragmentFeedback:
+    """Accumulated observations of one fragment."""
+
+    fingerprint: str
+    paths: Tuple[str, ...] = ()
+    observations: int = 0
+    total_actual: float = 0.0
+    last_actual: int = 0
+    #: Estimate used by the *most recent* run (reflects any correction
+    #: already active when that run was optimized).
+    last_estimated: float = 0.0
+
+    @property
+    def mean_actual(self) -> float:
+        if self.observations == 0:
+            return 0.0
+        return self.total_actual / self.observations
+
+    @property
+    def current_qerror(self) -> Optional[float]:
+        """q-error of the latest estimate against the mean measurement."""
+        return qerror(self.last_estimated, self.mean_actual)
+
+
+@dataclass(frozen=True)
+class Correction:
+    """One published cardinality correction."""
+
+    fingerprint: str
+    rows: float
+    observations: int
+    paths: Tuple[str, ...] = ()
+
+
+class CorrectionSet:
+    """Immutable snapshot of the active corrections, with a version.
+
+    The estimator holds one of these for the duration of an optimization
+    run; the version participates in telemetry and decision cards (cache
+    freshness is carried by the per-path statistics versions the service
+    bumps on publication, not by this number).
+    """
+
+    __slots__ = ("version", "_rows")
+
+    def __init__(self, version: int = 0,
+                 corrections: Optional[Dict[str, Correction]] = None):
+        self.version = version
+        self._rows: Dict[str, Correction] = dict(corrections or {})
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._rows
+
+    def rows_for(self, fingerprint: Optional[str]) -> Optional[float]:
+        """Corrected output rows for a fragment, or ``None``."""
+        if fingerprint is None:
+            return None
+        correction = self._rows.get(fingerprint)
+        return correction.rows if correction is not None else None
+
+    def get(self, fingerprint: str) -> Optional[Correction]:
+        return self._rows.get(fingerprint)
+
+    def corrections(self) -> List[Correction]:
+        return [self._rows[fp] for fp in sorted(self._rows)]
+
+    def merged(self, updates: Iterable[Correction],
+               version: int) -> "CorrectionSet":
+        """A new snapshot with ``updates`` folded in."""
+        merged = dict(self._rows)
+        for correction in updates:
+            merged[correction.fingerprint] = correction
+        return CorrectionSet(version, merged)
+
+
+EMPTY_CORRECTIONS = CorrectionSet()
+
+
+@dataclass
+class StoreStats:
+    """Additive counters of one store's lifetime."""
+
+    observations: int = 0
+    fragments: int = 0
+    publications: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "feedback_observations": self.observations,
+            "feedback_fragments": self.fragments,
+            "feedback_publications": self.publications,
+        }
+
+
+class FeedbackStore:
+    """Thread-safe accumulator of fragment observations."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._fragments: Dict[str, FragmentFeedback] = {}
+        self._active = EMPTY_CORRECTIONS
+        self.version = 0
+        self.stats = StoreStats()
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, observations: Iterable[FragmentObservation]) -> int:
+        """Fold a run's observations in; returns the number recorded."""
+        count = 0
+        with self._lock:
+            for obs in observations:
+                entry = self._fragments.get(obs.fingerprint)
+                if entry is None:
+                    entry = FragmentFeedback(
+                        fingerprint=obs.fingerprint, paths=obs.paths
+                    )
+                    self._fragments[obs.fingerprint] = entry
+                    self.stats.fragments += 1
+                entry.observations += 1
+                entry.total_actual += obs.actual
+                entry.last_actual = obs.actual
+                entry.last_estimated = obs.estimated
+                if obs.paths:
+                    entry.paths = tuple(sorted(set(entry.paths) | set(obs.paths)))
+                count += 1
+                self.stats.observations += 1
+        return count
+
+    # -- introspection -----------------------------------------------------
+
+    def fragment(self, fingerprint: str) -> Optional[FragmentFeedback]:
+        with self._lock:
+            return self._fragments.get(fingerprint)
+
+    def fragments(self) -> List[FragmentFeedback]:
+        with self._lock:
+            return [self._fragments[fp] for fp in sorted(self._fragments)]
+
+    def active(self) -> CorrectionSet:
+        with self._lock:
+            return self._active
+
+    # -- candidate selection and publication -------------------------------
+
+    def candidates(self, qerror_threshold: float) -> List[FragmentFeedback]:
+        """Fragments whose estimate is off by at least the threshold.
+
+        A fragment already corrected to (approximately) its measured
+        mean is *converged* and never re-candidates, even though a
+        zero-row measurement keeps its raw q-error infinite forever.
+        """
+        out = []
+        with self._lock:
+            for fp in sorted(self._fragments):
+                entry = self._fragments[fp]
+                err = entry.current_qerror
+                if err is None or err < qerror_threshold:
+                    continue
+                active = self._active.get(fp)
+                if active is not None and \
+                        abs(active.rows - entry.mean_actual) < 0.5:
+                    continue  # already corrected; waiting for re-opt
+                out.append(entry)
+        return out
+
+    def publish(self, fragments: Iterable[FragmentFeedback]) -> CorrectionSet:
+        """Activate corrections for ``fragments``; returns the snapshot.
+
+        The correction value is the running mean of the measured
+        cardinalities (a skew-robust default: deterministic data makes
+        it exact after one observation, noisy data converges).
+        """
+        updates = [
+            Correction(
+                fingerprint=entry.fingerprint,
+                rows=max(1.0, entry.mean_actual),
+                observations=entry.observations,
+                paths=entry.paths,
+            )
+            for entry in fragments
+        ]
+        with self._lock:
+            if not updates:
+                return self._active
+            self.version += 1
+            self.stats.publications += 1
+            self._active = self._active.merged(updates, self.version)
+            return self._active
+
+    def affected_paths(self, fragments: Iterable[FragmentFeedback]
+                       ) -> Tuple[str, ...]:
+        paths: set = set()
+        for entry in fragments:
+            paths |= set(entry.paths)
+        return tuple(sorted(paths))

@@ -1,0 +1,188 @@
+"""Skewed-statistics scenarios for the cardinality-feedback loop.
+
+Each scenario pairs a catalog whose statistics *mislead* the seed
+estimator with deterministic data that exposes the misestimate at run
+time — the raw material of the learned-statistics loop in
+``repro.stats`` (see ``docs/feedback.md``).  The scripts are mirrored
+as ``tests/corpus/feedback/<name>.scope`` (the golden regression
+corpus); the benchmark ``benchmarks/bench_feedback.py`` and the
+feedback test suites all build their workloads from here so the
+scenarios cannot drift apart.
+
+The three shapes:
+
+* ``filter_selectivity_skew`` — the headline.  The catalog says column
+  ``C`` has 2 distinct values, so ``WHERE C = 1`` is estimated at half
+  the file (2,000 rows); the data contains only 4 matches.  Under the
+  seed estimate, spooling the shared filter looks more expensive than
+  recomputing it, so the optimizer picks the conventional
+  duplicate-pipeline plan.  One observed run corrects the fragment to
+  4 rows, re-optimization flips to the spooled plan, and the input is
+  extracted once instead of twice.
+* ``groupby_ndv_skew`` — the catalog's per-column NDVs multiply out to
+  a huge estimate for a shared ``GROUP BY A, B`` (correlated columns in
+  the data produce 2 groups), misleading the spool decision above the
+  aggregate the same way.
+* ``gate_refusal_low_observations`` — same misestimate as the
+  headline, but the controller requires 3 observations before
+  publishing; with fewer runs the gate must *refuse* (a
+  ``skip_low_observations`` decision card) and the plan must not
+  change.
+* ``single_consumer_keep`` — the filter misestimate without any shared
+  consumer: the correction publishes, but re-optimization cannot beat
+  the incumbent re-priced under the same corrections, so Gate B keeps
+  the old plan (a ``keep`` decision card).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..plan.columns import ColumnType
+from ..scope.catalog import Catalog
+
+#: Rows per skewed input file (small enough for fast tests, large
+#: enough that a factor-500 misestimate flips real plan decisions).
+SKEW_ROWS = 4_000
+
+
+def _filter_skew_rows() -> List[dict]:
+    """4,000 rows; ``C = 1`` on exactly 4 of them (i % 1000 == 0)."""
+    return [
+        {"A": i % 7, "B": i % 5, "C": 1 if i % 1000 == 0 else 0,
+         "D": i % 50}
+        for i in range(SKEW_ROWS)
+    ]
+
+
+def _groupby_skew_rows() -> List[dict]:
+    """4,000 rows whose (A, B) pairs collapse to 2 groups.
+
+    The catalog advertises ndv(A)=700 and ndv(B)=500; the data makes A
+    and B perfectly correlated two-valued columns, so the shared
+    ``GROUP BY A, B`` emits 2 rows instead of the estimated thousands.
+    """
+    return [
+        {"A": i % 2, "B": i % 2, "C": i % 6, "D": i % 50}
+        for i in range(SKEW_ROWS)
+    ]
+
+
+@dataclass(frozen=True)
+class SkewScenario:
+    """One misestimated workload plus the feedback settings to run it."""
+
+    name: str
+    description: str
+    script: str
+    #: ``(path, ndv)`` per input file; all files have :data:`SKEW_ROWS`
+    #: rows of columns A,B,C,D (INT).
+    catalog_files: Tuple[Tuple[str, Dict[str, int]], ...]
+    #: Deterministic data generator per input file.
+    data: Tuple[Tuple[str, Callable[[], List[dict]]], ...]
+    #: Keyword arguments for ``repro.stats.feedback.FeedbackConfig``.
+    feedback: Dict[str, object] = field(default_factory=dict)
+    #: The decision the scenario is about: "adopt", "keep" or
+    #: "skip_low_observations".
+    expect: str = "adopt"
+
+    def build_catalog(self) -> Catalog:
+        catalog = Catalog()
+        columns = [(n, ColumnType.INT) for n in ("A", "B", "C", "D")]
+        for path, ndv in self.catalog_files:
+            catalog.register_file(path, columns, rows=SKEW_ROWS, ndv=ndv)
+        return catalog
+
+    def generate_files(self) -> Dict[str, List[dict]]:
+        return {path: maker() for path, maker in self.data}
+
+
+FILTER_SKEW_SCRIPT = """\
+R0 = EXTRACT A,B,C,D FROM "skew.log" USING LogExtractor;
+F = SELECT A,B,C,D FROM R0 WHERE C = 1;
+G1 = SELECT A, Sum(D) AS SD FROM F GROUP BY A;
+G2 = SELECT B, Sum(D) AS SD FROM F GROUP BY B;
+OUTPUT G1 TO "g1.out";
+OUTPUT G2 TO "g2.out";
+"""
+
+GROUPBY_SKEW_SCRIPT = """\
+R0 = EXTRACT A,B,C,D FROM "wide.log" USING LogExtractor;
+G = SELECT A, B, Sum(D) AS SD FROM R0 GROUP BY A, B;
+X = SELECT A, Sum(SD) AS SX FROM G GROUP BY A;
+Y = SELECT B, Sum(SD) AS SY FROM G GROUP BY B;
+OUTPUT X TO "x.out";
+OUTPUT Y TO "y.out";
+"""
+
+SINGLE_CONSUMER_SCRIPT = """\
+R0 = EXTRACT A,B,C,D FROM "skew.log" USING LogExtractor;
+F = SELECT A,B,C,D FROM R0 WHERE C = 1;
+G = SELECT A, Sum(D) AS SD FROM F GROUP BY A;
+OUTPUT G TO "g.out";
+"""
+
+_FILTER_SKEW_CATALOG = (
+    ("skew.log", {"A": 7, "B": 5, "C": 2, "D": 50}),
+)
+_GROUPBY_SKEW_CATALOG = (
+    ("wide.log", {"A": 700, "B": 500, "C": 6, "D": 50}),
+)
+
+SKEW_SCENARIOS: Dict[str, SkewScenario] = {
+    scenario.name: scenario
+    for scenario in [
+        SkewScenario(
+            name="filter_selectivity_skew",
+            description=(
+                "shared filter estimated at 2,000 rows materializes 4; "
+                "the corrected optimizer spools it and extracts the "
+                "input once"
+            ),
+            script=FILTER_SKEW_SCRIPT,
+            catalog_files=_FILTER_SKEW_CATALOG,
+            data=(("skew.log", _filter_skew_rows),),
+            feedback={"qerror_threshold": 2.0, "min_observations": 1},
+            expect="adopt",
+        ),
+        SkewScenario(
+            name="groupby_ndv_skew",
+            description=(
+                "shared GROUP BY A,B estimated via ndv(A)*ndv(B) "
+                "collapses to 2 groups of correlated data"
+            ),
+            script=GROUPBY_SKEW_SCRIPT,
+            catalog_files=_GROUPBY_SKEW_CATALOG,
+            data=(("wide.log", _groupby_skew_rows),),
+            feedback={"qerror_threshold": 2.0, "min_observations": 1},
+            expect="adopt",
+        ),
+        SkewScenario(
+            name="gate_refusal_low_observations",
+            description=(
+                "the same filter misestimate, but corrections need 3 "
+                "observations: the gate must refuse and the plan must "
+                "not change"
+            ),
+            script=FILTER_SKEW_SCRIPT,
+            catalog_files=_FILTER_SKEW_CATALOG,
+            data=(("skew.log", _filter_skew_rows),),
+            feedback={"qerror_threshold": 2.0, "min_observations": 3},
+            expect="skip_low_observations",
+        ),
+        SkewScenario(
+            name="single_consumer_keep",
+            description=(
+                "filter misestimate with one consumer: the correction "
+                "publishes but no cheaper plan exists, so Gate B keeps "
+                "the incumbent"
+            ),
+            script=SINGLE_CONSUMER_SCRIPT,
+            catalog_files=_FILTER_SKEW_CATALOG,
+            data=(("skew.log", _filter_skew_rows),),
+            feedback={"qerror_threshold": 2.0, "min_observations": 1},
+            expect="keep",
+        ),
+    ]
+}

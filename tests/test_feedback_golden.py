@@ -1,0 +1,136 @@
+"""Golden regression corpus for the cardinality-feedback loop.
+
+Each skewed-statistics scenario of :mod:`repro.workloads.skew` is
+executed twice through a feedback-enabled
+:class:`~repro.service.QueryService`; the plan of the first run (seed
+statistics) and the plan served after the feedback cycle are rendered
+with :func:`repro.optimizer.explain.explain_normalized` and compared
+byte-for-byte against the snapshots in ``tests/golden/``.  A diff means
+the feedback loop changed which plan a skewed scenario converges to —
+sometimes intentional, never silent.  Refresh with::
+
+    pytest tests/test_feedback_golden.py --update-golden
+
+The corpus also locks the *decisions*: the headline scenario must adopt
+a measurably cheaper plan, and the refusal scenarios must record their
+refusals and leave the plan untouched.  The scenario scripts are
+mirrored as ``tests/corpus/feedback/<name>.scope``; a sync test keeps
+the mirrors byte-identical to the module definitions.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.optimizer.explain import explain_normalized
+from repro.service import QueryService
+from repro.stats.feedback import FeedbackConfig
+from repro.workloads.skew import SKEW_SCENARIOS
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+FEEDBACK_CORPUS = pathlib.Path(__file__).parent / "corpus" / "feedback"
+MACHINES = 4
+ROUNDS = 2
+
+
+def _config() -> OptimizerConfig:
+    return OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+
+
+def run_scenario(name: str):
+    """Execute a scenario for ROUNDS rounds; returns (runs, service)."""
+    scenario = SKEW_SCENARIOS[name]
+    service = QueryService(
+        scenario.build_catalog(), _config(),
+        feedback=FeedbackConfig(**scenario.feedback),
+    )
+    files = scenario.generate_files()
+    runs = [
+        service.execute(scenario.script, workers=2, files=files)
+        for _ in range(ROUNDS)
+    ]
+    return runs, service
+
+
+def _check_golden(name: str, rendered: str, update_golden: bool) -> None:
+    golden_path = GOLDEN_DIR / f"{name}.txt"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(rendered)
+        return
+    assert golden_path.exists(), (
+        f"missing snapshot {golden_path}; run with --update-golden"
+    )
+    expected = golden_path.read_text()
+    assert rendered == expected, (
+        f"feedback plan for {name} changed; if intentional, refresh "
+        f"with `pytest tests/test_feedback_golden.py --update-golden`\n"
+        f"--- expected ---\n{expected}\n--- got ---\n{rendered}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SKEW_SCENARIOS))
+def test_golden_plans_before_and_after_feedback(name, update_golden):
+    runs, service = run_scenario(name)
+    before = explain_normalized(runs[0].submit.result.plan)
+    after = explain_normalized(runs[-1].submit.result.plan)
+    scenario = SKEW_SCENARIOS[name]
+    if scenario.expect == "adopt":
+        assert after != before, (
+            f"{name}: feedback was expected to change the plan"
+        )
+    else:
+        assert after == before, (
+            f"{name}: the gate refused, so the plan must not change"
+        )
+    _check_golden(f"feedback_{name}_before", before, update_golden)
+    _check_golden(f"feedback_{name}_after", after, update_golden)
+    if update_golden:
+        pytest.skip("updated feedback golden snapshots")
+
+
+@pytest.mark.parametrize("name", sorted(SKEW_SCENARIOS))
+def test_expected_gate_decision_is_recorded(name):
+    runs, service = run_scenario(name)
+    actions = {card.action for card in service.feedback.decisions}
+    assert SKEW_SCENARIOS[name].expect in actions, (
+        f"{name}: expected a {SKEW_SCENARIOS[name].expect!r} decision, "
+        f"got {sorted(actions)}"
+    )
+    # Whatever the decision, results never change.
+    first, last = runs[0], runs[-1]
+    assert set(first.outputs) == set(last.outputs)
+    for path in first.outputs:
+        assert (first.outputs[path].canonical_bytes()
+                == last.outputs[path].canonical_bytes())
+
+
+def test_headline_scenario_reduces_rows_processed():
+    """The acceptance bar: >= 30% fewer rows processed after feedback."""
+    runs, service = run_scenario("filter_selectivity_skew")
+    before = runs[0].metrics.rows_processed()
+    after = runs[-1].metrics.rows_processed()
+    assert after <= 0.7 * before, (
+        f"rows processed only went {before} -> {after}"
+    )
+    assert runs[-1].submit.cache_hit, (
+        "the corrected plan must serve from the cache, not re-optimize"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SKEW_SCENARIOS))
+def test_corpus_mirror_matches_module(name):
+    """The .scope mirrors under tests/corpus/feedback stay in sync."""
+    mirror = FEEDBACK_CORPUS / f"{name}.scope"
+    assert mirror.exists(), f"missing corpus mirror {mirror}"
+    body = "".join(
+        line for line in mirror.read_text().splitlines(keepends=True)
+        if not line.startswith("//")
+    )
+    assert body == SKEW_SCENARIOS[name].script, (
+        f"{mirror} drifted from repro.workloads.skew"
+    )

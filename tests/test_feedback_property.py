@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the feedback loop.
+
+Two claims, drawn from the PR's acceptance bar:
+
+* **Monotone convergence** — publishing a correction never makes a
+  fragment's estimate worse: the q-error of the corrected row count
+  against the measured mean is always <= the q-error of the estimate it
+  replaces, and iterating observe -> correct over a stationary workload
+  produces a non-increasing q-error sequence.
+* **Risk-gated adoption** — whatever corrections the store publishes,
+  Gate B never adopts a plan whose cost under the corrected statistics
+  exceeds the incumbent's cost under the *same* corrections; the plan
+  the service ends up serving is never costlier (under the active
+  corrections) than the plan it replaced.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.report import qerror
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.plan.columns import ColumnType
+from repro.scope.catalog import Catalog
+from repro.service import QueryService
+from repro.stats import FeedbackStore, FragmentObservation
+from repro.stats.feedback import FeedbackConfig
+from repro.stats.fragments import fragment_fingerprints
+from repro.stats.recost import recost_plan
+
+MACHINES = 3
+FP = "f" * 64
+
+SCRIPT = (
+    'R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;\n'
+    "R = SELECT A,B,Sum(D) AS S FROM R0 GROUP BY A,B;\n"
+    "X = SELECT A,Sum(S) AS T FROM R GROUP BY A;\n"
+    "Y = SELECT B,Max(S) AS T FROM R GROUP BY B;\n"
+    'OUTPUT X TO "x.out";\n'
+    'OUTPUT Y TO "y.out";\n'
+)
+
+
+def _config() -> OptimizerConfig:
+    return OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_file(
+        "test.log",
+        [(c, ColumnType.INT) for c in ("A", "B", "C", "D")],
+        rows=2_400,
+        ndv={"A": 6, "B": 4, "C": 5, "D": 40},
+    )
+    return catalog
+
+
+# ---------------------------------------------------------------------------
+# Monotone convergence
+# ---------------------------------------------------------------------------
+
+
+@given(
+    estimated=st.floats(min_value=1.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False),
+    actuals=st.lists(st.integers(min_value=0, max_value=10**6),
+                     min_size=1, max_size=8),
+)
+def test_published_correction_never_increases_qerror(estimated, actuals):
+    store = FeedbackStore()
+    store.record([
+        FragmentObservation(fingerprint=FP, estimated=estimated,
+                            actual=actual, paths=("f.log",))
+        for actual in actuals
+    ])
+    entry = store.fragment(FP)
+    before = qerror(entry.last_estimated, entry.mean_actual)
+    active = store.publish([entry])
+    after = qerror(active.rows_for(FP), entry.mean_actual)
+    assert before is not None and after is not None
+    assert after <= before
+
+
+@given(
+    true_rows=st.integers(min_value=1, max_value=10**5),
+    estimated=st.floats(min_value=1.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False),
+    rounds=st.integers(min_value=2, max_value=5),
+)
+def test_iterated_feedback_qerror_is_non_increasing(true_rows, estimated,
+                                                    rounds):
+    """Observe -> correct over a stationary workload converges."""
+    store = FeedbackStore()
+    estimate = estimated
+    errors = []
+    for _ in range(rounds):
+        store.record([FragmentObservation(
+            fingerprint=FP, estimated=estimate, actual=true_rows,
+            paths=("f.log",),
+        )])
+        entry = store.fragment(FP)
+        errors.append(qerror(estimate, entry.mean_actual))
+        active = store.publish([entry])
+        estimate = active.rows_for(FP)
+    assert all(not math.isnan(e) for e in errors)
+    assert all(later <= earlier for earlier, later
+               in zip(errors, errors[1:]))
+    # With a stationary true cardinality, one correction is exact.
+    assert errors[-1] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Risk-gated adoption
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_gate_never_adopts_a_worse_corrected_cost_plan(data):
+    catalog = _catalog()
+    service = QueryService(
+        catalog, _config(),
+        feedback=FeedbackConfig(qerror_threshold=1.5,
+                                min_observations=1, auto=False),
+    )
+    incumbent = service.submit(SCRIPT)
+    memo = incumbent.result.details.plan_memo
+    prints = {
+        gid: fp for gid, fp in fragment_fingerprints(memo).items()
+        if fp is not None and memo.group(gid).stats.rows > 0
+    }
+    fingerprints = sorted(set(prints.values()))
+    chosen = data.draw(st.lists(
+        st.sampled_from(fingerprints), unique=True,
+        min_size=1, max_size=min(5, len(fingerprints)),
+    ))
+    observations = []
+    for fp in chosen:
+        gid = min(g for g, f in prints.items() if f == fp)
+        observations.append(FragmentObservation(
+            fingerprint=fp,
+            estimated=float(memo.group(gid).stats.rows),
+            actual=data.draw(st.integers(min_value=0, max_value=5_000)),
+            paths=("test.log",),
+        ))
+    service.feedback.store.record(observations)
+    cards = service.feedback.step()
+    for card in cards:
+        if card.action == "adopt":
+            assert card.new_cost < card.old_cost
+        elif card.action == "keep":
+            assert card.new_cost >= card.old_cost
+    # Whatever the gate decided, the plan now being served never costs
+    # more under the active corrections than the incumbent does.
+    active = service.feedback.store.active()
+    served = service.submit(SCRIPT)
+    _, served_cost = recost_plan(
+        served.result.plan, served.result.details.plan_memo,
+        catalog, _config(), corrections=active,
+    )
+    _, incumbent_cost = recost_plan(
+        incumbent.result.plan, incumbent.result.details.plan_memo,
+        catalog, _config(), corrections=active,
+    )
+    assert served_cost <= incumbent_cost * (1.0 + 1e-9)

@@ -1,0 +1,160 @@
+"""Concurrency stress: feedback publication races catalog updates.
+
+Four threads hammer one feedback-enabled
+:class:`~repro.service.QueryService`: two execute the skewed headline
+workload (each run captures observations and may publish corrections
+and re-optimize cached plans), one repeatedly calls
+``update_statistics`` on the same input file (the pre-existing
+invalidation path the feedback loop shares), and one executes an
+unrelated well-estimated script.  The suite asserts what must survive
+the race:
+
+* no thread raises;
+* every run's outputs are byte-identical to the single-threaded
+  reference for its script;
+* the service/cache counter identities hold exactly;
+* the feedback controller's own ledger balances
+  (``reoptimized == adopted + kept``).
+
+The CI feedback-stress job runs this module and uploads the decision
+log it writes as a build artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.service import QueryService
+from repro.stats.feedback import FeedbackConfig
+from repro.workloads.skew import SKEW_SCENARIOS
+
+MACHINES = 4
+THREADS = 4
+ROUNDS = 5
+
+STEADY_SCRIPT = """\
+R0 = EXTRACT A,B,C,D FROM "skew.log" USING LogExtractor;
+S = SELECT A, B, Sum(D) AS SD FROM R0 GROUP BY A, B;
+OUTPUT S TO "s.out";
+"""
+
+
+def _config() -> OptimizerConfig:
+    return OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+
+
+@pytest.fixture(scope="module")
+def raced():
+    scenario = SKEW_SCENARIOS["filter_selectivity_skew"]
+    catalog = scenario.build_catalog()
+    files = scenario.generate_files()
+    service = QueryService(
+        catalog, _config(),
+        feedback=FeedbackConfig(qerror_threshold=2.0,
+                                min_observations=1),
+    )
+
+    # Single-threaded reference outputs per script.
+    reference = {}
+    for text in (scenario.script, STEADY_SCRIPT):
+        solo = QueryService(scenario.build_catalog(), _config())
+        run = solo.execute(text, workers=2, files=files)
+        reference[text] = {
+            path: data.canonical_bytes()
+            for path, data in run.outputs.items()
+        }
+
+    errors = []
+    mismatches = []
+    barrier = threading.Barrier(THREADS)
+    lock = threading.Lock()
+
+    def executor(text: str) -> None:
+        barrier.wait()
+        for _ in range(ROUNDS):
+            try:
+                run = service.execute(text, workers=2, files=files)
+            except Exception as exc:  # noqa: BLE001 - tallied below
+                with lock:
+                    errors.append(exc)
+                return
+            got = {path: data.canonical_bytes()
+                   for path, data in run.outputs.items()}
+            if got != reference[text]:
+                with lock:
+                    mismatches.append(text)
+
+    def updater() -> None:
+        barrier.wait()
+        for round_no in range(ROUNDS):
+            try:
+                service.update_statistics(
+                    "skew.log",
+                    rows=4_000 if round_no % 2 == 0 else 8_000,
+                )
+            except Exception as exc:  # noqa: BLE001 - tallied below
+                with lock:
+                    errors.append(exc)
+                return
+
+    threads = [
+        threading.Thread(target=executor,
+                         args=(scenario.script,), name="feedback-1"),
+        threading.Thread(target=executor,
+                         args=(scenario.script,), name="feedback-2"),
+        threading.Thread(target=executor,
+                         args=(STEADY_SCRIPT,), name="steady"),
+        threading.Thread(target=updater, name="updater"),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    assert not any(t.is_alive() for t in threads), "stress run hung"
+    return service, errors, mismatches
+
+
+def test_no_thread_raised(raced):
+    _, errors, _ = raced
+    assert errors == [], errors
+
+
+def test_results_always_match_reference(raced):
+    _, _, mismatches = raced
+    assert mismatches == [], (
+        "feedback re-optimization changed query results under racing "
+        "catalog updates"
+    )
+
+
+def test_counter_identities_survive_the_race(raced):
+    service, _, _ = raced
+    snap = service.stats_snapshot()
+    assert snap["submits"] == (snap["cache_hits"]
+                               + snap["optimizations"]
+                               + snap["coalesced"])
+    assert snap["cache_lookups"] == (snap["cache_hits"]
+                                     + snap["cache_misses"])
+    service.cache.stats.check_consistent(len(service.cache))
+
+
+def test_feedback_ledger_balances(raced):
+    service, _, _ = raced
+    counters = service.feedback.stats_snapshot()
+    assert counters["reoptimized"] == (counters["adopted"]
+                                       + counters["kept"])
+    assert counters["runs_observed"] == 3 * ROUNDS
+
+
+def test_decision_log_written_for_ci(raced, tmp_path):
+    service, _, _ = raced
+    target = os.environ.get("FEEDBACK_DECISION_LOG")
+    path = target or str(tmp_path / "feedback_decisions.jsonl")
+    count = service.feedback.dump_decisions(path)
+    assert count == len(service.feedback.decisions)
+    assert os.path.exists(path)

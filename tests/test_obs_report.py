@@ -24,12 +24,27 @@ class TestQError:
     def test_perfect_estimate_is_one(self):
         assert qerror(100.0, 100) == pytest.approx(1.0)
 
-    def test_both_zero_agree(self):
-        assert qerror(0.0, 0) == 1.0
+    def test_missing_estimate_over_zero_rows_is_not_a_match(self):
+        # Regression: the sentinel used to read as q-error 1.0, letting
+        # never-estimated fragments masquerade as perfectly estimated
+        # ones in feedback aggregation.  A missing estimate carries no
+        # information either way.
+        assert qerror(0.0, 0) is None
 
     def test_missing_estimate_is_none_not_an_error(self):
         assert qerror(0.0, 17) is None
         assert qerror(-1.0, 17) is None
+
+    def test_missing_estimate_excluded_from_feedback_aggregation(self):
+        from repro.stats.store import FeedbackStore, FragmentObservation
+
+        store = FeedbackStore()
+        store.record([FragmentObservation(
+            fingerprint="f" * 64, estimated=0.0, actual=0,
+        )])
+        # The sentinel never becomes a correction candidate, at any
+        # threshold — there is no estimate to correct.
+        assert store.candidates(qerror_threshold=1.0) == []
 
     def test_predicted_rows_never_materialized_is_inf(self):
         assert qerror(100.0, 0) == math.inf
