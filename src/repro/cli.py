@@ -21,6 +21,13 @@ makespan hotspots; ``verify`` statically checks every optimized plan
 against the invariant catalog of ``repro.verify`` and prints a
 structured violation report; ``figure7`` regenerates the paper's
 headline table.
+
+Live telemetry (``docs/observability.md``): ``serve`` grows
+``--metrics-out FILE`` (write the final metrics snapshot as JSON) and
+``--metrics-port N`` (serve ``/metrics``, ``/metrics.json`` and
+``/healthz`` over HTTP for the workload's duration), and ``top``
+renders the terminal dashboard — tenant SLO table, shared-work
+savings, latency histograms — from either surface.
 """
 
 from __future__ import annotations
@@ -230,6 +237,34 @@ def _run_feedback(args, catalog, text, files) -> int:
     return status
 
 
+def _telemetry_wanted(args) -> bool:
+    return bool(getattr(args, "metrics_out", None)
+                or getattr(args, "metrics_port", None) is not None)
+
+
+def _start_metrics_server(args, collector, health):
+    """Start the ``/metrics`` + ``/healthz`` endpoint when
+    ``--metrics-port`` was given; returns the server or None."""
+    if getattr(args, "metrics_port", None) is None:
+        return None
+    from .obs import MetricsServer
+
+    server = MetricsServer(collector, health=health,
+                           port=args.metrics_port).start()
+    print(f"metrics: /metrics /metrics.json /healthz on {server.url}")
+    return server
+
+
+def _write_metrics_out(args, collector) -> None:
+    """``--metrics-out``: persist the snapshot ``repro top`` renders."""
+    if not getattr(args, "metrics_out", None):
+        return
+    with open(args.metrics_out, "w") as handle:
+        json.dump(collector.snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"metrics snapshot written to {args.metrics_out}")
+
+
 def cmd_run(args) -> int:
     catalog = _load_catalog(args.catalog)
     text = _load_script(args.script)
@@ -290,6 +325,12 @@ def cmd_run(args) -> int:
                 print(f"    {row}")
     if _wants_tracing(args):
         _emit_observability(args, tracer, run.metrics)
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(run.metrics.as_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"execution metrics written to {args.stats_json}")
     if mismatches:
         print(f"RESULT MISMATCH vs naive evaluation: {mismatches}",
               file=sys.stderr)
@@ -388,7 +429,8 @@ def _serve_stream(args, catalog, texts) -> int:
 
     service = QueryService(catalog, _config(args),
                            cache_capacity=args.cache_capacity,
-                           feedback=args.feedback)
+                           feedback=args.feedback,
+                           metrics=_telemetry_wanted(args))
     controller = AdmissionController(
         service,
         config=AdmissionConfig(
@@ -428,35 +470,49 @@ def _serve_stream(args, catalog, texts) -> int:
         threading.Thread(target=client, args=(f"t{i}",))
         for i in range(args.tenants)
     ]
-    with controller:
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+    server = _start_metrics_server(args, service.metrics_collector,
+                                   controller.health)
+    try:
+        with controller:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
 
-    deduped = sum(1 for _, _, r in done if r.deduped)
-    print(f"{args.tenants} tenant(s) x {args.repeat} pass(es) x "
-          f"{len(texts)} script(s): {len(done)} served "
-          f"({deduped} deduped in-window), {len(errors)} failed")
-    for tenant, path, exc in errors:
-        print(f"  FAILED {tenant} {path}: {exc}")
-    snapshot = controller.stats_snapshot()
-    print("--- admission counters ---")
-    for name, value in sorted(snapshot.items()):
-        print(f"  {name}: {value}")
-    if service.feedback is not None:
-        print("--- feedback counters ---")
-        for name, value in sorted(
-                service.feedback.stats_snapshot().items()):
+        deduped = sum(1 for _, _, r in done if r.deduped)
+        print(f"{args.tenants} tenant(s) x {args.repeat} pass(es) x "
+              f"{len(texts)} script(s): {len(done)} served "
+              f"({deduped} deduped in-window), {len(errors)} failed")
+        for tenant, path, exc in errors:
+            print(f"  FAILED {tenant} {path}: {exc}")
+        snapshot = controller.stats_snapshot()
+        print("--- admission counters ---")
+        for name, value in sorted(snapshot.items()):
             print(f"  {name}: {value}")
-        if args.feedback_log:
-            count = service.feedback.dump_decisions(args.feedback_log)
-            print(f"{count} decision card(s) written to "
-                  f"{args.feedback_log}")
-    if args.stats_json:
-        with open(args.stats_json, "w") as handle:
-            json.dump(snapshot, handle, indent=2, sort_keys=True)
-        print(f"counters written to {args.stats_json}")
+        if service.feedback is not None:
+            print("--- feedback counters ---")
+            for name, value in sorted(
+                    service.feedback.stats_snapshot().items()):
+                print(f"  {name}: {value}")
+            if args.feedback_log:
+                count = service.feedback.dump_decisions(args.feedback_log)
+                print(f"{count} decision card(s) written to "
+                      f"{args.feedback_log}")
+        if args.stats_json:
+            with open(args.stats_json, "w") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+            print(f"counters written to {args.stats_json}")
+        if service.metrics_collector is not None:
+            _write_metrics_out(args, service.metrics_collector)
+        if server is not None and args.metrics_linger > 0:
+            # Keep /metrics and /healthz scrapeable after the workload
+            # drains (CI curls the endpoint of a backgrounded run).
+            import time
+
+            time.sleep(args.metrics_linger)
+    finally:
+        if server is not None:
+            server.stop()
     return 1 if errors else 0
 
 
@@ -478,24 +534,38 @@ def cmd_serve(args) -> int:
         return _serve_stream(args, catalog, texts)
     service = QueryService(catalog, _config(args),
                            cache_capacity=args.cache_capacity,
-                           feedback=args.feedback)
-    for round_no in range(args.repeat):
-        for path, text in texts:
-            sub = service.submit(text, exploit_cse=not args.no_cse)
-            outcome = "hit " if sub.cache_hit else "miss"
-            print(f"[{round_no}] {outcome} {sub.key.short}  "
-                  f"cost={sub.result.cost:,.0f}  {path}")
-    snapshot = service.stats_snapshot()
-    print("--- service counters ---")
-    for name, value in snapshot.items():
-        print(f"  {name}: {value}")
-    if service.feedback is not None and args.feedback_log:
-        count = service.feedback.dump_decisions(args.feedback_log)
-        print(f"{count} decision card(s) written to {args.feedback_log}")
-    if args.stats_json:
-        with open(args.stats_json, "w") as handle:
-            json.dump(snapshot, handle, indent=2, sort_keys=True)
-        print(f"counters written to {args.stats_json}")
+                           feedback=args.feedback,
+                           metrics=_telemetry_wanted(args))
+    server = _start_metrics_server(args, service.metrics_collector,
+                                   service.health)
+    try:
+        for round_no in range(args.repeat):
+            for path, text in texts:
+                sub = service.submit(text, exploit_cse=not args.no_cse)
+                outcome = "hit " if sub.cache_hit else "miss"
+                print(f"[{round_no}] {outcome} {sub.key.short}  "
+                      f"cost={sub.result.cost:,.0f}  {path}")
+        snapshot = service.stats_snapshot()
+        print("--- service counters ---")
+        for name, value in snapshot.items():
+            print(f"  {name}: {value}")
+        if service.feedback is not None and args.feedback_log:
+            count = service.feedback.dump_decisions(args.feedback_log)
+            print(f"{count} decision card(s) written to "
+                  f"{args.feedback_log}")
+        if args.stats_json:
+            with open(args.stats_json, "w") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+            print(f"counters written to {args.stats_json}")
+        if service.metrics_collector is not None:
+            _write_metrics_out(args, service.metrics_collector)
+        if server is not None and args.metrics_linger > 0:
+            import time
+
+            time.sleep(args.metrics_linger)
+    finally:
+        if server is not None:
+            server.stop()
     return 0
 
 
@@ -537,6 +607,21 @@ def cmd_batch(args) -> int:
             if args.show_rows:
                 for row in data.sorted_rows()[: args.show_rows]:
                     print(f"    {row}")
+    return 0
+
+
+def cmd_top(args) -> int:
+    """``repro top`` — render the service health dashboard from a
+    metrics snapshot file (``repro serve --metrics-out``) or a live
+    ``--metrics-port`` endpoint (``http://host:port``)."""
+    from .obs.top import load_source, render_dashboard
+
+    try:
+        doc = load_source(args.source)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_dashboard(doc), end="")
     return 0
 
 
@@ -641,6 +726,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--explain-exec", action="store_true",
                        help="print the chosen backend and per-vertex "
                        "batch counts")
+    p_run.add_argument("--stats-json", default=None, metavar="FILE",
+                       help="write the execution metrics (flat counter/"
+                       "operator labels plus per-vertex stats) as JSON")
     p_run.set_defaults(func=cmd_run)
 
     p_profile = sub.add_parser(
@@ -739,6 +827,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--feedback-log", default=None, metavar="FILE",
                          help="write the feedback decision cards as "
                          "JSON lines")
+    p_serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="enable live telemetry and write the final "
+                         "metrics snapshot as JSON (render it with "
+                         "'repro top FILE')")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="N",
+                         help="enable live telemetry and serve /metrics, "
+                         "/metrics.json and /healthz on 127.0.0.1:N "
+                         "(0 = ephemeral port)")
+    p_serve.add_argument("--metrics-linger", type=float, default=0.0,
+                         metavar="SEC",
+                         help="keep the metrics endpoint up SEC seconds "
+                         "after the workload finishes (--metrics-port)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_batch = sub.add_parser(
@@ -767,6 +868,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the chosen backend and per-vertex "
                          "batch counts")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_top = sub.add_parser(
+        "top", help="terminal dashboard over a metrics snapshot "
+        "(tenant SLO table, savings, latency histograms)"
+    )
+    p_top.add_argument("source",
+                       help="metrics snapshot JSON file (from 'repro "
+                       "serve --metrics-out') or the http://host:port "
+                       "of a live --metrics-port endpoint")
+    p_top.set_defaults(func=cmd_top)
 
     p_fig = sub.add_parser("figure7", help="regenerate the Figure 7 table")
     p_fig.add_argument("--scripts", default=None,

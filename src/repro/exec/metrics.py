@@ -277,13 +277,53 @@ class ExecutionMetrics:
             )
         return "\n".join(lines)
 
-    # -- event-bus publishing ---------------------------------------------
+    # -- stable export / event-bus publishing -----------------------------
 
     _COUNTER_FIELDS = (
         "rows_extracted", "rows_shuffled", "rows_broadcast", "rows_spooled",
         "spool_reads", "rows_output", "rows_sorted", "rows_filtered",
         "max_partition_rows", "simulated_makespan", "task_retries",
     )
+
+    def to_labels(self) -> Dict[str, float]:
+        """Stable flat ``name -> value`` export of every deterministic
+        counter: the scalar fields in declaration order, then
+        ``batches_processed.<backend>`` and ``operator.<name>`` sorted.
+
+        This is the one canonical dict both :meth:`publish` (and hence
+        the metrics collector) and the CLI's ``--stats-json`` render
+        from — wall-clock values are excluded, so two runs of the same
+        plan/data/seed export identical dicts.
+        """
+        out: Dict[str, float] = {
+            name: getattr(self, name) for name in self._COUNTER_FIELDS
+        }
+        for backend in sorted(self.batches_processed):
+            out[f"batches_processed.{backend}"] = \
+                self.batches_processed[backend]
+        for name in sorted(self.operator_invocations):
+            out[f"operator.{name}"] = self.operator_invocations[name]
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """:meth:`to_labels` plus a per-vertex section (launches, tasks,
+        retries, rows, batches) — the full deterministic JSON view."""
+        doc: Dict[str, object] = dict(self.to_labels())
+        if self.vertices:
+            doc["vertices"] = {
+                name: {
+                    "launches": stats.launches,
+                    "tasks": stats.tasks,
+                    "retries": stats.retries,
+                    "rows_in": stats.rows_in,
+                    "rows_out": stats.rows_out,
+                    "batches": stats.batches,
+                    "estimated_rows": stats.estimated_rows,
+                    "serves": list(stats.serves),
+                }
+                for name, stats in sorted(self.vertices.items())
+            }
+        return doc
 
     def publish(self, bus) -> None:
         """Emit this run's counters onto an :class:`~repro.obs.bus.EventBus`.
@@ -293,23 +333,21 @@ class ExecutionMetrics:
         ``exec.vertex`` event per scheduled vertex — the execution-side
         feed of the shared observability bus (wall-clock values are
         deliberately excluded so the event stream stays deterministic).
+        The values come from :meth:`to_labels`, so the event stream and
+        the CLI's JSON export can never disagree.
         """
         from ..obs.bus import ObsEvent
 
-        for name in self._COUNTER_FIELDS:
-            bus.publish(ObsEvent.make(
-                "exec.counter", name=name, value=getattr(self, name)
-            ))
-        for backend in sorted(self.batches_processed):
-            bus.publish(ObsEvent.make(
-                "exec.counter", name=f"batches_processed.{backend}",
-                value=self.batches_processed[backend],
-            ))
-        for name in sorted(self.operator_invocations):
-            bus.publish(ObsEvent.make(
-                "exec.operator", name=name,
-                invocations=self.operator_invocations[name],
-            ))
+        for name, value in self.to_labels().items():
+            if name.startswith("operator."):
+                bus.publish(ObsEvent.make(
+                    "exec.operator", name=name[len("operator."):],
+                    invocations=value,
+                ))
+            else:
+                bus.publish(ObsEvent.make(
+                    "exec.counter", name=name, value=value,
+                ))
         for name in sorted(self.vertices):
             stats = self.vertices[name]
             bus.publish(ObsEvent.make(

@@ -2,10 +2,29 @@
 
 See :mod:`repro.obs.tracer` for the span model, :mod:`repro.obs.sinks`
 for rendering/export, :mod:`repro.obs.report` for the q-error and
-hotspot reports, and ``docs/observability.md`` for the tour.
+hotspot reports, :mod:`repro.obs.metrics` /
+:mod:`repro.obs.collector` / :mod:`repro.obs.httpd` for the live
+telemetry layer (labeled metrics registry, EventBus-driven collector
+with per-tenant SLO accounting, HTTP health surface), and
+``docs/observability.md`` for the tour.
 """
 
 from .bus import EventBus, ObsEvent
+from .collector import MetricsCollector, SLOConfig
+from .httpd import MetricsServer
+from .metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Recorder,
+    exponential_buckets,
+    load_snapshot,
+    to_json,
+    to_prometheus_text,
+)
 from .report import (
     CardinalityRow,
     Hotspot,
@@ -30,14 +49,28 @@ from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "CardinalityRow",
+    "Counter",
     "EventBus",
+    "Gauge",
+    "Histogram",
     "Hotspot",
+    "LATENCY_BUCKETS_S",
     "LoadedTrace",
+    "MetricFamily",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "MetricsServer",
     "NULL_TRACER",
     "NullTracer",
     "ObsEvent",
+    "Recorder",
+    "SLOConfig",
     "Span",
     "Tracer",
+    "exponential_buckets",
+    "load_snapshot",
+    "to_json",
+    "to_prometheus_text",
     "cardinality_rows",
     "cardinality_table",
     "hotspot_table",

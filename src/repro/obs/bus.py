@@ -11,10 +11,19 @@ compile→optimize→execute story.
 Events are plain immutable objects appended to one list; subscribers are
 called synchronously on publish.  The bus is deliberately dependency-free
 so every layer of the system can import it without cycles.
+
+Thread-safety: the service and admission layers publish from multiple
+threads while subscribers (e.g. the
+:class:`~repro.obs.collector.MetricsCollector`) may attach at any time.
+The subscriber list is copy-on-write — ``publish`` iterates an
+immutable snapshot taken under the lock, so a concurrent ``subscribe``
+can never mutate a sequence mid-iteration; subscribers themselves are
+invoked *outside* the lock so they may publish re-entrantly.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, List, Tuple, Type, TypeVar
 
@@ -43,28 +52,43 @@ class ObsEvent:
 
 
 class EventBus:
-    """Append-only event log with synchronous subscribers."""
+    """Append-only event log with synchronous subscribers.
 
-    __slots__ = ("events", "_subscribers")
+    Safe to publish and subscribe from concurrent threads: the
+    subscriber tuple is replaced copy-on-write under a lock and
+    ``publish`` iterates the immutable snapshot it read, so a
+    subscriber attaching mid-publish either sees the event or the next
+    one — never a mutated-during-iteration sequence.
+    """
+
+    __slots__ = ("events", "_subscribers", "_lock")
 
     def __init__(self):
         self.events: List[object] = []
-        self._subscribers: List[Callable[[object], None]] = []
+        self._subscribers: Tuple[Callable[[object], None], ...] = ()
+        self._lock = threading.Lock()
 
     def publish(self, event: object) -> None:
-        self.events.append(event)
-        for subscriber in self._subscribers:
+        with self._lock:
+            self.events.append(event)
+            subscribers = self._subscribers
+        for subscriber in subscribers:
             subscriber(event)
 
     def subscribe(self, fn: Callable[[object], None]) -> None:
-        self._subscribers.append(fn)
+        with self._lock:
+            self._subscribers = self._subscribers + (fn,)
 
     def of_type(self, cls: Type[E]) -> List[E]:
-        return [e for e in self.events if isinstance(e, cls)]
+        with self._lock:
+            events = list(self.events)
+        return [e for e in events if isinstance(e, cls)]
 
     def of_kind(self, kind: str) -> List[ObsEvent]:
+        with self._lock:
+            events = list(self.events)
         return [
-            e for e in self.events
+            e for e in events
             if isinstance(e, ObsEvent) and e.kind == kind
         ]
 

@@ -1,0 +1,405 @@
+"""EventBus → metrics translation plus per-tenant SLO accounting.
+
+The system already narrates itself on the shared
+:class:`~repro.obs.bus.EventBus` — ``service.submit``,
+``service.cache``, ``service.admission.*``, ``stats.feedback.*`` and
+the executors' ``exec.*`` counter/vertex events.  Rather than
+scattering instrumentation call sites through every layer, the
+:class:`MetricsCollector` *subscribes* to that spine and translates
+events into labeled series in a :class:`~repro.obs.metrics.MetricsRegistry`:
+per-tenant submit latency percentiles, queue depth, window flush
+sizes, cache hit ratios, shared-work savings attributed per tenant via
+the existing ``serves`` field, feedback gate decisions, and
+retry/failure rates.
+
+SLO accounting follows the burn-rate model: each tenant has a latency
+objective (seconds) and an availability target; every resolved
+admission submit is ``ok`` (within objective, no error) or a breach.
+Compliance is lifetime ``ok/total``; the **burn rate** is the breach
+rate over a sliding :class:`~repro.obs.metrics.Recorder` window divided
+by the error budget ``1 - target`` — burn > 1 means the tenant is
+currently eating budget faster than the SLO allows.
+
+Everything is deterministic under injected clocks: latencies arrive
+*inside* events (measured on the admission controller's clock) and the
+collector's own clock only timestamps the SLO window and the snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from .bus import EventBus, ObsEvent
+from .metrics import (
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+#: Log-scaled size buckets for "how many X per flush" histograms.
+SIZE_BUCKETS = exponential_buckets(1, 2, 12)  # 1 .. 2048
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Service-level objective parameters.
+
+    ``latency_objective_s`` may be overridden per tenant via
+    ``tenant_objectives``; availability counts a submit as *good* when
+    it resolved without error within its tenant's objective.
+    """
+
+    latency_objective_s: float = 1.0
+    #: Fraction of submits that must be good (error budget = 1 - this).
+    availability_target: float = 0.99
+    #: Sliding window (seconds) for the burn-rate computation.
+    window_s: float = 300.0
+    tenant_objectives: Mapping[str, float] = field(default_factory=dict)
+
+    def objective_for(self, tenant: str) -> float:
+        return float(self.tenant_objectives.get(
+            tenant, self.latency_objective_s))
+
+    @property
+    def error_budget(self) -> float:
+        return max(1.0 - self.availability_target, 1e-9)
+
+
+class MetricsCollector:
+    """Subscribe once, measure everything the bus already says.
+
+    ::
+
+        collector = MetricsCollector(clock=clock)
+        service = QueryService(catalog, config, metrics=collector)
+        ...
+        snapshot = service.metrics_snapshot()      # == collector.snapshot()
+        text = collector.prometheus_text()         # /metrics body
+
+    The collector is itself a callable ``(event) -> None`` so it plugs
+    straight into :meth:`EventBus.subscribe`; events it does not know
+    are ignored, so producers may grow new kinds freely.
+    """
+
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None,
+                 clock=None, slo: Optional[SLOConfig] = None):
+        self.registry = registry or MetricsRegistry(clock=clock)
+        self.slo = slo or SLOConfig()
+        r = self.registry
+
+        # service / plan cache
+        self.submits = r.counter(
+            "repro_submits_total",
+            "Service submissions by outcome", ["op"])
+        self.cache_events = r.counter(
+            "repro_cache_events_total",
+            "Plan-cache transitions", ["op"])
+        self.catalog_updates = r.counter(
+            "repro_catalog_updates_total",
+            "Statistics updates applied to the catalog")
+
+        # admission front-end
+        self.admission_submits = r.counter(
+            "repro_admission_submits_total",
+            "Admission submissions by tenant and outcome",
+            ["tenant", "outcome"])
+        self.queue_depth = r.gauge(
+            "repro_admission_queue_depth",
+            "Scripts currently pending admission")
+        self.queue_depth_max = r.gauge(
+            "repro_admission_queue_depth_max",
+            "High-water mark of the admission queue")
+        self.windows = r.counter(
+            "repro_admission_windows_total",
+            "Window flushes by trigger", ["trigger"])
+        self.window_scripts = r.histogram(
+            "repro_admission_window_scripts",
+            "Scripts drained per window flush",
+            buckets=SIZE_BUCKETS)
+        self.groups = r.counter(
+            "repro_admission_groups_total",
+            "Compatibility groups executed")
+        self.failed_groups = r.counter(
+            "repro_admission_failed_groups_total",
+            "Groups whose shared execution raised")
+        self.latency = r.histogram(
+            "repro_admission_latency_seconds",
+            "Submit-to-resolve latency per tenant",
+            ["tenant"], buckets=LATENCY_BUCKETS_S)
+        self.failures = r.counter(
+            "repro_admission_failures_total",
+            "Submissions resolved with an error, per tenant",
+            ["tenant"])
+
+        # shared-work savings (the paper's accounting question)
+        self.shared_vertices = r.counter(
+            "repro_shared_vertices_total",
+            "Cross-script vertices this tenant rode", ["tenant"])
+        self.shared_rows_saved = r.counter(
+            "repro_shared_rows_saved_total",
+            "Rows not re-processed thanks to shared execution, "
+            "attributed per tenant", ["tenant"])
+        self.dedup_executions_saved = r.counter(
+            "repro_dedup_executions_saved_total",
+            "Whole executions avoided by in-window dedup", ["tenant"])
+
+        # learned-statistics feedback
+        self.feedback_decisions = r.counter(
+            "repro_feedback_decisions_total",
+            "Feedback gate decisions by action", ["action"])
+        self.feedback_captures = r.counter(
+            "repro_feedback_captures_total",
+            "Fragment-cardinality capture passes")
+        self.feedback_publishes = r.counter(
+            "repro_feedback_publishes_total",
+            "Correction-set publications")
+
+        # execution engine
+        self.exec_rows = r.counter(
+            "repro_exec_rows_total",
+            "Execution row counters summed over runs", ["counter"])
+        self.exec_max_partition = r.gauge(
+            "repro_exec_max_partition_rows",
+            "Largest partition observed (skew indicator)")
+        self.exec_operators = r.counter(
+            "repro_exec_operator_invocations_total",
+            "Operator invocations by kind", ["operator"])
+        self.exec_vertices = r.counter(
+            "repro_exec_vertices_total",
+            "Scheduled vertices finalized")
+        self.exec_retries = r.counter(
+            "repro_exec_task_retries_total",
+            "Failed task attempts that were retried")
+
+        # SLO accounting
+        self.slo_requests = r.counter(
+            "repro_slo_requests_total",
+            "Resolved submits by tenant and verdict",
+            ["tenant", "verdict"])
+        self.slo_window = r.recorder(
+            "repro_slo_window_breaches",
+            "Breaches inside the sliding SLO window",
+            ["tenant"], window=self.slo.window_s)
+        self.slo_window_total = r.recorder(
+            "repro_slo_window_requests",
+            "Resolved submits inside the sliding SLO window",
+            ["tenant"], window=self.slo.window_s)
+
+        self._dispatch = {
+            "service.submit": self._on_submit,
+            "service.cache": self._on_cache,
+            "service.catalog": self._on_catalog,
+            "service.admission.enqueue": self._on_enqueue,
+            "service.admission.dedup": self._on_dedup,
+            "service.admission.reject": self._on_reject,
+            "service.admission.queue_depth": self._on_queue_depth,
+            "service.admission.window_flush": self._on_window_flush,
+            "service.admission.group": self._on_group,
+            "service.admission.group_failed": self._on_group_failed,
+            "service.admission.resolve": self._on_resolve,
+            "service.admission.savings": self._on_savings,
+            "stats.feedback.decision": self._on_feedback_decision,
+            "stats.feedback.capture": self._on_feedback_capture,
+            "stats.feedback.publish": self._on_feedback_publish,
+            "exec.counter": self._on_exec_counter,
+            "exec.operator": self._on_exec_operator,
+            "exec.vertex": self._on_exec_vertex,
+        }
+
+    # -- wiring -------------------------------------------------------------
+
+    def subscribe(self, bus: EventBus) -> "MetricsCollector":
+        bus.subscribe(self)
+        return self
+
+    def __call__(self, event: object) -> None:
+        if not isinstance(event, ObsEvent):
+            return
+        handler = self._dispatch.get(event.kind)
+        if handler is not None:
+            handler(event)
+
+    # -- handlers -----------------------------------------------------------
+
+    def _on_submit(self, event: ObsEvent) -> None:
+        self.submits.labels(op=event.get("op", "unknown")).inc()
+
+    def _on_cache(self, event: ObsEvent) -> None:
+        self.cache_events.labels(op=event.get("op", "unknown")).inc()
+
+    def _on_catalog(self, event: ObsEvent) -> None:
+        self.catalog_updates.inc()
+
+    def _on_enqueue(self, event: ObsEvent) -> None:
+        tenant = event.get("tenant", "default")
+        self.admission_submits.labels(
+            tenant=tenant, outcome="accepted").inc()
+
+    def _on_dedup(self, event: ObsEvent) -> None:
+        tenant = event.get("tenant", "default")
+        self.admission_submits.labels(
+            tenant=tenant, outcome="deduped").inc()
+        self.dedup_executions_saved.labels(tenant=tenant).inc()
+
+    def _on_reject(self, event: ObsEvent) -> None:
+        self.admission_submits.labels(
+            tenant=event.get("tenant", "default"),
+            outcome="rejected").inc()
+
+    def _on_queue_depth(self, event: ObsEvent) -> None:
+        depth = float(event.get("depth", 0))
+        self.queue_depth.set(depth)
+        self.queue_depth_max.set_max(depth)
+
+    def _on_window_flush(self, event: ObsEvent) -> None:
+        self.windows.labels(trigger=event.get("trigger", "unknown")).inc()
+        self.window_scripts.observe(float(event.get("scripts", 0)))
+
+    def _on_group(self, event: ObsEvent) -> None:
+        self.groups.inc()
+
+    def _on_group_failed(self, event: ObsEvent) -> None:
+        self.failed_groups.inc()
+
+    def _on_resolve(self, event: ObsEvent) -> None:
+        tenant = event.get("tenant", "default")
+        latency = float(event.get("latency", 0.0))
+        ok = bool(event.get("ok", True))
+        self.latency.labels(tenant=tenant).observe(latency)
+        if not ok:
+            self.failures.labels(tenant=tenant).inc()
+        good = ok and latency <= self.slo.objective_for(tenant)
+        self.slo_requests.labels(
+            tenant=tenant, verdict="ok" if good else "breach").inc()
+        self.slo_window_total.labels(tenant=tenant).record()
+        if not good:
+            self.slo_window.labels(tenant=tenant).record()
+
+    def _on_savings(self, event: ObsEvent) -> None:
+        tenant = event.get("tenant", "default")
+        self.shared_vertices.labels(tenant=tenant).inc(
+            float(event.get("vertices", 0)))
+        self.shared_rows_saved.labels(tenant=tenant).inc(
+            float(event.get("rows_saved", 0.0)))
+
+    def _on_feedback_decision(self, event: ObsEvent) -> None:
+        self.feedback_decisions.labels(
+            action=event.get("action", "unknown")).inc()
+
+    def _on_feedback_capture(self, event: ObsEvent) -> None:
+        self.feedback_captures.inc()
+
+    def _on_feedback_publish(self, event: ObsEvent) -> None:
+        self.feedback_publishes.inc()
+
+    def _on_exec_counter(self, event: ObsEvent) -> None:
+        name = event.get("name", "")
+        value = float(event.get("value", 0))
+        if name == "max_partition_rows":
+            self.exec_max_partition.set_max(value)
+        elif name == "task_retries":
+            self.exec_retries.inc(value)
+        else:
+            self.exec_rows.labels(counter=name).inc(value)
+
+    def _on_exec_operator(self, event: ObsEvent) -> None:
+        self.exec_operators.labels(
+            operator=event.get("name", "unknown")).inc(
+                float(event.get("invocations", 0)))
+
+    def _on_exec_vertex(self, event: ObsEvent) -> None:
+        self.exec_vertices.inc()
+
+    # -- derived views ------------------------------------------------------
+
+    def cache_hit_ratio(self) -> Optional[float]:
+        """hits / lookups over the cache's lifetime (None before any)."""
+        hits = _value(self.cache_events.peek(op="hit"))
+        misses = _value(self.cache_events.peek(op="miss"))
+        lookups = hits + misses
+        if lookups == 0:
+            return None
+        return hits / lookups
+
+    def tenants(self):
+        """Every tenant that resolved at least one submit, sorted."""
+        seen = set()
+        for values, _child in self.slo_requests.children():
+            seen.add(values[0])
+        return sorted(seen)
+
+    def slo_report(self) -> Dict[str, dict]:
+        """Per-tenant SLO table: lifetime compliance + windowed burn."""
+        report: Dict[str, dict] = {}
+        for tenant in self.tenants():
+            good = _value(self.slo_requests.peek(
+                tenant=tenant, verdict="ok"))
+            breaches = _value(self.slo_requests.peek(
+                tenant=tenant, verdict="breach"))
+            total = good + breaches
+            window_rec = self.slo_window_total.peek(tenant=tenant)
+            window_total = window_rec.count() if window_rec else 0
+            breach_rec = self.slo_window.peek(tenant=tenant)
+            window_breaches = breach_rec.count() if breach_rec else 0
+            compliance = (good / total) if total else 1.0
+            breach_rate = (window_breaches / window_total
+                           if window_total else 0.0)
+            hist = self.latency.peek(tenant=tenant)
+            report[tenant] = {
+                "objective_seconds": self.slo.objective_for(tenant),
+                "requests": int(total),
+                "breaches": int(breaches),
+                "failures": int(_value(self.failures.peek(
+                    tenant=tenant))),
+                "compliance": compliance,
+                "window_requests": window_total,
+                "window_breaches": window_breaches,
+                "burn_rate": breach_rate / self.slo.error_budget,
+                "p50_seconds": hist.quantile(0.50) if hist else None,
+                "p95_seconds": hist.quantile(0.95) if hist else None,
+                "p99_seconds": hist.quantile(0.99) if hist else None,
+            }
+        return report
+
+    # -- exposition ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry snapshot plus the SLO table and derived ratios
+        — the document ``--metrics-out``, ``/metrics.json`` and
+        ``repro top`` all share."""
+        doc = self.registry.snapshot()
+        doc["slo"] = {
+            "availability_target": self.slo.availability_target,
+            "window_seconds": self.slo.window_s,
+            "tenants": self.slo_report(),
+        }
+        ratio = self.cache_hit_ratio()
+        doc["derived"] = {
+            "cache_hit_ratio": ratio,
+        }
+        # JSON has no inf; the quantile columns may produce it.
+        return _definite(doc)
+
+    def prometheus_text(self) -> str:
+        from .metrics import to_prometheus_text
+
+        return to_prometheus_text(self.registry)
+
+
+def _value(child) -> float:
+    """A child's value, or 0.0 when it was never created."""
+    return child.value if child is not None else 0.0
+
+
+def _definite(value):
+    """Replace non-finite floats with JSON-safe markers, recursively."""
+    import math
+
+    if isinstance(value, float) and not math.isfinite(value):
+        return "inf" if value > 0 else "-inf"
+    if isinstance(value, dict):
+        return {k: _definite(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_definite(v) for v in value]
+    return value

@@ -1,0 +1,140 @@
+"""A stdlib HTTP endpoint serving live metrics and health.
+
+:class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer`
+around a :class:`~repro.obs.collector.MetricsCollector` (or anything
+with ``prometheus_text()``/``snapshot()``) plus an optional health
+provider:
+
+* ``GET /metrics`` — Prometheus text exposition
+  (``text/plain; version=0.0.4``);
+* ``GET /metrics.json`` — the JSON snapshot (what ``repro top`` reads);
+* ``GET /healthz`` — liveness + readiness: ``200`` with the health
+  document when ready, ``503`` when not (readiness reflects admission
+  queue saturation via the provider).
+
+No dependencies, no framework: scrape it with ``curl`` or point
+Prometheus at it.  ``port=0`` binds an ephemeral port (tests); the
+bound port is available as :attr:`port` after :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _default_health() -> dict:
+    return {"status": "ok", "ready": True, "checks": {}}
+
+
+class MetricsServer:
+    """Serve ``/metrics``, ``/metrics.json`` and ``/healthz``.
+
+    ::
+
+        server = MetricsServer(collector, health=controller.health,
+                               port=9109)
+        server.start()            # or: with server: ...
+        ...
+        server.stop()
+    """
+
+    def __init__(self, collector, *,
+                 health: Optional[Callable[[], dict]] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.collector = collector
+        self.health = health or _default_health
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (meaningful after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # noqa: D102 - quiet
+                pass
+
+            def do_GET(self):  # noqa: N802 - stdlib API
+                try:
+                    server._respond(self)
+                except BrokenPipeError:  # pragma: no cover - client gone
+                    pass
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True,
+            name="metrics-httpd",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join()
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request handling ---------------------------------------------------
+
+    def _respond(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.collector.prometheus_text().encode("utf-8")
+            self._send(handler, 200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path in ("/metrics.json", "/snapshot"):
+            body = json.dumps(self.collector.snapshot(), sort_keys=True,
+                              indent=2).encode("utf-8")
+            self._send(handler, 200, "application/json", body)
+        elif path == "/healthz":
+            try:
+                health = self.health()
+            except Exception as exc:  # noqa: BLE001 - surfaced as 500
+                health = {"status": "error", "ready": False,
+                          "checks": {"error": repr(exc)}}
+            status = 200 if health.get("ready") else 503
+            body = json.dumps(health, sort_keys=True,
+                              indent=2).encode("utf-8")
+            self._send(handler, status, "application/json", body)
+        else:
+            self._send(handler, 404, "text/plain; charset=utf-8",
+                       b"not found: try /metrics, /metrics.json, "
+                       b"/healthz\n")
+
+    @staticmethod
+    def _send(handler: BaseHTTPRequestHandler, status: int,
+              content_type: str, body: bytes) -> None:
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)

@@ -1,0 +1,631 @@
+"""A thread-safe, label-aware metrics registry with exposition encoders.
+
+This is the live-telemetry counterpart of the per-run tracer: where
+:mod:`repro.obs.tracer` records one bounded tree per run, the registry
+holds *unbounded-lifetime* instruments a long-running service updates
+continuously — the layer ``repro serve --stream`` reports through.
+
+Four instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals;
+* :class:`Gauge` — a value that can go up and down (queue depth);
+* :class:`Histogram` — observations bucketed into **fixed, log-scaled
+  bounds** chosen at family creation (:data:`LATENCY_BUCKETS_S` for
+  latencies, :func:`exponential_buckets` for sizes), with cumulative
+  counts, a running sum and bucket-resolution quantiles (p50/p95/p99);
+* :class:`Recorder` — a windowed time series of (timestamp, value)
+  pairs against an **injectable clock**, backing rate/burn computations
+  (the SLO tracker of :mod:`repro.obs.collector` prunes by it).
+
+Every instrument belongs to a :class:`MetricFamily` (name + help +
+label names); children are addressed by label *values*
+(``family.labels(tenant="t0").inc()``).  All mutation goes through one
+registry lock, so producers on any thread may update concurrently.
+
+Exposition is deliberately boring and dependency-free:
+
+* :func:`to_prometheus_text` renders the Prometheus text format
+  (``text/plain; version=0.0.4``) — ``# HELP``/``# TYPE`` headers,
+  escaped label values, cumulative ``_bucket{le=...}`` series plus
+  ``_sum``/``_count`` for histograms;
+* :meth:`MetricsRegistry.snapshot` / :func:`to_json` produce a stable
+  (sorted, no wall-clock unless the injected clock supplies it) JSON
+  document, and :func:`load_snapshot` is its loss-free loader —
+  ``repro top`` renders dashboards from either a file or a live
+  ``/metrics.json`` endpoint.
+
+Determinism: nothing in this module reads real time on its own — the
+only timestamps are values the caller's clock returned — so every test
+runs under a manual clock and the golden exposition snapshots are
+byte-stable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Fixed log-scaled (base-2) latency bounds in seconds: 1 ms .. ~131 s.
+#: Chosen once so that every latency histogram in the system is
+#: directly comparable and the exposition is byte-stable.
+LATENCY_BUCKETS_S: Tuple[float, ...] = tuple(
+    0.001 * (2 ** i) for i in range(18)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def exponential_buckets(start: float, factor: float,
+                        count: int) -> Tuple[float, ...]:
+    """``count`` log-scaled bucket bounds: start, start*factor, ...
+
+    The standard way to build size histograms (window flush sizes, row
+    counts) whose dynamic range spans orders of magnitude.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * (factor ** i) for i in range(count))
+
+
+def _resolve_clock(clock) -> Callable[[], float]:
+    """Accept a 0-arg callable or anything with a ``now()`` method."""
+    if clock is None:
+        return time.monotonic
+    now = getattr(clock, "now", None)
+    if now is not None and callable(now):
+        return now
+    if callable(clock):
+        return clock
+    raise TypeError(f"not a clock: {clock!r}")
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, lock: threading.RLock):
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def sample(self) -> dict:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, lock: threading.RLock):
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Retain the maximum of the current value and ``value``."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def sample(self) -> dict:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative exposition.
+
+    ``bounds`` are the *upper* bounds of the finite buckets, strictly
+    increasing; one implicit overflow bucket (``+Inf``) catches the
+    rest.  Every observation lands in exactly one underlying bucket
+    (the first bound ``>= value``), while the exposition renders the
+    Prometheus-style *cumulative* counts.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_lock")
+
+    kind = "histogram"
+
+    def __init__(self, lock: threading.RLock,
+                 bounds: Sequence[float] = LATENCY_BUCKETS_S):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite "
+                             "(+Inf is implicit)")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow (+Inf)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, overflow last."""
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile: the upper bound of the bucket
+        containing the ``q``-th observation (``inf`` when it fell in
+        the overflow bucket, ``None`` when the histogram is empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return None
+            rank = max(1, math.ceil(q * total))
+            seen = 0
+            for index, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank:
+                    if index < len(self.bounds):
+                        return self.bounds[index]
+                    return math.inf
+        return math.inf  # pragma: no cover - unreachable
+
+    def sample(self) -> dict:
+        with self._lock:
+            cumulative = []
+            running = 0
+            for bound, count in zip(self.bounds, self._counts):
+                running += count
+                cumulative.append([bound, running])
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": cumulative,  # cumulative, +Inf == count
+            }
+
+
+class Recorder:
+    """A windowed time series against an injectable clock.
+
+    ``record(value)`` appends ``(clock(), value)``; reads prune
+    everything older than ``window`` seconds first.  This is the
+    primitive behind SLO burn rates — "breaches in the last N seconds"
+    — and it is deterministic whenever the injected clock is.
+    """
+
+    __slots__ = ("window", "_clock", "_points", "_lock")
+
+    kind = "recorder"
+
+    def __init__(self, lock: threading.RLock, window: float = 300.0,
+                 clock=None):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._clock = _resolve_clock(clock)
+        self._points: List[Tuple[float, float]] = []
+        self._lock = lock
+
+    def record(self, value: float = 1.0) -> None:
+        now = self._clock()
+        with self._lock:
+            self._points.append((now, float(value)))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window
+        points = self._points
+        drop = 0
+        for ts, _ in points:
+            if ts > horizon:
+                break
+            drop += 1
+        if drop:
+            del points[:drop]
+
+    def values(self) -> List[float]:
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            return [v for _, v in self._points]
+
+    def count(self) -> int:
+        return len(self.values())
+
+    def total(self) -> float:
+        return sum(self.values())
+
+    def rate(self) -> float:
+        """Events per second over the window."""
+        return self.count() / self.window
+
+    def sample(self) -> dict:
+        return {
+            "window_seconds": self.window,
+            "count": self.count(),
+            "sum": self.total(),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,
+          "recorder": Recorder}
+
+
+class MetricFamily:
+    """A named metric plus its labeled children.
+
+    Children are created lazily per label-value tuple; an unlabeled
+    family has exactly one child under the empty tuple.
+    """
+
+    __slots__ = ("name", "help", "kind", "labelnames", "_children",
+                 "_lock", "_make")
+
+    def __init__(self, name: str, help: str, kind: str,
+                 labelnames: Sequence[str], lock: threading.RLock,
+                 make: Callable):
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = lock
+        self._make = make
+
+    def labels(self, *values, **kv):
+        """The child instrument for one label-value combination
+        (created on first use)."""
+        values = self._resolve_values(values, kv)
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._children[values] = self._make()
+            return child
+
+    def peek(self, *values, **kv):
+        """The existing child for one combination, or ``None`` —
+        never creates, so read paths (snapshots, derived ratios) stay
+        idempotent."""
+        values = self._resolve_values(values, kv)
+        with self._lock:
+            return self._children.get(values)
+
+    def _resolve_values(self, values, kv) -> Tuple[str, ...]:
+        if kv:
+            if values:
+                raise TypeError("pass label values either positionally "
+                                "or by keyword, not both")
+            try:
+                values = tuple(str(kv[name]) for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(
+                    f"metric {self.name!r} expects labels "
+                    f"{self.labelnames}, got {sorted(kv)}"
+                ) from exc
+            if len(kv) != len(self.labelnames):
+                raise ValueError(
+                    f"metric {self.name!r} expects labels "
+                    f"{self.labelnames}, got {sorted(kv)}"
+                )
+        else:
+            values = tuple(str(v) for v in values)
+            if len(values) != len(self.labelnames):
+                raise ValueError(
+                    f"metric {self.name!r} expects "
+                    f"{len(self.labelnames)} label value(s), "
+                    f"got {len(values)}"
+                )
+        return values
+
+    # unlabeled conveniences -------------------------------------------------
+
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} is labeled {self.labelnames}; "
+                "address a child via .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def set_max(self, value: float) -> None:
+        self._solo().set_max(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def record(self, value: float = 1.0) -> None:
+        self._solo().record(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """Label-values → child pairs, sorted for stable exposition."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    def sample(self) -> dict:
+        samples = []
+        for values, child in self.children():
+            entry = {"labels": dict(zip(self.labelnames, values))}
+            entry.update(child.sample())
+            if self.kind == "histogram":
+                for name, q in (("p50", 0.50), ("p95", 0.95),
+                                ("p99", 0.99)):
+                    quantile = child.quantile(q)
+                    entry[name] = (
+                        None if quantile is None
+                        else quantile if math.isfinite(quantile)
+                        else "inf"
+                    )
+            samples.append(entry)
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.labelnames),
+            "samples": samples,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric family.
+
+    One re-entrant lock guards family creation and all child mutation;
+    instruments share it so a snapshot sees each instrument atomically.
+    Re-requesting a family with the same (kind, labelnames) returns the
+    existing one; a conflicting redefinition raises.
+    """
+
+    SNAPSHOT_VERSION = 1
+
+    def __init__(self, clock=None):
+        self._lock = threading.RLock()
+        self._families: Dict[str, MetricFamily] = {}
+        self._clock = _resolve_clock(clock)
+
+    # -- family constructors -----------------------------------------------
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, help, "counter", labelnames,
+                            lambda: Counter(self._lock))
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, help, "gauge", labelnames,
+                            lambda: Gauge(self._lock))
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = LATENCY_BUCKETS_S,
+                  ) -> MetricFamily:
+        bounds = tuple(float(b) for b in buckets)
+        Histogram(self._lock, bounds)   # validate the bounds eagerly
+        return self._family(name, help, "histogram", labelnames,
+                            lambda: Histogram(self._lock, bounds))
+
+    def recorder(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 window: float = 300.0) -> MetricFamily:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        return self._family(
+            name, help, "recorder", labelnames,
+            lambda: Recorder(self._lock, window, self._clock),
+        )
+
+    def _family(self, name: str, help: str, kind: str,
+                labelnames: Sequence[str], make: Callable) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.labelnames}, cannot "
+                        f"re-register as {kind}{labelnames}"
+                    )
+                return family
+            family = MetricFamily(name, help, kind, labelnames,
+                                  self._lock, make)
+            self._families[name] = family
+            return family
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[name]
+                    for name in sorted(self._families)]
+
+    def snapshot(self) -> dict:
+        """Stable JSON-able document of every family and sample.
+
+        The only timestamp is the injected clock's ``now()`` — under a
+        manual clock the whole document is byte-stable.
+        """
+        return {
+            "version": self.SNAPSHOT_VERSION,
+            "generated_at": self._clock(),
+            "metrics": {
+                family.name: family.sample()
+                for family in self.families()
+            },
+        }
+
+
+# -- exposition --------------------------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # pragma: no cover - NaN never produced here
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:  # pragma: no cover - not produced
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str],
+                 extra: Sequence[Tuple[str, str]] = ()) -> str:
+    parts = [f'{n}="{_escape_label_value(v)}"'
+             for n, v in zip(names, values)]
+    parts.extend(f'{n}="{_escape_label_value(v)}"' for n, v in extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Recorders are exported as two gauges (``_window_count`` /
+    ``_window_sum``) since Prometheus has no native windowed type.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        if family.kind == "recorder":
+            lines.append(f"# HELP {family.name}_window_count "
+                         f"{family.help} (events in window)")
+            lines.append(f"# TYPE {family.name}_window_count gauge")
+            for values, child in family.children():
+                labels = _labels_text(family.labelnames, values)
+                lines.append(f"{family.name}_window_count{labels} "
+                             f"{_format_value(child.count())}")
+            lines.append(f"# HELP {family.name}_window_sum "
+                         f"{family.help} (sum over window)")
+            lines.append(f"# TYPE {family.name}_window_sum gauge")
+            for values, child in family.children():
+                labels = _labels_text(family.labelnames, values)
+                lines.append(f"{family.name}_window_sum{labels} "
+                             f"{_format_value(child.total())}")
+            continue
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.children():
+            if family.kind == "histogram":
+                running = 0
+                counts = child.bucket_counts()
+                for bound, count in zip(child.bounds, counts):
+                    running += count
+                    labels = _labels_text(
+                        family.labelnames, values,
+                        extra=[("le", _format_value(bound))],
+                    )
+                    lines.append(f"{family.name}_bucket{labels} "
+                                 f"{running}")
+                labels = _labels_text(family.labelnames, values,
+                                      extra=[("le", "+Inf")])
+                lines.append(f"{family.name}_bucket{labels} "
+                             f"{child.count}")
+                labels = _labels_text(family.labelnames, values)
+                lines.append(f"{family.name}_sum{labels} "
+                             f"{_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{labels} "
+                             f"{child.count}")
+            else:
+                labels = _labels_text(family.labelnames, values)
+                lines.append(f"{family.name}{labels} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(registry: MetricsRegistry, **dump_kwargs) -> str:
+    """The registry snapshot as canonical JSON text."""
+    dump_kwargs.setdefault("sort_keys", True)
+    dump_kwargs.setdefault("indent", 2)
+    return json.dumps(registry.snapshot(), **dump_kwargs) + "\n"
+
+
+def load_snapshot(text: str) -> dict:
+    """Parse and validate a snapshot produced by :func:`to_json` (or
+    :meth:`MetricsRegistry.snapshot` via ``json.dumps``); the loader
+    side of the round trip ``repro top`` consumes."""
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        raise ValueError("not a metrics snapshot: missing 'metrics'")
+    version = doc.get("version")
+    if version != MetricsRegistry.SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported metrics snapshot version: {version!r}"
+        )
+    for name, family in doc["metrics"].items():
+        if family.get("type") not in _KINDS:
+            raise ValueError(
+                f"metric {name!r} has unknown type {family.get('type')!r}"
+            )
+        if not isinstance(family.get("samples"), list):
+            raise ValueError(f"metric {name!r} has no samples list")
+    return doc

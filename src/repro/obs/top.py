@@ -1,0 +1,222 @@
+"""``repro top`` — a terminal dashboard over a metrics snapshot.
+
+Renders the service health surface from the JSON snapshot document
+(:meth:`repro.obs.collector.MetricsCollector.snapshot`), read either
+from a file written by ``repro serve --metrics-out`` or live from a
+``/metrics.json`` endpoint exposed by ``--metrics-port``:
+
+* a per-tenant table — requests, latency percentiles, SLO compliance
+  and burn rate;
+* shared-work savings attribution (vertices ridden, rows saved, whole
+  executions avoided by dedup);
+* hotspot histograms as ASCII bars (submit latency, window flush
+  sizes);
+* service/cache/admission counter summaries.
+
+Pure rendering: no clocks, no network beyond :func:`load_source`; the
+same snapshot always renders the same text (golden-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import load_snapshot
+
+BAR_WIDTH = 30
+BAR_CHAR = "#"
+
+
+def load_source(source: str, timeout: float = 10.0) -> dict:
+    """Load a snapshot from a file path or a live HTTP endpoint.
+
+    A URL may point at the server root (``http://host:port``) or the
+    snapshot document itself; ``/metrics.json`` is appended when
+    missing.
+    """
+    if source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        url = source
+        if not url.rstrip("/").endswith(("metrics.json", "snapshot")):
+            url = url.rstrip("/") + "/metrics.json"
+        with urlopen(url, timeout=timeout) as response:
+            text = response.read().decode("utf-8")
+    else:
+        with open(source) as handle:
+            text = handle.read()
+    return load_snapshot(text)
+
+
+# -- snapshot accessors ------------------------------------------------------
+
+def _family(doc: dict, name: str) -> Optional[dict]:
+    return doc.get("metrics", {}).get(name)
+
+
+def _samples(doc: dict, name: str) -> List[dict]:
+    family = _family(doc, name)
+    return family["samples"] if family else []
+
+
+def _value_by_labels(doc: dict, name: str, **labels) -> float:
+    for sample in _samples(doc, name):
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            return sample.get("value", 0.0)
+    return 0.0
+
+
+def _fmt_seconds(value) -> str:
+    if value is None:
+        return "-"
+    if value == "inf" or (isinstance(value, float)
+                          and math.isinf(value)):
+        return ">max"
+    if value < 1.0:
+        return f"{value * 1e3:.0f}ms"
+    return f"{value:.2f}s"
+
+
+def _fmt_count(value: float) -> str:
+    return f"{int(value):,}"
+
+
+# -- sections ----------------------------------------------------------------
+
+def _tenant_table(doc: dict) -> List[str]:
+    tenants: Dict[str, dict] = doc.get("slo", {}).get("tenants", {})
+    if not tenants:
+        return ["(no tenants resolved yet)"]
+    header = (f"{'tenant':<12}{'req':>7}{'p50':>8}{'p95':>8}{'p99':>8}"
+              f"{'breach':>8}{'compl':>8}{'burn':>7}")
+    lines = [header, "-" * len(header)]
+    for tenant in sorted(tenants):
+        row = tenants[tenant]
+        burn = row.get("burn_rate", 0.0)
+        flag = " !" if burn > 1.0 else ""
+        lines.append(
+            f"{tenant:<12}{row['requests']:>7,}"
+            f"{_fmt_seconds(row.get('p50_seconds')):>8}"
+            f"{_fmt_seconds(row.get('p95_seconds')):>8}"
+            f"{_fmt_seconds(row.get('p99_seconds')):>8}"
+            f"{row.get('breaches', 0):>8,}"
+            f"{row.get('compliance', 1.0):>8.1%}"
+            f"{burn:>7.2f}{flag}"
+        )
+    return lines
+
+
+def _savings_table(doc: dict) -> List[str]:
+    vertices = {s["labels"]["tenant"]: s["value"]
+                for s in _samples(doc, "repro_shared_vertices_total")}
+    rows = {s["labels"]["tenant"]: s["value"]
+            for s in _samples(doc, "repro_shared_rows_saved_total")}
+    dedup = {s["labels"]["tenant"]: s["value"]
+             for s in _samples(doc, "repro_dedup_executions_saved_total")}
+    tenants = sorted(set(vertices) | set(rows) | set(dedup))
+    if not tenants:
+        return ["(no shared work recorded)"]
+    header = (f"{'tenant':<12}{'shared vtx':>11}{'rows saved':>12}"
+              f"{'dedup saved':>12}")
+    lines = [header, "-" * len(header)]
+    for tenant in tenants:
+        lines.append(
+            f"{tenant:<12}{_fmt_count(vertices.get(tenant, 0)):>11}"
+            f"{rows.get(tenant, 0.0):>12,.0f}"
+            f"{_fmt_count(dedup.get(tenant, 0)):>12}"
+        )
+    return lines
+
+
+def _histogram_bars(doc: dict, name: str,
+                    fmt=_fmt_seconds) -> List[str]:
+    """Aggregate a histogram family over its label sets and render
+    per-bucket (non-cumulative) ASCII bars, empty buckets elided."""
+    samples = _samples(doc, name)
+    if not samples:
+        return ["(no observations)"]
+    totals: Dict[float, int] = {}
+    grand = 0
+    for sample in samples:
+        previous = 0
+        for bound, cumulative in sample.get("buckets", []):
+            totals[bound] = totals.get(bound, 0) + (cumulative - previous)
+            previous = cumulative
+        overflow = sample.get("count", 0) - previous
+        if overflow:
+            totals[math.inf] = totals.get(math.inf, 0) + overflow
+        grand += sample.get("count", 0)
+    if grand == 0:
+        return ["(no observations)"]
+    peak = max(totals.values())
+    lines = []
+    for bound in sorted(totals):
+        count = totals[bound]
+        if count == 0:
+            continue
+        bar = BAR_CHAR * max(1, round(count / peak * BAR_WIDTH))
+        label = "+inf" if math.isinf(bound) else fmt(bound)
+        lines.append(f"  <= {label:>8}  {count:>8,}  {bar}")
+    return lines
+
+
+def _counter_lines(doc: dict, name: str, label: str) -> List[str]:
+    samples = _samples(doc, name)
+    if not samples:
+        return []
+    return [
+        f"  {sample['labels'].get(label, ''):<12}"
+        f"{_fmt_count(sample.get('value', 0)):>10}"
+        for sample in samples
+    ]
+
+
+def render_dashboard(doc: dict, *, title: str = "repro top") -> str:
+    """The full dashboard text for one snapshot document."""
+    lines: List[str] = []
+    generated = doc.get("generated_at")
+    stamp = f"  (snapshot at t={generated:.3f}s)" if isinstance(
+        generated, (int, float)) else ""
+    lines.append(f"=== {title}{stamp} ===")
+
+    derived = doc.get("derived", {})
+    ratio = derived.get("cache_hit_ratio")
+    depth = _value_by_labels(doc, "repro_admission_queue_depth")
+    depth_max = _value_by_labels(doc, "repro_admission_queue_depth_max")
+    lines.append(
+        f"queue depth: {int(depth)} (max {int(depth_max)})   "
+        f"cache hit ratio: "
+        + (f"{ratio:.1%}" if ratio is not None else "n/a")
+    )
+
+    lines.append("")
+    lines.append("--- tenants (SLO: latency objective + burn) ---")
+    lines.extend(_tenant_table(doc))
+
+    lines.append("")
+    lines.append("--- shared-work savings ---")
+    lines.extend(_savings_table(doc))
+
+    lines.append("")
+    lines.append("--- submit latency (all tenants) ---")
+    lines.extend(_histogram_bars(doc, "repro_admission_latency_seconds"))
+
+    lines.append("")
+    lines.append("--- window flush sizes ---")
+    lines.extend(_histogram_bars(doc, "repro_admission_window_scripts",
+                                 fmt=lambda v: f"{v:.0f}"))
+
+    submit_lines = _counter_lines(doc, "repro_submits_total", "op")
+    if submit_lines:
+        lines.append("")
+        lines.append("--- service submissions ---")
+        lines.extend(submit_lines)
+
+    window_lines = _counter_lines(doc, "repro_admission_windows_total",
+                                  "trigger")
+    if window_lines:
+        lines.append("")
+        lines.append("--- window flushes by trigger ---")
+        lines.extend(window_lines)
+    return "\n".join(lines) + "\n"

@@ -45,8 +45,11 @@ Semantics, each held by a dedicated test layer in
 
 Observability: every transition publishes ``service.admission.*``
 events (``enqueue``, ``dedup``, ``reject``, ``queue_depth``,
-``group``, ``window_flush``) on the service's
-:class:`~repro.obs.bus.EventBus`.
+``group``, ``window_flush``, ``resolve``, ``savings``,
+``group_failed``) on the service's
+:class:`~repro.obs.bus.EventBus`; the
+:class:`~repro.obs.collector.MetricsCollector` turns them into the
+labeled series documented in ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -170,11 +173,17 @@ class ScriptResult:
 class AdmissionTicket:
     """Handle on an enqueued script; resolves at window flush."""
 
-    __slots__ = ("tenant", "fingerprint", "_event", "_result", "_error")
+    __slots__ = ("tenant", "fingerprint", "enqueued_at", "_event",
+                 "_result", "_error")
 
-    def __init__(self, tenant: str, fingerprint: str):
+    def __init__(self, tenant: str, fingerprint: str,
+                 enqueued_at: float = 0.0):
         self.tenant = tenant
         self.fingerprint = fingerprint
+        #: Controller-clock time the submit entered the queue; the
+        #: resolve event's latency is measured from here, so it is
+        #: deterministic under a :class:`~repro.service.clock.ManualClock`.
+        self.enqueued_at = enqueued_at
         self._event = threading.Event()
         self._result: Optional[ScriptResult] = None
         self._error: Optional[BaseException] = None
@@ -324,7 +333,8 @@ class AdmissionController:
         fingerprint = script_fingerprint(logical)
         weight = self._input_rows(logical)
         compat = self._compat_key(exploit_cse, prune)
-        ticket = AdmissionTicket(tenant, fingerprint)
+        ticket = AdmissionTicket(tenant, fingerprint,
+                                 enqueued_at=self.clock.now())
         events: List[ObsEvent] = []
         run_pump = False
         rejected: Optional[AdmissionRejected] = None
@@ -439,6 +449,36 @@ class AdmissionController:
             snapshot["queue_depth"] = self._pending_count
             snapshot["windows"] = self._window_id
         return snapshot
+
+    def health(self) -> Dict[str, object]:
+        """Readiness document for ``/healthz``.
+
+        ``ready`` turns False when the bounded queue is nearly
+        saturated (>= 90% of ``max_pending``) — the next submits are
+        about to be rejected, so a load balancer should stop routing
+        new streams here before the hard backpressure trips.
+        """
+        with self._lock:
+            depth = self._pending_count
+            drainer = self._drainer
+        saturation = depth / self.config.max_pending
+        if saturation < 0.5:
+            status = "ok"
+        elif saturation < 0.9:
+            status = "degraded"
+        else:
+            status = "saturated"
+        return {
+            "status": status,
+            "ready": saturation < 0.9,
+            "checks": {
+                "queue_depth": depth,
+                "max_pending": self.config.max_pending,
+                "queue_saturation": round(saturation, 4),
+                "drainer_alive": bool(drainer is not None
+                                      and drainer.is_alive()),
+            },
+        }
 
     # -- lifecycle (real-clock streaming mode) -----------------------------
 
@@ -665,15 +705,68 @@ class AdmissionController:
         except BaseException as exc:  # routed to callers, not raised here
             with self._lock:
                 self.stats.failed_groups += 1
+            now = self.clock.now()
+            events = [ObsEvent.make(
+                "service.admission.group_failed", window=window_id,
+                scripts=len(group), error=type(exc).__name__,
+            )]
             for entry in group:
                 for ticket in entry.tickets:
+                    events.append(ObsEvent.make(
+                        "service.admission.resolve",
+                        tenant=ticket.tenant,
+                        latency=max(0.0, now - ticket.enqueued_at),
+                        ok=False, window=window_id,
+                        deduped=ticket is not entry.tickets[0],
+                    ))
                     ticket._fail(exc)
+            self._publish(events)
             return []
-        shared_names = [v.name for v in run.shared_vertices()]
+        shared = run.shared_vertices()
+        shared_names = [v.name for v in shared]
+        now = self.clock.now()
+        events: List[ObsEvent] = []
+        # Shared-work savings, attributed per tenant through the stage
+        # graph's existing ``serves`` labels: a vertex feeding k scripts
+        # of this batch ran once instead of k times, so each rider is
+        # credited its share of the (k-1) avoided executions' rows.
+        savings: Dict[str, List[float]] = {}
+        batch_labels = set(run.submit.labels)
+        label_tenants = {
+            run.submit.labels[index]: entry.tenant
+            for index, entry in enumerate(group)
+        }
+        for vertex in shared:
+            labels = {path.split("/", 1)[0] for path in vertex.serves}
+            labels &= batch_labels
+            k = len(labels)
+            stats = run.metrics.vertices.get(vertex.name)
+            rows_out = stats.rows_out if stats is not None else 0
+            for label in labels:
+                tenant = label_tenants.get(label)
+                if tenant is None:  # pragma: no cover - defensive
+                    continue
+                cell = savings.setdefault(tenant, [0, 0.0])
+                cell[0] += 1
+                cell[1] += rows_out * (k - 1) / k
+        for tenant in sorted(savings):
+            vertices, rows_saved = savings[tenant]
+            events.append(ObsEvent.make(
+                "service.admission.savings", tenant=tenant,
+                window=window_id, vertices=int(vertices),
+                rows_saved=rows_saved,
+            ))
         for index, entry in enumerate(group):
             outputs = run.outputs[index]
             label = run.submit.labels[index]
             for t_index, ticket in enumerate(entry.tickets):
+                events.append(ObsEvent.make(
+                    "service.admission.resolve",
+                    tenant=ticket.tenant,
+                    latency=max(0.0, now - ticket.enqueued_at),
+                    ok=True, window=window_id,
+                    deduped=t_index > 0,
+                ))
                 ticket._resolve(ScriptResult(
                     outputs=outputs,
                     tenant=ticket.tenant,
@@ -685,4 +778,5 @@ class AdmissionController:
                     deduped=t_index > 0,
                     run=run,
                 ))
+        self._publish(events)
         return shared_names

@@ -215,6 +215,7 @@ class QueryService:
         bus: Optional[EventBus] = None,
         tracer=NULL_TRACER,
         feedback=None,
+        metrics=None,
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
@@ -235,6 +236,21 @@ class QueryService:
             cfg = (feedback if isinstance(feedback, FeedbackConfig)
                    else FeedbackConfig())
             self.feedback = FeedbackController(self, cfg)
+        #: Live telemetry (``docs/observability.md`` "Live metrics"):
+        #: pass ``True`` for a default
+        #: :class:`~repro.obs.collector.MetricsCollector`, or a
+        #: pre-built collector (e.g. with an injected clock or custom
+        #: SLO config).  When enabled, the collector subscribes to
+        #: this service's bus and every execution additionally
+        #: publishes its ``exec.*`` counter events there; when
+        #: disabled, neither the bus contents nor any output changes.
+        self.metrics_collector = None
+        if metrics:
+            from ..obs.collector import MetricsCollector
+
+            collector = (metrics if isinstance(metrics, MetricsCollector)
+                         else MetricsCollector())
+            self.metrics_collector = collector.subscribe(self.bus)
 
     # -- submission -------------------------------------------------------
 
@@ -554,6 +570,37 @@ class QueryService:
                 "service.counter", name=name, value=value
             ))
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The live-telemetry snapshot (registry + SLO table).
+
+        Requires the service to have been built with ``metrics=``; the
+        same document backs ``repro serve --metrics-out``, the
+        ``/metrics.json`` endpoint and ``repro top``.
+        """
+        if self.metrics_collector is None:
+            raise RuntimeError(
+                "metrics are not enabled on this service; construct it "
+                "with QueryService(..., metrics=True)"
+            )
+        return self.metrics_collector.snapshot()
+
+    def health(self) -> Dict[str, object]:
+        """Service-level health document (the ``/healthz`` body when no
+        admission controller fronts this service)."""
+        with self._lock:
+            cache_size = len(self.cache)
+            inflight = len(self._inflight)
+            version = self.catalog_version
+        return {
+            "status": "ok",
+            "ready": True,
+            "checks": {
+                "cache_size": cache_size,
+                "inflight_optimizations": inflight,
+                "catalog_version": version,
+            },
+        }
+
     # -- internals ---------------------------------------------------------
 
     def _compile(self, text: str) -> LogicalPlan:
@@ -687,4 +734,9 @@ class QueryService:
                                            tracer=self.tracer)
         outputs = executor.execute(plan)
         graph = executor.stage_graph if workers > 0 else None
+        if self.metrics_collector is not None:
+            # Feed the run's deterministic counters to the live
+            # telemetry layer through the same bus spine everything
+            # else publishes on.
+            executor.metrics.publish(self.bus)
         return outputs, executor.metrics, graph

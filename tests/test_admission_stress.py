@@ -2,7 +2,13 @@
 or cross-wired results.
 
 ``REPRO_ADMISSION_THREADS`` (default 4; the CI admission-stress job
-sets 8) controls the client-thread count.  Every thread replays a
+sets 8) controls the client-thread count.
+``REPRO_ADMISSION_METRICS=1`` (the CI telemetry job) additionally
+attaches a :class:`~repro.obs.MetricsCollector` to the stormed
+service, so the whole stress matrix doubles as a race test of the
+metrics registry — the results must stay byte-identical and the
+collector's per-tenant accounting must reconcile with the admission
+counters.  Every thread replays a
 seeded shuffle of a shared-heavy workload through one started
 controller (background drainer, SystemClock) with blocking ``submit``;
 afterwards every single result is checked byte-identical against the
@@ -31,6 +37,7 @@ from repro.workloads.datagen import generate_for_catalog
 from repro.workloads.paper_scripts import PAPER_SCRIPTS
 
 THREADS = int(os.environ.get("REPRO_ADMISSION_THREADS", "4"))
+METRICS = os.environ.get("REPRO_ADMISSION_METRICS", "") == "1"
 SCRIPTS_PER_THREAD = 6
 SUBMIT_TIMEOUT = 120.0
 
@@ -56,7 +63,8 @@ def _make_service():
     catalog.register_file("test.log", columns, rows=2_000, ndv=ndv)
     catalog.register_file("test2.log", columns, rows=2_000, ndv=ndv)
     return QueryService(
-        catalog, OptimizerConfig(cost_params=CostParams(machines=4))
+        catalog, OptimizerConfig(cost_params=CostParams(machines=4)),
+        metrics=METRICS,
     )
 
 
@@ -162,6 +170,40 @@ class TestAdmissionStress:
         for run in runs:
             for vertex in run.stage_graph.vertices:
                 assert run.metrics.vertices[vertex.name].launches == 1
+
+    def test_metrics_reconcile_with_admission_counters(self, stormed):
+        """Under REPRO_ADMISSION_METRICS=1 the collector raced every
+        client thread; its totals must agree with the controller's own
+        counters exactly — no lost or double-counted events."""
+        if not METRICS:
+            pytest.skip("set REPRO_ADMISSION_METRICS=1 to enable")
+        controller, _results, _outputs = stormed
+        collector = controller.service.metrics_collector
+        snap = controller.stats_snapshot()
+        total = THREADS * SCRIPTS_PER_THREAD
+
+        resolved = sum(child.count
+                       for _v, child in collector.latency.children())
+        assert resolved == total
+        report = collector.slo_report()
+        assert sum(row["requests"] for row in report.values()) == total
+        assert sum(row["failures"] for row in report.values()) == 0
+
+        by_outcome = {}
+        for (tenant, outcome), child in \
+                collector.admission_submits.children():
+            by_outcome[outcome] = by_outcome.get(outcome, 0) + child.value
+        assert by_outcome.get("accepted", 0) == snap["accepted"]
+        assert by_outcome.get("deduped", 0) == snap["deduped"]
+        assert by_outcome.get("rejected", 0) == snap["rejected"]
+
+        windows = sum(child.value
+                      for _v, child in collector.windows.children())
+        assert windows == snap["windows"]
+        assert collector.groups.value == snap["groups"]
+        assert collector.window_scripts._solo().count == snap["flushes"]
+        assert collector.queue_depth.value == 0
+        assert collector.queue_depth_max.value == snap["max_queue_depth"]
 
     def test_statistics_update_mid_window_never_yields_stale_plans(
             self, baselines):

@@ -1,0 +1,222 @@
+"""Unit tests for the labeled metrics registry (``repro.obs.metrics``).
+
+Everything runs under a :class:`~repro.service.ManualClock` — the
+registry never reads real time on its own, so counters, windowed
+recorders and snapshots are fully deterministic.  The histogram
+bucket-placement property is hypothesis-driven: every observation
+lands in exactly one underlying bucket and the sum/count invariants
+hold for arbitrary observation sequences.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.service import ManualClock
+
+
+def make_registry(clock=None) -> MetricsRegistry:
+    return MetricsRegistry(clock=clock or ManualClock())
+
+
+# -- counters / gauges -------------------------------------------------------
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = make_registry()
+    total = reg.counter("total", "help")
+    total.inc()
+    total.inc(2.5)
+    assert total.value == 3.5
+    with pytest.raises(ValueError):
+        total.inc(-1)
+
+
+def test_labeled_counter_children_are_independent():
+    reg = make_registry()
+    fam = reg.counter("requests", "", ["tenant", "outcome"])
+    fam.labels(tenant="a", outcome="ok").inc()
+    fam.labels("a", "ok").inc()          # positional addressing, same child
+    fam.labels(tenant="b", outcome="ok").inc(5)
+    assert fam.labels(tenant="a", outcome="ok").value == 2
+    assert fam.labels(tenant="b", outcome="ok").value == 5
+    assert [values for values, _ in fam.children()] == [
+        ("a", "ok"), ("b", "ok")]
+
+
+def test_label_cardinality_is_validated():
+    reg = make_registry()
+    fam = reg.counter("c", "", ["tenant"])
+    with pytest.raises(ValueError):
+        fam.labels()                     # missing value
+    with pytest.raises(ValueError):
+        fam.labels(tenant="a", extra="b")
+    with pytest.raises(ValueError):
+        fam.inc()                        # labeled family has no solo child
+
+
+def test_gauge_set_inc_dec_and_set_max():
+    reg = make_registry()
+    g = reg.gauge("depth", "")
+    g.set(4)
+    g.inc()
+    g.dec(2)
+    assert g.value == 3
+    g.set_max(10)
+    g.set_max(7)                         # lower value retained as 10
+    assert g.value == 10
+
+
+def test_registry_rejects_conflicting_redefinition():
+    reg = make_registry()
+    reg.counter("x_total", "", ["a"])
+    assert reg.counter("x_total", "", ["a"]) is reg.get("x_total")
+    with pytest.raises(ValueError):
+        reg.gauge("x_total", "")
+    with pytest.raises(ValueError):
+        reg.counter("x_total", "", ["b"])
+    with pytest.raises(ValueError):
+        reg.counter("0bad", "")
+    with pytest.raises(ValueError):
+        reg.counter("ok", "", ["0bad"])
+
+
+# -- histograms --------------------------------------------------------------
+
+def test_exponential_buckets_shape():
+    assert exponential_buckets(1, 2, 4) == (1, 2, 4, 8)
+    with pytest.raises(ValueError):
+        exponential_buckets(0, 2, 4)
+    with pytest.raises(ValueError):
+        exponential_buckets(1, 1, 4)
+
+
+def test_latency_buckets_are_log_scaled():
+    assert LATENCY_BUCKETS_S[0] == pytest.approx(0.001)
+    ratios = [b2 / b1 for b1, b2 in zip(LATENCY_BUCKETS_S,
+                                        LATENCY_BUCKETS_S[1:])]
+    assert all(r == pytest.approx(2.0) for r in ratios)
+
+
+def test_histogram_quantiles_at_bucket_resolution():
+    reg = make_registry()
+    h = reg.histogram("lat", "", buckets=[0.1, 1.0, 10.0])
+    assert h._solo().quantile(0.5) is None     # empty
+    for v in [0.05] * 50 + [0.5] * 45 + [5.0] * 4 + [100.0]:
+        h.observe(v)
+    child = h._solo()
+    assert child.quantile(0.50) == 0.1
+    assert child.quantile(0.95) == 1.0
+    assert child.quantile(0.99) == 10.0
+    assert child.quantile(1.0) == math.inf     # overflow bucket
+    with pytest.raises(ValueError):
+        child.quantile(1.5)
+
+
+def test_histogram_rejects_bad_bounds():
+    lock = threading.RLock()
+    with pytest.raises(ValueError):
+        Histogram(lock, [])
+    with pytest.raises(ValueError):
+        Histogram(lock, [1.0, 1.0])
+    with pytest.raises(ValueError):
+        Histogram(lock, [1.0, math.inf])
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), max_size=200))
+def test_histogram_bucket_placement_property(values):
+    """Every observation lands in exactly one underlying bucket; the
+    exposition's cumulative counts are monotone and end at ``count``;
+    the running sum matches."""
+    h = Histogram(threading.RLock(), exponential_buckets(0.001, 4, 10))
+    for v in values:
+        h.observe(v)
+    counts = h.bucket_counts()
+    assert sum(counts) == h.count == len(values)
+    assert h.sum == pytest.approx(math.fsum(values))
+    # Reconstruct the placement independently: each value belongs to
+    # the first bucket whose upper bound is >= it, else the overflow.
+    expected = [0] * (len(h.bounds) + 1)
+    for v in values:
+        index = next((i for i, b in enumerate(h.bounds) if v <= b),
+                     len(h.bounds))
+        expected[index] += 1
+    assert counts == expected
+    sample = h.sample()
+    cumulative = [c for _, c in sample["buckets"]]
+    assert cumulative == sorted(cumulative)
+    assert (cumulative or [0])[-1] <= h.count
+
+
+# -- windowed recorders ------------------------------------------------------
+
+def test_recorder_prunes_by_manual_clock():
+    clock = ManualClock()
+    reg = make_registry(clock)
+    rec = reg.recorder("breaches", "", window=10.0)
+    rec.record()
+    clock.advance(5)
+    rec.record(2.0)
+    child = rec._solo()
+    assert child.count() == 2
+    assert child.total() == 3.0
+    assert child.rate() == pytest.approx(0.2)
+    clock.advance(6)                     # first point now outside window
+    assert child.count() == 1
+    assert child.values() == [2.0]
+    clock.advance(100)
+    assert child.count() == 0
+
+
+def test_recorder_rejects_bad_window():
+    clock = ManualClock()
+    reg = make_registry(clock)
+    with pytest.raises(ValueError):
+        reg.recorder("r", "", window=0)
+
+
+# -- snapshots ---------------------------------------------------------------
+
+def test_snapshot_is_deterministic_under_manual_clock():
+    clock = ManualClock()
+    reg = make_registry(clock)
+    reg.counter("a_total", "first", ["t"]).labels(t="x").inc(3)
+    reg.gauge("b", "second").set(7)
+    clock.advance(42)
+    snap1 = reg.snapshot()
+    snap2 = reg.snapshot()
+    assert snap1 == snap2
+    assert snap1["version"] == MetricsRegistry.SNAPSHOT_VERSION
+    assert snap1["generated_at"] == 42
+    assert snap1["metrics"]["a_total"]["samples"][0] == {
+        "labels": {"t": "x"}, "value": 3}
+
+
+def test_concurrent_updates_are_not_lost():
+    reg = make_registry()
+    fam = reg.counter("hits_total", "", ["t"])
+
+    def worker(tenant):
+        child = fam.labels(t=tenant)
+        for _ in range(1000):
+            child.inc()
+
+    threads = [threading.Thread(target=worker, args=(f"t{i % 4}",))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = sum(child.value for _, child in fam.children())
+    assert total == 8000

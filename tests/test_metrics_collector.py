@@ -1,0 +1,255 @@
+"""MetricsCollector integration: EventBus traffic → labeled series.
+
+Drives a real :class:`~repro.service.QueryService` and
+:class:`~repro.service.AdmissionController` with every clock injected
+(:class:`~repro.service.ManualClock` throughout) and asserts the
+collector's translation: per-tenant submit latency, SLO verdicts and
+burn rate, shared-work savings attribution via ``serves``, dedup
+accounting, cache hit ratio, executor counters, and the health
+surfaces of both layers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsCollector, SLOConfig
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.service import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejected,
+    ManualClock,
+    QueryService,
+)
+
+SHARED = """\
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R1 = SELECT A,Sum(B) AS total FROM R0 GROUP BY A;
+OUTPUT R1 TO "one.out";
+"""
+
+OTHER = """\
+R0 = EXTRACT A,B,C,D FROM "test.log" USING LogExtractor;
+R1 = SELECT A,Sum(B) AS total FROM R0 GROUP BY A;
+R2 = SELECT A,total FROM R1 WHERE total > 0;
+OUTPUT R2 TO "two.out";
+"""
+
+
+def _config():
+    return OptimizerConfig(cost_params=CostParams(machines=4))
+
+
+@pytest.fixture
+def stack(abcd_catalog):
+    clock = ManualClock()
+    collector = MetricsCollector(
+        clock=clock,
+        slo=SLOConfig(latency_objective_s=1.0, availability_target=0.9,
+                      window_s=100.0),
+    )
+    service = QueryService(abcd_catalog, _config(), metrics=collector)
+    controller = AdmissionController(
+        service, clock=clock, workers=2, rows=200,
+        config=AdmissionConfig(window=0.5, max_pending=4),
+    )
+    return clock, collector, service, controller
+
+
+def _flush(clock, controller):
+    clock.advance(controller.config.window)
+    controller.pump()
+
+
+def test_per_tenant_latency_is_deterministic(stack):
+    clock, collector, _service, controller = stack
+    t_a = controller.submit_nowait(SHARED, tenant="alice")
+    t_b = controller.submit_nowait(OTHER, tenant="bob")
+    _flush(clock, controller)
+    t_a.result(timeout=0)
+    t_b.result(timeout=0)
+
+    for tenant in ("alice", "bob"):
+        hist = collector.latency.labels(tenant=tenant)
+        assert hist.count == 1
+        # Latency == the window length exactly (manual clock), so the
+        # quantile resolves to the first bucket bound >= 0.5s.
+        assert hist.sum == pytest.approx(0.5)
+        assert hist.quantile(0.99) == pytest.approx(0.512)
+    report = collector.slo_report()
+    assert sorted(report) == ["alice", "bob"]
+    for row in report.values():
+        assert row["requests"] == 1
+        assert row["breaches"] == 0
+        assert row["compliance"] == 1.0
+        assert row["burn_rate"] == 0.0
+
+
+def test_slo_breach_and_burn_rate(abcd_catalog):
+    clock = ManualClock()
+    collector = MetricsCollector(
+        clock=clock,
+        slo=SLOConfig(latency_objective_s=0.1,      # window 0.5 > 0.1
+                      availability_target=0.9, window_s=100.0),
+    )
+    service = QueryService(abcd_catalog, _config(), metrics=collector)
+    controller = AdmissionController(
+        service, clock=clock, workers=2, rows=200,
+        config=AdmissionConfig(window=0.5),
+    )
+    ticket = controller.submit_nowait(SHARED, tenant="alice")
+    _flush(clock, controller)
+    ticket.result(timeout=0)
+
+    row = collector.slo_report()["alice"]
+    assert row["requests"] == 1
+    assert row["breaches"] == 1
+    assert row["compliance"] == 0.0
+    # 1 breach / 1 windowed request = breach rate 1.0; error budget
+    # 1 - 0.9 = 0.1 → burn 10×.
+    assert row["burn_rate"] == pytest.approx(10.0)
+    # Advance past the SLO window: the burn decays to zero, lifetime
+    # compliance stays.
+    clock.advance(200.0)
+    row = collector.slo_report()["alice"]
+    assert row["window_requests"] == 0
+    assert row["burn_rate"] == 0.0
+    assert row["compliance"] == 0.0
+
+
+def test_shared_savings_attributed_per_tenant(stack):
+    clock, collector, _service, controller = stack
+    # Two *different* scripts sharing the EXTRACT + aggregation prefix:
+    # the shared vertices serve both labels, so each tenant is credited
+    # half of the shared vertices' output rows.
+    t_a = controller.submit_nowait(SHARED, tenant="alice")
+    t_b = controller.submit_nowait(OTHER, tenant="bob")
+    _flush(clock, controller)
+    r_a = t_a.result(timeout=0)
+    r_b = t_b.result(timeout=0)
+    assert r_a.run is r_b.run
+    shared = r_a.run.shared_vertices()
+    assert shared, "scripts share a subexpression by construction"
+
+    alice_v = collector.shared_vertices.labels(tenant="alice").value
+    bob_v = collector.shared_vertices.labels(tenant="bob").value
+    assert alice_v == bob_v == len(shared)
+    expected_rows = sum(
+        r_a.run.metrics.vertices[v.name].rows_out / 2 for v in shared)
+    assert collector.shared_rows_saved.labels(
+        tenant="alice").value == pytest.approx(expected_rows)
+    assert collector.shared_rows_saved.labels(
+        tenant="bob").value == pytest.approx(expected_rows)
+
+
+def test_dedup_and_cache_accounting(stack):
+    clock, collector, _service, controller = stack
+    t1 = controller.submit_nowait(SHARED, tenant="alice")
+    t2 = controller.submit_nowait(SHARED, tenant="bob")   # joins slot
+    _flush(clock, controller)
+    assert t2.result(timeout=0).deduped
+    assert not t1.result(timeout=0).deduped
+    assert collector.dedup_executions_saved.labels(
+        tenant="bob").value == 1
+    assert collector.admission_submits.labels(
+        tenant="bob", outcome="deduped").value == 1
+
+    # Second window, same script: the merged plan hits the plan cache.
+    t3 = controller.submit_nowait(SHARED, tenant="alice")
+    _flush(clock, controller)
+    t3.result(timeout=0)
+    assert collector.cache_hit_ratio() == pytest.approx(0.5)
+
+
+def test_rejection_failure_and_queue_metrics(abcd_catalog):
+    clock = ManualClock()
+    collector = MetricsCollector(clock=clock)
+    service = QueryService(abcd_catalog, _config(), metrics=collector)
+    controller = AdmissionController(
+        service, clock=clock, workers=2, rows=100,
+        config=AdmissionConfig(window=0.5, max_pending=1),
+        failure_rate=1.0, max_retries=0,
+    )
+    controller.submit_nowait(SHARED, tenant="alice")
+    with pytest.raises(AdmissionRejected):
+        controller.submit_nowait(OTHER, tenant="bob")
+    assert collector.admission_submits.labels(
+        tenant="bob", outcome="rejected").value == 1
+    assert collector.queue_depth.value == 1
+    assert collector.queue_depth_max.value == 1
+
+    # Certain failure: every task dies, the group fails, the resolve
+    # event carries ok=False.
+    _flush(clock, controller)
+    assert collector.failed_groups.value == 1
+    assert collector.failures.labels(tenant="alice").value == 1
+    assert collector.slo_requests.labels(
+        tenant="alice", verdict="breach").value == 1
+    assert collector.queue_depth.value == 0
+
+
+def test_exec_counters_flow_through_service(abcd_catalog):
+    clock = ManualClock()
+    collector = MetricsCollector(clock=clock)
+    service = QueryService(abcd_catalog, _config(), metrics=collector)
+    run = service.execute(SHARED, workers=2, rows=300)
+    assert collector.exec_rows.labels(
+        counter="rows_extracted").value == run.metrics.rows_extracted
+    assert collector.exec_vertices.value == len(run.metrics.vertices)
+    assert collector.exec_max_partition.value == \
+        run.metrics.max_partition_rows
+    ops = {name for (name,), _ in collector.exec_operators.children()}
+    assert "Extract" in ops
+    assert collector.windows.labels(trigger="window").value == 0
+
+
+def test_disabled_metrics_add_no_events(abcd_catalog):
+    """Without a collector the service's bus traffic is unchanged —
+    the executor does not publish its metrics into the bus."""
+    plain = QueryService(abcd_catalog, _config())
+    plain.execute(SHARED, workers=2, rows=100)
+    assert plain.metrics_collector is None
+    assert not plain.bus.of_kind("exec.counter")
+    with pytest.raises(RuntimeError):
+        plain.metrics_snapshot()
+
+    measured = QueryService(abcd_catalog, _config(), metrics=True)
+    measured.execute(SHARED, workers=2, rows=100)
+    assert measured.bus.of_kind("exec.counter")
+    snapshot = measured.metrics_snapshot()
+    assert snapshot["metrics"]["repro_exec_rows_total"]["samples"]
+
+
+def test_health_surfaces(abcd_catalog):
+    clock = ManualClock()
+    service = QueryService(abcd_catalog, _config(), metrics=True)
+    health = service.health()
+    assert health["ready"] is True
+    controller = AdmissionController(
+        service, clock=clock, workers=2, rows=100,
+        config=AdmissionConfig(window=0.5, max_pending=10),
+    )
+    assert controller.health()["status"] == "ok"
+    for index in range(9):
+        # Distinct scripts (distinct fingerprints) fill distinct slots.
+        controller.submit_nowait(
+            SHARED.replace("one.out", f"out{index}.out"),
+            tenant="alice")
+    health = controller.health()
+    assert health["status"] == "saturated"
+    assert health["ready"] is False
+    assert health["checks"]["queue_depth"] == 9
+    _flush(clock, controller)
+    assert controller.health()["ready"] is True
+
+
+def test_unknown_events_are_ignored(stack):
+    _clock, collector, service, _controller = stack
+    service.bus.publish(object())
+    service.bus.publish(
+        __import__("repro.obs.bus", fromlist=["ObsEvent"]).ObsEvent.make(
+            "totally.new.kind", x=1))
+    # No exception, nothing counted.
+    assert collector.registry.get("repro_submits_total") is not None

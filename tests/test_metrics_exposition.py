@@ -1,0 +1,175 @@
+"""Exposition encoders: byte-stable golden snapshots and round trips.
+
+A small registry populated under a :class:`~repro.service.ManualClock`
+must render to *exactly* the same Prometheus text and JSON every time
+(the inline goldens below); the JSON must round-trip through
+:func:`repro.obs.metrics.load_snapshot`; and every line of the
+Prometheus exposition must match the text-format grammar.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    load_snapshot,
+    to_json,
+    to_prometheus_text,
+)
+from repro.service import ManualClock
+
+
+def small_registry() -> MetricsRegistry:
+    clock = ManualClock()
+    reg = MetricsRegistry(clock=clock)
+    req = reg.counter("demo_requests_total", "Requests served",
+                      ["tenant"])
+    req.labels(tenant="alice").inc(3)
+    req.labels(tenant='bo"b\\').inc()          # exercises label escaping
+    reg.gauge("demo_queue_depth", "Scripts pending").set(2)
+    lat = reg.histogram("demo_latency_seconds", "Submit latency",
+                        buckets=[0.1, 1.0])
+    for v in (0.05, 0.5, 5.0):
+        lat.observe(v)
+    rec = reg.recorder("demo_window", "Windowed events", window=60.0)
+    clock.advance(10)
+    rec.record(2.5)
+    clock.advance(2)                           # snapshot time: t=12
+    return reg
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP demo_latency_seconds Submit latency
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="0.1"} 1
+demo_latency_seconds_bucket{le="1"} 2
+demo_latency_seconds_bucket{le="+Inf"} 3
+demo_latency_seconds_sum 5.55
+demo_latency_seconds_count 3
+# HELP demo_queue_depth Scripts pending
+# TYPE demo_queue_depth gauge
+demo_queue_depth 2
+# HELP demo_requests_total Requests served
+# TYPE demo_requests_total counter
+demo_requests_total{tenant="alice"} 3
+demo_requests_total{tenant="bo\\"b\\\\"} 1
+# HELP demo_window_window_count Windowed events (events in window)
+# TYPE demo_window_window_count gauge
+demo_window_window_count 1
+# HELP demo_window_window_sum Windowed events (sum over window)
+# TYPE demo_window_window_sum gauge
+demo_window_window_sum 2.5
+"""
+
+GOLDEN_JSON = {
+    "version": 1,
+    "generated_at": 12,
+    "metrics": {
+        "demo_latency_seconds": {
+            "type": "histogram",
+            "help": "Submit latency",
+            "labels": [],
+            "samples": [{
+                "labels": {},
+                "count": 3,
+                "sum": 5.55,
+                "buckets": [[0.1, 1], [1.0, 2]],
+                "p50": 1.0,
+                "p95": "inf",
+                "p99": "inf",
+            }],
+        },
+        "demo_queue_depth": {
+            "type": "gauge",
+            "help": "Scripts pending",
+            "labels": [],
+            "samples": [{"labels": {}, "value": 2.0}],
+        },
+        "demo_requests_total": {
+            "type": "counter",
+            "help": "Requests served",
+            "labels": ["tenant"],
+            "samples": [
+                {"labels": {"tenant": "alice"}, "value": 3.0},
+                {"labels": {"tenant": 'bo"b\\'}, "value": 1.0},
+            ],
+        },
+        "demo_window": {
+            "type": "recorder",
+            "help": "Windowed events",
+            "labels": [],
+            "samples": [{
+                "labels": {},
+                "window_seconds": 60.0,
+                "count": 1,
+                "sum": 2.5,
+            }],
+        },
+    },
+}
+
+
+def test_prometheus_text_is_byte_stable():
+    assert to_prometheus_text(small_registry()) == GOLDEN_PROMETHEUS
+    assert to_prometheus_text(small_registry()) == GOLDEN_PROMETHEUS
+
+
+def test_json_snapshot_matches_golden():
+    assert small_registry().snapshot() == GOLDEN_JSON
+    text1 = to_json(small_registry())
+    text2 = to_json(small_registry())
+    assert text1 == text2                      # byte-stable
+    assert text1.endswith("\n")
+    assert json.loads(text1) == GOLDEN_JSON
+
+
+def test_json_round_trips_through_loader():
+    doc = load_snapshot(to_json(small_registry()))
+    assert doc == GOLDEN_JSON
+
+
+def test_loader_rejects_malformed_documents():
+    with pytest.raises(ValueError):
+        load_snapshot("{}")
+    with pytest.raises(ValueError):
+        load_snapshot(json.dumps({"version": 99, "metrics": {}}))
+    with pytest.raises(ValueError):
+        load_snapshot(json.dumps({
+            "version": 1,
+            "metrics": {"x": {"type": "nope", "samples": []}},
+        }))
+    with pytest.raises(ValueError):
+        load_snapshot(json.dumps({
+            "version": 1,
+            "metrics": {"x": {"type": "counter", "samples": "no"}},
+        }))
+
+
+# Prometheus text format: HELP/TYPE comments or sample lines of the
+# form  name{label="value",...} value
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? '
+    r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$'
+)
+_COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+def test_every_line_parses_as_prometheus_text():
+    text = to_prometheus_text(small_registry())
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").split("\n"):
+        assert _SAMPLE_RE.match(line) or _COMMENT_RE.match(line), (
+            f"not valid prometheus text: {line!r}"
+        )
+
+
+def test_empty_registry_renders_empty():
+    reg = MetricsRegistry(clock=ManualClock())
+    assert to_prometheus_text(reg) == ""
+    assert reg.snapshot()["metrics"] == {}

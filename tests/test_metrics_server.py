@@ -1,0 +1,117 @@
+"""HTTP health surface: /metrics, /metrics.json, /healthz.
+
+The server binds an ephemeral port (``port=0``) so tests never
+collide; the collector underneath is populated deterministically via
+a :class:`~repro.service.ManualClock` registry.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsCollector, MetricsServer
+from repro.obs.bus import ObsEvent
+from repro.obs.metrics import load_snapshot
+from repro.service import ManualClock
+
+
+@pytest.fixture
+def collector():
+    clock = ManualClock()
+    collector = MetricsCollector(clock=clock)
+    collector(ObsEvent.make("service.submit", op="optimize"))
+    collector(ObsEvent.make("service.admission.resolve", tenant="t0",
+                            latency=0.05, ok=True, window=0))
+    return collector
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read()
+
+
+def test_metrics_endpoint_serves_prometheus_text(collector):
+    with MetricsServer(collector) as server:
+        status, headers, body = _get(server.url + "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert "version=0.0.4" in headers["Content-Type"]
+    text = body.decode("utf-8")
+    assert text == collector.prometheus_text()
+    assert 'repro_submits_total{op="optimize"} 1' in text
+
+
+def test_metrics_json_round_trips(collector):
+    with MetricsServer(collector) as server:
+        status, headers, body = _get(server.url + "/metrics.json")
+        _status2, _h2, body2 = _get(server.url + "/snapshot")
+    assert status == 200
+    assert headers["Content-Type"] == "application/json"
+    doc = load_snapshot(body.decode("utf-8"))
+    assert doc["metrics"]["repro_submits_total"]["samples"]
+    assert json.loads(body) == json.loads(body2)
+
+
+def test_healthz_ready_and_not_ready(collector):
+    state = {"ready": True}
+
+    def health():
+        return {"status": "ok" if state["ready"] else "saturated",
+                "ready": state["ready"], "checks": {}}
+
+    with MetricsServer(collector, health=health) as server:
+        status, _headers, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+        state["ready"] = False
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/healthz")
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["status"] == "saturated"
+
+
+def test_healthz_provider_error_is_not_ready(collector):
+    def broken():
+        raise RuntimeError("boom")
+
+    with MetricsServer(collector, health=broken) as server:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/healthz")
+    assert excinfo.value.code == 503
+    doc = json.loads(excinfo.value.read())
+    assert doc["status"] == "error"
+    assert "boom" in doc["checks"]["error"]
+
+
+def test_default_health_is_ready(collector):
+    with MetricsServer(collector) as server:
+        status, _headers, body = _get(server.url + "/healthz")
+    assert status == 200
+    assert json.loads(body)["ready"] is True
+
+
+def test_unknown_path_is_404(collector):
+    with MetricsServer(collector) as server:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+    assert excinfo.value.code == 404
+
+
+def test_start_stop_idempotent(collector):
+    server = MetricsServer(collector)
+    assert server.start() is server.start()
+    port = server.port
+    assert port != 0
+    server.stop()
+    server.stop()                        # second stop is a no-op
+    server.start()                       # restart binds a fresh socket
+    try:
+        status, _headers, _body = _get(server.url + "/metrics")
+        assert status == 200
+    finally:
+        server.stop()
