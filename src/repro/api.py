@@ -195,10 +195,13 @@ class ExecutionResult:
     metrics: ExecutionMetrics
     #: The cluster the plan ran on (inputs still loaded, outputs stored).
     cluster: Cluster
-    #: Worker threads used (0 = sequential recursive executor).
+    #: Worker threads/processes used (0 = sequential recursive executor).
     workers: int = 0
     #: Execution backend that ran the operators ("row" or "columnar").
     backend: str = "row"
+    #: Scheduler runtime that ran the vertices ("thread" or "process";
+    #: meaningful only when ``workers > 0``).
+    runtime: str = "thread"
 
     @property
     def plan(self) -> PhysicalPlan:
@@ -225,15 +228,28 @@ def execute_script(
     retry_backoff: float = 0.0,
     watchdog: Optional[float] = None,
     backend: str = "row",
+    runtime: str = "thread",
+    spill_dir: Optional[str] = None,
+    keep_spill: bool = False,
+    kill_plan=None,
     tracer=NULL_TRACER,
 ) -> ExecutionResult:
     """Optimize a script and execute the chosen plan on the simulator.
 
     ``workers=0`` (the default) runs the sequential recursive
     :class:`~repro.exec.PlanExecutor`; ``workers>=1`` compiles the plan
-    into a stage graph and runs it on the task-parallel
-    :class:`~repro.exec.TaskScheduler` with that many worker threads.
-    Both paths produce identical outputs for every plan.
+    into a stage graph and runs it on a task-parallel scheduler with
+    that many workers.  ``runtime`` picks the scheduler substrate:
+    ``"thread"`` (the GIL-bound :class:`~repro.exec.TaskScheduler`) or
+    ``"process"`` (:class:`~repro.exec.ProcessScheduler` — forked
+    worker processes exchanging columnar wire files through a
+    run-scoped spill directory, see ``docs/execution.md``).  All paths
+    produce identical outputs for every plan.
+
+    ``spill_dir``/``keep_spill`` control the process runtime's spill
+    directory (default: a temp dir, removed on success, preserved on
+    failure); ``kill_plan`` injects deterministic worker SIGKILLs
+    (:class:`~repro.exec.KillPlan`) to exercise crash-fault recovery.
 
     ``backend`` selects the operator engine: ``"row"`` (dict-per-row
     interpretation) or ``"columnar"`` (vectorized column batches).  The
@@ -252,8 +268,17 @@ def execute_script(
     tracer's event bus; feed it to :func:`repro.obs.render_span_tree`,
     the export sinks, or :func:`repro.obs.profile_report`.
     """
+    from .exec.dist import RUNTIME_NAMES
+
     from .workloads.datagen import generate_for_catalog
 
+    if runtime not in RUNTIME_NAMES:
+        raise ValueError(
+            f"unknown runtime {runtime!r} "
+            f"(available: {', '.join(RUNTIME_NAMES)})"
+        )
+    if runtime == "process" and workers < 1:
+        raise ValueError("runtime='process' requires workers >= 1")
     if config is None:
         config = OptimizerConfig(
             cost_params=CostParams(machines=machines or 4)
@@ -264,7 +289,8 @@ def execute_script(
         # ``workers`` is a bus event, not a span attribute: the span
         # tree's *structure* stays identical across worker counts.
         run_span.set(machines=machines)
-        tracer.emit("exec.config", workers=workers, machines=machines)
+        tracer.emit("exec.config", workers=workers, machines=machines,
+                    runtime=runtime)
         result = optimize_script(text, catalog, config, exploit_cse, prune,
                                  verify, tracer=tracer)
         if files is None:
@@ -278,7 +304,17 @@ def execute_script(
             cluster.load_file(path, file_rows)
         engine = get_backend(backend)
         if workers > 0:
-            executor = TaskScheduler(
+            scheduler_kwargs = {}
+            if runtime == "process":
+                from .exec.dist import ProcessScheduler
+
+                scheduler_cls: type = ProcessScheduler
+                scheduler_kwargs = dict(spill_dir=spill_dir,
+                                        keep_spill=keep_spill,
+                                        kill_plan=kill_plan)
+            else:
+                scheduler_cls = TaskScheduler
+            executor = scheduler_cls(
                 cluster,
                 workers=workers,
                 validate=validate,
@@ -288,6 +324,7 @@ def execute_script(
                 watchdog=watchdog,
                 tracer=tracer,
                 backend=engine.name,
+                **scheduler_kwargs,
             )
         else:
             executor = engine.executor_cls(cluster, validate=validate,
@@ -305,6 +342,7 @@ def execute_script(
         cluster=cluster,
         workers=workers,
         backend=engine.name,
+        runtime=runtime,
     )
 
 

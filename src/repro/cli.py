@@ -39,7 +39,7 @@ from typing import Optional
 
 from .api import execute_script, optimize_script
 from .cse.merge import BatchMergeError
-from .exec import BACKEND_NAMES, ExecutionError
+from .exec import BACKEND_NAMES, RUNTIME_NAMES, ExecutionError, KillPlan
 from .naive import NaiveEvaluator
 from .obs import (
     NULL_TRACER,
@@ -265,6 +265,21 @@ def _write_metrics_out(args, collector) -> None:
     print(f"metrics snapshot written to {args.metrics_out}")
 
 
+def _kill_plan(args) -> Optional[KillPlan]:
+    """Build the crash-fault plan from ``--kill-*`` flags (run only)."""
+    if not (args.kill_vertex or args.kill_times):
+        return None
+    if args.runtime != "process":
+        raise SystemExit(
+            "error: --kill-vertex/--kill-times require --runtime process"
+        )
+    return KillPlan(
+        vertex=args.kill_vertex,
+        nth_task=args.kill_nth_task,
+        times=args.kill_times or 1,
+    )
+
+
 def cmd_run(args) -> int:
     catalog = _load_catalog(args.catalog)
     text = _load_script(args.script)
@@ -286,6 +301,10 @@ def cmd_run(args) -> int:
         if args.failure_seed is not None else args.seed,
         max_retries=args.max_retries,
         backend=args.backend,
+        runtime=args.runtime,
+        spill_dir=args.spill_dir,
+        keep_spill=args.keep_spill,
+        kill_plan=_kill_plan(args),
         tracer=tracer,
     )
     outputs = run.outputs
@@ -300,7 +319,7 @@ def cmd_run(args) -> int:
     print(f"estimated cost: {run.optimization.cost:,.0f}")
     if args.workers:
         mode = (
-            f"scheduler, {args.workers} workers"
+            f"{args.runtime} scheduler, {args.workers} workers"
             + (f", fault rate {args.inject_failures}"
                if args.inject_failures else "")
         )
@@ -447,6 +466,8 @@ def _serve_stream(args, catalog, texts) -> int:
         failure_seed=(args.seed if args.failure_seed is None
                       else args.failure_seed),
         max_retries=args.max_retries,
+        runtime=args.runtime,
+        spill_dir=args.spill_dir,
     )
     done, errors = [], []
     lock = threading.Lock()
@@ -581,6 +602,7 @@ def cmd_batch(args) -> int:
         texts, labels=labels, workers=args.workers,
         machines=args.machines, rows=args.rows, seed=args.seed,
         exploit_cse=not args.no_cse, backend=args.backend,
+        runtime=args.runtime, spill_dir=args.spill_dir,
     )
     print(f"merged {len(texts)} script(s) "
           f"({', '.join(run.submit.labels)}); "
@@ -692,6 +714,30 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default 3)")
     p_run.add_argument("--failure-seed", type=int, default=None,
                        help="fault-injection seed (defaults to --seed)")
+    p_run.add_argument("--runtime", choices=RUNTIME_NAMES,
+                       default="thread",
+                       help="scheduler substrate: thread (in-process "
+                       "workers) or process (forked workers, wire-format "
+                       "exchanges spilled to disk); results and counters "
+                       "are identical (default thread)")
+    p_run.add_argument("--spill-dir", default=None, metavar="DIR",
+                       help="root directory for the process runtime's "
+                       "run-scoped spill files (default: a temp dir)")
+    p_run.add_argument("--keep-spill", action="store_true",
+                       help="preserve the spill directory and manifest "
+                       "after a successful run (process runtime)")
+    p_run.add_argument("--kill-vertex", default=None, metavar="NAME",
+                       help="crash-fault injection: SIGKILL the worker "
+                       "dispatched this vertex's task (process runtime; "
+                       "e.g. 'V01:HashAgg')")
+    p_run.add_argument("--kill-nth-task", type=int, default=0,
+                       metavar="N",
+                       help="skip N matching dispatches before killing "
+                       "(default 0: the first)")
+    p_run.add_argument("--kill-times", type=int, default=0, metavar="N",
+                       help="kill N consecutive matching dispatches; "
+                       "without --kill-vertex this kills on any vertex "
+                       "(default 1 when --kill-vertex is given)")
     p_run.add_argument("--profile", action="store_true",
                        help="append the span tree and the "
                        "cardinality-feedback / hotspot reports")
@@ -818,6 +864,13 @@ def build_parser() -> argparse.ArgumentParser:
                          "to --seed)")
     p_serve.add_argument("--max-retries", type=int, default=3,
                          help="retry budget per task (--stream; default 3)")
+    p_serve.add_argument("--runtime", choices=RUNTIME_NAMES,
+                         default="thread",
+                         help="scheduler substrate for window runs "
+                         "(--stream; default thread)")
+    p_serve.add_argument("--spill-dir", default=None, metavar="DIR",
+                         help="spill root for --runtime process "
+                         "(--stream; default: a temp dir)")
     p_serve.add_argument("--feedback", action="store_true",
                          help="enable the cardinality-feedback loop on "
                          "the service (docs/feedback.md); corrections "
@@ -864,6 +917,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--backend", choices=BACKEND_NAMES, default="row",
                          help="execution engine: row or columnar "
                          "(default row)")
+    p_batch.add_argument("--runtime", choices=RUNTIME_NAMES,
+                         default="thread",
+                         help="scheduler substrate (default thread)")
+    p_batch.add_argument("--spill-dir", default=None, metavar="DIR",
+                         help="spill root for --runtime process "
+                         "(default: a temp dir)")
     p_batch.add_argument("--explain-exec", action="store_true",
                          help="print the chosen backend and per-vertex "
                          "batch counts")

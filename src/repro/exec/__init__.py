@@ -14,6 +14,13 @@ from .scheduler import (
     VertexFailedError,
 )
 from .stage_graph import StageGraph, Vertex, build_stage_graph
+from .dist import (
+    RUNTIME_NAMES,
+    KillPlan,
+    ProcessScheduler,
+    SpillStore,
+    WorkerLost,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -28,13 +35,18 @@ __all__ = [
     "FaultInjection",
     "FragmentCutMixin",
     "InjectedFault",
+    "KillPlan",
     "PlanExecutor",
+    "ProcessScheduler",
+    "RUNTIME_NAMES",
     "RetryPolicy",
+    "SpillStore",
     "StageGraph",
     "TaskScheduler",
     "Vertex",
     "VertexFailedError",
     "VertexStats",
+    "WorkerLost",
     "build_stage_graph",
     "canonical_sort_key",
     "get_backend",

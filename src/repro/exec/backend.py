@@ -10,7 +10,14 @@ data layout:
 * ``to_backend`` / ``to_row`` — conversion shims applied at vertex
   boundaries, so the scheduler's committed results (and the result
   files) are always row :class:`~repro.exec.datasets.Dataset` objects
-  whichever backend ran the vertex bodies.
+  whichever backend ran the vertex bodies;
+* ``from_wire`` — the process runtime's input shim: exchange data
+  arrives from disk as columnar wire blobs
+  (:mod:`repro.exec.dist.wire`), and this converts a decoded
+  :class:`~repro.exec.columnar.batch.ColumnarDataset` into the engine's
+  native layout.  For the columnar backend it is the identity — wire
+  exchanges feed the kernels directly, with none of the row-dataset
+  materialization the thread scheduler pays at every boundary.
 
 Because fragments convert at the boundary, every scheduler feature —
 retries over injected faults, exactly-once spools, ``serves``
@@ -64,6 +71,9 @@ class Backend:
     to_backend: Callable
     #: the backend's dataset type -> row ``Dataset`` (vertex output shim)
     to_row: Callable
+    #: decoded wire ``ColumnarDataset`` -> the backend's dataset type
+    #: (process-runtime exchange input shim)
+    from_wire: Callable = _to_columnar
 
 
 ROW_BACKEND = Backend(
@@ -72,6 +82,7 @@ ROW_BACKEND = Backend(
     fragment_cls=_RowFragmentExecutor,
     to_backend=_identity,
     to_row=_identity,
+    from_wire=_to_row,
 )
 
 COLUMNAR_BACKEND = Backend(
@@ -80,6 +91,7 @@ COLUMNAR_BACKEND = Backend(
     fragment_cls=_ColumnarFragmentExecutor,
     to_backend=_to_columnar,
     to_row=_to_row,
+    from_wire=_identity,
 )
 
 BACKENDS = {

@@ -1,0 +1,56 @@
+"""Multiprocess distributed runtime: real processes, wire exchanges,
+spill-to-disk, crash-fault tolerance.
+
+The thread scheduler (:class:`~repro.exec.TaskScheduler`) proves the
+stage-graph semantics but serializes CPU-bound kernels on the GIL and
+keeps every exchange in one shared heap.  This package is the same
+scheduler contract on the paper's actual substrate shape:
+
+* :mod:`~repro.exec.dist.wire` — pinned-protocol columnar wire format
+  for every byte that crosses a process boundary;
+* :mod:`~repro.exec.dist.spill` — run-scoped spill directory with
+  atomic partition files and an fsync'd commit manifest;
+* :mod:`~repro.exec.dist.worker` — the forked worker loop (fragments
+  execute against copy-on-write-inherited plans);
+* :mod:`~repro.exec.dist.supervisor` — :class:`ProcessScheduler`, the
+  dependency scheduler with worker-death detection, bounded
+  re-dispatch from spill, and deterministic :class:`KillPlan`
+  crash-fault injection.
+
+Select it with ``execute_script(..., runtime="process", workers=N)``,
+``QueryService.execute(runtime="process")`` or
+``repro run --runtime process``.
+"""
+
+from .spill import MANIFEST_NAME, SpillStore, read_manifest
+from .supervisor import KillPlan, ProcessScheduler, SpilledResult, WorkerLost
+from .wire import (
+    MAGIC,
+    WIRE_PROTOCOL,
+    WireError,
+    decode_batch,
+    decode_dataset,
+    encode_batch,
+    encode_dataset,
+)
+
+#: Names accepted by the ``runtime=`` knobs across api/service/CLI.
+RUNTIME_NAMES = ("process", "thread")
+
+__all__ = [
+    "MAGIC",
+    "MANIFEST_NAME",
+    "RUNTIME_NAMES",
+    "KillPlan",
+    "ProcessScheduler",
+    "SpillStore",
+    "SpilledResult",
+    "WIRE_PROTOCOL",
+    "WireError",
+    "WorkerLost",
+    "decode_batch",
+    "decode_dataset",
+    "encode_batch",
+    "encode_dataset",
+    "read_manifest",
+]

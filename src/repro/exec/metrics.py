@@ -120,6 +120,10 @@ class ExecutionMetrics:
     fragment_rows: Dict[int, int] = field(default_factory=dict)
     #: Total failed task attempts that were retried (scheduler only).
     task_retries: int = 0
+    #: Worker processes lost mid-run — SIGKILL, OOM, crash — and
+    #: replaced by the process runtime (always 0 on the thread
+    #: scheduler and the sequential executors).
+    worker_deaths: int = 0
 
     #: Per-row weights of the makespan model, mirroring the cost model's
     #: shape (exchanges pay volume, compute pays the slowest partition).
@@ -192,6 +196,7 @@ class ExecutionMetrics:
         self.rows_filtered += other.rows_filtered
         self.simulated_makespan += other.simulated_makespan
         self.task_retries += other.task_retries
+        self.worker_deaths += other.worker_deaths
         for name, count in other.operator_invocations.items():
             self.operator_invocations[name] = (
                 self.operator_invocations.get(name, 0) + count
@@ -220,6 +225,8 @@ class ExecutionMetrics:
             f"output:     {self.rows_output:>12,}",
             f"max part:   {self.max_partition_rows:>12,}",
         ]
+        if self.worker_deaths:
+            lines.append(f"worker deaths: {self.worker_deaths:>9,}")
         ops = ", ".join(
             f"{name}×{count}"
             for name, count in sorted(self.operator_invocations.items())
@@ -283,6 +290,7 @@ class ExecutionMetrics:
         "rows_extracted", "rows_shuffled", "rows_broadcast", "rows_spooled",
         "spool_reads", "rows_output", "rows_sorted", "rows_filtered",
         "max_partition_rows", "simulated_makespan", "task_retries",
+        "worker_deaths",
     )
 
     def to_labels(self) -> Dict[str, float]:

@@ -254,10 +254,15 @@ class TaskScheduler:
             pool.shutdown(wait=True, cancel_futures=True)
             raise
         pool.shutdown(wait=True)
+        return self._finalize(finished)
 
+    def _finalize(self, finished: Dict[int, _VertexRun]
+                  ) -> Dict[str, Dataset]:
         # Deterministic finalization: merge task scratches and record
         # vertex stats (and spans) in vertex order, independent of
-        # completion order.
+        # completion order.  Shared with the process runtime
+        # (``repro.exec.dist``), whose worker scratches fold in through
+        # the exact same path.
         for vid in sorted(finished):
             run = finished[vid]
             for scratch in run.scratches:

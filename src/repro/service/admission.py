@@ -281,6 +281,8 @@ class AdmissionController:
         failure_rate: float = 0.0,
         failure_seed: int = 0,
         max_retries: int = 3,
+        runtime: str = "thread",
+        spill_dir: Optional[str] = None,
     ):
         self.service = service
         self.config = config or AdmissionConfig()
@@ -296,6 +298,8 @@ class AdmissionController:
         self.failure_rate = failure_rate
         self.failure_seed = failure_seed
         self.max_retries = max_retries
+        self.runtime = runtime
+        self.spill_dir = spill_dir
         if files is None:
             from ..workloads.datagen import generate_for_catalog
 
@@ -701,6 +705,8 @@ class AdmissionController:
                 failure_rate=self.failure_rate,
                 failure_seed=self.failure_seed,
                 max_retries=self.max_retries,
+                runtime=self.runtime,
+                spill_dir=self.spill_dir,
             )
         except BaseException as exc:  # routed to callers, not raised here
             with self._lock:

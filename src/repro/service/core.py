@@ -146,6 +146,8 @@ class ServiceRun:
     workers: int
     #: Execution backend that ran the operators ("row" or "columnar").
     backend: str = "row"
+    #: Scheduler substrate ("thread" or "process").
+    runtime: str = "thread"
 
 
 @dataclass
@@ -162,6 +164,8 @@ class BatchRun:
     workers: int
     #: Execution backend that ran the operators ("row" or "columnar").
     backend: str = "row"
+    #: Scheduler substrate ("thread" or "process").
+    runtime: str = "thread"
 
     def shared_vertices(self) -> List[Vertex]:
         """Vertices whose output feeds more than one script of the batch.
@@ -328,6 +332,8 @@ class QueryService:
         failure_rate: float = 0.0,
         failure_seed: int = 0,
         max_retries: int = 3,
+        runtime: str = "thread",
+        spill_dir: Optional[str] = None,
     ) -> ServiceRun:
         """Optimize-or-serve one script and run it on the simulator.
 
@@ -335,17 +341,21 @@ class QueryService:
         plans, cache keys and outputs are backend-independent.
         ``failure_rate`` enables seeded per-task fault injection on the
         scheduler path (``workers >= 1``), retried up to
-        ``max_retries`` times per task.
+        ``max_retries`` times per task.  ``runtime="process"`` runs the
+        scheduled plan on forked worker processes with exchanges
+        spilled to ``spill_dir`` (results and counters are identical to
+        the thread runtime).
         """
         sub = self.submit(text, exploit_cse=exploit_cse, prune=prune,
                           verify=verify)
         outputs, metrics, graph = self._run_plan(
             sub.result.plan, workers, machines, rows, seed, files, validate,
             backend, failure_rate, failure_seed, max_retries,
+            runtime, spill_dir,
         )
         run = ServiceRun(submit=sub, outputs=outputs, metrics=metrics,
                          stage_graph=graph, workers=workers,
-                         backend=backend)
+                         backend=backend, runtime=runtime)
         self._feedback_after(run)
         return run
 
@@ -369,6 +379,8 @@ class QueryService:
         failure_rate: float = 0.0,
         failure_seed: int = 0,
         max_retries: int = 3,
+        runtime: str = "thread",
+        spill_dir: Optional[str] = None,
     ) -> BatchRun:
         """Optimize-or-serve a batch and execute it as one shared job.
 
@@ -387,6 +399,7 @@ class QueryService:
         merged_outputs, metrics, graph = self._run_plan(
             sub.result.plan, workers, machines, rows, seed, files, validate,
             backend, failure_rate, failure_seed, max_retries,
+            runtime, spill_dir,
         )
         per_script = sub.batch.split_outputs(merged_outputs)
         run = BatchRun(
@@ -397,6 +410,7 @@ class QueryService:
             stage_graph=graph,
             workers=workers,
             backend=backend,
+            runtime=runtime,
         )
         self._feedback_after(run)
         return run
@@ -706,11 +720,21 @@ class QueryService:
                   rows: Optional[int], seed: int,
                   files: Optional[Dict[str, list]], validate: bool,
                   backend: str = "row", failure_rate: float = 0.0,
-                  failure_seed: int = 0, max_retries: int = 3):
+                  failure_seed: int = 0, max_retries: int = 3,
+                  runtime: str = "thread",
+                  spill_dir: Optional[str] = None):
         from ..exec.backend import get_backend
+        from ..exec.dist import RUNTIME_NAMES, ProcessScheduler
         from ..exec.scheduler import FaultInjection, RetryPolicy
         from ..workloads.datagen import generate_for_catalog
 
+        if runtime not in RUNTIME_NAMES:
+            raise ValueError(
+                f"unknown runtime {runtime!r} "
+                f"(available: {', '.join(RUNTIME_NAMES)})"
+            )
+        if runtime == "process" and workers < 1:
+            raise ValueError("runtime='process' requires workers >= 1")
         if machines is None:
             machines = self.config.cost_params.machines
         if files is None:
@@ -721,14 +745,20 @@ class QueryService:
             cluster.load_file(path, file_rows)
         engine = get_backend(backend)
         if workers > 0:
-            executor = TaskScheduler(cluster, workers=workers,
+            scheduler_cls: type = TaskScheduler
+            scheduler_kwargs = {}
+            if runtime == "process":
+                scheduler_cls = ProcessScheduler
+                scheduler_kwargs = dict(spill_dir=spill_dir)
+            executor = scheduler_cls(cluster, workers=workers,
                                      validate=validate, tracer=self.tracer,
                                      backend=engine.name,
                                      faults=FaultInjection(
                                          rate=failure_rate,
                                          seed=failure_seed),
                                      retry=RetryPolicy(
-                                         max_retries=max_retries))
+                                         max_retries=max_retries),
+                                     **scheduler_kwargs)
         else:
             executor = engine.executor_cls(cluster, validate=validate,
                                            tracer=self.tracer)

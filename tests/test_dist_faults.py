@@ -1,0 +1,277 @@
+"""Crash-fault tolerance of the multiprocess runtime.
+
+A :class:`KillPlan` SIGKILLs a worker process *before* it touches the
+dispatched task — indistinguishable from a machine lost mid-stage, with
+no exception to catch.  The supervisor must detect the death from the
+pipe alone, replace the worker, and re-dispatch *only* the lost
+vertex's task against the inputs already spilled to disk; outputs and
+deterministic counters must match a clean run exactly.  Exhausting the
+retry budget must fail structurally — a
+:class:`~repro.exec.VertexFailedError` naming the vertex, caused by
+:class:`~repro.exec.WorkerLost` — and preserve the spill directory with
+its manifest for post-mortems.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import optimize_script
+from repro.exec import (
+    Cluster,
+    FaultInjection,
+    KillPlan,
+    ProcessScheduler,
+    RetryPolicy,
+    VertexFailedError,
+    WorkerLost,
+    build_stage_graph,
+)
+from repro.exec.dist import read_manifest
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.workloads.datagen import generate_for_catalog
+from repro.workloads.paper_scripts import PAPER_SCRIPTS, S1
+
+MACHINES = 4
+
+#: Deterministic counters compared between clean and crash-injected
+#: runs.  ``worker_deaths``/``task_retries`` are excluded by design:
+#: they are exactly what a kill changes.
+COUNTERS = (
+    "rows_extracted",
+    "rows_shuffled",
+    "rows_broadcast",
+    "rows_spooled",
+    "spool_reads",
+    "rows_output",
+    "rows_sorted",
+    "rows_filtered",
+    "max_partition_rows",
+    "simulated_makespan",
+)
+
+_cache = {}
+
+
+@pytest.fixture
+def s1_plan(abcd_catalog):
+    if "plan" not in _cache:
+        config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+        _cache["plan"] = optimize_script(
+            S1, abcd_catalog, config, exploit_cse=True
+        ).plan
+    return _cache["plan"]
+
+
+@pytest.fixture
+def s1_files(abcd_catalog):
+    if "files" not in _cache:
+        _cache["files"] = generate_for_catalog(abcd_catalog, seed=23)
+    return _cache["files"]
+
+
+def _make_cluster(files):
+    cluster = Cluster(machines=MACHINES)
+    for path, rows in files.items():
+        cluster.load_file(path, rows)
+    return cluster
+
+
+def run_process(plan, files, workers=2, kill_plan=None, max_retries=3,
+                rate=0.0, seed=0, **kwargs):
+    scheduler = ProcessScheduler(
+        _make_cluster(files),
+        workers=workers,
+        validate=True,
+        faults=FaultInjection(rate=rate, seed=seed),
+        retry=RetryPolicy(max_retries=max_retries, backoff=0.0),
+        kill_plan=kill_plan,
+        **kwargs,
+    )
+    outputs = scheduler.execute(plan)
+    return outputs, scheduler
+
+
+def _victim_vertex(plan) -> str:
+    """A deterministic mid-graph vertex (has dependencies) to kill."""
+    graph = build_stage_graph(plan)
+    for vertex in graph.vertices:
+        if vertex.deps and not vertex.is_spool:
+            return vertex.name
+    raise AssertionError("no mid-graph vertex found")
+
+
+class TestWorkerDeathRecovery:
+    def test_sigkill_mid_stage_recovers_byte_identically(self, s1_plan,
+                                                         s1_files):
+        clean_outputs, clean = run_process(s1_plan, s1_files)
+        victim = _victim_vertex(s1_plan)
+        outputs, sched = run_process(
+            s1_plan, s1_files, kill_plan=KillPlan(vertex=victim)
+        )
+        assert set(outputs) == set(clean_outputs)
+        for path in clean_outputs:
+            assert (
+                outputs[path].canonical_bytes()
+                == clean_outputs[path].canonical_bytes()
+            ), f"crash recovery changed {path}"
+        assert sched.metrics.worker_deaths == 1
+        assert clean.metrics.worker_deaths == 0
+
+    def test_redispatch_is_bounded_to_the_lost_vertex(self, s1_plan,
+                                                      s1_files):
+        """Exactly one task — the killed vertex's — is retried; every
+        other vertex runs its tasks once, from the spilled inputs
+        already on disk (nothing upstream re-executes)."""
+        victim = _victim_vertex(s1_plan)
+        _outputs, sched = run_process(
+            s1_plan, s1_files, kill_plan=KillPlan(vertex=victim)
+        )
+        assert sched.metrics.task_retries == 1
+        for name, stats in sched.metrics.vertices.items():
+            assert stats.launches == 1, name
+            assert stats.retries == (1 if name == victim else 0), name
+
+    def test_counters_not_double_counted_after_redispatch(self, s1_plan,
+                                                          s1_files):
+        """The dead attempt never replied, and a stale duplicate could
+        never fill an occupied slot — so every deterministic counter
+        and the operator census match a clean run exactly."""
+        _clean_outputs, clean = run_process(s1_plan, s1_files)
+        victim = _victim_vertex(s1_plan)
+        _outputs, sched = run_process(
+            s1_plan, s1_files, kill_plan=KillPlan(vertex=victim)
+        )
+        for counter in COUNTERS:
+            assert getattr(sched.metrics, counter) == getattr(
+                clean.metrics, counter
+            ), f"counter {counter} diverged after crash recovery"
+        assert (
+            sched.metrics.operator_invocations
+            == clean.metrics.operator_invocations
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_global_kill_recovers_on_every_paper_script(self, name,
+                                                        abcd_catalog):
+        """An unnamed kill plan takes down whichever worker gets the
+        nth dispatch; recovery must hold wherever the crash lands."""
+        config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
+        plan = optimize_script(
+            PAPER_SCRIPTS[name], abcd_catalog, config, exploit_cse=True
+        ).plan
+        files = generate_for_catalog(abcd_catalog, seed=23)
+        clean_outputs, _clean = run_process(plan, files)
+        outputs, sched = run_process(
+            plan, files, kill_plan=KillPlan(nth_task=1)
+        )
+        assert sched.metrics.worker_deaths == 1
+        for path in clean_outputs:
+            assert (
+                outputs[path].canonical_bytes()
+                == clean_outputs[path].canonical_bytes()
+            ), f"{name}: crash recovery changed {path}"
+
+    def test_repeated_kills_within_budget_still_recover(self, s1_plan,
+                                                        s1_files):
+        victim = _victim_vertex(s1_plan)
+        _clean_outputs, clean = run_process(s1_plan, s1_files)
+        outputs, sched = run_process(
+            s1_plan, s1_files,
+            kill_plan=KillPlan(vertex=victim, times=2),
+            max_retries=3,
+        )
+        assert sched.metrics.worker_deaths == 2
+        assert sched.metrics.vertices[victim].retries == 2
+        for path in outputs:
+            assert (
+                outputs[path].canonical_bytes()
+                == _clean_outputs[path].canonical_bytes()
+            )
+        assert clean.metrics.rows_output == sched.metrics.rows_output
+
+
+class TestRetryExhaustion:
+    def test_exhaustion_raises_typed_error_naming_the_vertex(
+            self, s1_plan, s1_files, tmp_path):
+        victim = _victim_vertex(s1_plan)
+        with pytest.raises(VertexFailedError) as excinfo:
+            run_process(
+                s1_plan, s1_files,
+                kill_plan=KillPlan(vertex=victim, times=100),
+                max_retries=2,
+                spill_dir=str(tmp_path),
+            )
+        assert excinfo.value.vertex == victim
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, WorkerLost)
+
+    def test_failure_preserves_spill_dir_with_manifest(self, s1_plan,
+                                                       s1_files, tmp_path):
+        victim = _victim_vertex(s1_plan)
+        scheduler = ProcessScheduler(
+            _make_cluster(s1_files),
+            workers=2,
+            validate=True,
+            retry=RetryPolicy(max_retries=1, backoff=0.0),
+            kill_plan=KillPlan(vertex=victim, times=100),
+            spill_dir=str(tmp_path),
+        )
+        with pytest.raises(VertexFailedError):
+            scheduler.execute(s1_plan)
+        assert os.path.isdir(scheduler.spill.path)
+        doc = read_manifest(scheduler.spill.path)
+        assert doc["status"] == "failed"
+        assert "VertexFailedError" in doc["error"]
+        # Committed vertices (the killed one's dependencies) are named
+        # with their spilled files — the reusable-state inventory.
+        assert doc["vertices"], "no committed vertices in the manifest"
+        for entry in doc["vertices"].values():
+            assert entry["vertex"] != victim
+            for part in entry["parts"]:
+                assert os.path.isfile(
+                    os.path.join(scheduler.spill.path, part)
+                )
+
+
+class TestSpillLifecycle:
+    def test_success_removes_spill_dir(self, s1_plan, s1_files, tmp_path):
+        _outputs, sched = run_process(
+            s1_plan, s1_files, spill_dir=str(tmp_path)
+        )
+        assert not os.path.exists(sched.spill.path)
+
+    def test_keep_spill_preserves_complete_manifest(self, s1_plan,
+                                                    s1_files, tmp_path):
+        _outputs, sched = run_process(
+            s1_plan, s1_files, spill_dir=str(tmp_path), keep_spill=True
+        )
+        assert os.path.isdir(sched.spill.path)
+        doc = read_manifest(sched.spill.path)
+        assert doc["status"] == "complete"
+        graph = build_stage_graph(s1_plan)
+        assert len(doc["vertices"]) == len(graph.vertices)
+
+
+class TestInjectedFaultsOnProcessRuntime:
+    def test_exception_faults_retry_like_the_thread_runtime(self, s1_plan,
+                                                            s1_files):
+        """Seeded *exception* injection (the thread scheduler's fault
+        model) must also converge on the process runtime: errors ride
+        the reply pipe, not the death path."""
+        clean_outputs, _clean = run_process(s1_plan, s1_files)
+        outputs, sched = run_process(
+            s1_plan, s1_files, rate=0.4, seed=42, max_retries=12
+        )
+        assert sched.metrics.task_retries > 0
+        assert sched.metrics.worker_deaths == 0
+        for path in clean_outputs:
+            assert (
+                outputs[path].canonical_bytes()
+                == clean_outputs[path].canonical_bytes()
+            )
+        for stats in sched.metrics.vertices.values():
+            assert stats.launches == 1

@@ -18,6 +18,8 @@ from repro.exec import (
     Cluster,
     ExecutionMetrics,
     FaultInjection,
+    KillPlan,
+    ProcessScheduler,
     RetryPolicy,
     TaskScheduler,
     VertexStats,
@@ -31,7 +33,8 @@ from repro.workloads.paper_scripts import PAPER_SCRIPTS
 MACHINES = 4
 
 
-def run_scheduled(name, abcd_catalog, workers=4, rate=0.0, seed=0):
+def run_scheduled(name, abcd_catalog, workers=4, rate=0.0, seed=0,
+                  scheduler_cls=TaskScheduler, **kwargs):
     config = OptimizerConfig(cost_params=CostParams(machines=MACHINES))
     plan = optimize_script(
         PAPER_SCRIPTS[name], abcd_catalog, config, exploit_cse=True
@@ -40,12 +43,13 @@ def run_scheduled(name, abcd_catalog, workers=4, rate=0.0, seed=0):
     cluster = Cluster(machines=MACHINES)
     for path, rows in files.items():
         cluster.load_file(path, rows)
-    scheduler = TaskScheduler(
+    scheduler = scheduler_cls(
         cluster,
         workers=workers,
         validate=True,
         faults=FaultInjection(rate=rate, seed=seed),
         retry=RetryPolicy(max_retries=10, backoff=0.0),
+        **kwargs,
     )
     scheduler.execute(plan)
     return plan, scheduler.metrics
@@ -187,3 +191,59 @@ class TestMergeFrom:
         assert left.max_partition_rows == 9
         assert left.operator_invocations == {"Extract": 2, "Filter": 1}
         assert set(left.vertices) == {"V00:A", "V01:B"}
+
+    def test_merge_folds_worker_deaths(self):
+        left = ExecutionMetrics(worker_deaths=1)
+        right = ExecutionMetrics(worker_deaths=2)
+        left.merge_from(right)
+        assert left.worker_deaths == 3
+        assert "worker_deaths" in left.to_labels()
+        assert left.to_labels()["worker_deaths"] == 3
+
+
+class TestCrossProcessAggregation:
+    """Worker metric scratches travel over the pipe as whole
+    :class:`ExecutionMetrics` snapshots and merge during the shared
+    finalization pass — the aggregate must be indistinguishable from a
+    thread run, even when tasks were re-dispatched after a crash."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SCRIPTS))
+    def test_summary_equal_thread_vs_process(self, name, abcd_catalog):
+        thread = run_scheduled(name, abcd_catalog)[1]
+        process = run_scheduled(
+            name, abcd_catalog, scheduler_cls=ProcessScheduler
+        )[1]
+        assert process.summary() == thread.summary()
+        assert process.to_labels() == thread.to_labels()
+
+    def test_fragment_rows_aggregate_across_processes(self, abcd_catalog):
+        """The feedback loop's per-fragment observed cardinalities come
+        out of worker processes, deduplicated across task slices."""
+        thread = run_scheduled("S1", abcd_catalog)[1]
+        process = run_scheduled(
+            "S1", abcd_catalog, scheduler_cls=ProcessScheduler
+        )[1]
+        assert process.fragment_rows, "process run observed no fragments"
+        assert process.fragment_rows == thread.fragment_rows
+
+    def test_no_double_count_after_crash_redispatch(self, abcd_catalog):
+        """A SIGKILLed attempt never reports a scratch, and a stale
+        duplicate can never fill an occupied task slot — so merged
+        counters match a clean run exactly (only the retry/death
+        accounting may differ)."""
+        clean = run_scheduled(
+            "S1", abcd_catalog, scheduler_cls=ProcessScheduler
+        )[1]
+        victims = [name for name in clean.vertices if "Agg" in name]
+        crashed = run_scheduled(
+            "S1", abcd_catalog, scheduler_cls=ProcessScheduler,
+            kill_plan=KillPlan(vertex=victims[0]),
+        )[1]
+        assert crashed.worker_deaths == 1
+        assert crashed.task_retries == 1
+        clean_labels = clean.to_labels()
+        crashed_labels = crashed.to_labels()
+        for key in ("worker_deaths", "task_retries"):
+            assert clean_labels.pop(key) != crashed_labels.pop(key)
+        assert crashed_labels == clean_labels
+        assert crashed.fragment_rows == clean.fragment_rows
