@@ -22,9 +22,11 @@ from .api import (
     optimize_plan,
     optimize_script,
 )
+from .frontend import compile_text, detect_dialect, dialect_names
 from .plan.columns import Column, ColumnType, Schema
 from .scope.catalog import Catalog
 from .scope.compiler import compile_script
+from .sql import compile_sql, parse_sql
 from .service import (
     AdmissionConfig,
     AdmissionController,
@@ -59,9 +61,14 @@ __all__ = [
     "VerificationReport",
     "check_plan",
     "compile_script",
+    "compile_sql",
+    "compile_text",
+    "detect_dialect",
+    "dialect_names",
     "execute_batch",
     "optimize_plan",
     "optimize_script",
+    "parse_sql",
     "set_default_verify",
     "verify_plan",
 ]

@@ -34,6 +34,7 @@ from .exec import (
     TaskScheduler,
 )
 from .exec.backend import get_backend
+from .frontend import compile_text
 from .obs.tracer import NULL_TRACER
 from .optimizer.cost import CostParams
 from .optimizer.engine import OptimizerConfig
@@ -42,7 +43,8 @@ from .plan.logical import LogicalPlan
 from .plan.pruning import prune_columns
 from .plan.physical import PhysicalPlan
 from .scope.catalog import Catalog
-from .scope.compiler import compile_script
+from .scope.compiler import compile_script  # noqa: F401 - re-exported
+from .sql import compile_sql, parse_sql  # noqa: F401 - re-exported
 from .verify import check_plan, verify_enabled
 
 # Deep scripts (LS2 has >1000 operators) recurse through the engine;
@@ -176,9 +178,15 @@ def optimize_script(
     verify: Optional[bool] = None,
     tracer=NULL_TRACER,
     corrections=None,
+    dialect: str = "auto",
 ) -> OptimizationResult:
-    """Parse, compile and optimize a SCOPE script."""
-    logical = compile_script(text, catalog, tracer=tracer)
+    """Parse, compile and optimize a script.
+
+    ``dialect`` picks the frontend: ``"scope"``, ``"sql"``, or
+    ``"auto"`` (the default) to sniff it from the text — see
+    :func:`repro.frontend.detect_dialect` and ``docs/sql.md``.
+    """
+    logical = compile_text(text, catalog, dialect=dialect, tracer=tracer)
     return optimize_plan(logical, catalog, config, exploit_cse, prune,
                          verify, tracer=tracer, corrections=corrections)
 
@@ -233,6 +241,7 @@ def execute_script(
     keep_spill: bool = False,
     kill_plan=None,
     tracer=NULL_TRACER,
+    dialect: str = "auto",
 ) -> ExecutionResult:
     """Optimize a script and execute the chosen plan on the simulator.
 
@@ -292,7 +301,7 @@ def execute_script(
         tracer.emit("exec.config", workers=workers, machines=machines,
                     runtime=runtime)
         result = optimize_script(text, catalog, config, exploit_cse, prune,
-                                 verify, tracer=tracer)
+                                 verify, tracer=tracer, dialect=dialect)
         if files is None:
             with tracer.span("datagen") as span:
                 files = generate_for_catalog(catalog, seed=seed,
@@ -363,6 +372,7 @@ def execute_batch(
     verify: Optional[bool] = None,
     backend: str = "row",
     tracer=NULL_TRACER,
+    dialect: str = "auto",
 ):
     """Optimize and execute a batch of scripts as one shared job.
 
@@ -384,5 +394,5 @@ def execute_batch(
         texts, labels=labels, workers=workers, machines=machines,
         rows=rows, seed=seed, files=files, validate=validate,
         exploit_cse=exploit_cse, prune=prune, verify=verify,
-        backend=backend,
+        backend=backend, dialect=dialect,
     )

@@ -40,6 +40,13 @@ from typing import Optional
 from .api import execute_script, optimize_script
 from .cse.merge import BatchMergeError
 from .exec import BACKEND_NAMES, RUNTIME_NAMES, ExecutionError, KillPlan
+from .frontend import (
+    FrontendError,
+    compile_text,
+    detect_dialect,
+    dialect_names,
+    format_diagnostic,
+)
 from .naive import NaiveEvaluator
 from .obs import (
     NULL_TRACER,
@@ -60,8 +67,6 @@ from .optimizer.explain import (
     stage_graph,
     to_dot,
 )
-from .scope.compiler import compile_script
-from .scope.errors import ScopeError
 from .scope.statistics import catalog_from_json
 from .verify import verify_plan
 from .workloads.datagen import generate_for_catalog
@@ -73,8 +78,23 @@ def _load_catalog(path: str):
 
 
 def _load_script(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
     with open(path) as handle:
         return handle.read()
+
+
+def _script_dialect(args, path: str, text: str) -> str:
+    """Resolve the frontend dialect for one script.
+
+    ``--dialect auto`` (the default) detects per script: the file
+    extension wins (``.sql`` vs ``.scope``/``.script``), falling back
+    to a content sniff — which is all there is for stdin (``-``).
+    """
+    name = getattr(args, "dialect", "auto")
+    if name == "auto":
+        return detect_dialect(text, path=None if path == "-" else path)
+    return name
 
 
 def _config(args) -> OptimizerConfig:
@@ -94,11 +114,14 @@ def cmd_explain(args) -> int:
 
         config = dataclasses.replace(config, trace=True)
     result = optimize_script(
-        text, catalog, config, exploit_cse=not args.no_cse
+        text, catalog, config, exploit_cse=not args.no_cse,
+        dialect=_script_dialect(args, args.script, text),
     )
-    if args.json:
+    fmt = args.format or ("json" if args.json else
+                          "dot" if args.dot else "text")
+    if fmt == "json":
         print(json.dumps(explain_dict(result.plan), indent=2))
-    elif args.dot:
+    elif fmt == "dot":
         print(to_dot(result.plan))
     else:
         print(explain_text(result.plan, total_cost=result.cost))
@@ -120,9 +143,11 @@ def cmd_explain(args) -> int:
 def cmd_compare(args) -> int:
     catalog = _load_catalog(args.catalog)
     text = _load_script(args.script)
+    dialect = _script_dialect(args, args.script, text)
     conventional = optimize_script(text, catalog, _config(args),
-                                   exploit_cse=False)
-    extended = optimize_script(text, catalog, _config(args), exploit_cse=True)
+                                   exploit_cse=False, dialect=dialect)
+    extended = optimize_script(text, catalog, _config(args),
+                               exploit_cse=True, dialect=dialect)
     print("=== conventional plan ===")
     print(conventional.plan.pretty())
     print("=== plan exploiting common subexpressions ===")
@@ -172,7 +197,7 @@ def _explain_exec(backend: str, metrics) -> None:
             print(f"  {vname}: {metrics.vertices[vname].batches}")
 
 
-def _run_feedback(args, catalog, text, files) -> int:
+def _run_feedback(args, catalog, text, files, dialect: str = "auto") -> int:
     """``repro run --feedback``: drive the learned-statistics loop.
 
     Executes the script ``--feedback-runs`` times through one
@@ -193,14 +218,16 @@ def _run_feedback(args, catalog, text, files) -> int:
             min_observations=args.feedback_min_obs,
         ),
     )
-    expected = NaiveEvaluator(files).run(compile_script(text, catalog))
+    expected = NaiveEvaluator(files).run(
+        compile_text(text, catalog, dialect=dialect)
+    )
     status = 0
     processed: list = []
     for round_no in range(args.feedback_runs):
         run = service.execute(
             text, workers=args.workers, machines=args.machines,
             files=files, exploit_cse=not args.no_cse,
-            backend=args.backend,
+            backend=args.backend, dialect=dialect,
         )
         processed.append(run.metrics.rows_processed())
         outcome = "hit " if run.submit.cache_hit else "miss"
@@ -235,6 +262,19 @@ def _run_feedback(args, catalog, text, files) -> int:
         print("verified: results identical to the naive reference "
               "evaluation in every round")
     return status
+
+
+def _feedback_arg(args):
+    """The ``feedback=`` value for ``QueryService`` from serve flags.
+
+    ``--feedback-store PATH`` implies the feedback loop and persists
+    the learned store across restarts (``docs/feedback.md``).
+    """
+    if getattr(args, "feedback_store", None):
+        from .stats.feedback import FeedbackConfig
+
+        return FeedbackConfig(persist_path=args.feedback_store)
+    return args.feedback
 
 
 def _telemetry_wanted(args) -> bool:
@@ -285,8 +325,9 @@ def cmd_run(args) -> int:
     text = _load_script(args.script)
     files = generate_for_catalog(catalog, seed=args.seed,
                                  rows_override=args.rows)
+    dialect = _script_dialect(args, args.script, text)
     if args.feedback:
-        return _run_feedback(args, catalog, text, files)
+        return _run_feedback(args, catalog, text, files, dialect)
     tracer = Tracer() if _wants_tracing(args) else NULL_TRACER
     run = execute_script(
         text,
@@ -306,10 +347,13 @@ def cmd_run(args) -> int:
         keep_spill=args.keep_spill,
         kill_plan=_kill_plan(args),
         tracer=tracer,
+        dialect=dialect,
     )
     outputs = run.outputs
 
-    expected = NaiveEvaluator(files).run(compile_script(text, catalog))
+    expected = NaiveEvaluator(files).run(
+        compile_text(text, catalog, dialect=dialect)
+    )
     mismatches = [
         path
         for path, want in expected.items()
@@ -373,6 +417,7 @@ def cmd_profile(args) -> int:
         machines=args.machines,
         files=files,
         tracer=tracer,
+        dialect=_script_dialect(args, args.script, text),
     )
     print(f"estimated cost: {run.optimization.cost:,.0f}")
     print(f"executed on: scheduler, {args.workers} workers"
@@ -396,6 +441,7 @@ def cmd_profile(args) -> int:
 def cmd_verify(args) -> int:
     catalog = _load_catalog(args.catalog)
     text = _load_script(args.script)
+    dialect = _script_dialect(args, args.script, text)
     config = _config(args)
     modes = [("cse", True)]
     if args.no_cse:
@@ -407,7 +453,8 @@ def cmd_verify(args) -> int:
     failed = False
     for label, exploit_cse in modes:
         result = optimize_script(text, catalog, config,
-                                 exploit_cse=exploit_cse, verify=False)
+                                 exploit_cse=exploit_cse, verify=False,
+                                 dialect=dialect)
         plans = {"chosen": result.plan}
         if args.phases and exploit_cse:
             details = result.details
@@ -448,7 +495,7 @@ def _serve_stream(args, catalog, texts) -> int:
 
     service = QueryService(catalog, _config(args),
                            cache_capacity=args.cache_capacity,
-                           feedback=args.feedback,
+                           feedback=_feedback_arg(args),
                            metrics=_telemetry_wanted(args))
     controller = AdmissionController(
         service,
@@ -479,6 +526,7 @@ def _serve_stream(args, catalog, texts) -> int:
                     result = controller.submit(
                         text, tenant=tenant,
                         exploit_cse=not args.no_cse, timeout=300,
+                        dialect=_script_dialect(args, path, text),
                     )
                 except Exception as exc:  # noqa: BLE001 - tallied below
                     with lock:
@@ -555,14 +603,17 @@ def cmd_serve(args) -> int:
         return _serve_stream(args, catalog, texts)
     service = QueryService(catalog, _config(args),
                            cache_capacity=args.cache_capacity,
-                           feedback=args.feedback,
+                           feedback=_feedback_arg(args),
                            metrics=_telemetry_wanted(args))
     server = _start_metrics_server(args, service.metrics_collector,
                                    service.health)
     try:
         for round_no in range(args.repeat):
             for path, text in texts:
-                sub = service.submit(text, exploit_cse=not args.no_cse)
+                sub = service.submit(
+                    text, exploit_cse=not args.no_cse,
+                    dialect=_script_dialect(args, path, text),
+                )
                 outcome = "hit " if sub.cache_hit else "miss"
                 print(f"[{round_no}] {outcome} {sub.key.short}  "
                       f"cost={sub.result.cost:,.0f}  {path}")
@@ -598,11 +649,18 @@ def cmd_batch(args) -> int:
     service = QueryService(catalog, _config(args))
     texts = [_load_script(path) for path in args.scripts]
     labels = args.labels.split(",") if args.labels else None
+    # Mixed-dialect batches are fine: compile each script under its own
+    # detected dialect and hand the merged plans to the service.
+    plans = [
+        service._compile(text, _script_dialect(args, path, text))
+        for path, text in zip(args.scripts, texts)
+    ]
     run = service.execute_many(
         texts, labels=labels, workers=args.workers,
         machines=args.machines, rows=args.rows, seed=args.seed,
         exploit_cse=not args.no_cse, backend=args.backend,
         runtime=args.runtime, spill_dir=args.spill_dir,
+        precompiled=plans,
     )
     print(f"merged {len(texts)} script(s) "
           f"({', '.join(run.submit.labels)}); "
@@ -665,9 +723,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     def common(p, needs_script=True):
         if needs_script:
-            p.add_argument("script", help="path to a SCOPE script")
+            p.add_argument("script",
+                           help="path to a SCOPE or SQL script "
+                           "('-' reads stdin)")
             p.add_argument("--catalog", required=True,
                            help="path to a catalog JSON file")
+        p.add_argument("--dialect", choices=("auto",) + dialect_names(),
+                       default="auto",
+                       help="script frontend; 'auto' detects from the "
+                       "file extension (.sql vs .scope/.script) or the "
+                       "text (default auto)")
         p.add_argument("--machines", type=int, default=25,
                        help="simulated cluster size (default 25)")
         p.add_argument("--budget", type=float, default=None,
@@ -679,6 +744,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_explain = sub.add_parser("explain", help="optimize and show the plan")
     common(p_explain)
+    p_explain.add_argument("--format", choices=("text", "json", "dot"),
+                           default=None,
+                           help="output format (default text; overrides "
+                           "--json/--dot)")
     p_explain.add_argument("--json", action="store_true",
                            help="emit the plan as JSON")
     p_explain.add_argument("--dot", action="store_true",
@@ -816,7 +885,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="submit scripts through a plan-caching query service"
     )
     p_serve.add_argument("scripts", nargs="+",
-                         help="paths to SCOPE scripts (the workload)")
+                         help="paths to SCOPE or SQL scripts "
+                         "(the workload)")
     p_serve.add_argument("--catalog", required=True,
                          help="path to a catalog JSON file")
     common(p_serve, needs_script=False)
@@ -877,6 +947,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "from executed windows re-optimize cached "
                          "plans (observations require execution, i.e. "
                          "--stream)")
+    p_serve.add_argument("--feedback-store", default=None, metavar="FILE",
+                         help="enable the feedback loop and persist the "
+                         "learned store to FILE (loaded on start when it "
+                         "exists, saved after every capture/gate cycle), "
+                         "so corrections survive restarts")
     p_serve.add_argument("--feedback-log", default=None, metavar="FILE",
                          help="write the feedback decision cards as "
                          "JSON lines")
@@ -899,7 +974,7 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="merge scripts into one shared job and execute it"
     )
     p_batch.add_argument("scripts", nargs="+",
-                         help="paths to SCOPE scripts to batch")
+                         help="paths to SCOPE or SQL scripts to batch")
     p_batch.add_argument("--catalog", required=True,
                          help="path to a catalog JSON file")
     common(p_batch, needs_script=False)
@@ -952,8 +1027,11 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ScopeError, ExecutionError, BatchMergeError,
-            FileNotFoundError) as exc:
+    except FrontendError as exc:
+        # Located parse/lex errors render a source excerpt with a caret.
+        print(f"error: {format_diagnostic(exc)}", file=sys.stderr)
+        return 2
+    except (ExecutionError, BatchMergeError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

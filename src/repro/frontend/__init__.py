@@ -1,0 +1,37 @@
+"""Frontend layer shared by the query-language dialects.
+
+``repro.frontend.errors`` carries the common diagnostic machinery —
+every dialect error is a :class:`FrontendError`, located errors render
+identical source excerpts — and ``repro.frontend.registry`` maps
+dialect names ("scope", "sql") to their parse/compile entry points,
+with extension- and content-based auto-detection.
+"""
+
+from .errors import (
+    FrontendError,
+    LocatedError,
+    format_diagnostic,
+    render_excerpt,
+)
+from .registry import (
+    Dialect,
+    compile_text,
+    detect_dialect,
+    dialect_names,
+    get_dialect,
+    register_dialect,
+    resolve_dialect,
+)
+
+__all__ = [
+    "Dialect",
+    "FrontendError",
+    "LocatedError",
+    "compile_text",
+    "detect_dialect",
+    "dialect_names",
+    "format_diagnostic",
+    "get_dialect",
+    "register_dialect",
+    "render_excerpt",
+]

@@ -1,0 +1,77 @@
+"""Shared frontend error types and diagnostic rendering.
+
+Both language frontends (``repro.scope``, ``repro.sql``) raise errors
+rooted here, so callers can catch one base class and every dialect's
+lex/parse errors render the *same* source excerpt::
+
+    parse error at 2:8: expected FROM, found 'WHER'
+      2 | SELECT a WHER b = 1
+        |        ^
+
+The excerpt format is pinned by ``tests/test_frontend_errors.py`` —
+change it deliberately, in one place, for every dialect at once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FrontendError(Exception):
+    """Base class for all query-frontend errors (any dialect)."""
+
+
+class LocatedError(FrontendError):
+    """A frontend error that points at a source position.
+
+    Subclasses set ``kind`` ("lex error", "parse error", ...); the
+    formatted message is ``"{kind} at {line}:{column}: {message}"`` so
+    existing callers matching on the string keep working.  ``source``
+    (the full script text) is optional; when attached,
+    :func:`format_diagnostic` appends the offending line with a caret.
+    """
+
+    kind = "error"
+
+    def __init__(self, message: str, line: int, column: int,
+                 source: Optional[str] = None):
+        super().__init__(f"{self.kind} at {line}:{column}: {message}")
+        self.message = message
+        self.line = line
+        self.column = column
+        self.source = source
+
+
+def render_excerpt(source: str, line: int, column: int) -> str:
+    """The offending source line with a caret under ``column``.
+
+    Returns an empty string when the position falls outside ``source``
+    (a defensive frontend bug should not mask the original error).
+    """
+    lines = source.splitlines()
+    if not 1 <= line <= len(lines):
+        return ""
+    text = lines[line - 1]
+    gutter = str(line)
+    caret_pad = " " * max(0, min(column, len(text) + 1) - 1)
+    return (
+        f"  {gutter} | {text}\n"
+        f"  {' ' * len(gutter)} | {caret_pad}^"
+    )
+
+
+def format_diagnostic(error: FrontendError,
+                      source: Optional[str] = None) -> str:
+    """One-stop diagnostic: the message plus a source excerpt.
+
+    ``source`` overrides any text attached to the error; non-located
+    errors (resolution, catalog) render as their message alone.
+    """
+    text = str(error)
+    if not isinstance(error, LocatedError):
+        return text
+    script = source if source is not None else error.source
+    if script is None:
+        return text
+    excerpt = render_excerpt(script, error.line, error.column)
+    return f"{text}\n{excerpt}" if excerpt else text

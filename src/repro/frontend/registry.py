@@ -1,0 +1,129 @@
+"""Dialect registry: name -> (parse, compile) plus auto-detection.
+
+Every language frontend registers one :class:`Dialect`; callers compile
+any script through :func:`compile_text` without caring which language
+it is written in.  ``dialect="auto"`` resolves by file extension first
+(``.sql`` -> sql) and otherwise by content: a script whose first
+keyword is ``SELECT`` or ``WITH`` is SQL (SCOPE statements always start
+with ``name =`` or ``OUTPUT``).
+
+The built-in dialects are registered lazily on first use so importing
+either frontend never has to import the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from .errors import FrontendError
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """One registered query language."""
+
+    name: str
+    description: str
+    #: File extensions (with the dot) that auto-detect to this dialect.
+    extensions: Tuple[str, ...]
+    #: ``parse(text) -> AST`` (dialect-specific node types).
+    parse: Callable
+    #: ``compile(text, catalog, tracer=None) -> LogicalPlan``.
+    compile: Callable
+
+
+_REGISTRY: Dict[str, Dialect] = {}
+_BUILTINS_LOADED = False
+
+
+def register_dialect(dialect: Dialect) -> Dialect:
+    _REGISTRY[dialect.name] = dialect
+    return dialect
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from ..scope.compiler import compile_script
+    from ..scope.parser import parse as parse_scope
+    from ..sql.compiler import compile_sql
+    from ..sql.parser import parse_sql
+
+    register_dialect(Dialect(
+        name="scope",
+        description="SCOPE script subset (the paper's language)",
+        extensions=(".scope", ".script"),
+        parse=parse_scope,
+        compile=compile_script,
+    ))
+    register_dialect(Dialect(
+        name="sql",
+        description="SQL subset with WITH-clause CTE sharing",
+        extensions=(".sql",),
+        parse=parse_sql,
+        compile=compile_sql,
+    ))
+
+
+def get_dialect(name: str) -> Dialect:
+    _ensure_builtins()
+    dialect = _REGISTRY.get(name)
+    if dialect is None:
+        raise FrontendError(
+            f"unknown dialect {name!r} "
+            f"(available: {', '.join(dialect_names())})"
+        )
+    return dialect
+
+
+def dialect_names() -> Tuple[str, ...]:
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def detect_dialect(text: Optional[str] = None,
+                   path: Optional[str] = None) -> str:
+    """Resolve "auto" to a concrete dialect name.
+
+    The extension wins when ``path`` carries a registered one; otherwise
+    the script content decides: skipping blank and comment lines
+    (``//`` and ``--``), a first keyword of ``SELECT`` or ``WITH`` means
+    SQL, anything else (``name =``, ``OUTPUT``) means SCOPE.
+    """
+    _ensure_builtins()
+    if path is not None:
+        lowered = path.lower()
+        for dialect in _REGISTRY.values():
+            if lowered.endswith(dialect.extensions):
+                return dialect.name
+    if text is not None:
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("//", "--")):
+                continue
+            first = stripped.split(None, 1)[0].upper()
+            return "sql" if first in ("SELECT", "WITH") else "scope"
+    return "scope"
+
+
+def resolve_dialect(dialect: str, text: Optional[str] = None,
+                    path: Optional[str] = None) -> str:
+    """Validate ``dialect``, resolving "auto" via :func:`detect_dialect`."""
+    if dialect == "auto":
+        return detect_dialect(text=text, path=path)
+    return get_dialect(dialect).name
+
+
+def compile_text(text: str, catalog, dialect: str = "auto",
+                 tracer=None, path: Optional[str] = None):
+    """Compile ``text`` under the named (or detected) dialect.
+
+    Returns the logical DAG; everything downstream of the frontends —
+    CSE detection, optimization, verification, caching, execution — is
+    dialect-independent.
+    """
+    name = resolve_dialect(dialect, text=text, path=path)
+    return get_dialect(name).compile(text, catalog, tracer=tracer)

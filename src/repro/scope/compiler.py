@@ -153,14 +153,37 @@ class Compiler:
 
     def compile_script(self, script: Script) -> LogicalPlan:
         for stmt in script.statements:
-            if isinstance(stmt, ExtractStmt):
-                self._env[stmt.target] = self._compile_extract(stmt)
-            elif isinstance(stmt, SelectStmt):
-                self._env[stmt.target] = self._compile_select(stmt)
-            elif isinstance(stmt, OutputStmt):
-                self._outputs.append(self._compile_output(stmt))
-            else:  # pragma: no cover - parser produces no other kinds
-                raise ResolutionError(f"unsupported statement {stmt!r}")
+            self.add_statement(stmt)
+        return self.finish()
+
+    def add_statement(self, stmt) -> None:
+        """Compile one statement into the threaded environment.
+
+        The incremental entry point other frontends drive: the SQL
+        compiler desugars its AST into SCOPE statements and feeds them
+        here one at a time, so both dialects share a single
+        name-resolution and lowering path (and hence produce identical
+        DAGs for equivalent queries).
+        """
+        if isinstance(stmt, ExtractStmt):
+            self._env[stmt.target] = self._compile_extract(stmt)
+        elif isinstance(stmt, SelectStmt):
+            self._env[stmt.target] = self._compile_select(stmt)
+        elif isinstance(stmt, OutputStmt):
+            self._outputs.append(self._compile_output(stmt))
+        else:  # pragma: no cover - parsers produce no other kinds
+            raise ResolutionError(f"unsupported statement {stmt!r}")
+
+    def define(self, name: str, plan: LogicalPlan) -> None:
+        """Bind ``name`` to an already-compiled plan in the environment."""
+        self._env[name] = plan
+
+    def lookup(self, name: str) -> Optional[LogicalPlan]:
+        """The plan bound to ``name``, or ``None``."""
+        return self._env.get(name)
+
+    def finish(self) -> LogicalPlan:
+        """Stitch the accumulated OUTPUT statements under one root."""
         if not self._outputs:
             raise ResolutionError("script has no OUTPUT statement")
         if len(self._outputs) == 1:

@@ -1,28 +1,29 @@
-"""User-facing errors raised by the SCOPE frontend."""
+"""User-facing errors raised by the SCOPE frontend.
+
+Rooted in :mod:`repro.frontend.errors` so SCOPE and SQL scripts report
+identical-looking diagnostics (message + line/column + source excerpt);
+message formats are unchanged from the pre-registry frontend.
+"""
 
 from __future__ import annotations
 
-
-class ScopeError(Exception):
-    """Base class for all frontend errors."""
+from ..frontend.errors import FrontendError, LocatedError
 
 
-class LexError(ScopeError):
+class ScopeError(FrontendError):
+    """Base class for all SCOPE frontend errors."""
+
+
+class LexError(LocatedError, ScopeError):
     """Invalid character or malformed token in a script."""
 
-    def __init__(self, message: str, line: int, column: int):
-        super().__init__(f"lex error at {line}:{column}: {message}")
-        self.line = line
-        self.column = column
+    kind = "lex error"
 
 
-class ParseError(ScopeError):
+class ParseError(LocatedError, ScopeError):
     """Script does not match the grammar."""
 
-    def __init__(self, message: str, line: int, column: int):
-        super().__init__(f"parse error at {line}:{column}: {message}")
-        self.line = line
-        self.column = column
+    kind = "parse error"
 
 
 class ResolutionError(ScopeError):

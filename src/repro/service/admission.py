@@ -325,15 +325,19 @@ class AdmissionController:
 
     def submit_nowait(self, text: str, *, tenant: str = "default",
                       exploit_cse: bool = True,
-                      prune: bool = True) -> AdmissionTicket:
+                      prune: bool = True,
+                      dialect: Optional[str] = None) -> AdmissionTicket:
         """Enqueue one script; returns immediately with a ticket.
 
         Raises :class:`AdmissionRejected` when the bounded queue is
         full.  A script identical to one already pending (same
         canonical DAG, same flags) joins that slot instead of taking a
-        new one — single-flight within the window.
+        new one — single-flight within the window.  ``dialect`` picks
+        the frontend per script (default: the service's); dedup keys on
+        the compiled DAG, so equivalent SQL and SCOPE submissions
+        coalesce into one slot.
         """
-        logical = self.service._compile(text)
+        logical = self.service._compile(text, dialect)
         fingerprint = script_fingerprint(logical)
         weight = self._input_rows(logical)
         compat = self._compat_key(exploit_cse, prune)
@@ -409,14 +413,16 @@ class AdmissionController:
 
     def submit(self, text: str, *, tenant: str = "default",
                exploit_cse: bool = True, prune: bool = True,
-               timeout: Optional[float] = None) -> ScriptResult:
+               timeout: Optional[float] = None,
+               dialect: Optional[str] = None) -> ScriptResult:
         """Blocking submit: enqueue and wait for the window flush.
 
         Requires something else to flush — the background drainer
         (:meth:`start`), a threshold trip, or another thread pumping.
         """
         ticket = self.submit_nowait(text, tenant=tenant,
-                                    exploit_cse=exploit_cse, prune=prune)
+                                    exploit_cse=exploit_cse, prune=prune,
+                                    dialect=dialect)
         return ticket.result(timeout=timeout)
 
     def _publish(self, events: List[ObsEvent]) -> None:

@@ -68,8 +68,8 @@ from ..obs.bus import EventBus, ObsEvent
 from ..obs.tracer import NULL_TRACER
 from ..optimizer.engine import OptimizerConfig
 from ..plan.logical import LogicalPlan
+from ..frontend import compile_text
 from ..scope.catalog import Catalog
-from ..scope.compiler import compile_script
 from ..stats.feedback import (
     FeedbackConfig,
     FeedbackController,
@@ -220,9 +220,13 @@ class QueryService:
         tracer=NULL_TRACER,
         feedback=None,
         metrics=None,
+        dialect: str = "auto",
     ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
+        #: Default frontend dialect for submissions ("auto" sniffs each
+        #: script; see :func:`repro.frontend.detect_dialect`).
+        self.dialect = dialect
         self.bus = bus if bus is not None else EventBus()
         self.tracer = tracer
         self.stats = ServiceStats()
@@ -260,10 +264,11 @@ class QueryService:
 
     def submit(self, text: str, *, exploit_cse: bool = True,
                prune: bool = True,
-               verify: Optional[bool] = None) -> SubmitResult:
+               verify: Optional[bool] = None,
+               dialect: Optional[str] = None) -> SubmitResult:
         """Normalize, fingerprint and optimize-or-serve one script."""
         started = time.perf_counter()
-        logical = self._compile(text)
+        logical = self._compile(text, dialect)
         result = self._submit_logical(logical, exploit_cse, prune, verify)
         result.latency = time.perf_counter() - started
         return result
@@ -278,6 +283,7 @@ class QueryService:
         verify: Optional[bool] = None,
         uniquify_labels: bool = False,
         precompiled: Optional[Sequence[LogicalPlan]] = None,
+        dialect: Optional[str] = None,
     ) -> BatchSubmitResult:
         """Merge a batch into one logical DAG and optimize-or-serve it.
 
@@ -293,7 +299,7 @@ class QueryService:
         """
         started = time.perf_counter()
         plans = (list(precompiled) if precompiled is not None
-                 else [self._compile(t) for t in texts])
+                 else [self._compile(t, dialect) for t in texts])
         if len(plans) != len(texts):
             raise BatchMergeError(
                 f"{len(texts)} scripts but {len(plans)} precompiled plans"
@@ -334,6 +340,7 @@ class QueryService:
         max_retries: int = 3,
         runtime: str = "thread",
         spill_dir: Optional[str] = None,
+        dialect: Optional[str] = None,
     ) -> ServiceRun:
         """Optimize-or-serve one script and run it on the simulator.
 
@@ -347,7 +354,7 @@ class QueryService:
         the thread runtime).
         """
         sub = self.submit(text, exploit_cse=exploit_cse, prune=prune,
-                          verify=verify)
+                          verify=verify, dialect=dialect)
         outputs, metrics, graph = self._run_plan(
             sub.result.plan, workers, machines, rows, seed, files, validate,
             backend, failure_rate, failure_seed, max_retries,
@@ -381,6 +388,7 @@ class QueryService:
         max_retries: int = 3,
         runtime: str = "thread",
         spill_dir: Optional[str] = None,
+        dialect: Optional[str] = None,
     ) -> BatchRun:
         """Optimize-or-serve a batch and execute it as one shared job.
 
@@ -395,7 +403,7 @@ class QueryService:
                                exploit_cse=exploit_cse, prune=prune,
                                verify=verify,
                                uniquify_labels=uniquify_labels,
-                               precompiled=precompiled)
+                               precompiled=precompiled, dialect=dialect)
         merged_outputs, metrics, graph = self._run_plan(
             sub.result.plan, workers, machines, rows, seed, files, validate,
             backend, failure_rate, failure_seed, max_retries,
@@ -617,9 +625,18 @@ class QueryService:
 
     # -- internals ---------------------------------------------------------
 
-    def _compile(self, text: str) -> LogicalPlan:
-        return canonicalize(compile_script(text, self.catalog,
-                                           tracer=self.tracer))
+    def _compile(self, text: str,
+                 dialect: Optional[str] = None) -> LogicalPlan:
+        """Compile ``text`` under ``dialect`` (default: the service's).
+
+        The cache key downstream fingerprints the *compiled plan*, not
+        the text, so a SQL query and its SCOPE twin that lower to the
+        same DAG share one cache entry — dialect is deliberately not
+        part of plan identity.
+        """
+        return canonicalize(compile_text(text, self.catalog,
+                                         dialect=dialect or self.dialect,
+                                         tracer=self.tracer))
 
     def _key_for(self, logical: LogicalPlan, exploit_cse: bool,
                  prune: bool):

@@ -1,0 +1,87 @@
+"""Abstract syntax tree of the SQL subset.
+
+Expression and clause nodes are *shared with the SCOPE AST*
+(:mod:`repro.scope.ast`): both frontends produce the same ``EExpr``
+nodes, ``SelectItem``, ``FromRel`` and ``JoinClause``, which is what
+lets the SQL compiler desugar into SCOPE statements and guarantee
+identical lowering.  The SQL-only structure lives here: query bodies
+with UNION ALL branches and statement-level ORDER BY / LIMIT, WITH
+clauses, and the ``*`` select item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..scope.ast import (  # noqa: F401 - re-exported for frontend callers
+    EBin,
+    ECall,
+    EExpr,
+    ELit,
+    ENot,
+    ERef,
+    FromRel,
+    JoinClause,
+    SelectItem,
+)
+
+
+@dataclass(frozen=True)
+class Star(EExpr):
+    """``SELECT *`` — expanded against the FROM schemas at compile time."""
+
+
+@dataclass(frozen=True)
+class SelectCore:
+    """One SELECT block (a UNION ALL branch) without ORDER BY / LIMIT."""
+
+    items: Tuple[SelectItem, ...]
+    from_rels: Tuple[FromRel, ...]
+    joins: Tuple[JoinClause, ...] = ()
+    where: Optional[EExpr] = None
+    group_by: Tuple[ERef, ...] = ()
+    having: Optional[EExpr] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class QueryBody:
+    """A full query: UNION ALL branches plus the trailing ORDER/LIMIT.
+
+    ``limit`` always comes with a non-empty ``order_by`` (the parser
+    enforces determinism, mirroring SCOPE's ``SELECT TOP``); a bare
+    ``order_by`` on a statement body requests a sorted output file.
+    """
+
+    branches: Tuple[SelectCore, ...]
+    order_by: Tuple[ERef, ...] = ()
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CTE:
+    """One ``WITH name AS (body)`` entry."""
+
+    name: str
+    body: QueryBody
+
+
+@dataclass(frozen=True)
+class SqlStatement:
+    """``[WITH ...] SELECT ... [INTO 'path']``.
+
+    ``into`` names the output file; without it the compiler assigns
+    ``q<i>.out`` by 1-based statement position.
+    """
+
+    body: QueryBody
+    ctes: Tuple[CTE, ...] = ()
+    into: Optional[str] = None
+
+
+@dataclass
+class SqlScript:
+    """A parsed SQL script: an ordered list of statements."""
+
+    statements: List[SqlStatement] = field(default_factory=list)

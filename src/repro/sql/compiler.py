@@ -1,0 +1,206 @@
+"""Compile parsed SQL into the logical DAG by desugaring to SCOPE.
+
+The strategy: translate each SQL statement into the equivalent sequence
+of SCOPE statements (EXTRACT for every referenced table, one SELECT per
+CTE, one SELECT plus OUTPUT for the main query body) and feed them into
+the *SCOPE compiler's* incremental API.  Both dialects then share a
+single name-resolution and lowering path, so a SQL query and its
+hand-translated SCOPE twin compile to byte-identical plans — and a CTE
+referenced N times becomes, through the shared environment, one DAG
+node with N parents: exactly the explicitly shared common
+subexpressions of the paper.
+
+Internal relation names are prefixed with ``#`` (``#t<file_id>``,
+``#cte<i>_<name>``, ``#q<i>``), a character the SQL lexer rejects in
+identifiers, so synthesized names can never collide with user names.
+Each table binding keeps its SQL-visible name as the binding alias, so
+qualified references and join-clash renames behave identically in both
+dialects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..plan.logical import LogicalPlan
+from ..scope.ast import (
+    ExtractStmt,
+    FromRel,
+    OutputStmt,
+    SelectItem,
+    SelectQuery,
+    SelectStmt,
+)
+from ..scope.catalog import Catalog, FileStats
+from ..scope.compiler import Compiler
+from .ast import ERef, JoinClause, QueryBody, SelectCore, SqlScript, Star
+from .errors import SqlResolutionError
+from .parser import parse_sql
+
+#: Extractor name stamped on tables referenced from SQL.  It is part of
+#: plan identity, so SCOPE scripts that should compile to the *same*
+#: plan as a SQL query must extract ``USING SqlExtractor`` too.
+SQL_EXTRACTOR = "SqlExtractor"
+
+
+def _table_stem(path: str) -> str:
+    """The SQL-visible table name of a file path: basename, no extension."""
+    base = path.rsplit("/", 1)[-1]
+    return base.rsplit(".", 1)[0] if "." in base else base
+
+
+class SqlCompiler:
+    """Desugars a SQL script into SCOPE statements and compiles them."""
+
+    def __init__(self, catalog: Catalog):
+        self._compiler = Compiler(catalog)
+        #: file path -> internal EXTRACT target, to extract each once.
+        self._extract_names: Dict[str, str] = {}
+        self._tables: Dict[str, List[FileStats]] = {}
+        for stats in catalog.files():
+            self._tables.setdefault(_table_stem(stats.path), []).append(stats)
+
+    def compile(self, script: SqlScript) -> LogicalPlan:
+        for index, stmt in enumerate(script.statements, start=1):
+            ctes: Dict[str, str] = {}
+            for cte in stmt.ctes:
+                if cte.name in ctes:
+                    raise SqlResolutionError(
+                        f"duplicate CTE name {cte.name!r} in one WITH clause"
+                    )
+                internal = f"#cte{index}_{cte.name}"
+                queries = self._desugar_body(cte.body, ctes)
+                self._compiler.add_statement(SelectStmt(internal, queries))
+                ctes[cte.name] = internal
+            target = f"#q{index}"
+            queries = self._desugar_body(stmt.body, ctes)
+            self._compiler.add_statement(SelectStmt(target, queries))
+            # LIMIT became a TopN inside the SELECT; a bare statement
+            # ORDER BY requests a sorted output file instead.
+            output_order = stmt.body.order_by if stmt.body.limit is None else ()
+            path = stmt.into or f"q{index}.out"
+            self._compiler.add_statement(
+                OutputStmt(target, path, output_order)
+            )
+        return self._compiler.finish()
+
+    # -- desugaring -----------------------------------------------------
+
+    def _desugar_body(
+        self, body: QueryBody, ctes: Dict[str, str]
+    ) -> Tuple[SelectQuery, ...]:
+        queries = []
+        for core in body.branches:
+            top = body.limit if len(body.branches) == 1 else None
+            top_order = body.order_by if top is not None else ()
+            queries.append(self._desugar_core(core, ctes, top, top_order))
+        return tuple(queries)
+
+    def _desugar_core(
+        self,
+        core: SelectCore,
+        ctes: Dict[str, str],
+        top: Optional[int],
+        top_order: Tuple[ERef, ...],
+    ) -> SelectQuery:
+        from_rels = tuple(self._resolve_rel(r, ctes) for r in core.from_rels)
+        joins = tuple(
+            JoinClause(self._resolve_rel(j.rel, ctes), j.condition, j.kind)
+            for j in core.joins
+        )
+        items = core.items
+        if len(items) == 1 and isinstance(items[0].expr, Star):
+            items = self._expand_star(from_rels, joins)
+        return SelectQuery(
+            items=items,
+            from_rels=from_rels,
+            where=core.where,
+            group_by=core.group_by,
+            having=core.having,
+            distinct=core.distinct,
+            joins=joins,
+            top=top,
+            top_order=top_order,
+        )
+
+    def _resolve_rel(self, rel: FromRel, ctes: Dict[str, str]) -> FromRel:
+        """Map a surface relation name to its internal environment name.
+
+        CTEs of the current statement shadow catalog tables.  The
+        SQL-visible name stays as the binding alias so qualified
+        references resolve against what the user wrote.
+        """
+        binding = rel.alias or rel.name
+        internal = ctes.get(rel.name)
+        if internal is None:
+            internal = self._extract_table(rel.name)
+        return FromRel(internal, binding)
+
+    def _extract_table(self, name: str) -> str:
+        candidates = self._tables.get(name)
+        if not candidates:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise SqlResolutionError(
+                f"unknown table {name!r}; catalog tables: {known}"
+            )
+        if len(candidates) > 1:
+            paths = ", ".join(sorted(s.path for s in candidates))
+            raise SqlResolutionError(
+                f"table name {name!r} is ambiguous across files: {paths}"
+            )
+        stats = candidates[0]
+        internal = self._extract_names.get(stats.path)
+        if internal is None:
+            internal = f"#t{stats.file_id}"
+            self._compiler.add_statement(
+                ExtractStmt(
+                    internal,
+                    tuple(stats.schema.names),
+                    stats.path,
+                    SQL_EXTRACTOR,
+                )
+            )
+            self._extract_names[stats.path] = internal
+        return internal
+
+    def _expand_star(
+        self, from_rels: Tuple[FromRel, ...], joins: Tuple[JoinClause, ...]
+    ) -> Tuple[SelectItem, ...]:
+        """Expand ``SELECT *`` to qualified refs over all FROM bindings."""
+        items: List[SelectItem] = []
+        seen: Dict[str, str] = {}
+        rels = list(from_rels) + [j.rel for j in joins]
+        for rel in rels:
+            binding = rel.alias or rel.name
+            plan = self._compiler.lookup(rel.name)
+            assert plan is not None, rel.name
+            for col in plan.schema.names:
+                clash = seen.get(col)
+                if clash is not None:
+                    raise SqlResolutionError(
+                        f"SELECT * is ambiguous: column {col!r} comes from "
+                        f"both {clash!r} and {binding!r}; list the columns "
+                        "explicitly"
+                    )
+                seen[col] = binding
+                items.append(SelectItem(ERef(col, qualifier=binding)))
+        return tuple(items)
+
+
+def compile_sql(text: str, catalog: Catalog, tracer=None) -> LogicalPlan:
+    """Parse and compile SQL ``text`` into a logical DAG in one call.
+
+    The SQL twin of :func:`repro.scope.compiler.compile_script`:
+    ``tracer`` records the same ``parse`` and ``compile`` spans.
+    """
+    if tracer is None:
+        from ..obs.tracer import NULL_TRACER
+
+        tracer = NULL_TRACER
+    with tracer.span("parse") as span:
+        script = parse_sql(text)
+        span.set(statements=len(script.statements))
+    with tracer.span("compile") as span:
+        logical = SqlCompiler(catalog).compile(script)
+        span.set(operators=logical.count_operators())
+    return logical

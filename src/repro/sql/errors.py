@@ -1,0 +1,31 @@
+"""User-facing errors raised by the SQL frontend.
+
+Mirrors :mod:`repro.scope.errors` over the shared
+:mod:`repro.frontend.errors` base, so diagnostics from both dialects
+render identically (same ``kind at line:column: message`` format, same
+source excerpt).
+"""
+
+from __future__ import annotations
+
+from ..frontend.errors import FrontendError, LocatedError
+
+
+class SqlError(FrontendError):
+    """Base class for all SQL frontend errors."""
+
+
+class SqlLexError(LocatedError, SqlError):
+    """Invalid character or malformed token in a SQL script."""
+
+    kind = "lex error"
+
+
+class SqlParseError(LocatedError, SqlError):
+    """SQL script does not match the grammar."""
+
+    kind = "parse error"
+
+
+class SqlResolutionError(SqlError):
+    """Name resolution failure (unknown table/CTE/column, ambiguity...)."""

@@ -1,0 +1,121 @@
+"""Tokenizer for the SQL subset.
+
+Reuses the SCOPE lexer's :class:`~repro.scope.lexer.Token` type so the
+parsers share helpers, but with SQL surface rules: ``--`` line
+comments, single-quoted string literals, and ``!=`` normalized to
+``<>`` at lex time (one comparison spelling downstream).
+Keywords are case-insensitive; identifiers are case-sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..scope.lexer import Token, TokenKind
+from .errors import SqlLexError
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "ASC",
+    "DESC",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "ON",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "UNION",
+    "ALL",
+    "WITH",
+    "INTO",
+}
+
+SYMBOLS = (
+    # Longest first so <= beats < and != lexes as one token.
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "=",
+    "<",
+    ">",
+    "(",
+    ")",
+    ",",
+    ";",
+    "*",
+    ".",
+    "+",
+    "-",
+    "/",
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL ``text`` into a list ending with an EOF token."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        col = pos - line_start + 1
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if text.startswith("--", pos):
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if ch == "'":
+            end = text.find("'", pos + 1)
+            if end == -1:
+                raise SqlLexError("unterminated string literal", line, col)
+            yield Token(TokenKind.STRING, text[pos + 1 : end], line, col)
+            pos = end + 1
+            continue
+        if ch.isdigit():
+            start = pos
+            while pos < n and (text[pos].isdigit() or text[pos] == "."):
+                pos += 1
+            yield Token(TokenKind.NUMBER, text[start:pos], line, col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            if word.upper() in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, word.upper(), line, col)
+            else:
+                yield Token(TokenKind.IDENT, word, line, col)
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, pos):
+                value = "<>" if sym == "!=" else sym
+                yield Token(TokenKind.SYMBOL, value, line, col)
+                pos += len(sym)
+                break
+        else:
+            raise SqlLexError(f"unexpected character {ch!r}", line, col)
+    yield Token(TokenKind.EOF, "", line, n - line_start + 1)

@@ -1,72 +1,66 @@
-"""Recursive-descent parser for the SCOPE script subset.
+"""Recursive-descent parser for the SQL subset.
 
 Grammar (EBNF, keywords case-insensitive)::
 
-    script      := statement* EOF
-    statement   := assignment | output
-    assignment  := IDENT '=' (extract | select ('UNION' 'ALL' select)*) ';'
-    extract     := 'EXTRACT' ident_list 'FROM' STRING 'USING' IDENT
-    select      := 'SELECT' ['DISTINCT'] ['TOP' NUMBER] select_items
-                   'FROM' from_list ['WHERE' expr]
-                   ['GROUP' 'BY' ref_list] ['HAVING' expr]
-                   ['ORDER' 'BY' ref_list]   (required with TOP)
-    select_items:= select_item (',' select_item)*
-    select_item := expr ['AS' IDENT]
-    from_list   := from_rel (',' from_rel)* join_clause*
+    script      := statement (';' statement)* [';'] EOF
+    statement   := ['WITH' cte (',' cte)*] body ['INTO' STRING]
+    cte         := IDENT 'AS' '(' body ')'
+    body        := core ('UNION' 'ALL' core)*
+                   ['ORDER' 'BY' order_list] ['LIMIT' NUMBER]
+    core        := 'SELECT' ['DISTINCT'] ('*' | item (',' item)*)
+                   'FROM' from_rel (',' from_rel)* join_clause*
+                   ['WHERE' expr] ['GROUP' 'BY' ref_list] ['HAVING' expr]
     join_clause := (('LEFT' ['OUTER']) | 'INNER')? 'JOIN' from_rel 'ON' expr
-    from_rel    := IDENT ['AS' IDENT]
-    output      := 'OUTPUT' IDENT 'TO' STRING ['ORDER' 'BY' ref_list] ';'
-    expr        := or_expr
-    or_expr     := and_expr ('OR' and_expr)*
-    and_expr    := not_expr ('AND' not_expr)*
-    not_expr    := 'NOT' not_expr | cmp_expr
-    cmp_expr    := add_expr (('='|'<>'|'<'|'<='|'>'|'>=') add_expr)?
-    add_expr    := mul_expr (('+'|'-') mul_expr)*
-    mul_expr    := primary (('*'|'/') primary)*
-    primary     := NUMBER | STRING | ref | call | '(' expr ')'
-    call        := IDENT '(' ('*' | ['DISTINCT'] expr) ')'
+    from_rel    := IDENT [['AS'] IDENT]
+    item        := expr [['AS'] IDENT]
+    order_list  := ref ['ASC'] (',' ref ['ASC'])*
+    expr        := or_expr          (same precedence ladder as SCOPE)
     ref         := IDENT ['.' IDENT]
 
-This covers every script in the paper (S1–S4 verbatim) plus filters,
-arithmetic, HAVING and UNION ALL for the examples and workload
-generators.
+Restrictions, each with a pointed error message: ``LIMIT`` requires
+``ORDER BY`` (deterministic results, mirroring SCOPE's ``SELECT TOP``);
+``ORDER BY``/``LIMIT`` cannot follow ``UNION ALL``; ``DESC`` is not
+supported; ``*`` must be the only select item; a CTE body takes
+``ORDER BY`` only together with ``LIMIT`` (an unlimited ORDER BY on an
+intermediate relation is meaningless).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..scope.lexer import Token, TokenKind
 from .ast import (
+    CTE,
     EBin,
     ECall,
     EExpr,
     ELit,
     ENot,
     ERef,
-    ExtractStmt,
     FromRel,
     JoinClause,
-    OutputStmt,
-    Script,
+    QueryBody,
+    SelectCore,
     SelectItem,
-    SelectQuery,
-    SelectStmt,
-    Statement,
+    SqlScript,
+    SqlStatement,
+    Star,
 )
-from .errors import LexError, ParseError
-from .lexer import Token, TokenKind, tokenize
+from .errors import SqlLexError, SqlParseError
+from .lexer import tokenize
 
 _COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
 
 
-class Parser:
+class SqlParser:
     """Single-pass recursive-descent parser over a token list."""
 
     def __init__(self, text: str):
         self._text = text
         try:
             self._tokens = tokenize(text)
-        except LexError as exc:
+        except SqlLexError as exc:
             exc.source = text
             raise
         self._pos = 0
@@ -83,10 +77,10 @@ class Parser:
             self._pos += 1
         return tok
 
-    def _error(self, message: str) -> ParseError:
+    def _error(self, message: str) -> SqlParseError:
         tok = self._cur
-        return ParseError(f"{message}, found {tok}", tok.line, tok.column,
-                          source=self._text)
+        return SqlParseError(f"{message}, found {tok}", tok.line,
+                             tok.column, source=self._text)
 
     def _expect_keyword(self, word: str) -> Token:
         if not self._cur.is_keyword(word):
@@ -100,11 +94,6 @@ class Parser:
 
     def _expect_ident(self, what: str = "identifier") -> str:
         if self._cur.kind is not TokenKind.IDENT:
-            raise self._error(f"expected {what}")
-        return self._advance().value
-
-    def _expect_string(self, what: str = "string literal") -> str:
-        if self._cur.kind is not TokenKind.STRING:
             raise self._error(f"expected {what}")
         return self._advance().value
 
@@ -122,77 +111,100 @@ class Parser:
 
     # -- grammar ------------------------------------------------------
 
-    def parse_script(self) -> Script:
-        statements: List[Statement] = []
+    def parse_script(self) -> SqlScript:
+        statements: List[SqlStatement] = []
         while self._cur.kind is not TokenKind.EOF:
             statements.append(self._statement())
+            if self._cur.kind is TokenKind.EOF:
+                break
+            self._expect_symbol(";")
         if not statements:
             raise self._error("empty script")
-        return Script(statements)
+        return SqlScript(statements)
 
-    def _statement(self) -> Statement:
-        if self._cur.is_keyword("OUTPUT"):
-            return self._output()
-        target = self._expect_ident("assignment target")
-        self._expect_symbol("=")
-        if self._cur.is_keyword("EXTRACT"):
-            stmt = self._extract(target)
-        elif self._cur.is_keyword("SELECT"):
-            stmt = self._select_stmt(target)
-        else:
-            raise self._error("expected EXTRACT or SELECT")
-        self._expect_symbol(";")
-        return stmt
-
-    def _output(self) -> OutputStmt:
-        self._expect_keyword("OUTPUT")
-        source = self._expect_ident("relation name")
-        self._expect_keyword("TO")
-        path = self._expect_string("output path")
-        order = []
-        if self._accept_keyword("ORDER"):
-            self._expect_keyword("BY")
-            order.append(self._ref())
+    def _statement(self) -> SqlStatement:
+        ctes: List[CTE] = []
+        if self._accept_keyword("WITH"):
+            ctes.append(self._cte())
             while self._accept_symbol(","):
-                order.append(self._ref())
-        self._expect_symbol(";")
-        return OutputStmt(source, path, tuple(order))
+                ctes.append(self._cte())
+        body = self._body()
+        into: Optional[str] = None
+        if self._accept_keyword("INTO"):
+            if self._cur.kind is not TokenKind.STRING:
+                raise self._error("expected output path string after INTO")
+            into = self._advance().value
+        return SqlStatement(body, tuple(ctes), into)
 
-    def _extract(self, target: str) -> ExtractStmt:
-        self._expect_keyword("EXTRACT")
-        columns = [self._expect_ident("column name")]
-        while self._accept_symbol(","):
-            columns.append(self._expect_ident("column name"))
-        self._expect_keyword("FROM")
-        path = self._expect_string("input path")
-        self._expect_keyword("USING")
-        extractor = self._expect_ident("extractor name")
-        return ExtractStmt(target, tuple(columns), path, extractor)
+    def _cte(self) -> CTE:
+        name = self._expect_ident("CTE name")
+        self._expect_keyword("AS")
+        self._expect_symbol("(")
+        body = self._body()
+        self._expect_symbol(")")
+        if body.order_by and body.limit is None:
+            raise self._error(
+                f"CTE {name!r} has ORDER BY without LIMIT; ordering an "
+                "intermediate relation has no effect"
+            )
+        return CTE(name, body)
 
-    def _select_stmt(self, target: str) -> SelectStmt:
-        queries = [self._select_query()]
+    def _body(self) -> QueryBody:
+        branches = [self._core()]
         while self._cur.is_keyword("UNION"):
             self._advance()
             self._expect_keyword("ALL")
-            queries.append(self._select_query())
-        return SelectStmt(target, tuple(queries))
+            branches.append(self._core())
+        order_by: Tuple[ERef, ...] = ()
+        limit: Optional[int] = None
+        if self._cur.is_keyword("ORDER") or self._cur.is_keyword("LIMIT"):
+            if len(branches) > 1:
+                raise self._error(
+                    "ORDER BY / LIMIT cannot follow UNION ALL; wrap the "
+                    "union in a CTE and select from it"
+                )
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._order_list()
+        if self._accept_keyword("LIMIT"):
+            if self._cur.kind is not TokenKind.NUMBER:
+                raise self._error("expected a row count after LIMIT")
+            limit = int(self._advance().value)
+            if not order_by:
+                raise self._error(
+                    "LIMIT requires an ORDER BY for deterministic results"
+                )
+        return QueryBody(tuple(branches), order_by, limit)
 
-    def _select_query(self) -> SelectQuery:
+    def _order_list(self) -> Tuple[ERef, ...]:
+        refs = [self._order_ref()]
+        while self._accept_symbol(","):
+            refs.append(self._order_ref())
+        return tuple(refs)
+
+    def _order_ref(self) -> ERef:
+        ref = self._ref()
+        if self._cur.is_keyword("DESC"):
+            raise self._error("descending ORDER BY is not supported")
+        self._accept_keyword("ASC")
+        return ref
+
+    def _core(self) -> SelectCore:
         self._expect_keyword("SELECT")
         distinct = self._accept_keyword("DISTINCT")
-        top = None
-        if self._accept_keyword("TOP"):
-            if self._cur.kind is not TokenKind.NUMBER:
-                raise self._error("expected a row count after TOP")
-            top = int(self._advance().value)
-        items = [self._select_item()]
-        while self._accept_symbol(","):
-            items.append(self._select_item())
+        if self._accept_symbol("*"):
+            items: List[SelectItem] = [SelectItem(Star())]
+            if self._cur.is_symbol(","):
+                raise self._error("'*' must be the only select item")
+        else:
+            items = [self._item()]
+            while self._accept_symbol(","):
+                items.append(self._item())
         self._expect_keyword("FROM")
         from_rels = [self._from_rel()]
         while self._accept_symbol(","):
             from_rels.append(self._from_rel())
-        joins = []
+        joins: List[JoinClause] = []
         while self._cur.is_keyword("JOIN") or self._cur.is_keyword("LEFT") \
                 or self._cur.is_keyword("INNER"):
             joins.append(self._join_clause())
@@ -205,26 +217,18 @@ class Parser:
                 refs.append(self._ref())
             group_by = tuple(refs)
         having = self._expr() if self._accept_keyword("HAVING") else None
-        top_order = []
-        if self._accept_keyword("ORDER"):
-            self._expect_keyword("BY")
-            top_order.append(self._ref())
-            while self._accept_symbol(","):
-                top_order.append(self._ref())
-        if top is not None and not top_order:
-            raise self._error(
-                "SELECT TOP requires an ORDER BY for deterministic results"
-            )
-        return SelectQuery(
-            tuple(items), tuple(from_rels), where, group_by, having, distinct,
-            tuple(joins), top, tuple(top_order),
+        return SelectCore(
+            tuple(items), tuple(from_rels), tuple(joins), where, group_by,
+            having, distinct,
         )
 
-    def _select_item(self) -> SelectItem:
+    def _item(self) -> SelectItem:
         expr = self._expr()
         alias: Optional[str] = None
         if self._accept_keyword("AS"):
             alias = self._expect_ident("alias")
+        elif self._cur.kind is TokenKind.IDENT:
+            alias = self._advance().value
         return SelectItem(expr, alias)
 
     def _join_clause(self) -> JoinClause:
@@ -241,10 +245,12 @@ class Parser:
         return JoinClause(rel, condition, kind)
 
     def _from_rel(self) -> FromRel:
-        name = self._expect_ident("relation name")
+        name = self._expect_ident("table or CTE name")
         alias: Optional[str] = None
         if self._accept_keyword("AS"):
             alias = self._expect_ident("relation alias")
+        elif self._cur.kind is TokenKind.IDENT:
+            alias = self._advance().value
         return FromRel(name, alias)
 
     # -- expressions ----------------------------------------------------
@@ -331,6 +337,6 @@ class Parser:
         return ERef(name)
 
 
-def parse(text: str) -> Script:
-    """Parse a SCOPE script into its AST."""
-    return Parser(text).parse_script()
+def parse_sql(text: str) -> SqlScript:
+    """Parse a SQL script into its AST."""
+    return SqlParser(text).parse_script()

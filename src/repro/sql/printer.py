@@ -1,0 +1,118 @@
+"""Canonical printer for the SQL AST.
+
+Emits a single normal form: every binary/NOT expression fully
+parenthesized, keywords upper-case, aliases always spelled with ``AS``.
+The printer exists for the round-trip property — ``parse(print(ast))``
+must reproduce the AST exactly — so it never relies on precedence to
+drop parentheses.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    CTE,
+    EBin,
+    ECall,
+    EExpr,
+    ELit,
+    ENot,
+    ERef,
+    FromRel,
+    JoinClause,
+    QueryBody,
+    SelectCore,
+    SelectItem,
+    SqlScript,
+    SqlStatement,
+    Star,
+)
+
+
+def print_expr(expr: EExpr) -> str:
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, ERef):
+        return f"{expr.qualifier}.{expr.name}" if expr.qualifier else expr.name
+    if isinstance(expr, ELit):
+        if isinstance(expr.value, str):
+            return f"'{expr.value}'"
+        return repr(expr.value)
+    if isinstance(expr, EBin):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, ENot):
+        return f"(NOT {print_expr(expr.operand)})"
+    if isinstance(expr, ECall):
+        if expr.arg is None:
+            return f"{expr.func}(*)"
+        inner = print_expr(expr.arg)
+        if expr.distinct:
+            return f"{expr.func}(DISTINCT {inner})"
+        return f"{expr.func}({inner})"
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def _print_item(item: SelectItem) -> str:
+    text = print_expr(item.expr)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def _print_rel(rel: FromRel) -> str:
+    return f"{rel.name} AS {rel.alias}" if rel.alias else rel.name
+
+
+def _print_join(join: JoinClause) -> str:
+    prefix = "LEFT JOIN" if join.kind == "left" else "JOIN"
+    return f"{prefix} {_print_rel(join.rel)} ON {print_expr(join.condition)}"
+
+
+def _print_core(core: SelectCore) -> str:
+    parts = ["SELECT"]
+    if core.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_print_item(i) for i in core.items))
+    parts.append("FROM")
+    parts.append(", ".join(_print_rel(r) for r in core.from_rels))
+    for join in core.joins:
+        parts.append(_print_join(join))
+    if core.where is not None:
+        parts.append(f"WHERE {print_expr(core.where)}")
+    if core.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(print_expr(r) for r in core.group_by)
+        )
+    if core.having is not None:
+        parts.append(f"HAVING {print_expr(core.having)}")
+    return " ".join(parts)
+
+
+def _print_body(body: QueryBody) -> str:
+    text = " UNION ALL ".join(_print_core(c) for c in body.branches)
+    if body.order_by:
+        text += " ORDER BY " + ", ".join(
+            print_expr(r) for r in body.order_by
+        )
+    if body.limit is not None:
+        text += f" LIMIT {body.limit}"
+    return text
+
+
+def _print_cte(cte: CTE) -> str:
+    return f"{cte.name} AS ({_print_body(cte.body)})"
+
+
+def print_statement(stmt: SqlStatement) -> str:
+    """Render one statement in canonical form (no trailing semicolon)."""
+    text = ""
+    if stmt.ctes:
+        text = "WITH " + ", ".join(_print_cte(c) for c in stmt.ctes) + " "
+    text += _print_body(stmt.body)
+    if stmt.into is not None:
+        text += f" INTO '{stmt.into}'"
+    return text
+
+
+def print_script(script: SqlScript) -> str:
+    """Render a whole script, one statement per line, each terminated."""
+    return ";\n".join(print_statement(s) for s in script.statements) + ";"

@@ -41,6 +41,7 @@ uploads this log as an artifact).
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
@@ -71,6 +72,10 @@ class FeedbackConfig:
     #: Observe-and-step automatically after every ``QueryService``
     #: execution (``execute``/``execute_many``).
     auto: bool = True
+    #: When set, the store is loaded from this JSON file at controller
+    #: construction (if it exists) and saved back after every capture
+    #: and gate cycle, so learned statistics survive service restarts.
+    persist_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -122,7 +127,11 @@ class FeedbackController:
                  bus: Optional[EventBus] = None):
         self.service = service
         self.config = config or FeedbackConfig()
-        self.store = FeedbackStore()
+        path = self.config.persist_path
+        if path and os.path.exists(path):
+            self.store = FeedbackStore.load(path)
+        else:
+            self.store = FeedbackStore()
         self.bus = bus if bus is not None else service.bus
         self._lock = threading.Lock()
         self.decisions: List[FeedbackDecision] = []
@@ -159,6 +168,7 @@ class FeedbackController:
             observations=recorded,
             fragments=len(observations),
         ))
+        self._maybe_persist()
         return recorded
 
     # -- gate + publish + re-optimize --------------------------------------
@@ -210,9 +220,14 @@ class FeedbackController:
                 self.counters["published"] += len(passed)
             cards.extend(self.service.apply_corrections(self.store, passed))
         self._record(cards)
+        self._maybe_persist()
         return cards
 
     # -- bookkeeping --------------------------------------------------------
+
+    def _maybe_persist(self) -> None:
+        if self.config.persist_path:
+            self.store.save(self.config.persist_path)
 
     def note_reoptimization(self, adopted: bool) -> None:
         with self._lock:

@@ -20,7 +20,9 @@ concurrent optimizations.
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -251,3 +253,108 @@ class FeedbackStore:
         for entry in fragments:
             paths |= set(entry.paths)
         return tuple(sorted(paths))
+
+    # -- persistence --------------------------------------------------------
+
+    #: On-disk format version; bump on any incompatible schema change.
+    FORMAT = 1
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of the whole store state."""
+        with self._lock:
+            return {
+                "format": self.FORMAT,
+                "version": self.version,
+                "stats": {
+                    "observations": self.stats.observations,
+                    "fragments": self.stats.fragments,
+                    "publications": self.stats.publications,
+                },
+                "fragments": [
+                    {
+                        "fingerprint": entry.fingerprint,
+                        "paths": list(entry.paths),
+                        "observations": entry.observations,
+                        "total_actual": entry.total_actual,
+                        "last_actual": entry.last_actual,
+                        "last_estimated": entry.last_estimated,
+                    }
+                    for fp in sorted(self._fragments)
+                    for entry in (self._fragments[fp],)
+                ],
+                "active": {
+                    "version": self._active.version,
+                    "corrections": [
+                        {
+                            "fingerprint": c.fingerprint,
+                            "rows": c.rows,
+                            "observations": c.observations,
+                            "paths": list(c.paths),
+                        }
+                        for c in self._active.corrections()
+                    ],
+                },
+            }
+
+    def save(self, path: str) -> None:
+        """Atomically write the store snapshot to ``path`` as JSON.
+
+        Written via a sibling temp file + ``os.replace`` so a reader (or
+        a crash mid-write) never sees a torn file.
+        """
+        data = self.to_json()
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "FeedbackStore":
+        """Rebuild a store from a :meth:`save` snapshot.
+
+        Raises :class:`ValueError` on an unknown format stamp rather
+        than guessing — learned statistics silently misread would
+        corrupt every later gate decision.
+        """
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        fmt = data.get("format")
+        if fmt != cls.FORMAT:
+            raise ValueError(
+                f"feedback store {path!r} has format {fmt!r}; "
+                f"this build reads format {cls.FORMAT}"
+            )
+        store = cls()
+        store.version = int(data.get("version", 0))
+        stats = data.get("stats", {})
+        store.stats = StoreStats(
+            observations=int(stats.get("observations", 0)),
+            fragments=int(stats.get("fragments", 0)),
+            publications=int(stats.get("publications", 0)),
+        )
+        for raw in data.get("fragments", ()):
+            entry = FragmentFeedback(
+                fingerprint=raw["fingerprint"],
+                paths=tuple(raw.get("paths", ())),
+                observations=int(raw.get("observations", 0)),
+                total_actual=float(raw.get("total_actual", 0.0)),
+                last_actual=int(raw.get("last_actual", 0)),
+                last_estimated=float(raw.get("last_estimated", 0.0)),
+            )
+            store._fragments[entry.fingerprint] = entry
+        active = data.get("active", {})
+        corrections = {
+            raw["fingerprint"]: Correction(
+                fingerprint=raw["fingerprint"],
+                rows=float(raw["rows"]),
+                observations=int(raw.get("observations", 0)),
+                paths=tuple(raw.get("paths", ())),
+            )
+            for raw in active.get("corrections", ())
+        }
+        if corrections or active.get("version", 0):
+            store._active = CorrectionSet(
+                int(active.get("version", 0)), corrections
+            )
+        return store

@@ -24,5 +24,11 @@ from .paper_scripts import (
     make_catalog,
     make_exec_catalog,
 )
+from .starjoin import (
+    SCOPE_EQUIVALENTS,
+    STARJOIN_QUERIES,
+    generate_starjoin_data,
+    make_starjoin_catalog,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,258 @@
+"""A star-join SQL workload: retail facts against four dimensions.
+
+The corpus behind the SQL frontend's regression suite: a fact table
+(``store_sales``) with date, customer, item and store dimensions, ten
+SQL queries exercising every frontend feature (CTE sharing, UNION ALL
+channels, star joins, HAVING, TopN, COUNT DISTINCT, LEFT joins), and
+hand-translated SCOPE twins for a subset — the differential tests prove
+both dialects compile to byte-identical plans and outputs.
+
+Query design notes:
+
+* ``Q02``/``Q07`` spell the *same* CTE text with different consumers —
+  batched together, the fingerprint step merges the two subtrees into
+  one shared spool serving both queries.
+* ``Q01`` and ``Q09`` reference one CTE from both UNION ALL branches —
+  explicit sharing within a single statement.
+* A slice of the fact rows carries a ``DateSk`` beyond the date
+  dimension, so ``Q10``'s LEFT join actually pads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..plan.expressions import Row
+from ..scope.catalog import Catalog
+from ..scope.statistics import register_data
+
+#: Dimension sizes; DateSk values above N_DATES miss the dimension.
+N_DATES = 730
+N_CUSTOMERS = 400
+N_ITEMS = 120
+N_STORES = 12
+
+STARJOIN_QUERIES: Dict[str, str] = {
+    # One CTE, two channels: category revenue and brand revenue from the
+    # same per-item aggregate (the paper's shared-spool motif).
+    "q01_item_channels": """
+WITH sales_by_item AS (
+  SELECT ItemSk, SUM(Qty) AS units, SUM(Net) AS revenue
+  FROM store_sales
+  GROUP BY ItemSk
+)
+SELECT Category AS grp, SUM(revenue) AS revenue
+FROM sales_by_item AS s JOIN item AS i ON s.ItemSk = i.ItemSk
+GROUP BY Category
+UNION ALL
+SELECT Brand AS grp, SUM(revenue) AS revenue
+FROM sales_by_item AS s JOIN item AS i ON s.ItemSk = i.ItemSk
+GROUP BY Brand;
+""",
+    # Customer-band rollup over a joined CTE.
+    "q02_band_revenue": """
+WITH band_sales AS (
+  SELECT Band, State, SUM(Net) AS revenue, SUM(Qty) AS units
+  FROM store_sales AS ss JOIN customer AS c ON ss.CustSk = c.CustSk
+  GROUP BY Band, State
+)
+SELECT Band, SUM(revenue) AS revenue
+FROM band_sales
+GROUP BY Band;
+""",
+    # Three-dimension star join with selective predicates the optimizer
+    # should push below the joins.
+    "q03_star_filter": """
+SELECT State, Category, SUM(Net) AS revenue
+FROM store_sales AS ss
+JOIN date_dim AS d ON ss.DateSk = d.DateSk
+JOIN customer AS c ON ss.CustSk = c.CustSk
+JOIN item AS i ON ss.ItemSk = i.ItemSk
+WHERE Year = 2024 AND Qty > 5
+GROUP BY State, Category;
+""",
+    # Monthly trend with a HAVING gate reusing the SELECT's aggregate.
+    "q04_monthly_having": """
+SELECT Year, Month, SUM(Qty) AS units
+FROM store_sales AS ss JOIN date_dim AS d ON ss.DateSk = d.DateSk
+GROUP BY Year, Month
+HAVING SUM(Qty) > 100;
+""",
+    # TopN: LIMIT with a deterministic (tie-broken) ORDER BY.
+    "q05_top_sales": """
+SELECT SaleSk, Net
+FROM store_sales
+WHERE Qty > 8
+ORDER BY Net, SaleSk
+LIMIT 10;
+""",
+    # UNION ALL with disjoint per-branch store ranges.
+    "q06_store_split": """
+SELECT Market, SUM(Net) AS revenue
+FROM store_sales AS ss JOIN store AS st ON ss.StoreSk = st.StoreSk
+WHERE ss.StoreSk < 6
+GROUP BY Market
+UNION ALL
+SELECT Market, SUM(Net) AS revenue
+FROM store_sales AS ss JOIN store AS st ON ss.StoreSk = st.StoreSk
+WHERE ss.StoreSk >= 6
+GROUP BY Market;
+""",
+    # Q02's CTE verbatim, different consumer: batched with Q02 the
+    # fingerprint merge spools the common subtree once for both.
+    "q07_band_units": """
+WITH band_sales AS (
+  SELECT Band, State, SUM(Net) AS revenue, SUM(Qty) AS units
+  FROM store_sales AS ss JOIN customer AS c ON ss.CustSk = c.CustSk
+  GROUP BY Band, State
+)
+SELECT State, SUM(units) AS units
+FROM band_sales
+GROUP BY State;
+""",
+    # Distinct buyers per category (two-stage dedup-then-count rewrite).
+    "q08_distinct_buyers": """
+SELECT Category, COUNT(DISTINCT CustSk) AS buyers
+FROM store_sales AS ss JOIN item AS i ON ss.ItemSk = i.ItemSk
+GROUP BY Category;
+""",
+    # Chained CTEs; the second is consumed by both UNION ALL branches.
+    "q09_big_spenders": """
+WITH active AS (
+  SELECT CustSk, SUM(Qty) AS units, SUM(Net) AS revenue
+  FROM store_sales
+  GROUP BY CustSk
+),
+big AS (
+  SELECT CustSk, units, revenue FROM active WHERE units > 20
+)
+SELECT c.State AS grp, SUM(b.revenue) AS total
+FROM big AS b JOIN customer AS c ON b.CustSk = c.CustSk
+GROUP BY c.State
+UNION ALL
+SELECT c.Band AS grp, SUM(b.units) AS total
+FROM big AS b JOIN customer AS c ON b.CustSk = c.CustSk
+GROUP BY c.Band;
+""",
+    # LEFT join that actually pads (late DateSk rows miss the
+    # dimension), plus an AVG decomposition.
+    "q10_weekday_profile": """
+SELECT Dow, SUM(Net) AS revenue, AVG(Qty) AS avg_qty
+FROM store_sales AS ss LEFT JOIN date_dim AS d ON ss.DateSk = d.DateSk
+GROUP BY Dow;
+""",
+}
+
+#: Hand-translated SCOPE twins of a query subset.  Rules that make the
+#: plans byte-identical: extract ALL file columns ``USING SqlExtractor``
+#: (the extractor name is part of plan identity), reuse the SQL queries'
+#: binding aliases (join clash renames embed them), and OUTPUT to the
+#: SQL default path ``q1.out``.
+SCOPE_EQUIVALENTS: Dict[str, str] = {
+    "q02_band_revenue": """
+ss = EXTRACT SaleSk,DateSk,CustSk,ItemSk,StoreSk,Qty,Net
+     FROM "store_sales.log" USING SqlExtractor;
+c = EXTRACT CustSk,State,Band FROM "customer.log" USING SqlExtractor;
+band_sales = SELECT Band,State,Sum(Net) AS revenue,Sum(Qty) AS units
+             FROM ss JOIN c ON ss.CustSk = c.CustSk
+             GROUP BY Band,State;
+q = SELECT Band,Sum(revenue) AS revenue FROM band_sales GROUP BY Band;
+OUTPUT q TO "q1.out";
+""",
+    "q03_star_filter": """
+ss = EXTRACT SaleSk,DateSk,CustSk,ItemSk,StoreSk,Qty,Net
+     FROM "store_sales.log" USING SqlExtractor;
+d = EXTRACT DateSk,Year,Month,Dow FROM "date_dim.log" USING SqlExtractor;
+c = EXTRACT CustSk,State,Band FROM "customer.log" USING SqlExtractor;
+i = EXTRACT ItemSk,Category,Brand FROM "item.log" USING SqlExtractor;
+q = SELECT State,Category,Sum(Net) AS revenue
+    FROM ss
+    JOIN d ON ss.DateSk = d.DateSk
+    JOIN c ON ss.CustSk = c.CustSk
+    JOIN i ON ss.ItemSk = i.ItemSk
+    WHERE Year = 2024 AND Qty > 5
+    GROUP BY State,Category;
+OUTPUT q TO "q1.out";
+""",
+    "q05_top_sales": """
+ss = EXTRACT SaleSk,DateSk,CustSk,ItemSk,StoreSk,Qty,Net
+     FROM "store_sales.log" USING SqlExtractor;
+q = SELECT TOP 10 SaleSk,Net FROM ss WHERE Qty > 8 ORDER BY Net,SaleSk;
+OUTPUT q TO "q1.out";
+""",
+}
+
+
+def generate_starjoin_data(
+    n_sales: int = 6_000,
+    seed: int = 0,
+) -> Dict[str, List[Row]]:
+    """Seeded synthetic star-schema data (all-integer columns).
+
+    Quantities are skewed (mostly small baskets, heavy tail) so
+    histogram selectivity has structure; ~3% of fact rows reference
+    dates beyond the dimension to exercise LEFT-join padding.
+    """
+    rng = random.Random(seed)
+    dates = [
+        {
+            "DateSk": d,
+            "Year": 2023 + d // 365,
+            "Month": (d % 365) // 31 + 1,
+            "Dow": d % 7,
+        }
+        for d in range(N_DATES)
+    ]
+    customers = [
+        {
+            "CustSk": c,
+            "State": rng.randrange(20),
+            "Band": rng.randrange(9),
+        }
+        for c in range(N_CUSTOMERS)
+    ]
+    items = [
+        {
+            "ItemSk": i,
+            "Category": rng.randrange(10),
+            "Brand": rng.randrange(30),
+        }
+        for i in range(N_ITEMS)
+    ]
+    stores = [
+        {"StoreSk": s, "Market": rng.randrange(5)} for s in range(N_STORES)
+    ]
+    sales = []
+    for sale_sk in range(n_sales):
+        qty = 1 + min(int(rng.expovariate(0.25)), 40)
+        sales.append(
+            {
+                "SaleSk": sale_sk,
+                "DateSk": rng.randrange(int(N_DATES * 1.03)),
+                "CustSk": rng.randrange(N_CUSTOMERS),
+                "ItemSk": rng.randrange(N_ITEMS),
+                "StoreSk": rng.randrange(N_STORES),
+                "Qty": qty,
+                "Net": qty * rng.randrange(2, 60),
+            }
+        )
+    return {
+        "store_sales.log": sales,
+        "date_dim.log": dates,
+        "customer.log": customers,
+        "item.log": items,
+        "store.log": stores,
+    }
+
+
+def make_starjoin_catalog(
+    data: Optional[Dict[str, List[Row]]] = None, seed: int = 0
+) -> Tuple[Catalog, Dict[str, List[Row]]]:
+    """Catalog with statistics (incl. histograms) collected from data."""
+    if data is None:
+        data = generate_starjoin_data(seed=seed)
+    catalog = Catalog()
+    for path, rows in data.items():
+        register_data(catalog, path, rows)
+    return catalog, data

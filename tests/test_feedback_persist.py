@@ -1,0 +1,143 @@
+"""Persistence tests for the learned-statistics feedback store.
+
+The store snapshot is a versioned JSON file written atomically; a
+controller with ``FeedbackConfig(persist_path=...)`` saves after every
+capture and gate cycle and reloads on construction, so corrections
+survive a service restart without re-learning.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.optimizer.cost import CostParams
+from repro.optimizer.engine import OptimizerConfig
+from repro.service import QueryService
+from repro.stats import FeedbackStore, FragmentObservation
+from repro.stats.feedback import FeedbackConfig, FeedbackController
+from repro.workloads.skew import SKEW_SCENARIOS
+
+
+def _obs(fp, estimated, actual, paths=("a.log",)):
+    return FragmentObservation(
+        fingerprint=fp, estimated=estimated, actual=actual, paths=paths
+    )
+
+
+class TestStoreRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path):
+        store = FeedbackStore()
+        store.record([_obs("f1", 100.0, 10), _obs("f1", 100.0, 30),
+                      _obs("f2", 5.0, 500, paths=("a.log", "b.log"))])
+        store.publish(store.candidates(2.0))
+        path = str(tmp_path / "feedback.json")
+        store.save(path)
+
+        loaded = FeedbackStore.load(path)
+        assert loaded.to_json() == store.to_json()
+        assert loaded.version == store.version
+        # Aggregates intact, not just raw counters.
+        entry = loaded.fragment("f1")
+        assert entry.observations == 2
+        assert entry.mean_actual == 20.0
+        assert entry.last_estimated == 100.0
+        # Active corrections survive with their version.
+        active = loaded.active()
+        assert active.version == store.active().version
+        assert active.rows_for("f2") == store.active().rows_for("f2")
+
+    def test_save_is_versioned_json(self, tmp_path):
+        store = FeedbackStore()
+        store.record([_obs("f1", 10.0, 20)])
+        path = tmp_path / "feedback.json"
+        store.save(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["format"] == FeedbackStore.FORMAT
+        assert doc["fragments"][0]["fingerprint"] == "f1"
+        assert not (tmp_path / "feedback.json.tmp").exists()
+
+    def test_unknown_format_raises(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_text(json.dumps({"format": 999, "fragments": []}))
+        with pytest.raises(ValueError, match="format 999"):
+            FeedbackStore.load(str(path))
+
+    def test_missing_format_raises(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="format None"):
+            FeedbackStore.load(str(path))
+
+    def test_empty_store_round_trips(self, tmp_path):
+        path = str(tmp_path / "feedback.json")
+        FeedbackStore().save(path)
+        loaded = FeedbackStore.load(path)
+        assert not loaded.fragments()
+        assert not loaded.active()
+
+
+def _scenario_config(persist_path):
+    scenario = SKEW_SCENARIOS["filter_selectivity_skew"]
+    feedback = dict(scenario.feedback)
+    feedback["persist_path"] = persist_path
+    return scenario, FeedbackConfig(**feedback)
+
+
+class TestControllerPersistence:
+    def test_learning_survives_restart(self, tmp_path):
+        """Run a skew scenario to learn corrections, restart the
+        service on the same persist path, and check the corrections are
+        active without re-observing anything."""
+        path = str(tmp_path / "feedback.json")
+        scenario, config = _scenario_config(path)
+        opt = OptimizerConfig(cost_params=CostParams(machines=4))
+
+        service = QueryService(scenario.build_catalog(), opt,
+                               feedback=config)
+        files = scenario.generate_files()
+        service.execute(scenario.script, workers=2, files=files)
+        learned = service.feedback.store.active()
+        assert learned, "scenario must publish at least one correction"
+
+        restarted = QueryService(scenario.build_catalog(), opt,
+                                 feedback=config)
+        revived = restarted.feedback.store.active()
+        assert revived.version == learned.version
+        assert {c.fingerprint for c in revived.corrections()} == {
+            c.fingerprint for c in learned.corrections()
+        }
+        for c in learned.corrections():
+            assert revived.rows_for(c.fingerprint) == c.rows
+
+    def test_no_file_until_first_observation(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        scenario, config = _scenario_config(str(path))
+        QueryService(scenario.build_catalog(),
+                     OptimizerConfig(cost_params=CostParams(machines=4)),
+                     feedback=config)
+        assert not path.exists()
+
+    def test_manual_controller_saves_on_step(self, tmp_path):
+        path = tmp_path / "feedback.json"
+
+        class _Bus:
+            def publish(self, event):
+                pass
+
+        class _Service:
+            bus = _Bus()
+
+            def apply_corrections(self, store, passed):
+                store.publish(passed)
+                return []
+
+        controller = FeedbackController(
+            _Service(),
+            FeedbackConfig(persist_path=str(path), qerror_threshold=2.0),
+        )
+        controller.store.record([_obs("f1", 100.0, 10)])
+        controller.step()
+        assert path.exists()
+        assert FeedbackStore.load(str(path)).active().rows_for("f1") == 10.0

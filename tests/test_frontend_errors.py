@@ -1,0 +1,101 @@
+"""Regression tests pinning the shared frontend diagnostic format.
+
+Both dialects (SCOPE and SQL) raise errors rooted in
+:mod:`repro.frontend.errors` and render the *same* source excerpt.  The
+exact strings below are load-bearing: the CLI prints them verbatim and
+``repro.scope`` callers match on the ``"{kind} at {line}:{column}"``
+prefix.  Change the format deliberately, here and in one place.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import (
+    FrontendError,
+    LocatedError,
+    format_diagnostic,
+    render_excerpt,
+)
+from repro.scope.errors import ParseError as ScopeParseError
+from repro.scope.parser import parse as parse_scope
+from repro.sql import parse_sql
+from repro.sql.errors import SqlParseError, SqlResolutionError
+
+
+class TestRenderExcerpt:
+    def test_pinned_format(self):
+        source = "SELECT a\nFROM t\nLIMIT 3;"
+        assert render_excerpt(source, 3, 7) == (
+            "  3 | LIMIT 3;\n"
+            "    |       ^"
+        )
+
+    def test_column_one(self):
+        assert render_excerpt("SELECT", 1, 1) == (
+            "  1 | SELECT\n"
+            "    | ^"
+        )
+
+    def test_caret_clamped_to_line_end(self):
+        assert render_excerpt("ab", 1, 99) == (
+            "  1 | ab\n"
+            "    |   ^"
+        )
+
+    def test_out_of_range_line_is_empty(self):
+        assert render_excerpt("one line", 5, 1) == ""
+
+    def test_wide_gutter_aligns(self):
+        source = "\n" * 9 + "SELECT x"
+        assert render_excerpt(source, 10, 8) == (
+            "  10 | SELECT x\n"
+            "     |        ^"
+        )
+
+
+class TestFormatDiagnostic:
+    def test_sql_parse_error_excerpt(self):
+        with pytest.raises(SqlParseError) as exc:
+            parse_sql("SELECT a\nFROM t\nLIMIT 3;")
+        rendered = format_diagnostic(exc.value)
+        assert rendered == (
+            "parse error at 3:8: LIMIT requires an ORDER BY for "
+            "deterministic results, found ';'\n"
+            "  3 | LIMIT 3;\n"
+            "    |        ^"
+        )
+
+    def test_scope_parse_error_excerpt(self):
+        text = 'R = SELEKT A FROM "t.log";'
+        with pytest.raises(ScopeParseError) as exc:
+            parse_scope(text)
+        rendered = format_diagnostic(exc.value)
+        assert "\n  1 | " in rendered
+        head, excerpt = rendered.split("\n", 1)
+        assert head.startswith("parse error at 1:")
+        assert excerpt.splitlines()[0] == f"  1 | {text}"
+
+    def test_both_dialects_share_base(self):
+        for text, parse, kind in [
+            ("SELECT a FROM t LIMIT 1;", parse_sql, SqlParseError),
+            ("R = ;", parse_scope, ScopeParseError),
+        ]:
+            with pytest.raises(kind) as exc:
+                parse(text)
+            assert isinstance(exc.value, FrontendError)
+            assert isinstance(exc.value, LocatedError)
+            assert exc.value.source == text
+
+    def test_unlocated_error_is_message_only(self):
+        err = SqlResolutionError("unknown table 'nope'")
+        assert format_diagnostic(err) == "unknown table 'nope'"
+
+    def test_source_override(self):
+        err = SqlParseError("boom", 1, 3)
+        assert format_diagnostic(err) == "parse error at 1:3: boom"
+        assert format_diagnostic(err, source="abcdef") == (
+            "parse error at 1:3: boom\n"
+            "  1 | abcdef\n"
+            "    |   ^"
+        )

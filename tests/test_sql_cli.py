@@ -1,0 +1,184 @@
+"""CLI tests for the SQL dialect surface.
+
+Covers ``--dialect`` with ``.sql`` auto-detection, scripts on stdin via
+``-``, ``explain --format json``, mixed-dialect batches, SQL through
+``serve`` (including the streaming admission path), and the persisted
+feedback store flag.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scope.statistics import catalog_to_json, register_data
+from repro.scope.catalog import Catalog
+from repro.workloads.starjoin import (
+    SCOPE_EQUIVALENTS,
+    STARJOIN_QUERIES,
+    generate_starjoin_data,
+)
+
+SQL_TEXT = STARJOIN_QUERIES["q02_band_revenue"]
+SCOPE_TEXT = SCOPE_EQUIVALENTS["q02_band_revenue"]
+
+
+@pytest.fixture
+def sql_workspace(tmp_path):
+    data = generate_starjoin_data(n_sales=800)
+    catalog = Catalog()
+    for path, rows in data.items():
+        register_data(catalog, path, rows)
+    catalog_path = tmp_path / "catalog.json"
+    catalog_path.write_text(catalog_to_json(catalog))
+    script = tmp_path / "q02.sql"
+    script.write_text(SQL_TEXT)
+    scope_twin = tmp_path / "q02.scope"
+    scope_twin.write_text(SCOPE_TEXT)
+    return str(script), str(scope_twin), str(catalog_path)
+
+
+class TestDialectSelection:
+    def test_sql_extension_autodetects(self, sql_workspace, capsys):
+        script, _, catalog = sql_workspace
+        assert main(["explain", script, "--catalog", catalog]) == 0
+        assert "total cost (DAG)" in capsys.readouterr().out
+
+    def test_explicit_dialect_flag(self, sql_workspace, tmp_path, capsys):
+        _, _, catalog = sql_workspace
+        # A .txt extension defeats extension detection; content sniffing
+        # is overridden by --dialect.
+        odd = tmp_path / "query.txt"
+        odd.write_text(SQL_TEXT)
+        assert main(["explain", str(odd), "--catalog", catalog,
+                     "--dialect", "sql"]) == 0
+
+    def test_wrong_dialect_is_a_clean_error(self, sql_workspace, capsys):
+        script, _, catalog = sql_workspace
+        code = main(["explain", script, "--catalog", catalog,
+                     "--dialect", "scope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_both_dialects_same_fingerprint(self, sql_workspace, capsys):
+        sql_script, scope_script, catalog = sql_workspace
+        assert main(["serve", sql_script, scope_script,
+                     "--catalog", catalog, "--machines", "4"]) == 0
+        out = capsys.readouterr().out
+        # The SCOPE twin compiles to the identical plan, so only the
+        # very first submission misses (default --repeat is 2 passes).
+        assert out.count("] miss") == 1
+        assert out.count("] hit") == 3
+
+
+class TestStdinScripts:
+    def test_run_reads_dash(self, sql_workspace, monkeypatch, capsys):
+        _, _, catalog = sql_workspace
+        monkeypatch.setattr("sys.stdin", io.StringIO(SQL_TEXT))
+        code = main(["run", "-", "--catalog", catalog, "--machines", "4",
+                     "--rows", "500", "--dialect", "sql"])
+        assert code == 0
+        assert "q1.out" in capsys.readouterr().out
+
+    def test_explain_sniffs_stdin_content(self, sql_workspace,
+                                          monkeypatch, capsys):
+        _, _, catalog = sql_workspace
+        # No filename to detect from: content sniffing picks SQL.
+        monkeypatch.setattr("sys.stdin", io.StringIO(SQL_TEXT))
+        assert main(["explain", "-", "--catalog", catalog]) == 0
+
+    def test_verify_reads_dash(self, sql_workspace, monkeypatch, capsys):
+        _, _, catalog = sql_workspace
+        monkeypatch.setattr("sys.stdin", io.StringIO(SQL_TEXT))
+        assert main(["verify", "-", "--catalog", catalog]) == 0
+
+
+class TestExplainFormat:
+    def test_format_json(self, sql_workspace, capsys):
+        script, _, catalog = sql_workspace
+        assert main(["explain", script, "--catalog", catalog,
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # A single-statement SQL script's plan is rooted at its output.
+        assert doc["operator"] == "Output"
+
+    def test_format_overrides_legacy_flags(self, sql_workspace, capsys):
+        script, _, catalog = sql_workspace
+        assert main(["explain", script, "--catalog", catalog,
+                     "--dot", "--format", "text"]) == 0
+        assert "total cost (DAG)" in capsys.readouterr().out
+
+    def test_format_dot(self, sql_workspace, capsys):
+        script, _, catalog = sql_workspace
+        assert main(["explain", script, "--catalog", catalog,
+                     "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestSqlDiagnosticsOnCli:
+    def test_parse_error_renders_excerpt(self, sql_workspace, tmp_path,
+                                         capsys):
+        _, _, catalog = sql_workspace
+        bad = tmp_path / "bad.sql"
+        bad.write_text("SELECT Band FROM customer LIMIT 3;")
+        code = main(["explain", str(bad), "--catalog", catalog])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "LIMIT requires an ORDER BY" in err
+        assert "| SELECT Band FROM customer LIMIT 3;" in err
+        assert "^" in err
+
+    def test_unknown_table_lists_catalog(self, sql_workspace, tmp_path,
+                                         capsys):
+        _, _, catalog = sql_workspace
+        bad = tmp_path / "bad.sql"
+        bad.write_text("SELECT a FROM nope;")
+        assert main(["explain", str(bad), "--catalog", catalog]) == 2
+        assert "unknown table 'nope'" in capsys.readouterr().err
+
+
+class TestSqlExecution:
+    def test_run_verifies_against_naive(self, sql_workspace, capsys):
+        script, _, catalog = sql_workspace
+        code = main(["run", script, "--catalog", catalog,
+                     "--machines", "4", "--rows", "500"])
+        assert code == 0
+        assert ("verified: results identical to the naive reference"
+                in capsys.readouterr().out)
+
+    def test_mixed_dialect_batch(self, sql_workspace, capsys):
+        sql_script, scope_script, catalog = sql_workspace
+        code = main(["batch", sql_script, scope_script,
+                     "--catalog", catalog, "--machines", "4",
+                     "--rows", "500", "--workers", "2"])
+        assert code == 0
+
+    def test_streaming_admission_accepts_sql(self, sql_workspace,
+                                             capsys):
+        sql_script, scope_script, catalog = sql_workspace
+        code = main(["serve", sql_script, scope_script,
+                     "--catalog", catalog, "--machines", "4",
+                     "--stream", "--tenants", "2", "--repeat", "1",
+                     "--window-ms", "20", "--rows", "500",
+                     "--workers", "2"])
+        assert code == 0
+        assert "0 failed" in capsys.readouterr().out
+
+
+class TestFeedbackStoreFlag:
+    def test_serve_persists_feedback(self, sql_workspace, tmp_path,
+                                     capsys):
+        script, _, catalog = sql_workspace
+        store = tmp_path / "learned.json"
+        code = main(["serve", script, "--catalog", catalog,
+                     "--machines", "4", "--stream", "--tenants", "1",
+                     "--repeat", "1", "--window-ms", "20",
+                     "--rows", "500", "--workers", "2",
+                     "--feedback-store", str(store)])
+        assert code == 0
+        doc = json.loads(store.read_text())
+        assert doc["format"] == 1
+        assert doc["stats"]["observations"] > 0

@@ -1,0 +1,178 @@
+"""Tests for the SQL compiler's desugaring into the logical DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import optimize_script
+from repro.cse.merge import script_fingerprint
+from repro.plan.columns import ColumnType
+from repro.scope.catalog import Catalog
+from repro.sql import compile_sql
+from repro.sql.errors import SqlResolutionError
+from repro.workloads.starjoin import STARJOIN_QUERIES, make_starjoin_catalog
+
+
+@pytest.fixture(scope="module")
+def starjoin():
+    catalog, _ = make_starjoin_catalog()
+    return catalog
+
+
+def _collect(plan):
+    """All logical nodes of a DAG, each object once (identity-deduped)."""
+    seen = {}
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen[id(node)] = node
+        stack.extend(node.children)
+    return list(seen.values())
+
+
+def _by_type(plan, op_type_name):
+    """Plan nodes whose operator is of the named ``Logical*`` type."""
+    return [n for n in _collect(plan)
+            if type(n.op).__name__ == op_type_name]
+
+
+class TestDesugaring:
+    def test_table_extracted_once_per_script(self, starjoin):
+        # Three references to store_sales across two statements: one
+        # LogicalExtract node (same file never extracted twice).
+        plan = compile_sql(
+            "SELECT SaleSk FROM store_sales WHERE Qty > 3;"
+            "SELECT CustSk FROM store_sales;",
+            starjoin,
+        )
+        extracts = _by_type(plan, "LogicalExtract")
+        assert len(extracts) == 1
+        assert extracts[0].op.path == "store_sales.log"
+        assert extracts[0].op.extractor == "SqlExtractor"
+
+    def test_extract_carries_full_file_schema(self, starjoin):
+        plan = compile_sql("SELECT Year FROM date_dim;", starjoin)
+        (extract,) = _by_type(plan, "LogicalExtract")
+        assert list(extract.schema.names) == ["DateSk", "Year", "Month",
+                                              "Dow"]
+
+    def test_cte_referenced_twice_is_one_node(self, starjoin):
+        plan = compile_sql(STARJOIN_QUERIES["q01_item_channels"], starjoin)
+        aggs = _by_type(plan, "LogicalGroupBy")
+        # sales_by_item's aggregation exists once even though both UNION
+        # ALL branches consume it: shared-by-construction in the DAG.
+        shared = [a for a in aggs if {"units", "revenue"} <=
+                  set(a.schema.names)]
+        assert len(shared) == 1
+
+    def test_default_output_paths_are_positional(self, starjoin):
+        plan = compile_sql(
+            "SELECT SaleSk FROM store_sales;"
+            "SELECT DateSk FROM date_dim;",
+            starjoin,
+        )
+        outputs = _by_type(plan, "LogicalOutput")
+        assert sorted(o.op.path for o in outputs) == ["q1.out", "q2.out"]
+
+    def test_into_overrides_output_path(self, starjoin):
+        plan = compile_sql(
+            "SELECT SaleSk FROM store_sales INTO 'sales.rpt';", starjoin
+        )
+        (output,) = _by_type(plan, "LogicalOutput")
+        assert output.op.path == "sales.rpt"
+
+    def test_statement_order_by_becomes_sorted_output(self, starjoin):
+        plan = compile_sql(
+            "SELECT Market FROM store ORDER BY Market;", starjoin
+        )
+        (output,) = _by_type(plan, "LogicalOutput")
+        assert list(output.op.sort_columns) == ["Market"]
+
+    def test_limit_becomes_topn_not_output_order(self, starjoin):
+        plan = compile_sql(
+            "SELECT SaleSk, Net FROM store_sales ORDER BY Net, SaleSk "
+            "LIMIT 10;",
+            starjoin,
+        )
+        (output,) = _by_type(plan, "LogicalOutput")
+        assert not output.op.sort_columns
+        tops = _by_type(plan, "LogicalTopN")
+        assert len(tops) == 1
+
+    def test_select_star_expands_in_schema_order(self, starjoin):
+        plan = compile_sql("SELECT * FROM customer;", starjoin)
+        (output,) = _by_type(plan, "LogicalOutput")
+        assert list(output.schema.names) == ["CustSk", "State", "Band"]
+
+    def test_star_over_join_prefixes_nothing_unless_clash(self, starjoin):
+        plan = compile_sql(
+            "SELECT * FROM customer AS c JOIN store AS st "
+            "ON c.CustSk = st.StoreSk;",
+            starjoin,
+        )
+        (output,) = _by_type(plan, "LogicalOutput")
+        assert set(output.schema.names) >= {"CustSk", "State", "Band",
+                                            "StoreSk", "Market"}
+
+    def test_equivalent_texts_share_fingerprint(self, starjoin):
+        spaced = "SELECT   SaleSk FROM store_sales   WHERE Qty > 3;"
+        tight = "select SaleSk from store_sales where Qty > 3;"
+        a = optimize_script(spaced, starjoin, dialect="sql")
+        b = optimize_script(tight, starjoin, dialect="sql")
+        fp = script_fingerprint
+        assert fp(a.plan) == fp(b.plan)
+
+
+class TestResolutionErrors:
+    def test_unknown_table_lists_catalog(self, starjoin):
+        with pytest.raises(SqlResolutionError) as exc:
+            compile_sql("SELECT a FROM nope;", starjoin)
+        message = str(exc.value)
+        assert "unknown table 'nope'" in message
+        assert "store_sales" in message and "date_dim" in message
+
+    def test_ambiguous_table_name(self):
+        catalog = Catalog()
+        cols = [("A", ColumnType.INT)]
+        catalog.register_file("north/t.log", cols, rows=10)
+        catalog.register_file("south/t.log", cols, rows=10)
+        with pytest.raises(SqlResolutionError, match="ambiguous across"):
+            compile_sql("SELECT A FROM t;", catalog)
+
+    def test_duplicate_cte_name(self, starjoin):
+        with pytest.raises(SqlResolutionError, match="duplicate CTE"):
+            compile_sql(
+                "WITH x AS (SELECT SaleSk FROM store_sales), "
+                "x AS (SELECT DateSk FROM date_dim) "
+                "SELECT SaleSk FROM x;",
+                starjoin,
+            )
+
+    def test_ambiguous_star_over_join(self, starjoin):
+        with pytest.raises(SqlResolutionError, match="list the columns"):
+            compile_sql(
+                "SELECT * FROM store_sales AS a JOIN store_sales AS b "
+                "ON a.SaleSk = b.SaleSk;",
+                starjoin,
+            )
+
+    def test_cte_shadows_table(self, starjoin):
+        # A CTE named like a catalog table wins within its statement.
+        plan = compile_sql(
+            "WITH store AS (SELECT SaleSk FROM store_sales) "
+            "SELECT SaleSk FROM store;",
+            starjoin,
+        )
+        extracts = _by_type(plan, "LogicalExtract")
+        assert [e.op.path for e in extracts] == ["store_sales.log"]
+
+    def test_cte_scope_is_per_statement(self, starjoin):
+        with pytest.raises(SqlResolutionError, match="unknown table 'x'"):
+            compile_sql(
+                "WITH x AS (SELECT SaleSk FROM store_sales) "
+                "SELECT SaleSk FROM x;"
+                "SELECT SaleSk FROM x;",
+                starjoin,
+            )

@@ -1,0 +1,181 @@
+"""Optimizer pathology regression suite over the SQL frontend.
+
+Three classic optimizer pathologies, each expressed as a SQL query over
+the star-join corpus.  Pathologies the optimizer handles get a golden
+plan snapshot (``--update-golden`` refreshes) *plus* a structural
+assertion, so the property stays pinned even when the snapshot is
+refreshed.  Unhandled pathologies are **strict xfails** naming the
+missing rule: when someone implements it, the xfail flips to XPASS and
+fails the suite, forcing the test to be promoted to a golden — no
+silent skips in either direction.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.api import optimize_script
+from repro.optimizer.explain import explain_normalized
+from repro.workloads.starjoin import STARJOIN_QUERIES, make_starjoin_catalog
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "sql"
+
+
+@pytest.fixture(scope="module")
+def starjoin_catalog():
+    catalog, _ = make_starjoin_catalog()
+    return catalog
+
+
+def _explain(catalog, sql: str) -> str:
+    return explain_normalized(
+        optimize_script(sql, catalog, dialect="sql").plan
+    )
+
+
+def _check_golden(name: str, rendered: str, update: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    if update:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        pytest.skip(f"updated {path}")
+    assert path.exists(), f"missing snapshot {path}; run with --update-golden"
+    expected = path.read_text()
+    assert rendered == expected, (
+        f"plan shape for {name} changed; if intentional, refresh with "
+        f"`pytest tests/test_sql_pathologies.py --update-golden`\n"
+        f"--- expected ---\n{expected}\n--- got ---\n{rendered}"
+    )
+
+
+def _indent_of(line: str) -> int:
+    return len(line) - len(line.lstrip())
+
+
+def _subtree(lines, root_index):
+    """The explain lines of the subtree rooted at ``lines[root_index]``."""
+    base = _indent_of(lines[root_index])
+    out = [lines[root_index]]
+    for line in lines[root_index + 1:]:
+        if _indent_of(line) <= base:
+            break
+        out.append(line)
+    return out
+
+
+class TestFilterPushedBelowJoin:
+    """Handled: per-table predicates sink below the star join."""
+
+    def test_structure(self, starjoin_catalog):
+        rendered = _explain(
+            starjoin_catalog, STARJOIN_QUERIES["q03_star_filter"]
+        )
+        lines = rendered.splitlines()
+        for predicate, table in [
+            ("(Year = 2024)", "date_dim.log"),
+            ("(Qty > 5)", "store_sales.log"),
+        ]:
+            (idx,) = [i for i, ln in enumerate(lines)
+                      if f"Filter {predicate}" in ln]
+            subtree = _subtree(lines, idx)
+            # The filter's whole subtree is join-free: it was pushed all
+            # the way down to its extract.
+            assert not any("Join" in ln for ln in subtree), (
+                f"filter {predicate} was not pushed below the joins:\n"
+                + rendered
+            )
+            assert any(f"Extract {table}" in ln for ln in subtree)
+
+    def test_golden(self, starjoin_catalog, update_golden):
+        rendered = _explain(
+            starjoin_catalog, STARJOIN_QUERIES["q03_star_filter"]
+        )
+        _check_golden("pathology_filter_pushdown", rendered, update_golden)
+
+
+class TestSharedDimensionMultichannel:
+    """Handled: a CTE feeding two UNION ALL channels is spooled once."""
+
+    def test_structure(self, starjoin_catalog):
+        rendered = _explain(
+            starjoin_catalog, STARJOIN_QUERIES["q01_item_channels"]
+        )
+        spool_ids = re.findall(r"#(\d+) Spool", rendered)
+        assert spool_ids, "shared CTE must appear as a Spool"
+        for node_id in spool_ids:
+            # The normalized explain prints a shared node once and
+            # back-references it as `*<id>` from every other consumer.
+            assert f"*{node_id}" in rendered, (
+                f"Spool #{node_id} has a single consumer; the CTE's two "
+                "channels must point at one node:\n" + rendered
+            )
+
+    def test_golden(self, starjoin_catalog, update_golden):
+        rendered = _explain(
+            starjoin_catalog, STARJOIN_QUERIES["q01_item_channels"]
+        )
+        _check_golden("pathology_shared_dimension", rendered, update_golden)
+
+
+#: Both consumers constrain ``CustSk < 100``; the second adds a store
+#: predicate.  The overlapping predicate makes the consumers' filtered
+#: subtrees textually different, so CSE only shares the raw extract.
+CROSS_CTE_PREDICATE_SQL = """
+WITH per_cust AS (
+  SELECT CustSk, StoreSk, SUM(Net) AS revenue
+  FROM store_sales
+  GROUP BY CustSk, StoreSk
+)
+SELECT CustSk, SUM(revenue) AS revenue
+FROM per_cust WHERE CustSk < 100 GROUP BY CustSk
+UNION ALL
+SELECT StoreSk, SUM(revenue) AS revenue
+FROM per_cust WHERE CustSk < 100 AND StoreSk < 6 GROUP BY StoreSk;
+"""
+
+
+class TestCrossCtePredicatePropagation:
+    """Unhandled: predicate intersection across a shared CTE's consumers.
+
+    The missing rule is *cross-consumer predicate intersection pushdown
+    into shared spool producers*: when every consumer of a shared
+    subexpression constrains it with a common predicate (here
+    ``CustSk < 100``), that intersection should be pushed below one
+    shared spool, with each consumer keeping only its residual.  Today
+    the optimizer sees two different Filter parents, declares the
+    subtrees distinct, and duplicates the expensive aggregation.
+    """
+
+    @pytest.mark.xfail(
+        strict=True,
+        reason="missing rule: cross-consumer predicate intersection "
+        "pushdown into shared spool producers (the common CustSk < 100 "
+        "is not factored out, so the (CustSk,StoreSk) aggregation is "
+        "planned twice instead of spooled once)",
+    )
+    def test_common_predicate_factored_into_shared_producer(
+        self, starjoin_catalog
+    ):
+        rendered = _explain(starjoin_catalog, CROSS_CTE_PREDICATE_SQL)
+        producers = [
+            ln for ln in rendered.splitlines()
+            if re.search(r"HashAgg \(CustSk,StoreSk\)", ln)
+        ]
+        assert len(producers) == 1, (
+            "the shared (CustSk,StoreSk) aggregation must be planned "
+            f"once, found {len(producers)}:\n" + rendered
+        )
+
+    def test_duplicated_producer_is_pinned(self, starjoin_catalog):
+        """Document today's behavior so a fix is noticed here too."""
+        rendered = _explain(starjoin_catalog, CROSS_CTE_PREDICATE_SQL)
+        producers = [
+            ln for ln in rendered.splitlines()
+            if re.search(r"HashAgg \(CustSk,StoreSk\)", ln)
+        ]
+        assert len(producers) == 2
+        # The raw extract *is* still shared (a back-reference exists).
+        assert re.search(r"^\s*\*\d+$", rendered, flags=re.M)

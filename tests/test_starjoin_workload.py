@@ -1,0 +1,133 @@
+"""The star-join workload corpus: datagen, execution, golden plans.
+
+Every query in :data:`repro.workloads.starjoin.STARJOIN_QUERIES` gets a
+golden plan snapshot under ``tests/golden/sql/`` (refresh with
+``--update-golden``), an execution smoke check, and the datagen is
+pinned deterministic.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.api import execute_script, optimize_script
+from repro.optimizer.explain import explain_normalized
+from repro.workloads.starjoin import (
+    N_CUSTOMERS,
+    N_DATES,
+    N_ITEMS,
+    N_STORES,
+    SCOPE_EQUIVALENTS,
+    STARJOIN_QUERIES,
+    generate_starjoin_data,
+    make_starjoin_catalog,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "sql"
+
+
+@pytest.fixture(scope="module")
+def starjoin():
+    return make_starjoin_catalog()
+
+
+class TestDatagen:
+    def test_deterministic(self):
+        first = generate_starjoin_data(seed=3)
+        second = generate_starjoin_data(seed=3)
+        assert first == second
+
+    def test_seed_changes_data(self):
+        assert generate_starjoin_data(seed=0) != generate_starjoin_data(
+            seed=1
+        )
+
+    def test_shape(self):
+        data = generate_starjoin_data(n_sales=500)
+        assert len(data["store_sales.log"]) == 500
+        assert len(data["date_dim.log"]) == N_DATES
+        assert len(data["customer.log"]) == N_CUSTOMERS
+        assert len(data["item.log"]) == N_ITEMS
+        assert len(data["store.log"]) == N_STORES
+
+    def test_left_join_padding_exists(self):
+        """Some fact rows must reference dates beyond the dimension so
+        q10's LEFT JOIN actually pads."""
+        data = generate_starjoin_data()
+        assert any(
+            row["DateSk"] >= N_DATES for row in data["store_sales.log"]
+        )
+
+    def test_catalog_has_histograms(self, starjoin):
+        catalog, _ = starjoin
+        (stats,) = [
+            f for f in catalog.files() if f.path == "store_sales.log"
+        ]
+        assert stats.histograms and "Qty" in stats.histograms
+
+    def test_scope_twins_are_a_subset(self):
+        assert set(SCOPE_EQUIVALENTS) <= set(STARJOIN_QUERIES)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(STARJOIN_QUERIES))
+    def test_runs_and_produces_rows(self, starjoin, name):
+        catalog, data = starjoin
+        run = execute_script(STARJOIN_QUERIES[name], catalog, files=data)
+        assert set(run.outputs) == {"q1.out"}
+        assert run.outputs["q1.out"].total_rows() > 0
+
+    def test_top_query_returns_exactly_limit(self, starjoin):
+        catalog, data = starjoin
+        run = execute_script(
+            STARJOIN_QUERIES["q05_top_sales"], catalog, files=data
+        )
+        assert run.outputs["q1.out"].total_rows() == 10
+
+    def test_left_join_keeps_all_weekday_groups(self, starjoin):
+        catalog, data = starjoin
+        run = execute_script(
+            STARJOIN_QUERIES["q10_weekday_profile"], catalog, files=data
+        )
+        rows = run.outputs["q1.out"].all_rows()
+        # Seven weekdays plus the NULL-padded group for late DateSks.
+        assert len(rows) == 8
+
+
+class TestGoldenPlans:
+    @pytest.mark.parametrize("name", sorted(STARJOIN_QUERIES))
+    def test_golden_plan(self, starjoin, name, update_golden):
+        catalog, _ = starjoin
+        rendered = explain_normalized(
+            optimize_script(
+                STARJOIN_QUERIES[name], catalog, dialect="sql"
+            ).plan
+        )
+        golden_path = GOLDEN_DIR / f"starjoin_{name}.txt"
+        if update_golden:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            golden_path.write_text(rendered)
+            pytest.skip(f"updated {golden_path}")
+        assert golden_path.exists(), (
+            f"missing snapshot {golden_path}; run with --update-golden"
+        )
+        expected = golden_path.read_text()
+        assert rendered == expected, (
+            f"plan shape for {name} changed; if intentional, refresh "
+            f"with `pytest tests/test_starjoin_workload.py "
+            f"--update-golden`\n"
+            f"--- expected ---\n{expected}\n--- got ---\n{rendered}"
+        )
+
+    def test_plans_are_deterministic(self, starjoin):
+        catalog, _ = starjoin
+        sql = STARJOIN_QUERIES["q09_big_spenders"]
+        first = explain_normalized(
+            optimize_script(sql, catalog, dialect="sql").plan
+        )
+        second = explain_normalized(
+            optimize_script(sql, catalog, dialect="sql").plan
+        )
+        assert first == second
